@@ -1,0 +1,27 @@
+# Convenience targets for the repro-enmc repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

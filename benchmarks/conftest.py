@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure via the modules in
+:mod:`repro.experiments` and reports the same rows the paper plots
+(printed under ``-s``; always attached to the benchmark's ``extra_info``).
+Timing-wise, heavy experiments run once per benchmark (pedantic mode)
+— the interesting output is the experiment result, not the wall time.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

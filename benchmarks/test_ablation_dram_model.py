@@ -1,0 +1,71 @@
+"""Ablation: analytic vs cycle-accurate DRAM model (DESIGN.md §5).
+
+Paper-scale experiments run on the analytic model; this benchmark
+cross-validates it against the cycle model on workloads representative
+of both ENMC access patterns (screening stream, candidate gather).
+"""
+
+import numpy as np
+
+from repro.dram import AnalyticDRAMModel, DDR4_2400, DRAMSystem
+from repro.utils.tables import render_table
+
+
+def _cycle_stream(num_bytes):
+    system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=8)
+    system.stream_read(0, num_bytes)
+    return system.drain()
+
+
+def _cycle_gather(accesses, seed=0):
+    system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=8)
+    rng = np.random.default_rng(seed)
+    system.gather_read((rng.integers(0, 1 << 28, accesses) // 64 * 64).tolist())
+    return system.drain()
+
+
+def test_ablation_stream_accuracy(once):
+    analytic = AnalyticDRAMModel(DDR4_2400, channels=1, ranks_per_channel=8)
+
+    def sweep():
+        rows = []
+        for kib in (64, 256, 512):
+            measured = _cycle_stream(kib * 1024)
+            estimate = analytic.stream(kib * 1024)
+            rows.append(
+                (kib, measured.cycles, round(estimate.cycles),
+                 round(100 * (estimate.cycles / measured.cycles - 1), 2))
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["Stream KiB", "Cycle model", "Analytic", "Error %"], rows,
+        title="Ablation: analytic vs cycle DRAM model (stream)",
+    ))
+    assert all(abs(row[3]) < 10 for row in rows)
+
+
+def test_ablation_gather_accuracy(once):
+    analytic = AnalyticDRAMModel(DDR4_2400, channels=1, ranks_per_channel=8)
+
+    def sweep():
+        rows = []
+        for accesses in (100, 400):
+            measured = _cycle_gather(accesses)
+            estimate = analytic.gather(accesses, 64)
+            rows.append(
+                (accesses, measured.cycles, round(estimate.cycles),
+                 round(100 * (estimate.cycles / measured.cycles - 1), 2))
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["Gathers", "Cycle model", "Analytic", "Error %"], rows,
+        title="Ablation: analytic vs cycle DRAM model (gather)",
+    ))
+    # Gather is harder to capture in closed form; 35% band.
+    assert all(abs(row[3]) < 35 for row in rows)

@@ -1,0 +1,96 @@
+"""Ablation: heterogeneous (INT4+FP32) vs homogeneous on-DIMM compute.
+
+This isolates the paper's core architecture claim (Section 7.2): at the
+same area budget, a homogeneous FP32 design cannot sustain the
+screening phase's throughput, while ENMC's 128-lane INT4 array keeps it
+memory-bound.
+"""
+
+from repro.data.registry import iter_workloads
+from repro.enmc.config import ENMCConfig
+from repro.enmc.simulator import ENMCSimulator
+from repro.utils.tables import render_table
+
+#: Table 5: one FP32 MAC costs ~11× the area of one INT4 MAC, so the
+#: iso-area homogeneous alternative to (16 FP32 + 128 INT4) is ~27 FP32
+#: lanes doing everything.
+ISO_AREA_FP32_LANES = 27
+
+
+def test_ablation_heterogeneous_compute(once):
+    def sweep():
+        hetero = ENMCSimulator(ENMCConfig())
+        homo = ENMCSimulator(
+            ENMCConfig(int4_macs=ISO_AREA_FP32_LANES, fp32_macs=ISO_AREA_FP32_LANES)
+        )
+        rows = []
+        for workload in iter_workloads():
+            m = workload.default_candidates
+            t_het = hetero.simulate(workload, candidates_per_row=m)
+            t_hom = homo.simulate(workload, candidates_per_row=m)
+            rows.append(
+                (
+                    workload.abbr,
+                    round(1e6 * t_het.seconds, 1),
+                    round(1e6 * t_hom.seconds, 1),
+                    round(t_hom.seconds / t_het.seconds, 2),
+                    t_het.screen.bound,
+                    t_hom.screen.bound,
+                )
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["Workload", "Hetero µs", "Homo µs", "Slowdown",
+         "Hetero screen bound", "Homo screen bound"],
+        rows,
+        title="Ablation: heterogeneous INT4+FP32 vs iso-area homogeneous FP32",
+    ))
+    by_workload = {row[0]: row for row in rows}
+    for row in rows:
+        # Heterogeneity never loses, and the screening phase always
+        # flips from memory-bound (ENMC) to compute-bound (homogeneous).
+        assert row[3] > 1.0
+        assert row[4] == "memory"
+        assert row[5] == "compute"
+    # Where screening dominates (small candidate budgets: NMT top-K,
+    # recommendation P@k) the win is large; the perplexity workloads'
+    # huge candidate budgets shift work to the FP32 phase, where the
+    # iso-area homogeneous design's extra lanes claw time back.
+    assert by_workload["XMLCNN-670K"][3] > 2.5
+    assert by_workload["GNMT-E32K"][3] > 1.8
+
+
+def test_ablation_dual_module_pipeline(once):
+    """The second ENMC feature: Screener/Executor overlap.  Measured as
+    pipelined vs serialized latency on the paper workloads."""
+
+    def sweep():
+        simulator = ENMCSimulator()
+        rows = []
+        for workload in iter_workloads():
+            m = workload.default_candidates
+            result = simulator.simulate(workload, candidates_per_row=m)
+            rows.append(
+                (
+                    workload.abbr,
+                    round(1e6 * result.seconds, 1),
+                    round(1e6 * result.serialized_seconds, 1),
+                    round(result.serialized_seconds / result.seconds, 3),
+                )
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(
+        ["Workload", "Pipelined µs", "Serialized µs", "Gain"],
+        rows,
+        title="Ablation: dual-module pipelining",
+    ))
+    for row in rows:
+        assert row[3] >= 1.0
+    # At least one workload gains >15% from the overlap.
+    assert any(row[3] > 1.15 for row in rows)

@@ -1,0 +1,60 @@
+"""Extension benchmark: distributed scale-out (paper Section 8).
+
+Sweeps node counts for the large synthetic workloads and reports the
+node/reduce split — the crossover where the top-k reduce stops the
+scaling.
+"""
+
+from repro.data.registry import get_workload
+from repro.distributed import ClusterModel
+from repro.distributed.cluster import NetworkModel
+from repro.utils.tables import render_table
+
+
+def test_scaleout_sweep(once):
+    workload = get_workload("S100M")
+    cluster = ClusterModel()
+
+    def sweep():
+        return cluster.sweep(workload, (1, 2, 4, 8, 16, 32, 64))
+
+    results = once(sweep)
+    print()
+    print(render_table(
+        ["Nodes", "Node ms", "Reduce µs", "Total ms", "Reduce frac"],
+        [
+            (r.nodes, round(1e3 * r.node_seconds, 3),
+             round(1e6 * r.reduce_seconds, 2),
+             round(1e3 * r.seconds, 3), round(r.reduce_fraction, 4))
+            for r in results
+        ],
+        title="Scale-out sweep on S100M (per-node screeners + top-k reduce)",
+    ))
+    # Near-linear node scaling while the reduce is cheap.
+    assert results[3].node_seconds < results[0].node_seconds / 6
+    # Reduce fraction grows monotonically with node count.
+    fractions = [r.reduce_fraction for r in results]
+    assert fractions == sorted(fractions)
+
+
+def test_scaleout_slow_fabric_crossover(once):
+    """On a slow fabric the reduce dominates early — scale-out stalls."""
+    workload = get_workload("S10M")
+    slow = ClusterModel(network=NetworkModel(latency_s=500e-6,
+                                             bandwidth=1e9))
+
+    def sweep():
+        return slow.sweep(workload, (1, 8, 64))
+
+    results = once(sweep)
+    totals = [r.seconds for r in results]
+    print()
+    print(render_table(
+        ["Nodes", "Total ms", "Reduce frac"],
+        [(r.nodes, round(1e3 * r.seconds, 3), round(r.reduce_fraction, 3))
+         for r in results],
+        title="Scale-out on a slow fabric: reduce-bound crossover",
+    ))
+    # 64 nodes are barely better (or worse) than 8 on this fabric.
+    assert totals[2] > 0.5 * totals[1]
+    assert results[2].reduce_fraction > 0.5

@@ -1,0 +1,13 @@
+"""Fig. 4 — parameter/operation breakdown benchmark."""
+
+from repro.experiments import fig04_breakdown
+
+
+def test_fig04_breakdown(once):
+    rows = once(fig04_breakdown.run, True)
+    print()
+    print(fig04_breakdown.report())
+    # Paper claim: classification becomes the majority at large scale.
+    by_workload = {r.workload: r for r in rows}
+    assert by_workload["XMLCNN-670K"].param_fraction > 0.5
+    assert by_workload["S100M"].param_fraction > 0.95

@@ -1,0 +1,21 @@
+"""Fig. 5 — footprint/latency scaling and roofline benchmark."""
+
+from repro.experiments import fig05_motivation
+
+
+def test_fig05_scaling(once):
+    rows = once(fig05_motivation.run_scaling)
+    print()
+    print(fig05_motivation.report())
+    # Linear scaling: time ratio tracks the category ratio.
+    t_small = next(r for r in rows if r.num_categories == 100_000)
+    t_large = next(r for r in rows if r.num_categories == 10_000_000)
+    assert 50 < t_large.cpu_seconds / t_small.cpu_seconds < 150
+
+
+def test_fig05_roofline(once):
+    points = once(fig05_motivation.run_roofline)
+    classification = [p for p in points if p.kernel != "front-end-dnn"]
+    assert all(p.bound == "memory" for p in classification)
+    front_end = [p for p in points if p.kernel == "front-end-dnn"]
+    assert all(p.bound == "compute" for p in front_end)

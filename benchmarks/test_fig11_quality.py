@@ -1,0 +1,74 @@
+"""Fig. 11 — quality vs speedup benchmark (all 4 workloads, 3 methods).
+
+This is the heaviest benchmark: it materializes four scaled tasks,
+distills screeners, and evaluates AS/SVD/FGD at several candidate
+budgets.  Paper shapes asserted:
+
+* AS reaches ≥11× (NMT) and ≥14× (recommendation) speedup with ≥99%
+  quality retention;
+* AS dominates SVD-softmax at matched budgets (SVD pays the d×d
+  transform — "4× more" overhead);
+* FGD collapses on perplexity tasks (no tail estimates).
+"""
+
+from repro.experiments import fig11_quality
+from repro.experiments.fig11_quality import DEFAULT_FRACTIONS
+
+
+def test_fig11_quality_tradeoff(once):
+    points = once(
+        fig11_quality.run,
+        fractions=DEFAULT_FRACTIONS,
+        scale=48,
+        max_categories=8192,
+    )
+    print()
+    rows = [
+        (p.workload, p.method, p.candidate_fraction,
+         round(p.quality_retention, 4), round(p.speedup, 2))
+        for p in points
+    ]
+    from repro.utils.tables import render_table
+
+    print(render_table(
+        ["Workload", "Method", "Frac", "Retention", "Speedup"], rows,
+        title="Fig. 11 (benchmark run)",
+    ))
+
+    def best_as(workload, min_retention):
+        return max(
+            (p.speedup for p in points
+             if p.workload == workload and p.method == "AS"
+             and p.quality_retention >= min_retention),
+            default=0.0,
+        )
+
+    # NMT: ~11.8× with no BLEU loss (paper).
+    assert best_as("GNMT-E32K", 0.99) > 8.0
+    # Recommendation: ~17.4× with ≤0.5% drop (paper).
+    assert best_as("XMLCNN-670K", 0.99) > 10.0
+    # LM tasks: 5.7-6.3× preserving perplexity (paper).
+    assert best_as("LSTM-W33K", 0.95) > 4.0
+    assert best_as("Transformer-W268K", 0.95) > 4.0
+
+    # AS beats SVD at matched budgets on every workload.
+    for workload in {p.workload for p in points}:
+        for fraction in DEFAULT_FRACTIONS:
+            as_point = next(
+                p for p in points
+                if p.workload == workload and p.method == "AS"
+                and p.candidate_fraction == fraction
+            )
+            svd_point = next(
+                p for p in points
+                if p.workload == workload and p.method == "SVD"
+                and p.candidate_fraction == fraction
+            )
+            assert as_point.speedup > svd_point.speedup
+
+    # FGD collapses on perplexity.
+    lm_fgd = [
+        p for p in points
+        if p.method == "FGD" and p.quality_metric == "perplexity"
+    ]
+    assert all(p.quality_retention < 0.7 for p in lm_fgd)

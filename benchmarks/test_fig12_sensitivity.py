@@ -1,0 +1,29 @@
+"""Fig. 12 — screening sensitivity benchmark."""
+
+from repro.experiments import fig12_sensitivity
+
+
+def test_fig12a_parameter_scale(once):
+    points = once(
+        fig12_sensitivity.run_parameter_scales, "Transformer-W268K", task_scale=48
+    )
+    print()
+    print(fig12_sensitivity.report(task_scale=48))
+    errors = [p.relative_error for p in points]
+    # Error decreases with scale and saturates near the paper's 0.25.
+    assert errors[0] > errors[2]
+    quarter = next(p for p in points if p.parameter_scale == 0.25)
+    half = next(p for p in points if p.parameter_scale == 0.5)
+    assert quarter.relative_error < 1.5 * half.relative_error + 0.02
+    assert quarter.recall_at_1 > 0.95
+
+
+def test_fig12b_quantization(once):
+    points = once(
+        fig12_sensitivity.run_quantization_levels, "Transformer-W268K", task_scale=48
+    )
+    by_bits = {p.quantization_bits: p for p in points}
+    # INT4 ≈ FP32 (the paper's claim); INT2 degrades.
+    assert by_bits[4].relative_error < by_bits[None].relative_error * 1.5 + 0.02
+    assert by_bits[2].relative_error > by_bits[4].relative_error
+    assert by_bits[4].recall_at_1 > 0.95

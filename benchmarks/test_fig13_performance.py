@@ -1,0 +1,28 @@
+"""Fig. 13 — architecture performance comparison benchmark."""
+
+from repro.experiments import fig13_performance
+
+
+def test_fig13_performance(once):
+    rows = once(fig13_performance.run)
+    print()
+    print(fig13_performance.report())
+    summary = fig13_performance.summarize(rows)
+
+    # Paper headline shapes:
+    # AS on CPU ≈ 7.3× average.
+    assert 3.0 < summary["CPU+AS"] < 15.0
+    # NMP baselines 10.2-20.7× over CPU.
+    for scheme in ("NDA", "Chameleon", "TensorDIMM"):
+        assert 5.0 < summary[scheme] < 40.0
+    # ENMC ≈ 56.5× total, and 2.7×/3.5×/5.6× over TD/NDA/Chameleon.
+    assert 30.0 < summary["ENMC"] < 150.0
+    assert 2.0 < summary["ENMC"] / summary["TensorDIMM"] < 6.0
+    assert summary["ENMC"] / summary["Chameleon"] > summary["ENMC"] / summary["NDA"]
+    assert summary["ENMC"] / summary["NDA"] > summary["ENMC"] / summary["TensorDIMM"]
+
+    # Batch-1 latency advantage is the largest (paper: 55.5×-600.7×).
+    batch1 = [r for r in rows if r.batch_size == 1]
+    batch4 = [r for r in rows if r.batch_size == 4]
+    for b1, b4 in zip(batch1, batch4):
+        assert b1.speedup("ENMC") > b4.speedup("ENMC")

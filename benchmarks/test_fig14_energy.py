@@ -1,0 +1,30 @@
+"""Fig. 14 — energy breakdown benchmark."""
+
+from repro.experiments import fig14_energy
+
+
+def test_fig14_energy(once):
+    rows = once(fig14_energy.run)
+    print()
+    print(fig14_energy.report())
+    summary = fig14_energy.summarize(rows)
+
+    # Paper: 5.0× vs TensorDIMM, 8.4× vs TensorDIMM-Large (Large burns
+    # more logic power for the same memory-bound runtime).
+    assert 3.0 < summary["TensorDIMM"] < 20.0
+    assert summary["TensorDIMM-Large"] > summary["TensorDIMM"]
+
+    # DRAM static energy reduction (paper: 9.3× vs TensorDIMM).
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row.workload, {})[row.scheme] = row.breakdown
+    for schemes in by_workload.values():
+        static_ratio = (
+            schemes["TensorDIMM"].dram_static / schemes["ENMC"].dram_static
+        )
+        assert static_ratio > 3.0
+
+    # DRAM access dominates TensorDIMM's budget (full-weight streaming).
+    for schemes in by_workload.values():
+        td = schemes["TensorDIMM"]
+        assert td.dram_access > td.dram_static

@@ -1,0 +1,25 @@
+"""Fig. 15 — end-to-end scalability benchmark."""
+
+from repro.experiments import fig15_scalability
+
+
+def test_fig15_scalability(once):
+    rows = once(fig15_scalability.run)
+    print()
+    print(fig15_scalability.report())
+
+    # ENMC's advantage over TensorDIMM grows with category count
+    # (paper: 2.2× at the small end → 7.1× at the large end).
+    ratios = [row.seconds["TensorDIMM"] / row.seconds["ENMC"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] / ratios[0] > 2.0
+
+    # TensorDIMM-Large tracks TensorDIMM (both memory-bound on full
+    # weights); ENMC beats both at every point.
+    for row in rows:
+        assert row.seconds["ENMC"] < row.seconds["TensorDIMM"]
+        assert row.seconds["ENMC"] < row.seconds["TensorDIMM-Large"]
+
+    # End-to-end speedup over CPU grows with scale.
+    speedups = [row.speedup("ENMC") for row in rows]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,25 @@
+"""Tables 4 and 5 — area/power configuration benchmarks."""
+
+from repro.experiments import table4_budget, table5_area_power
+from repro.energy.area import enmc_totals
+
+
+def test_table4_budget(once):
+    table = once(table4_budget.run)
+    print()
+    print(table4_budget.report())
+    assert table4_budget.budget_spread() < 1.2
+    # ENMC fits inside the budget envelope of the baselines.
+    areas = {name: ap.area_mm2 for name, (_, ap) in table.items()}
+    assert min(areas.values()) <= areas["ENMC"] <= max(areas.values())
+
+
+def test_table5_area_power(once):
+    components = once(table5_area_power.run)
+    print()
+    print(table5_area_power.report())
+    totals = enmc_totals()
+    assert abs(totals.area_mm2 - 0.442) < 1e-3
+    assert abs(totals.power_mw - 285.4) < 0.1
+    # The INT4 array is ~11× cheaper than the FP32 array per Table 5.
+    assert components["FP32 MAC"].area_mm2 / components["INT4 MAC"].area_mm2 > 8

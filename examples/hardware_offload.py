@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Run classification *through the hardware path*: compiler → ISA →
+functional ENMC DIMM.
+
+This example lowers a screened classification to real ENMC instructions
+(Table 1), prints the generated assembly, executes it on the functional
+DIMM model, and verifies the hardware output matches the numpy pipeline
+bit-for-bit — then shows the per-phase performance model for the same
+workload at paper scale.
+
+Run:  python examples/hardware_offload.py
+"""
+
+import numpy as np
+
+from repro.compiler import ENMCOffload, compile_screened_classification
+from repro.core import ApproximateScreeningClassifier, CandidateSelector, train_screener
+from repro.core.screener import ScreeningConfig
+from repro.data import make_task
+from repro.data.registry import get_workload
+from repro.enmc import ENMCSimulator
+from repro.isa import disassemble
+from repro.linalg.topk import calibrate_threshold
+
+
+def main() -> None:
+    # --- functional: compile and execute on the DIMM model ------------
+    task = make_task(num_categories=2000, hidden_dim=64, rng=1)
+    screener = train_screener(
+        task.classifier, task.sample_features(512),
+        config=ScreeningConfig(projection_dim=16), solver="lstsq", rng=2,
+    )
+    threshold = calibrate_threshold(
+        screener.approximate_logits(task.sample_features(128)), 32
+    )
+
+    feature = task.sample_features(1)[0]
+    kernel = compile_screened_classification(
+        task.classifier, screener, feature, threshold
+    )
+    print(f"compiled {kernel.instruction_count} instructions, "
+          f"{kernel.plan.num_tiles} weight tiles "
+          f"({kernel.plan.rows_per_tile} rows/tile)")
+    print("\nfirst 12 instructions:")
+    print(disassemble(kernel.program.instructions[:12]))
+
+    offload = ENMCOffload(task.classifier, screener, threshold)
+    selector = CandidateSelector(mode="threshold", num_candidates=32,
+                                 threshold=threshold)
+    software = ApproximateScreeningClassifier(task.classifier, screener,
+                                              selector=selector)
+    batch = task.sample_features(4)
+    hw = offload(batch)
+    sw = software(batch)
+    max_err = np.abs(hw.output.logits - sw.logits).max()
+    print(f"\nhardware vs software max |Δlogit|: {max_err:.2e}")
+    trace = hw.traces[0]
+    print(f"per-inference: {trace.instructions_executed} issued + "
+          f"{trace.generated_instructions} generated instructions, "
+          f"{trace.dram_bytes / 1e3:.1f} KB DRAM traffic")
+
+    # --- batched execution: weight tiles loaded once per batch --------
+    per_row = offload(batch)
+    batched = offload.forward_batched(batch)
+    print(f"\nbatch-of-4 DRAM traffic: per-row {per_row.total_dram_bytes / 1e3:.1f} KB, "
+          f"batched {batched.total_dram_bytes / 1e3:.1f} KB "
+          f"(identical outputs: "
+          f"{np.allclose(per_row.output.logits, batched.output.logits)})")
+
+    # --- performance: the same dataflow at paper scale ----------------
+    workload = get_workload("Transformer-W268K")
+    simulator = ENMCSimulator()
+    result = simulator.simulate(
+        workload, candidates_per_row=workload.default_candidates
+    )
+    print(f"\npaper-scale {workload.abbr}:")
+    print(f"  screening phase: {1e6 * result.screen.seconds:7.1f} µs "
+          f"({result.screen.bound}-bound)")
+    print(f"  candidate phase: {1e6 * result.execute.seconds:7.1f} µs "
+          f"({result.execute.bound}-bound)")
+    print(f"  dual-module total: {1e6 * result.seconds:7.1f} µs "
+          f"(serialized would be {1e6 * result.serialized_seconds:.1f} µs)")
+
+
+if __name__ == "__main__":
+    main()

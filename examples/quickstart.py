@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: approximate screening in five steps.
+
+Builds a synthetic extreme classifier, distills a screener against it
+(Algorithm 1), and compares screened inference against the exact
+classifier: same predictions, a small fraction of the computation.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ApproximateScreeningClassifier,
+    ScreeningConfig,
+    train_screener,
+)
+from repro.core.metrics import (
+    candidate_recall,
+    cost_of_full_classification,
+    cost_of_screened_output,
+)
+from repro.data import make_task
+
+
+def main() -> None:
+    # 1. A structured XC task: 20 000 categories, hidden dim 256.
+    task = make_task(num_categories=20_000, hidden_dim=256, rng=7)
+    classifier = task.classifier
+    print(f"classifier: {classifier}")
+    print(f"  weight footprint: {classifier.nbytes / 1e6:.1f} MB")
+
+    # 2. Distill the screener from the model's own hidden vectors.
+    features = task.sample_features(1024)
+    screener, training = train_screener(
+        classifier,
+        features,
+        config=ScreeningConfig.from_scale(256, scale=0.25, quantization_bits=4),
+        solver="lstsq",
+        rng=7,
+        return_report=True,
+    )
+    print(f"screener:   {screener}")
+    print(f"  parameter scale vs full: {screener.parameter_scale():.3f}")
+    print(f"  distillation loss: {training.final_loss:.2f}")
+
+    # 3. Assemble the screened pipeline with a 64-candidate budget.
+    model = ApproximateScreeningClassifier(classifier, screener, num_candidates=64)
+
+    # 4. Compare predictions against the exact classifier.
+    test, labels = task.sample(256, rng=11)
+    exact_logits = classifier.logits(test)
+    output = model(test)
+    agreement = np.mean(
+        np.argmax(exact_logits, axis=1) == np.argmax(output.logits, axis=1)
+    )
+    print(f"\ntop-1 agreement with exact classifier: {agreement:.3f}")
+    print(f"candidate recall@5: {candidate_recall(exact_logits, output, 5):.3f}")
+    print(f"outputs computed exactly: {100 * output.exact_fraction:.2f}%")
+
+    # 5. What did that save?
+    full = cost_of_full_classification(20_000, 256, batch_size=256)
+    screened = cost_of_screened_output(classifier, screener, output)
+    print(f"\nFLOP reduction:    {full.flops / screened.flops:6.1f}x")
+    print(f"traffic reduction: {full.bytes / screened.bytes:6.1f}x")
+
+
+if __name__ == "__main__":
+    main()

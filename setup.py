@@ -1,0 +1,7 @@
+"""Shim so editable installs work in offline environments without the
+``wheel`` package (``python setup.py develop``).  Normal installs should
+use ``pip install -e .`` which reads pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro: a reproduction of ENMC (MICRO 2021).
+
+ENMC — Extreme Near-Memory Classification via Approximate Screening —
+is an algorithm/architecture co-design.  This package provides:
+
+* :mod:`repro.core` — the approximate screening algorithm (projection,
+  distillation-trained screener, candidate selection, mixed output).
+* :mod:`repro.baselines` — SVD-softmax and FGD approximation baselines.
+* :mod:`repro.models`, :mod:`repro.data`, :mod:`repro.metrics` — the
+  evaluation workloads (language modeling, translation, recommendation).
+* :mod:`repro.dram`, :mod:`repro.isa`, :mod:`repro.enmc`,
+  :mod:`repro.compiler`, :mod:`repro.host`, :mod:`repro.nmp`,
+  :mod:`repro.energy` — the hardware substrate: a cycle-level DDR4 model,
+  the ENMC instruction set and DIMM microarchitecture, the host model,
+  and the NMP baselines (NDA, Chameleon, TensorDIMM).
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import FullClassifier, train_screener, ScreeningConfig
+    from repro.core import ApproximateScreeningClassifier
+
+    rng = np.random.default_rng(0)
+    classifier = FullClassifier.random(num_categories=5000, hidden_dim=128, rng=rng)
+    features = rng.standard_normal((256, 128))
+    screener = train_screener(classifier, features,
+                              config=ScreeningConfig(projection_dim=32), rng=rng)
+    model = ApproximateScreeningClassifier(classifier, screener, num_candidates=64)
+    probabilities = model.predict_proba(features[:4])
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

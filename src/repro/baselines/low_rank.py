@@ -1,0 +1,77 @@
+"""Plain truncated-SVD classifier (the naive low-rank strawman).
+
+Approximates the whole classifier with rank ``r``:
+
+    W ≈ (U_r Σ_r) (V_r^T),   z ≈ U_r Σ_r (V_r^T h) + b
+
+with *no* exact refinement step.  Used as an ablation: it shows why
+preview/refine structures (SVD-softmax, approximate screening) dominate
+pure approximation at equal compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import FullClassifier
+from repro.core.metrics import ClassificationCost
+from repro.linalg.functional import sigmoid, softmax
+from repro.utils.validation import check_batch_features, check_positive
+
+
+class LowRankClassifier:
+    """Rank-``r`` approximation of a full classifier."""
+
+    def __init__(self, classifier: FullClassifier, rank: int):
+        check_positive("rank", rank)
+        if rank > classifier.hidden_dim:
+            raise ValueError(
+                f"rank {rank} exceeds hidden dim {classifier.hidden_dim}"
+            )
+        self.classifier = classifier
+        self.rank = rank
+        u, sv, vt = np.linalg.svd(classifier.weight, full_matrices=False)
+        self._left = u[:, :rank] * sv[:rank]  # (l, r)
+        self._right = vt[:rank]  # (r, d)
+
+    @property
+    def num_categories(self) -> int:
+        return self.classifier.num_categories
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.classifier.hidden_dim
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Approximate scores for the whole category space."""
+        batch = check_batch_features(features, self.hidden_dim)
+        return (batch @ self._right.T) @ self._left.T + self.classifier.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = self.logits(features)
+        if self.classifier.normalization == "sigmoid":
+            return sigmoid(scores)
+        return softmax(scores, axis=-1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.logits(features), axis=-1)
+
+    def reconstruction_error(self) -> float:
+        """Relative Frobenius error of the rank-r weight approximation."""
+        approx = self._left @ self._right
+        return float(
+            np.linalg.norm(self.classifier.weight - approx)
+            / np.linalg.norm(self.classifier.weight)
+        )
+
+    def cost(self, batch_size: int = 1) -> ClassificationCost:
+        """Per-batch cost: two skinny matmuls, FP32."""
+        l, d, r = self.num_categories, self.hidden_dim, self.rank
+        flops = 2.0 * batch_size * (r * d + l * r)
+        traffic = 4.0 * (r * d + l * r)
+        return ClassificationCost(
+            fp_flops=flops, int_flops=0.0, fp_bytes=traffic, int_bytes=0.0
+        )
+
+    def __repr__(self) -> str:
+        return f"LowRankClassifier(l={self.num_categories}, rank={self.rank})"

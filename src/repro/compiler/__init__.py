@@ -1,0 +1,28 @@
+"""The ENMC compiler: high-level classifier calls → instruction streams.
+
+Section 5.4: "when translating the applications into ENMC instructions,
+the compiler tiles the operation with initialized parameters and
+hardware configurations and executes the instruction in a loop."
+
+:func:`compile_screened_classification` lowers one feature vector's
+screened inference into a :class:`~repro.isa.program.Program` plus the
+:class:`~repro.enmc.controller.MemoryImage` binding its tiles;
+:class:`ENMCOffload` wraps the whole path (compile → execute on the
+functional DIMM → reassemble the mixed output) behind the same API as
+the numpy pipeline.
+"""
+
+from repro.compiler.tiling import TilePlan, plan_screening_tiles
+from repro.compiler.lowering import CompiledKernel, compile_screened_classification
+from repro.compiler.batching import BatchedKernel, compile_batched_screening
+from repro.compiler.offload import ENMCOffload
+
+__all__ = [
+    "TilePlan",
+    "plan_screening_tiles",
+    "CompiledKernel",
+    "compile_screened_classification",
+    "BatchedKernel",
+    "compile_batched_screening",
+    "ENMCOffload",
+]

@@ -1,0 +1,174 @@
+"""Batched lowering: one weight-tile load serves the whole batch.
+
+The per-row path (:mod:`repro.compiler.lowering`) streams every W̃ tile
+once per batch row; for batch size ``b`` that multiplies the dominant
+screening traffic by ``b``.  The batched program instead loads each
+tile once and iterates the batch's (small) projected features against
+it, using the FILTER_BASE / BATCH_ID registers so the on-DIMM
+instruction generator receives the paper's ``(batch_id, candidate_id)``
+pairs:
+
+    for tile in tiles:
+        LDR weight_int4, tile
+        for row in batch:
+            LDR feature_int4, feature[row]        # ~k/2 bytes
+            INIT batch_id, row
+            INIT feature_base, fp32_feature[row]
+            MUL_ADD_INT4 feature_int4, weight_int4
+            MOVE output, psum_int4
+            RETURN
+            INIT filter_base, tile.start
+            FILTER psum_int4
+
+Per-tile traffic drops from ``b × tile_bytes`` to
+``tile_bytes + b × feature_bytes`` — the weight-reuse win the paper's
+batch-size sweep (Fig. 13, batches 1/2/4) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.compiler.lowering import (
+    _FEATURE_BASE,
+    _FULL_WEIGHT_BASE,
+    _SCREEN_WEIGHT_BASE,
+)
+from repro.compiler.tiling import TilePlan, plan_screening_tiles
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningModule
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.controller import ENMCController, MemoryImage
+from repro.isa.instruction import (
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Return,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+from repro.isa.program import Program
+from repro.linalg.quantize import Quantizer
+
+
+@dataclass
+class BatchedKernel:
+    """A lowered batched screened classification."""
+
+    program: Program
+    memory: MemoryImage
+    plan: TilePlan
+    threshold: float
+    num_categories: int
+    batch_size: int
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.program)
+
+
+def compile_batched_screening(
+    classifier: FullClassifier,
+    screener: ScreeningModule,
+    features: np.ndarray,
+    threshold: float,
+    config: ENMCConfig = DEFAULT_CONFIG,
+) -> BatchedKernel:
+    """Lower a feature batch into one weight-reusing program."""
+    batch = np.asarray(features, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    if batch.ndim != 2 or batch.shape[1] != classifier.hidden_dim:
+        raise ValueError(
+            f"features must be (batch, {classifier.hidden_dim}), got "
+            f"{batch.shape}"
+        )
+    batch_size = batch.shape[0]
+    bits = screener.quantization_bits or 32
+    quantizer = Quantizer(bits=bits) if screener.quantization_bits else None
+
+    memory = MemoryImage()
+
+    # Per-row projected INT4 features (bias-augmented) + FP32 features.
+    int_feature_addrs: List[int] = []
+    fp_feature_addrs: List[int] = []
+    for row in range(batch_size):
+        projected = screener.project(batch[row])[0]
+        if quantizer is not None:
+            projected = quantizer.fake_quantize(projected)
+        int_addr = _FEATURE_BASE + row * 0x100
+        memory.bind(int_addr, np.append(projected, 1.0), bits)
+        int_feature_addrs.append(int_addr)
+        fp_addr = _FEATURE_BASE + 0x8000 + row * 0x1000
+        memory.bind(fp_addr, np.append(batch[row], 1.0), 32)
+        fp_feature_addrs.append(fp_addr)
+
+    # Screening weight tiles (bias column folded in), bound once.
+    augmented = np.hstack([screener._weight_deq, screener.bias[:, None]])
+    plan = plan_screening_tiles(
+        screener.num_categories, screener.projection_dim + 1, config
+    )
+    tile_bytes = plan.rows_per_tile * (screener.projection_dim + 1) * bits / 8.0
+    tile_addrs: List[int] = []
+    tile_starts: List[int] = []
+    address = _SCREEN_WEIGHT_BASE
+    for rows in plan:
+        memory.bind(address, augmented[rows.start : rows.stop], bits)
+        tile_addrs.append(address)
+        tile_starts.append(rows.start)
+        address += int(tile_bytes) + 64
+        address -= address % 64
+
+    # Full-classifier rows for the instruction generator.
+    row_elements = classifier.hidden_dim + 1
+    for index in range(classifier.num_categories):
+        row = np.append(classifier.weight[index], classifier.bias[index])
+        memory.bind(_FULL_WEIGHT_BASE + index * row_elements * 4, row, 32)
+
+    instructions: List[Instruction] = [
+        Clear(),
+        Init(RegisterId.VOCAB_SIZE, classifier.num_categories),
+        Init(RegisterId.HIDDEN_DIM, row_elements),
+        Init(RegisterId.PROJECTION_DIM, screener.projection_dim),
+        Init(RegisterId.BATCH_SIZE, batch_size),
+        Init(RegisterId.TILE_ROWS, plan.rows_per_tile),
+        Init(RegisterId.WEIGHT_BASE, _FULL_WEIGHT_BASE),
+        Init(RegisterId.THRESHOLD, ENMCController.encode_threshold(threshold)),
+    ]
+    for tile_addr, tile_start in zip(tile_addrs, tile_starts):
+        instructions.append(Load(BufferId.WEIGHT_INT4, tile_addr))
+        for row in range(batch_size):
+            instructions.append(Load(BufferId.FEATURE_INT4, int_feature_addrs[row]))
+            instructions.append(Init(RegisterId.BATCH_ID, row))
+            instructions.append(
+                Init(RegisterId.FEATURE_BASE, fp_feature_addrs[row])
+            )
+            instructions.append(
+                Compute(
+                    Opcode.MUL_ADD_INT4,
+                    BufferId.FEATURE_INT4,
+                    BufferId.WEIGHT_INT4,
+                )
+            )
+            instructions.append(Move(BufferId.OUTPUT, BufferId.PSUM_INT4))
+            instructions.append(Return())
+            instructions.append(Init(RegisterId.FILTER_BASE, tile_start))
+            instructions.append(Filter(BufferId.PSUM_INT4))
+    instructions.append(Return())
+
+    program = Program(instructions)
+    program.validate()
+    return BatchedKernel(
+        program=program,
+        memory=memory,
+        plan=plan,
+        threshold=threshold,
+        num_categories=classifier.num_categories,
+        batch_size=batch_size,
+    )

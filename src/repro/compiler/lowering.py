@@ -1,0 +1,155 @@
+"""Lowering a screened classification to an ENMC program + memory image.
+
+The generated program follows the paper's dataflow (Fig. 6 / Fig. 7):
+
+1. INIT the controller status registers (sizes, bases, threshold);
+2. load the quantized projected feature into the Screener;
+3. per weight tile: LDR the INT4 tile, MUL_ADD_INT4, MOVE the
+   approximate tile scores to the output buffer, RETURN them to the
+   host, FILTER the tile (which triggers the on-DIMM instruction
+   generator to compute exact scores for the kept candidates);
+4. final RETURN/CLR.
+
+Numerical fidelity: the memory image stores *fake-quantized* values
+(floats exactly representable on the INT4 grid) while traffic is
+charged at the true bit width, so the functional DIMM reproduces the
+numpy pipeline bit-for-bit and the trace still reflects INT4 traffic.
+The ``d → k`` projection of the feature happens host-side here (the
+hardware Screener can also stream it; the performance model charges it
+either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningModule
+from repro.compiler.tiling import TilePlan, plan_screening_tiles
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.controller import ENMCController, MemoryImage
+from repro.isa.instruction import (
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Return,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+from repro.isa.program import Program
+from repro.linalg.quantize import Quantizer
+
+#: Memory layout bases (byte addresses inside the DIMM's image).
+_SCREEN_WEIGHT_BASE = 0x0100_0000
+_FULL_WEIGHT_BASE = 0x4000_0000
+_FEATURE_BASE = 0x0001_0000
+
+
+@dataclass
+class CompiledKernel:
+    """A lowered screened classification for one feature vector."""
+
+    program: Program
+    memory: MemoryImage
+    plan: TilePlan
+    threshold: float
+    num_categories: int
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.program)
+
+
+def compile_screened_classification(
+    classifier: FullClassifier,
+    screener: ScreeningModule,
+    feature: np.ndarray,
+    threshold: float,
+    config: ENMCConfig = DEFAULT_CONFIG,
+) -> CompiledKernel:
+    """Lower one screened inference to a program + bound memory image."""
+    feature = np.asarray(feature, dtype=np.float64).reshape(-1)
+    if feature.shape[0] != classifier.hidden_dim:
+        raise ValueError(
+            f"feature dim {feature.shape[0]} != classifier hidden dim "
+            f"{classifier.hidden_dim}"
+        )
+
+    bits = screener.quantization_bits or 32
+    quantizer = Quantizer(bits=bits) if screener.quantization_bits else None
+
+    # The screener bias b̃ is folded into each weight tile as one extra
+    # column, matched by a trailing 1 in the projected feature — this
+    # keeps the whole tile computation a single MUL_ADD (the hardware
+    # alternative, a PSUM preload, costs the same traffic).
+    memory = MemoryImage()
+
+    # --- bind the projected, quantized, bias-augmented feature -------
+    projected = screener.project(feature)[0]
+    if quantizer is not None:
+        projected = quantizer.fake_quantize(projected)
+    projected_aug = np.append(projected, 1.0)
+    feature_int_addr = _FEATURE_BASE
+    memory.bind(feature_int_addr, projected_aug, bits)
+
+    # --- bind the bias-augmented FP32 feature (Executor input) -------
+    feature_fp_addr = _FEATURE_BASE + 0x8000
+    memory.bind(feature_fp_addr, np.append(feature, 1.0), 32)
+
+    # --- bind screening weight tiles (INT4-grid values + b̃ column) ---
+    augmented = np.hstack([screener._weight_deq, screener.bias[:, None]])
+    plan = plan_screening_tiles(
+        screener.num_categories, screener.projection_dim + 1, config
+    )
+    tile_bytes = plan.rows_per_tile * (screener.projection_dim + 1) * bits / 8.0
+    tile_addrs: List[int] = []
+    address = _SCREEN_WEIGHT_BASE
+    for rows in plan:
+        memory.bind(address, augmented[rows.start : rows.stop], bits)
+        tile_addrs.append(address)
+        address += int(tile_bytes) + 64
+        address -= address % 64
+
+    # --- bind full-classifier rows (bias-augmented) -------------------
+    row_elements = classifier.hidden_dim + 1
+    for index in range(classifier.num_categories):
+        row = np.append(classifier.weight[index], classifier.bias[index])
+        memory.bind(_FULL_WEIGHT_BASE + index * row_elements * 4, row, 32)
+
+    # --- emit the instruction stream ----------------------------------
+    instructions: List[Instruction] = [
+        Clear(),
+        Init(RegisterId.VOCAB_SIZE, classifier.num_categories),
+        Init(RegisterId.HIDDEN_DIM, row_elements),
+        Init(RegisterId.PROJECTION_DIM, screener.projection_dim),
+        Init(RegisterId.TILE_ROWS, plan.rows_per_tile),
+        Init(RegisterId.FEATURE_BASE, feature_fp_addr),
+        Init(RegisterId.WEIGHT_BASE, _FULL_WEIGHT_BASE),
+        Init(RegisterId.THRESHOLD, ENMCController.encode_threshold(threshold)),
+        Load(BufferId.FEATURE_INT4, feature_int_addr),
+    ]
+    for tile_addr in tile_addrs:
+        instructions.append(Load(BufferId.WEIGHT_INT4, tile_addr))
+        instructions.append(
+            Compute(Opcode.MUL_ADD_INT4, BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4)
+        )
+        instructions.append(Move(BufferId.OUTPUT, BufferId.PSUM_INT4))
+        instructions.append(Return())
+        instructions.append(Filter(BufferId.PSUM_INT4))
+    instructions.append(Return())
+
+    program = Program(instructions)
+    program.validate()
+    return CompiledKernel(
+        program=program,
+        memory=memory,
+        plan=plan,
+        threshold=threshold,
+        num_categories=classifier.num_categories,
+    )

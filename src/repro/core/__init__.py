@@ -1,0 +1,61 @@
+"""The paper's primary contribution: approximate screening for XC.
+
+Public surface:
+
+* :class:`FullClassifier` — the exact softmax/sigmoid classifier
+  ``z = W h + b`` (paper Eq. 1-2).
+* :class:`ScreeningModule` / :class:`ScreeningConfig` — the lightweight
+  screener ``z̃ = W̃ P h + b̃`` (Eq. 3) with INT4 quantized inference.
+* :func:`train_screener` — Algorithm 1 (MSE distillation, Eq. 4).
+* :class:`CandidateSelector` — top-m / threshold filtering.
+* :class:`ApproximateScreeningClassifier` — the end-to-end inference
+  pipeline: screen, filter, candidates-only exact compute, mixed output.
+"""
+
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningConfig, ScreeningModule
+from repro.core.training import TrainingReport, train_screener
+from repro.core.candidates import CandidateSelector, CandidateSet
+from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.core.metrics import (
+    ClassificationCost,
+    approximation_error,
+    candidate_recall,
+    cost_of_full_classification,
+    cost_of_screened_classification,
+)
+from repro.core.decoding import DecodeResult, beam_search_decode, greedy_decode
+from repro.core.tuning import TuningResult, tune_budget_for_recall, tune_threshold_for_recall
+from repro.core.serialization import (
+    load_classifier,
+    load_screener,
+    save_classifier,
+    save_screener,
+)
+
+__all__ = [
+    "FullClassifier",
+    "ScreeningConfig",
+    "ScreeningModule",
+    "train_screener",
+    "TrainingReport",
+    "CandidateSelector",
+    "CandidateSet",
+    "ApproximateScreeningClassifier",
+    "ScreenedOutput",
+    "ClassificationCost",
+    "candidate_recall",
+    "approximation_error",
+    "cost_of_full_classification",
+    "cost_of_screened_classification",
+    "greedy_decode",
+    "beam_search_decode",
+    "DecodeResult",
+    "save_screener",
+    "load_screener",
+    "save_classifier",
+    "load_classifier",
+    "tune_budget_for_recall",
+    "tune_threshold_for_recall",
+    "TuningResult",
+]

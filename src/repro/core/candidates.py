@@ -1,0 +1,129 @@
+"""Candidate selection over screening scores (paper Section 4.2, step 3).
+
+After the screener produces approximate scores ``z̃``, the "threshold
+filtering step selects key candidates": either the top-``m`` entries or
+every entry above a tuned threshold.  The hardware analogue is the
+Screener's comparator array writing indices to the index buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.linalg.topk import calibrate_threshold, select_above_threshold, top_k_indices
+from repro.utils.validation import check_positive
+
+SELECTION_MODES = ("top_m", "threshold")
+
+
+@dataclass
+class CandidateSet:
+    """Per-batch-row candidate indices produced by screening.
+
+    ``indices`` is a ragged list (threshold mode selects variable
+    counts); ``rows`` pairs each index array with its batch row.
+    """
+
+    indices: List[np.ndarray]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of candidates per batch row."""
+        return np.array([idx.size for idx in self.indices])
+
+    @property
+    def total(self) -> int:
+        """Total candidate computations across the batch."""
+        return int(self.counts.sum())
+
+    def union(self) -> np.ndarray:
+        """Sorted union of candidate indices across the batch.
+
+        Batched hardware execution gathers the union of rows once per
+        batch tile, so this is the weight traffic the Executor sees.
+        """
+        if not self.indices:
+            return np.array([], dtype=np.intp)
+        return np.unique(np.concatenate(self.indices))
+
+    def __iter__(self):
+        return iter(self.indices)
+
+
+class CandidateSelector:
+    """Selects candidates from screening scores.
+
+    Parameters
+    ----------
+    mode:
+        ``"top_m"`` (fixed budget per row) or ``"threshold"``.
+    num_candidates:
+        The budget ``m`` for top-m mode; also used by
+        :meth:`calibrate` to tune the threshold.
+    threshold:
+        Score cutoff for threshold mode.  May be ``None`` initially and
+        set later via :meth:`calibrate` on validation scores.
+    """
+
+    def __init__(
+        self,
+        mode: str = "top_m",
+        num_candidates: int = 32,
+        threshold: Optional[float] = None,
+    ):
+        if mode not in SELECTION_MODES:
+            raise ValueError(f"mode must be one of {SELECTION_MODES}, got {mode!r}")
+        check_positive("num_candidates", num_candidates)
+        self.mode = mode
+        self.num_candidates = num_candidates
+        self.threshold = threshold
+
+    def calibrate(self, validation_scores: np.ndarray) -> float:
+        """Tune the threshold on validation screening scores.
+
+        Picks the cutoff whose average exceedance count equals
+        ``num_candidates`` (paper: "the threshold value can be tuned on
+        validation sets").  Returns the chosen threshold.
+        """
+        self.threshold = calibrate_threshold(validation_scores, self.num_candidates)
+        return self.threshold
+
+    def select(self, scores: np.ndarray) -> CandidateSet:
+        """Apply the selection rule to a batch of screening scores."""
+        array = np.asarray(scores, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[None, :]
+        if array.ndim != 2:
+            raise ValueError(f"scores must be 1-D or 2-D, got shape {array.shape}")
+
+        if self.mode == "top_m":
+            m = min(self.num_candidates, array.shape[1])
+            picked = top_k_indices(array, m, sort=False)
+            return CandidateSet(indices=[np.sort(row) for row in picked])
+
+        if self.threshold is None:
+            raise ValueError(
+                "threshold mode requires a threshold; call calibrate() first"
+            )
+        return CandidateSet(indices=select_above_threshold(array, self.threshold))
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateSelector(mode={self.mode!r}, m={self.num_candidates}, "
+            f"threshold={self.threshold})"
+        )
+
+
+def merge_candidates(sets: Sequence[CandidateSet]) -> CandidateSet:
+    """Concatenate candidate sets from consecutive batches."""
+    merged: List[np.ndarray] = []
+    for candidate_set in sets:
+        merged.extend(candidate_set.indices)
+    return CandidateSet(indices=merged)

@@ -1,0 +1,135 @@
+"""The exact extreme classifier (paper Eq. 1-2).
+
+``FullClassifier`` owns the weight matrix ``W ∈ R^{l×d}`` and bias
+``b ∈ R^l`` and provides the exact linear transform plus normalization.
+It also exposes the *gather* form ``logits_for(indices, h)`` used by
+candidates-only computation, where only the selected weight rows are
+touched — the operation the ENMC Executor performs in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.linalg.functional import log_softmax, sigmoid, softmax
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_batch_features, check_positive
+
+#: Normalizations supported by the final layer.  The paper's tasks use
+#: softmax (LM/NMT) and sigmoid (multi-label recommendation).
+NORMALIZATIONS = ("softmax", "sigmoid")
+
+
+class FullClassifier:
+    """Exact linear classifier ``z = W h + b`` with softmax/sigmoid output."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        normalization: str = "softmax",
+    ):
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D (l, d), got shape {weight.shape}")
+        if normalization not in NORMALIZATIONS:
+            raise ValueError(
+                f"normalization must be one of {NORMALIZATIONS}, got {normalization!r}"
+            )
+        self.weight = weight
+        if bias is None:
+            bias = np.zeros(weight.shape[0])
+        self.bias = np.asarray(bias, dtype=np.float64)
+        if self.bias.shape != (weight.shape[0],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} incompatible with l={weight.shape[0]}"
+            )
+        self.normalization = normalization
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        num_categories: int,
+        hidden_dim: int,
+        rng: RngLike = None,
+        normalization: str = "softmax",
+        scale: float = 1.0,
+    ) -> "FullClassifier":
+        """A Gaussian-initialized classifier (mostly for tests/demos).
+
+        Realistic, calibrated classifiers come from
+        :mod:`repro.data.synthetic`.
+        """
+        check_positive("num_categories", num_categories)
+        check_positive("hidden_dim", hidden_dim)
+        generator = ensure_rng(rng)
+        weight = generator.standard_normal((num_categories, hidden_dim))
+        weight *= scale / np.sqrt(hidden_dim)
+        bias = generator.standard_normal(num_categories) * 0.01
+        return cls(weight, bias, normalization=normalization)
+
+    # ------------------------------------------------------------------
+    # shape / cost properties
+    # ------------------------------------------------------------------
+    @property
+    def num_categories(self) -> int:
+        """The label-space size ``l``."""
+        return self.weight.shape[0]
+
+    @property
+    def hidden_dim(self) -> int:
+        """The feature dimensionality ``d``."""
+        return self.weight.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Parameter footprint at FP32, as deployed (weights + bias)."""
+        return (self.weight.size + self.bias.size) * 4
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Exact pre-normalization scores ``W h + b`` for a batch."""
+        batch = check_batch_features(features, self.hidden_dim)
+        return batch @ self.weight.T + self.bias
+
+    def logits_for(self, indices: Sequence[int], features: np.ndarray) -> np.ndarray:
+        """Exact scores for selected categories only (candidates-only form).
+
+        Touches only ``len(indices)`` weight rows, mirroring the data
+        access of the ENMC Executor.
+        """
+        batch = check_batch_features(features, self.hidden_dim)
+        index_array = np.asarray(indices, dtype=np.intp)
+        if index_array.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {index_array.shape}")
+        return batch @ self.weight[index_array].T + self.bias[index_array]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Normalized output probabilities (paper Eq. 2)."""
+        scores = self.logits(features)
+        if self.normalization == "softmax":
+            return softmax(scores, axis=-1)
+        return sigmoid(scores)
+
+    def log_proba(self, features: np.ndarray) -> np.ndarray:
+        """Log-probabilities; only defined for softmax normalization."""
+        if self.normalization != "softmax":
+            raise ValueError("log_proba requires softmax normalization")
+        return log_softmax(self.logits(features), axis=-1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Argmax category per batch row."""
+        return np.argmax(self.logits(features), axis=-1)
+
+    def __repr__(self) -> str:
+        return (
+            f"FullClassifier(l={self.num_categories}, d={self.hidden_dim}, "
+            f"normalization={self.normalization!r})"
+        )

@@ -1,0 +1,142 @@
+"""Sequence decoding with a screened output layer.
+
+The paper's motivating use of top-K accuracy: "in neural machine
+translation, we only use the top-K values of softmax-normalized
+probabilities to select the translated words, where K is the beam
+search size."  This module provides greedy and beam-search decoding
+over any step function (e.g. :meth:`repro.models.gnmt.GNMTModel.
+decode_step`) and any classifier exposing ``forward``/``logits`` —
+exact or screened — so translation experiments can swap the output
+layer without touching the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.functional import log_softmax
+from repro.utils.validation import check_positive
+
+#: step_fn(token_ids, state) -> (features (batch, d), new_state)
+StepFn = Callable[[np.ndarray, object], Tuple[np.ndarray, object]]
+
+
+def _log_probs(classifier, features: np.ndarray) -> np.ndarray:
+    """Log-probabilities from an exact or screened classifier."""
+    if hasattr(classifier, "forward"):  # screened pipeline
+        logits = classifier.forward(features).logits
+    else:
+        logits = classifier.logits(features)
+    return log_softmax(logits, axis=-1)
+
+
+@dataclass
+class DecodeResult:
+    """Decoded token sequences and their cumulative log-probabilities."""
+
+    tokens: np.ndarray  # (batch, steps) for greedy; (batch, beams, steps)
+    scores: np.ndarray
+
+    @property
+    def steps(self) -> int:
+        return self.tokens.shape[-1]
+
+
+def greedy_decode(
+    step_fn: StepFn,
+    classifier,
+    start_tokens: np.ndarray,
+    steps: int,
+    state: object = None,
+    eos_token: Optional[int] = None,
+) -> DecodeResult:
+    """Greedy decoding: pick the argmax token at each step."""
+    check_positive("steps", steps)
+    tokens = np.asarray(start_tokens, dtype=np.intp).reshape(-1)
+    batch = tokens.shape[0]
+    output = np.empty((batch, steps), dtype=np.intp)
+    scores = np.zeros(batch)
+    finished = np.zeros(batch, dtype=bool)
+
+    current = tokens
+    for t in range(steps):
+        features, state = step_fn(current, state)
+        log_probs = _log_probs(classifier, features)
+        current = np.argmax(log_probs, axis=-1)
+        step_scores = log_probs[np.arange(batch), current]
+        scores += np.where(finished, 0.0, step_scores)
+        output[:, t] = current
+        if eos_token is not None:
+            finished |= current == eos_token
+            if finished.all():
+                output[:, t + 1 :] = eos_token
+                break
+    return DecodeResult(tokens=output, scores=scores)
+
+
+def beam_search_decode(
+    step_fn: StepFn,
+    classifier,
+    start_token: int,
+    steps: int,
+    beam_width: int = 4,
+    state: object = None,
+    length_penalty: float = 0.0,
+) -> DecodeResult:
+    """Beam search for a single sequence (batch dimension = beams).
+
+    ``step_fn`` must accept a batch of ``beam_width`` tokens and a state
+    holding one entry per beam (list-like); states are re-ordered as
+    beams are re-ranked.  ``length_penalty`` > 0 favours longer outputs
+    (GNMT-style ``((5+len)/6)^α`` normalization).
+    """
+    check_positive("steps", steps)
+    check_positive("beam_width", beam_width)
+
+    tokens = np.full(beam_width, start_token, dtype=np.intp)
+    histories: List[List[int]] = [[] for _ in range(beam_width)]
+    scores = np.full(beam_width, -np.inf)
+    scores[0] = 0.0  # all beams start identical; keep one live
+
+    for t in range(steps):
+        features, state = step_fn(tokens, state)
+        log_probs = _log_probs(classifier, features)  # (beams, vocab)
+        vocab = log_probs.shape[-1]
+        expanded = scores[:, None] + log_probs  # (beams, vocab)
+        flat = expanded.ravel()
+        top = np.argpartition(flat, -beam_width)[-beam_width:]
+        top = top[np.argsort(-flat[top])]
+        beam_idx, token_idx = np.divmod(top, vocab)
+
+        histories = [histories[b] + [int(tok)] for b, tok in zip(beam_idx, token_idx)]
+        scores = flat[top]
+        tokens = token_idx.astype(np.intp)
+        state = _reorder_state(state, beam_idx)
+
+    lengths = np.full(beam_width, steps, dtype=np.float64)
+    if length_penalty > 0:
+        normalizer = ((5.0 + lengths) / 6.0) ** length_penalty
+        ranked = np.argsort(-(scores / normalizer))
+    else:
+        ranked = np.argsort(-scores)
+    ordered = np.array([histories[i] for i in ranked], dtype=np.intp)
+    return DecodeResult(tokens=ordered[None, :, :], scores=scores[ranked][None, :])
+
+
+def _reorder_state(state: object, beam_idx: np.ndarray) -> object:
+    """Re-index per-beam state after beam re-ranking."""
+    if state is None:
+        return None
+    if isinstance(state, (int, float, complex, str, bytes)):
+        return state  # beam-invariant scalar state passes through
+    if isinstance(state, np.ndarray):
+        if state.ndim == 0:
+            return state
+        return state[beam_idx]
+    if isinstance(state, (list, tuple)):
+        reordered = [_reorder_state(s, beam_idx) for s in state]
+        return type(state)(reordered)
+    raise TypeError(f"cannot reorder decoder state of type {type(state)!r}")

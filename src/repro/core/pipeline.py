@@ -1,0 +1,185 @@
+"""End-to-end approximate-screening inference (paper Fig. 6).
+
+``ApproximateScreeningClassifier`` composes the pieces:
+
+1. screening — the quantized screener computes approximate scores
+   ``z̃`` for all ``l`` categories;
+2. filtering — a :class:`CandidateSelector` picks the key candidates;
+3. candidates-only computation — the full classifier recomputes exact
+   scores for the candidates only;
+4. mixing — the final pre-normalization vector keeps the approximate
+   values everywhere except the candidate positions, which get the
+   accurate values (Fig. 6, step 5).
+
+Scale correction: the screener is trained to match the full logits in
+L2, but INT4 quantization introduces a per-batch scale drift between
+approximate and exact entries.  Mixing raw values is exactly what the
+hardware does, so we do the same; the candidate set is what protects
+top-K quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.candidates import CandidateSelector, CandidateSet
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningModule
+from repro.linalg.functional import sigmoid, softmax, taylor_softmax
+from repro.utils.validation import check_batch_features
+
+
+@dataclass
+class ScreenedOutput:
+    """Everything produced by one screened inference pass.
+
+    ``logits`` is the mixed approximate/accurate score matrix;
+    ``candidates`` records which entries are accurate.  ``exact_count``
+    is the number of exact weight rows gathered (the quantity that
+    drives computation and DRAM-traffic savings).
+    """
+
+    logits: np.ndarray
+    approximate_logits: np.ndarray
+    candidates: CandidateSet
+
+    @property
+    def batch_size(self) -> int:
+        return self.logits.shape[0]
+
+    @property
+    def num_categories(self) -> int:
+        return self.logits.shape[1]
+
+    @property
+    def exact_count(self) -> int:
+        return self.candidates.total
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of (batch × category) outputs computed exactly."""
+        return self.exact_count / self.logits.size
+
+
+class ApproximateScreeningClassifier:
+    """The paper's candidates-only classifier (screen → filter → exact → mix)."""
+
+    def __init__(
+        self,
+        classifier: FullClassifier,
+        screener: ScreeningModule,
+        selector: Optional[CandidateSelector] = None,
+        num_candidates: int = 32,
+        softmax_taylor_order: Optional[int] = None,
+    ):
+        if screener.num_categories != classifier.num_categories:
+            raise ValueError(
+                f"screener covers {screener.num_categories} categories, classifier "
+                f"has {classifier.num_categories}"
+            )
+        if screener.hidden_dim != classifier.hidden_dim:
+            raise ValueError(
+                f"screener hidden dim {screener.hidden_dim} != classifier "
+                f"{classifier.hidden_dim}"
+            )
+        self.classifier = classifier
+        self.screener = screener
+        self.selector = selector or CandidateSelector(
+            mode="top_m", num_candidates=num_candidates
+        )
+        #: When set, softmax uses the Executor SFU's Taylor-approximated
+        #: exponential of this order instead of exact exp.
+        self.softmax_taylor_order = softmax_taylor_order
+
+    # ------------------------------------------------------------------
+    @property
+    def num_categories(self) -> int:
+        return self.classifier.num_categories
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.classifier.hidden_dim
+
+    # ------------------------------------------------------------------
+    def forward(self, features: np.ndarray) -> ScreenedOutput:
+        """Run the full screened pipeline on a feature batch.
+
+        Exact recomputation is per-row (the faithful dataflow); see
+        :meth:`forward_gathered` for the vectorized union-gather
+        variant, which is numerically identical but faster in numpy for
+        large batches.
+        """
+        batch = check_batch_features(features, self.hidden_dim)
+        approx = self.screener.approximate_logits(batch)
+        candidates = self.selector.select(approx)
+
+        mixed = approx.copy()
+        for row, indices in enumerate(candidates):
+            if indices.size == 0:
+                continue
+            exact = self.classifier.logits_for(indices, batch[row])
+            mixed[row, indices] = exact[0]
+        return ScreenedOutput(
+            logits=mixed, approximate_logits=approx, candidates=candidates
+        )
+
+    __call__ = forward
+
+    def forward_gathered(self, features: np.ndarray) -> ScreenedOutput:
+        """Batched exact phase over the *union* of candidate rows.
+
+        Gathers each candidate weight row once per batch (how batched
+        hardware executes) and computes all rows' exact scores in one
+        matmul; each row's mixed output still only takes its own
+        candidates.  Numerically identical to :meth:`forward`.
+        """
+        batch = check_batch_features(features, self.hidden_dim)
+        approx = self.screener.approximate_logits(batch)
+        candidates = self.selector.select(approx)
+
+        mixed = approx.copy()
+        union = candidates.union()
+        if union.size:
+            # (batch, union) exact scores in one gathered matmul.
+            exact = self.classifier.logits_for(union, batch)
+            position = {int(idx): pos for pos, idx in enumerate(union)}
+            for row, indices in enumerate(candidates):
+                if indices.size == 0:
+                    continue
+                cols = [position[int(idx)] for idx in indices]
+                mixed[row, indices] = exact[row, cols]
+        return ScreenedOutput(
+            logits=mixed, approximate_logits=approx, candidates=candidates
+        )
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Normalized probabilities from the mixed score vector."""
+        output = self.forward(features)
+        if self.classifier.normalization == "sigmoid":
+            return sigmoid(output.logits)
+        if self.softmax_taylor_order is not None:
+            return taylor_softmax(output.logits, order=self.softmax_taylor_order)
+        return softmax(output.logits, axis=-1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Argmax category per row (always inside the candidate set by
+        construction when the screener is reasonable, but taken over
+        the mixed vector exactly as the hardware would)."""
+        return np.argmax(self.forward(features).logits, axis=-1)
+
+    def top_k(self, features: np.ndarray, k: int) -> np.ndarray:
+        """Top-k categories per row from the mixed scores (beam search /
+        P@k consumers)."""
+        from repro.linalg.topk import top_k_indices
+
+        return top_k_indices(self.forward(features).logits, k, sort=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateScreeningClassifier(l={self.num_categories}, "
+            f"d={self.hidden_dim}, k={self.screener.projection_dim}, "
+            f"selector={self.selector!r})"
+        )

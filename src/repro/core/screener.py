@@ -1,0 +1,183 @@
+"""The screening module ``z̃ = W̃ P h + b̃`` (paper Eq. 3).
+
+The screener is the approximate classifier: a fixed sparse random
+projection ``P`` (k×d, ternary) followed by a learned low-dimensional
+weight ``W̃ ∈ R^{l×k}`` and bias ``b̃``.  At inference the screener runs
+quantized (INT4 by default) to model the ENMC Screener's fixed-point
+MAC array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg.projection import SparseRandomProjection
+from repro.linalg.quantize import Quantizer
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_batch_features, check_positive
+
+
+@dataclass(frozen=True)
+class ScreeningConfig:
+    """Hyper-parameters of the screening module.
+
+    ``projection_dim`` is the reduced hidden size ``k``.  The paper's
+    chosen operating point is a parameter-reduction scale of 0.25
+    (Fig. 12a), i.e. ``k = d / 4``, with 4-bit quantization (Fig. 12b).
+    ``quantization_bits=None`` runs the screener in floating point
+    (the FP32 point of the Fig. 12b sweep).
+    """
+
+    projection_dim: int
+    quantization_bits: Optional[int] = 4
+    projection_density: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("projection_dim", self.projection_dim)
+        if self.quantization_bits is not None:
+            check_positive("quantization_bits", self.quantization_bits)
+
+    @classmethod
+    def from_scale(
+        cls,
+        hidden_dim: int,
+        scale: float = 0.25,
+        quantization_bits: Optional[int] = 4,
+    ) -> "ScreeningConfig":
+        """Build a config from a parameter-reduction scale ``k/d``."""
+        check_positive("hidden_dim", hidden_dim)
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        k = max(1, int(round(hidden_dim * scale)))
+        return cls(projection_dim=k, quantization_bits=quantization_bits)
+
+
+class ScreeningModule:
+    """The trained screener: projection + reduced-dimension classifier.
+
+    Construct via :func:`repro.core.training.train_screener`, which
+    runs Algorithm 1; direct construction is useful for tests and for
+    loading saved parameters.
+    """
+
+    def __init__(
+        self,
+        projection: SparseRandomProjection,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        quantization_bits: Optional[int] = 4,
+    ):
+        weight = np.asarray(weight, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"screener weight must be 2-D (l, k), got {weight.shape}")
+        if weight.shape[1] != projection.output_dim:
+            raise ValueError(
+                f"screener weight k={weight.shape[1]} != projection k="
+                f"{projection.output_dim}"
+            )
+        if bias.shape != (weight.shape[0],):
+            raise ValueError(f"bias shape {bias.shape} incompatible with l={weight.shape[0]}")
+
+        self.projection = projection
+        self.weight = weight
+        self.bias = bias
+        self.quantization_bits = quantization_bits
+        self._refresh_quantized_weight()
+
+    def _refresh_quantized_weight(self) -> None:
+        """Re-derive the fixed-point weight view after a weight update."""
+        if self.quantization_bits is None:
+            self._weight_deq = self.weight
+            return
+        quantizer = Quantizer(bits=self.quantization_bits, axis=0)
+        self._weight_deq = quantizer.fake_quantize(self.weight)
+
+    # ------------------------------------------------------------------
+    # shapes / cost
+    # ------------------------------------------------------------------
+    @property
+    def num_categories(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def hidden_dim(self) -> int:
+        """Input dimensionality ``d`` (pre-projection)."""
+        return self.projection.input_dim
+
+    @property
+    def projection_dim(self) -> int:
+        """Reduced dimensionality ``k``."""
+        return self.projection.output_dim
+
+    @property
+    def nbytes(self) -> float:
+        """Deployed parameter bytes: quantized W̃ + FP bias + 2-bit P."""
+        bits = self.quantization_bits if self.quantization_bits is not None else 32
+        return self.weight.size * bits / 8.0 + self.bias.size * 4 + self.projection.nbytes
+
+    def parameter_scale(self, classifier_hidden_dim: Optional[int] = None) -> float:
+        """Parameter count relative to the full classifier (Fig. 12a x-axis)."""
+        d = classifier_hidden_dim if classifier_hidden_dim is not None else self.hidden_dim
+        return self.weight.size / (self.num_categories * d)
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def project(self, features: np.ndarray) -> np.ndarray:
+        """Apply ``P`` only (the host-side or on-the-fly projection)."""
+        batch = check_batch_features(features, self.hidden_dim)
+        return self.projection(batch)
+
+    def approximate_logits(self, features: np.ndarray) -> np.ndarray:
+        """The screener's approximate scores ``z̃`` for a feature batch.
+
+        When ``quantization_bits`` is set, both the projected features
+        and the screener weights pass through fake quantization,
+        modeling the INT4 datapath of the hardware Screener.
+        """
+        projected = self.project(features)
+        if self.quantization_bits is not None:
+            # One scale per batch row: each inference quantizes its own
+            # feature vector independently, as the hardware does.
+            quantizer = Quantizer(bits=self.quantization_bits, axis=0)
+            projected = quantizer.fake_quantize(projected)
+        return projected @ self._weight_deq.T + self.bias
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.approximate_logits(features)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScreeningModule(l={self.num_categories}, d={self.hidden_dim}, "
+            f"k={self.projection_dim}, bits={self.quantization_bits})"
+        )
+
+
+def initialize_screener(
+    num_categories: int,
+    hidden_dim: int,
+    config: ScreeningConfig,
+    rng: RngLike = None,
+) -> ScreeningModule:
+    """An untrained screener with the paper's initialization.
+
+    ``P`` follows standard sparse random projection (Section 4.2); the
+    learnable ``W̃``/``b̃`` start at small Gaussian / zero.
+    """
+    generator = ensure_rng(rng)
+    projection = SparseRandomProjection(
+        input_dim=hidden_dim,
+        output_dim=config.projection_dim,
+        density=config.projection_density,
+        rng=generator,
+    )
+    weight = generator.standard_normal((num_categories, config.projection_dim))
+    weight *= 1.0 / np.sqrt(config.projection_dim)
+    bias = np.zeros(num_categories)
+    return ScreeningModule(
+        projection, weight, bias, quantization_bits=config.quantization_bits
+    )

@@ -1,0 +1,97 @@
+"""Save/load trained screening modules and classifiers (.npz).
+
+The screener is the artifact a deployment ships (the paper's workflow
+trains it offline, then loads it into ENMC status registers and DRAM);
+round-tripping it exactly matters because the INT4 grid is derived from
+the stored weights.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningModule
+from repro.linalg.projection import SparseRandomProjection
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def save_screener(path: PathLike, screener: ScreeningModule) -> None:
+    """Serialize a screening module to a compressed .npz file."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind=np.str_("screener"),
+        weight=screener.weight,
+        bias=screener.bias,
+        projection_ternary=screener.projection.ternary,
+        projection_density=np.float64(screener.projection.density),
+        quantization_bits=np.int64(
+            -1 if screener.quantization_bits is None else screener.quantization_bits
+        ),
+    )
+
+
+def load_screener(path: PathLike) -> ScreeningModule:
+    """Load a screening module saved by :func:`save_screener`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "screener", path)
+        ternary = data["projection_ternary"]
+        projection = SparseRandomProjection.__new__(SparseRandomProjection)
+        projection.input_dim = ternary.shape[1]
+        projection.output_dim = ternary.shape[0]
+        projection.density = float(data["projection_density"])
+        projection._ternary = ternary.astype(np.int8)
+        projection._scale = np.sqrt(
+            1.0 / (projection.density * projection.output_dim)
+        )
+        bits = int(data["quantization_bits"])
+        return ScreeningModule(
+            projection,
+            data["weight"],
+            data["bias"],
+            quantization_bits=None if bits < 0 else bits,
+        )
+
+
+def save_classifier(path: PathLike, classifier: FullClassifier) -> None:
+    """Serialize a full classifier to a compressed .npz file."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind=np.str_("classifier"),
+        weight=classifier.weight,
+        bias=classifier.bias,
+        normalization=np.str_(classifier.normalization),
+    )
+
+
+def load_classifier(path: PathLike) -> FullClassifier:
+    """Load a classifier saved by :func:`save_classifier`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "classifier", path)
+        return FullClassifier(
+            data["weight"],
+            data["bias"],
+            normalization=str(data["normalization"]),
+        )
+
+
+def _check_format(data, expected_kind: str, path: PathLike) -> None:
+    if "format_version" not in data or "kind" not in data:
+        raise ValueError(f"{path!s} is not a repro-enmc artifact")
+    version = int(data["format_version"])
+    if version > _FORMAT_VERSION:
+        raise ValueError(
+            f"{path!s} uses format version {version}; this build reads "
+            f"<= {_FORMAT_VERSION}"
+        )
+    kind = str(data["kind"])
+    if kind != expected_kind:
+        raise ValueError(f"{path!s} holds a {kind!r}, expected {expected_kind!r}")

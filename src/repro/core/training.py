@@ -1,0 +1,187 @@
+"""Algorithm 1: learning the screener by MSE distillation.
+
+The full classifier ``(W, b)`` is frozen; only ``(W̃, b̃)`` are updated
+to minimize (paper Eq. 4)
+
+    L = (1/s) Σ_s || (W h + b) − (W̃ P h + b̃) ||²
+
+over batches of context vectors ``h`` drawn from the model's own
+hidden-layer outputs.  The projection ``P`` is constructed once and
+never trained.
+
+Two solvers are provided:
+
+* ``"sgd"`` — the paper-faithful mini-batch SGD loop (Algorithm 1).
+* ``"lstsq"`` — the closed-form least-squares solution of the same
+  objective.  Eq. 4 is an ordinary linear regression from ``Ph`` to
+  ``Wh + b``, so for large synthetic sweeps we solve it exactly; the
+  SGD path converges to the same optimum (tested) but is slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.classifier import FullClassifier
+from repro.core.screener import ScreeningConfig, ScreeningModule, initialize_screener
+from repro.linalg.sgd import SGD, Adam
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_batch_features, check_positive
+
+_SOLVERS = ("sgd", "adam", "lstsq")
+
+
+@dataclass
+class TrainingReport:
+    """What happened during distillation: per-epoch loss and final error."""
+
+    losses: List[float] = field(default_factory=list)
+    epochs: int = 0
+    solver: str = "sgd"
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+    @property
+    def converged(self) -> bool:
+        """Loose convergence check: the loss stopped improving by >1%."""
+        if len(self.losses) < 2:
+            return False
+        return self.losses[-1] >= 0.99 * self.losses[-2]
+
+
+def _mse_and_grads(
+    screener: ScreeningModule,
+    projected: np.ndarray,
+    targets: np.ndarray,
+    quantization_aware: bool = False,
+) -> tuple:
+    """Loss and gradients of Eq. 4 w.r.t. (W̃, b̃) for one mini-batch.
+
+    With ``quantization_aware`` the forward pass sees the fake-quantized
+    weights while gradients flow to the full-precision master copy — the
+    straight-through estimator, so the trained weights compensate for
+    the INT4 grid they will be deployed on.
+    """
+    batch_size = projected.shape[0]
+    weight = screener.weight
+    if quantization_aware and screener.quantization_bits is not None:
+        from repro.linalg.quantize import Quantizer
+
+        weight = Quantizer(
+            bits=screener.quantization_bits, axis=0
+        ).fake_quantize(weight)
+    prediction = projected @ weight.T + screener.bias
+    error = prediction - targets
+    loss = float(np.mean(np.sum(error**2, axis=1)))
+    grad_weight = (2.0 / batch_size) * error.T @ projected
+    grad_bias = (2.0 / batch_size) * np.sum(error, axis=0)
+    return loss, grad_weight, grad_bias
+
+
+def _solve_lstsq(
+    screener: ScreeningModule, projected: np.ndarray, targets: np.ndarray
+) -> float:
+    """Exact minimizer of Eq. 4 via least squares on [Ph, 1]."""
+    ones = np.ones((projected.shape[0], 1))
+    design = np.hstack([projected, ones])
+    solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+    screener.weight[...] = solution[:-1].T
+    screener.bias[...] = solution[-1]
+    residual = design @ solution - targets
+    return float(np.mean(np.sum(residual**2, axis=1)))
+
+
+def train_screener(
+    classifier: FullClassifier,
+    features: np.ndarray,
+    config: Optional[ScreeningConfig] = None,
+    epochs: int = 30,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    solver: str = "sgd",
+    quantization_aware: bool = False,
+    rng: RngLike = None,
+    return_report: bool = False,
+):
+    """Run Algorithm 1 and return the trained :class:`ScreeningModule`.
+
+    Parameters
+    ----------
+    classifier:
+        The frozen full classifier whose outputs are the distillation
+        targets.
+    features:
+        Context vectors ``h`` from the application's hidden layers,
+        shape ``(num_samples, d)``.
+    config:
+        Screener shape; defaults to the paper's operating point
+        (``k = d/4``, INT4).
+    solver:
+        ``"sgd"`` (Algorithm 1), ``"adam"``, or ``"lstsq"``.
+    quantization_aware:
+        Train against the fake-quantized forward (straight-through
+        estimator) so the weights adapt to their deployment grid.
+        Iterative solvers only (the closed form has no QAT analogue).
+    return_report:
+        When true, returns ``(screener, TrainingReport)``.
+    """
+    if solver not in _SOLVERS:
+        raise ValueError(f"solver must be one of {_SOLVERS}, got {solver!r}")
+    if quantization_aware and solver == "lstsq":
+        raise ValueError("quantization_aware requires an iterative solver")
+    check_positive("epochs", epochs)
+    check_positive("batch_size", batch_size)
+
+    batch = check_batch_features(features, classifier.hidden_dim)
+    if config is None:
+        config = ScreeningConfig.from_scale(classifier.hidden_dim, scale=0.25)
+
+    generator = ensure_rng(rng)
+    screener = initialize_screener(
+        classifier.num_categories, classifier.hidden_dim, config, rng=generator
+    )
+
+    # Training runs in floating point; quantization applies at inference.
+    targets = classifier.logits(batch)
+    projected = screener.project(batch)
+
+    report = TrainingReport(solver=solver)
+    if solver == "lstsq":
+        loss = _solve_lstsq(screener, projected, targets)
+        report.losses.append(loss)
+        report.epochs = 1
+    else:
+        if solver == "sgd":
+            optimizer = SGD([screener.weight, screener.bias], lr=lr, momentum=0.9)
+        else:
+            optimizer = Adam([screener.weight, screener.bias], lr=lr)
+        num_samples = batch.shape[0]
+        for _ in range(epochs):
+            order = generator.permutation(num_samples)
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, num_samples, batch_size):
+                take = order[start : start + batch_size]
+                loss, grad_w, grad_b = _mse_and_grads(
+                    screener, projected[take], targets[take],
+                    quantization_aware=quantization_aware,
+                )
+                optimizer.step([grad_w, grad_b])
+                epoch_loss += loss
+                num_batches += 1
+            report.losses.append(epoch_loss / max(num_batches, 1))
+            report.epochs += 1
+            if report.converged:
+                break
+
+    screener._refresh_quantized_weight()
+    if return_report:
+        return screener, report
+    return screener

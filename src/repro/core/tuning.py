@@ -1,0 +1,131 @@
+"""Validation-set tuning of the candidate budget and threshold.
+
+Paper Section 4.2: "the threshold value can be tuned on validation
+sets."  In practice the deployment question is inverted: given a
+quality target (candidate recall@k — the quantity that bounds end-task
+degradation), what is the smallest candidate budget that achieves it?
+:func:`tune_budget_for_recall` answers with a binary search over ``m``,
+and :func:`tune_threshold_for_recall` converts the result into the
+hardware's comparator threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateSelector
+from repro.core.classifier import FullClassifier
+from repro.core.metrics import candidate_recall
+from repro.core.pipeline import ApproximateScreeningClassifier
+from repro.core.screener import ScreeningModule
+from repro.linalg.topk import calibrate_threshold
+from repro.utils.validation import check_batch_features, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a budget search."""
+
+    num_candidates: int
+    achieved_recall: float
+    target_recall: float
+    k: int
+    threshold: float
+    num_categories: int
+
+    @property
+    def met(self) -> bool:
+        return self.achieved_recall >= self.target_recall
+
+    @property
+    def candidate_fraction(self) -> float:
+        """The tuned budget as a fraction of the category space."""
+        return self.num_candidates / self.num_categories
+
+
+def _recall_at_budget(
+    classifier: FullClassifier,
+    screener: ScreeningModule,
+    features: np.ndarray,
+    exact_logits: np.ndarray,
+    budget: int,
+    k: int,
+) -> float:
+    model = ApproximateScreeningClassifier(
+        classifier, screener,
+        selector=CandidateSelector(mode="top_m", num_candidates=budget),
+    )
+    return candidate_recall(exact_logits, model(features), k=k)
+
+
+def tune_budget_for_recall(
+    classifier: FullClassifier,
+    screener: ScreeningModule,
+    validation_features: np.ndarray,
+    target_recall: float = 0.99,
+    k: int = 1,
+    max_fraction: float = 0.5,
+) -> TuningResult:
+    """Smallest top-m budget whose candidate recall@k ≥ target.
+
+    Recall@k is monotone non-decreasing in the budget (a superset of
+    candidates can only contain more of the true top-k), so binary
+    search applies.  If even ``max_fraction`` of the category space
+    misses the target, the largest probed budget is returned with
+    ``met=False``.
+    """
+    check_probability("target_recall", target_recall)
+    check_positive("k", k)
+    features = check_batch_features(validation_features, classifier.hidden_dim)
+    exact = classifier.logits(features)
+
+    low = k  # can't catch top-k with fewer than k candidates
+    high = max(low, int(classifier.num_categories * max_fraction))
+
+    if _recall_at_budget(classifier, screener, features, exact, high, k) < target_recall:
+        achieved = _recall_at_budget(classifier, screener, features, exact, high, k)
+        return _result(screener, features, high, achieved, target_recall, k,
+                       classifier.num_categories)
+
+    while low < high:
+        mid = (low + high) // 2
+        recall = _recall_at_budget(classifier, screener, features, exact, mid, k)
+        if recall >= target_recall:
+            high = mid
+        else:
+            low = mid + 1
+
+    achieved = _recall_at_budget(classifier, screener, features, exact, low, k)
+    return _result(screener, features, low, achieved, target_recall, k,
+                   classifier.num_categories)
+
+
+def _result(screener, features, budget, achieved, target, k, num_categories):
+    threshold = calibrate_threshold(
+        screener.approximate_logits(features), budget
+    )
+    return TuningResult(
+        num_candidates=budget,
+        achieved_recall=achieved,
+        target_recall=target,
+        k=k,
+        threshold=threshold,
+        num_categories=num_categories,
+    )
+
+
+def tune_threshold_for_recall(
+    classifier: FullClassifier,
+    screener: ScreeningModule,
+    validation_features: np.ndarray,
+    target_recall: float = 0.99,
+    k: int = 1,
+) -> float:
+    """The comparator threshold achieving the recall target (the value
+    the host loads into the ENMC THRESHOLD register)."""
+    result = tune_budget_for_recall(
+        classifier, screener, validation_features, target_recall, k
+    )
+    return result.threshold

@@ -1,0 +1,34 @@
+"""Synthetic workload data calibrated to the paper's evaluation setup.
+
+The paper evaluates on Wikitext-2/103 (LM), WMT16 en-de (NMT) and
+Amazon-670K (recommendation) with pretrained PyTorch models.  Offline we
+cannot ship those datasets or checkpoints, so this package generates
+synthetic tasks whose *geometry* matches what makes screening work on
+real models: classifier weight matrices with rapidly decaying spectra,
+Zipfian category priors, and hidden vectors concentrated near the weight
+rows of their true categories (so softmax outputs are top-heavy).
+DESIGN.md §2 records the substitution argument.
+"""
+
+from repro.data.synthetic import SyntheticTask, SyntheticTaskConfig, make_task
+from repro.data.sequences import SequenceConfig, SyntheticCorpus
+from repro.data.registry import (
+    WORKLOADS,
+    Workload,
+    get_workload,
+    iter_workloads,
+    scaled_task,
+)
+
+__all__ = [
+    "SyntheticTask",
+    "SyntheticTaskConfig",
+    "make_task",
+    "SyntheticCorpus",
+    "SequenceConfig",
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "iter_workloads",
+    "scaled_task",
+]

@@ -1,0 +1,198 @@
+"""The paper's workload table (Table 2) plus the synthetic scaling set.
+
+Every experiment refers to workloads by their paper abbreviation
+(``LSTM-W33K``, ``Transformer-W268K``, ``GNMT-E32K``, ``XMLCNN-670K``)
+or the synthetic scalability points (``S1M``, ``S10M``, ``S100M``,
+Section 6.1).  Performance/energy models always use the *full* paper
+category counts; accuracy experiments materialize matrices and accept a
+``scale`` divisor (see :func:`scaled_task`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.data.synthetic import SyntheticTask, SyntheticTaskConfig
+from repro.utils.rng import rng_from_labels
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One row of the paper's Table 2 (or a synthetic scaling point)."""
+
+    abbr: str
+    application: str
+    dataset: str
+    dataset_type: str
+    num_categories: int
+    model: str
+    model_type: str
+    hidden_dim: int
+    normalization: str = "softmax"
+    #: Decode steps per inference for sequence tasks (amortizes the
+    #: front-end over several classifier invocations).
+    decode_steps: int = 1
+    #: Candidate budget as a fraction of the category space, tuned so
+    #: the end-task quality holds (Section 7.1): perplexity needs the
+    #: whole distribution and hence a generous budget; top-k metrics
+    #: (BLEU beams, P@k) tolerate aggressive screening — the paper
+    #: "considerably reduces the number of candidates by 50×" for
+    #: XMLCNN-670K.
+    candidate_fraction: float = 0.05
+
+    @property
+    def classifier_bytes(self) -> int:
+        """FP32 classifier footprint ``4·l·d`` (Fig. 5a)."""
+        return 4 * self.num_categories * self.hidden_dim
+
+    @property
+    def default_candidates(self) -> int:
+        """The tuned candidate budget ``m`` for this workload."""
+        return max(1, int(round(self.num_categories * self.candidate_fraction)))
+
+
+#: Table 2, in ascending classification size as Fig. 13 arranges them.
+WORKLOADS: Dict[str, Workload] = {
+    workload.abbr: workload
+    for workload in [
+        Workload(
+            abbr="GNMT-E32K",
+            application="NMT",
+            dataset="WMT16 en-de",
+            dataset_type="Translation",
+            num_categories=32_317,
+            model="GNMT",
+            model_type="DNN",
+            hidden_dim=1024,
+            decode_steps=25,
+            candidate_fraction=0.030,
+        ),
+        Workload(
+            abbr="LSTM-W33K",
+            application="NLP",
+            dataset="Wikitext-2",
+            dataset_type="Language Modeling",
+            num_categories=33_278,
+            model="LSTM",
+            model_type="RNN",
+            hidden_dim=1500,
+            decode_steps=1,
+            candidate_fraction=0.130,
+        ),
+        Workload(
+            abbr="Transformer-W268K",
+            application="NLP",
+            dataset="Wikitext-103",
+            dataset_type="Language Modeling",
+            num_categories=267_744,
+            model="Transformer",
+            model_type="DNN",
+            hidden_dim=512,
+            decode_steps=1,
+            candidate_fraction=0.120,
+        ),
+        Workload(
+            abbr="XMLCNN-670K",
+            application="Recommendation",
+            dataset="Amazon-670k",
+            dataset_type="Multi-label Classification",
+            num_categories=670_091,
+            model="XMLCNN",
+            model_type="CNN",
+            hidden_dim=512,
+            normalization="sigmoid",
+            candidate_fraction=0.020,
+        ),
+        # Synthetic scalability datasets (Section 6.1): same XMLCNN
+        # front-end, scaled category space.
+        Workload(
+            abbr="S1M",
+            application="Recommendation",
+            dataset="Synthetic-1M",
+            dataset_type="Multi-label Classification",
+            num_categories=1_000_000,
+            model="XMLCNN",
+            model_type="CNN",
+            hidden_dim=512,
+            normalization="sigmoid",
+            candidate_fraction=0.020,
+        ),
+        Workload(
+            abbr="S10M",
+            application="Recommendation",
+            dataset="Synthetic-10M",
+            dataset_type="Multi-label Classification",
+            num_categories=10_000_000,
+            model="XMLCNN",
+            model_type="CNN",
+            hidden_dim=512,
+            normalization="sigmoid",
+            candidate_fraction=0.020,
+        ),
+        Workload(
+            abbr="S100M",
+            application="Recommendation",
+            dataset="Synthetic-100M",
+            dataset_type="Multi-label Classification",
+            num_categories=100_000_000,
+            model="XMLCNN",
+            model_type="CNN",
+            hidden_dim=512,
+            normalization="sigmoid",
+            candidate_fraction=0.020,
+        ),
+    ]
+}
+
+#: The four evaluated applications of Table 2 (excludes scaling points).
+TABLE2_ABBRS = ("GNMT-E32K", "LSTM-W33K", "Transformer-W268K", "XMLCNN-670K")
+#: The Fig. 15 scalability sweep.
+SCALABILITY_ABBRS = ("XMLCNN-670K", "S1M", "S10M", "S100M")
+
+
+def get_workload(abbr: str) -> Workload:
+    """Look up a workload by paper abbreviation."""
+    try:
+        return WORKLOADS[abbr]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {abbr!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def iter_workloads(include_synthetic: bool = False) -> Iterator[Workload]:
+    """Iterate Table 2 workloads, optionally with the synthetic set."""
+    abbrs = WORKLOADS if include_synthetic else TABLE2_ABBRS
+    for abbr in abbrs:
+        yield WORKLOADS[abbr]
+
+
+def scaled_task(
+    workload: Workload,
+    scale: int = 16,
+    max_categories: Optional[int] = 65_536,
+    rng=None,
+) -> SyntheticTask:
+    """Materialize a synthetic task for ``workload`` at reduced size.
+
+    ``scale`` divides the category count (hidden dim is kept — it is
+    what screening compresses); ``max_categories`` additionally caps the
+    materialized label space so CI never allocates gigabytes.  The task
+    is seeded from the workload name, so repeated calls in different
+    processes produce identical matrices.
+    """
+    check_positive("scale", scale)
+    num_categories = max(64, workload.num_categories // scale)
+    if max_categories is not None:
+        num_categories = min(num_categories, max_categories)
+    config = SyntheticTaskConfig(
+        num_categories=num_categories,
+        hidden_dim=workload.hidden_dim,
+        effective_rank=max(4, min(workload.hidden_dim // 4, 64)),
+        normalization=workload.normalization,
+        labels_per_sample=5 if workload.normalization == "sigmoid" else 1,
+    )
+    generator = rng if rng is not None else rng_from_labels(workload.abbr, scale)
+    return SyntheticTask(config, rng=generator)

@@ -1,0 +1,19 @@
+"""Distributed scale-out of screened classification (paper Section 8).
+
+"In the context of distributed inference, our design can scale-out from
+single-node to distributed nodes, where each node keeps an approximate
+screener."  This package implements that extension: the category space
+is sharded across nodes, every node runs screening + candidates-only
+classification over its shard, and a reducer merges the per-shard
+top-k/mixed outputs.
+"""
+
+from repro.distributed.sharding import ShardedClassifier, shard_ranges
+from repro.distributed.cluster import ClusterModel, DistributedResult
+
+__all__ = [
+    "ShardedClassifier",
+    "shard_ranges",
+    "ClusterModel",
+    "DistributedResult",
+]

@@ -1,0 +1,105 @@
+"""Performance model of scale-out screened classification.
+
+Each node is an ENMC-equipped server holding one category shard; after
+local screening + candidates-only classification, nodes all-gather
+their per-shard top-k (index, score) pairs to a reducer.  The model
+composes per-node :class:`~repro.enmc.simulator.ENMCSimulator` results
+with a simple α-β network cost, exposing the scale-out crossover: more
+nodes shrink per-node classification time but grow the reduce cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.data.registry import Workload
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.simulator import ENMCSimulator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α-β model: latency + bytes/bandwidth per message."""
+
+    latency_s: float = 5e-6  # RDMA-class fabric
+    bandwidth: float = 12.5e9  # 100 Gb/s
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return self.latency_s + num_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Timing of one batched inference across the cluster."""
+
+    nodes: int
+    node_seconds: float
+    reduce_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.node_seconds + self.reduce_seconds
+
+    @property
+    def reduce_fraction(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.reduce_seconds / self.seconds
+
+
+class ClusterModel:
+    """Scale-out model over ENMC nodes."""
+
+    def __init__(
+        self,
+        node_config: ENMCConfig = DEFAULT_CONFIG,
+        network: NetworkModel = NetworkModel(),
+    ):
+        self.node_config = node_config
+        self.network = network
+
+    def simulate(
+        self,
+        workload: Workload,
+        nodes: int,
+        candidates_per_row: int = 0,
+        batch_size: int = 1,
+        top_k: int = 10,
+    ) -> DistributedResult:
+        """One batched inference over ``nodes`` shards.
+
+        Per node: the shard behaves like a workload with ``l/nodes``
+        categories.  Reduce: every node ships ``top_k`` (int32, fp32)
+        pairs per batch row to the reducer, which merges them (cheap,
+        charged at one network transfer).
+        """
+        check_positive("nodes", nodes)
+        check_positive("top_k", top_k)
+        m = candidates_per_row or workload.default_candidates
+        shard_categories = max(1, math.ceil(workload.num_categories / nodes))
+        shard_workload = replace(
+            workload,
+            abbr=f"{workload.abbr}/shard{nodes}",
+            num_categories=shard_categories,
+        )
+        simulator = ENMCSimulator(self.node_config)
+        node_result = simulator.simulate(
+            shard_workload,
+            candidates_per_row=max(1, math.ceil(m / nodes)),
+            batch_size=batch_size,
+        )
+        reduce_bytes = nodes * batch_size * top_k * 8  # (int32, fp32)
+        reduce_seconds = self.network.transfer_seconds(reduce_bytes)
+        return DistributedResult(
+            nodes=nodes,
+            node_seconds=node_result.seconds,
+            reduce_seconds=reduce_seconds,
+        )
+
+    def sweep(self, workload: Workload, node_counts, **kwargs):
+        """Scaling curve across node counts."""
+        return [self.simulate(workload, n, **kwargs) for n in node_counts]

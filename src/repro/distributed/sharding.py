@@ -1,0 +1,145 @@
+"""Category-space sharding for multi-node screened classification."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.candidates import CandidateSet
+from repro.core.classifier import FullClassifier
+from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.core.screener import ScreeningConfig
+from repro.core.training import train_screener
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import check_batch_features, check_positive
+
+
+def shard_ranges(num_categories: int, num_shards: int) -> List[range]:
+    """Contiguous, balanced category ranges (sizes differ by ≤1)."""
+    check_positive("num_categories", num_categories)
+    check_positive("num_shards", num_shards)
+    if num_shards > num_categories:
+        raise ValueError(
+            f"{num_shards} shards exceed {num_categories} categories"
+        )
+    base, remainder = divmod(num_categories, num_shards)
+    ranges = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < remainder else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+class ShardedClassifier:
+    """A full classifier split across nodes, each with its own screener.
+
+    Functionally equivalent to the single-node pipeline: per-node mixed
+    outputs concatenate back into the global category order (tested).
+    The difference is deployment — each node trains a screener for its
+    shard only, so no node materializes global state.
+    """
+
+    def __init__(
+        self,
+        classifier: FullClassifier,
+        num_shards: int,
+        config: Optional[ScreeningConfig] = None,
+    ):
+        self.classifier = classifier
+        self.ranges = shard_ranges(classifier.num_categories, num_shards)
+        self.config = config or ScreeningConfig.from_scale(
+            classifier.hidden_dim, scale=0.25
+        )
+        self.shards: List[ApproximateScreeningClassifier] = []
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def trained(self) -> bool:
+        return bool(self.shards)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        features: np.ndarray,
+        candidates_per_shard: int = 16,
+        solver: str = "lstsq",
+        rng: RngLike = None,
+    ) -> None:
+        """Distill one screener per shard (independently, as separate
+        nodes would)."""
+        check_positive("candidates_per_shard", candidates_per_shard)
+        rngs = spawn_rngs(rng, self.num_shards)
+        self.shards = []
+        for shard_range, shard_rng in zip(self.ranges, rngs):
+            shard_classifier = FullClassifier(
+                self.classifier.weight[shard_range.start : shard_range.stop],
+                self.classifier.bias[shard_range.start : shard_range.stop],
+                normalization=self.classifier.normalization,
+            )
+            screener = train_screener(
+                shard_classifier, features, config=self.config,
+                solver=solver, rng=shard_rng,
+            )
+            self.shards.append(
+                ApproximateScreeningClassifier(
+                    shard_classifier, screener,
+                    num_candidates=candidates_per_shard,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def forward(self, features: np.ndarray) -> ScreenedOutput:
+        """All-shard screened inference, merged to global order."""
+        if not self.trained:
+            raise RuntimeError("call train() before forward()")
+        batch = check_batch_features(features, self.classifier.hidden_dim)
+        outputs = [shard.forward(batch) for shard in self.shards]
+
+        logits = np.concatenate([o.logits for o in outputs], axis=1)
+        approx = np.concatenate([o.approximate_logits for o in outputs], axis=1)
+        merged: List[np.ndarray] = []
+        for row in range(batch.shape[0]):
+            parts = [
+                output.candidates.indices[row] + shard_range.start
+                for output, shard_range in zip(outputs, self.ranges)
+            ]
+            merged.append(np.concatenate(parts))
+        return ScreenedOutput(
+            logits=logits,
+            approximate_logits=approx,
+            candidates=CandidateSet(indices=merged),
+        )
+
+    __call__ = forward
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(features).logits, axis=-1)
+
+    def top_k(self, features: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Global top-k via per-shard top-k + reduce (the scale-out
+        communication pattern): each node ships only ``k`` (index,
+        score) pairs, not its whole shard."""
+        check_positive("k", k)
+        batch = check_batch_features(features, self.classifier.hidden_dim)
+        shard_indices = []
+        shard_scores = []
+        from repro.linalg.topk import top_k_indices
+
+        for shard, shard_range in zip(self.shards, self.ranges):
+            local_k = min(k, shard.num_categories)
+            output = shard.forward(batch)
+            local = top_k_indices(output.logits, local_k, sort=True)
+            rows = np.arange(batch.shape[0])[:, None]
+            shard_indices.append(local + shard_range.start)
+            shard_scores.append(output.logits[rows, local])
+        all_indices = np.concatenate(shard_indices, axis=1)
+        all_scores = np.concatenate(shard_scores, axis=1)
+        order = np.argsort(-all_scores, axis=1)[:, :k]
+        rows = np.arange(batch.shape[0])[:, None]
+        return all_indices[rows, order], all_scores[rows, order]

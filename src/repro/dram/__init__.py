@@ -1,0 +1,41 @@
+"""A DDR4 main-memory model in the spirit of Ramulator.
+
+The paper builds "a cycle-accurate simulator for the ENMC DIMM that
+interfaces with Ramulator to derive the DRAM timing information".  This
+package is our Ramulator substitute:
+
+* :class:`DDR4Timing` — timing parameters (Table 3 values by default);
+* :class:`AddressMapping` — physical address → channel/rank/bank-group/
+  bank/row/column decomposition;
+* :class:`Bank`, :class:`Rank` — per-bank state machines enforcing
+  tRCD/tRP/tRC/tCCD/tRRD/tFAW and the shared data bus;
+* :class:`FRFCFSScheduler` + :class:`DRAMSystem` — command-level
+  simulation with a first-ready, first-come-first-served queue;
+* :class:`AnalyticDRAMModel` — a closed-form bandwidth/latency model
+  cross-validated against the cycle model (used for paper-scale sweeps
+  where cycle simulation in Python would be prohibitive).
+"""
+
+from repro.dram.timing import DDR4Timing, DDR4_2400, DDR4_2666
+from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.request import Request, RequestType
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+from repro.dram.dram_system import DRAMStats, DRAMSystem
+from repro.dram.analytic import AnalyticDRAMModel, StreamEstimate
+
+__all__ = [
+    "DDR4Timing",
+    "DDR4_2400",
+    "DDR4_2666",
+    "AddressMapping",
+    "DecodedAddress",
+    "Request",
+    "RequestType",
+    "Bank",
+    "Rank",
+    "DRAMSystem",
+    "DRAMStats",
+    "AnalyticDRAMModel",
+    "StreamEstimate",
+]

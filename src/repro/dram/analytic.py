@@ -1,0 +1,138 @@
+"""Closed-form DRAM performance model for paper-scale sweeps.
+
+Cycle simulation in Python covers unit tests and small tiles; the
+Fig. 13/14/15 experiments stream hundreds of megabytes per inference,
+which the analytic model covers instead.  Its two access patterns match
+the two the ENMC workload generates:
+
+* **stream** — sequential weight streaming (screening phase).  Row
+  activations overlap with bursts via bank interleaving, so throughput
+  is bus-bound; refresh steals a tRFC/tREFI fraction, plus a one-time
+  ramp latency.
+* **gather** — random row gathers (candidate phase).  Each access pays
+  an ACT; throughput is the tightest of the data bus, the
+  four-activate-window rate and per-bank tRC cycling across the
+  rank/bank population.
+
+``tests/test_dram_analytic.py`` and the ablation bench cross-validate
+both patterns against the cycle model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StreamEstimate:
+    """Analytic estimate of one access pattern's execution."""
+
+    cycles: float
+    activations: float
+    bursts: float
+    clock_hz: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self.bursts * 64
+
+    @property
+    def bandwidth(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.bytes_transferred / self.seconds
+
+    def __add__(self, other: "StreamEstimate") -> "StreamEstimate":
+        if self.clock_hz != other.clock_hz:
+            raise ValueError("cannot add estimates at different clocks")
+        return StreamEstimate(
+            cycles=self.cycles + other.cycles,
+            activations=self.activations + other.activations,
+            bursts=self.bursts + other.bursts,
+            clock_hz=self.clock_hz,
+        )
+
+
+class AnalyticDRAMModel:
+    """Bandwidth/latency estimates for stream and gather patterns."""
+
+    def __init__(
+        self,
+        timing: DDR4Timing = DDR4_2400,
+        channels: int = 1,
+        ranks_per_channel: int = 8,
+    ):
+        check_positive("channels", channels)
+        check_positive("ranks_per_channel", ranks_per_channel)
+        self.timing = timing
+        self.channels = channels
+        self.ranks = ranks_per_channel
+
+    # ------------------------------------------------------------------
+    @property
+    def refresh_fraction(self) -> float:
+        return self.timing.trfc / self.timing.trefi
+
+    @property
+    def ramp_cycles(self) -> int:
+        """First-access latency before the pipeline fills."""
+        t = self.timing
+        return t.trcd + t.cl + t.burst_cycles
+
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak bytes/second across channels."""
+        return self.timing.peak_bandwidth * self.channels
+
+    # ------------------------------------------------------------------
+    def stream(self, num_bytes: float) -> StreamEstimate:
+        """Sequential stream of ``num_bytes`` split across channels."""
+        check_positive("num_bytes", num_bytes)
+        t = self.timing
+        bursts = math.ceil(num_bytes / t.burst_bytes)
+        bursts_per_channel = math.ceil(bursts / self.channels)
+        bus_cycles = bursts_per_channel * t.burst_cycles
+        cycles = bus_cycles / (1.0 - self.refresh_fraction) + self.ramp_cycles
+        activations = math.ceil(num_bytes / t.row_bytes)
+        return StreamEstimate(
+            cycles=cycles,
+            activations=activations,
+            bursts=bursts,
+            clock_hz=t.clock_hz,
+        )
+
+    def gather(self, accesses: int, bytes_per_access: float) -> StreamEstimate:
+        """``accesses`` random-row reads of ``bytes_per_access`` each."""
+        check_positive("accesses", accesses)
+        check_positive("bytes_per_access", bytes_per_access)
+        t = self.timing
+        bursts_each = math.ceil(bytes_per_access / t.burst_bytes)
+        total_bursts = accesses * bursts_each
+        per_channel_accesses = math.ceil(accesses / self.channels)
+
+        bus_cycles = math.ceil(total_bursts / self.channels) * t.burst_cycles
+        # Four-activate window: 4 ACTs per tFAW per rank.
+        faw_cycles = per_channel_accesses * t.tfaw / (4.0 * self.ranks)
+        # Bank cycling: tRC per access spread over all banks in the channel.
+        bank_cycles = per_channel_accesses * t.trc / (
+            t.banks_per_rank * self.ranks
+        )
+        limiting = max(bus_cycles, faw_cycles, bank_cycles)
+        cycles = limiting / (1.0 - self.refresh_fraction) + self.ramp_cycles
+        return StreamEstimate(
+            cycles=cycles,
+            activations=accesses,
+            bursts=total_bursts,
+            clock_hz=t.clock_hz,
+        )
+
+    def single_read_latency(self) -> int:
+        """Idle-bank read latency in cycles (ACT + CAS + burst)."""
+        return self.ramp_cycles

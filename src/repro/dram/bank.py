@@ -1,0 +1,111 @@
+"""Per-bank state machine enforcing intra-bank timing constraints."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import DDR4Timing
+
+
+class Bank:
+    """One DRAM bank: an open-row register plus earliest-issue clocks.
+
+    The bank tracks, for each command type, the earliest cycle at which
+    that command may legally issue, updating the constraints whenever a
+    command is accepted.  All cross-bank constraints (tRRD, tFAW, data
+    bus) live in :class:`repro.dram.rank.Rank` and the channel.
+    """
+
+    def __init__(self, timing: DDR4Timing):
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.next_activate = 0
+        self.next_precharge = 0
+        self.next_read = 0
+        self.next_write = 0
+        # statistics
+        self.activations = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # ------------------------------------------------------------------
+    # earliest-issue queries
+    # ------------------------------------------------------------------
+    def earliest_activate(self) -> int:
+        return self.next_activate
+
+    def earliest_precharge(self) -> int:
+        return self.next_precharge
+
+    def earliest_column(self, is_write: bool) -> int:
+        return self.next_write if is_write else self.next_read
+
+    # ------------------------------------------------------------------
+    # command issue
+    # ------------------------------------------------------------------
+    def activate(self, cycle: int, row: int) -> None:
+        if self.open_row is not None:
+            raise RuntimeError("ACT issued to a bank with an open row")
+        if cycle < self.next_activate:
+            raise RuntimeError(
+                f"ACT at {cycle} violates tRC/tRP (earliest {self.next_activate})"
+            )
+        t = self.timing
+        self.open_row = row
+        self.activations += 1
+        self.next_activate = cycle + t.trc
+        self.next_precharge = cycle + t.tras
+        self.next_read = cycle + t.trcd
+        self.next_write = cycle + t.trcd
+
+    def precharge(self, cycle: int) -> None:
+        if cycle < self.next_precharge:
+            raise RuntimeError(
+                f"PRE at {cycle} violates tRAS/tRTP/tWR (earliest "
+                f"{self.next_precharge})"
+            )
+        t = self.timing
+        self.open_row = None
+        self.next_activate = max(self.next_activate, cycle + t.trp)
+
+    def read(self, cycle: int, row: int) -> int:
+        """Issue a READ; returns the cycle data transfer completes."""
+        self._check_column(cycle, row, is_write=False)
+        t = self.timing
+        self.row_hits += 1
+        self.next_read = cycle + t.tccd
+        self.next_write = max(self.next_write, cycle + t.cl + t.burst_cycles + 2 - t.cwl)
+        self.next_precharge = max(self.next_precharge, cycle + t.trtp)
+        return cycle + t.cl + t.burst_cycles
+
+    def write(self, cycle: int, row: int) -> int:
+        """Issue a WRITE; returns the cycle the write is fully accepted."""
+        self._check_column(cycle, row, is_write=True)
+        t = self.timing
+        self.row_hits += 1
+        self.next_write = cycle + t.tccd
+        self.next_read = max(self.next_read, cycle + t.cwl + t.burst_cycles + t.twtr)
+        self.next_precharge = max(
+            self.next_precharge, cycle + t.cwl + t.burst_cycles + t.twr
+        )
+        return cycle + t.cwl + t.burst_cycles
+
+    def _check_column(self, cycle: int, row: int, is_write: bool) -> None:
+        if self.open_row is None:
+            raise RuntimeError("column command to a closed bank")
+        if self.open_row != row:
+            raise RuntimeError(
+                f"column command to row {row} but open row is {self.open_row}"
+            )
+        earliest = self.earliest_column(is_write)
+        if cycle < earliest:
+            kind = "WR" if is_write else "RD"
+            raise RuntimeError(f"{kind} at {cycle} violates timing (earliest {earliest})")
+
+    # ------------------------------------------------------------------
+    def block_until(self, cycle: int) -> None:
+        """Push all earliest-issue clocks past ``cycle`` (refresh)."""
+        self.next_activate = max(self.next_activate, cycle)
+        self.next_precharge = max(self.next_precharge, cycle)
+        self.next_read = max(self.next_read, cycle)
+        self.next_write = max(self.next_write, cycle)

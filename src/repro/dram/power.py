@@ -1,0 +1,134 @@
+"""IDD-current-based DDR4 power model (Micron power-calculator style).
+
+The Fig. 14 energy model needs per-bit access energy and per-rank
+background power.  Rather than bare constants, this module derives them
+from datasheet IDD currents the way DRAM vendors specify power:
+
+* activate/precharge energy: ``(IDD0 − IDD3N) · VDD · tRC`` per pair;
+* read/write burst energy: ``(IDD4R/W − IDD3N) · VDD`` over the burst;
+* background power: IDD2N (all banks precharged) / IDD3N (any bank
+  open), plus the refresh average ``(IDD5B − IDD3N) · tRFC / tREFI``;
+* on-DIMM I/O: a per-bit switching term (rank-local NMP avoids the
+  channel DQ drivers, so this is small compared to host-side access).
+
+Values default to an 8 Gb DDR4-2400 x8 device scaled to the 8-chip
+rank.  ``derived_params()`` exports the aggregate coefficients in the
+shape :class:`repro.energy.params.EnergyParams` consumes, and the
+energy tests assert the two layers agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dram.dram_system import DRAMStats
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DDR4PowerParams:
+    """Datasheet currents (mA, per device) and voltage for one device."""
+
+    vdd: float = 1.2
+    idd0: float = 55.0  # one-bank ACT-PRE cycling
+    idd2n: float = 34.0  # precharge standby
+    idd3n: float = 44.0  # active standby
+    idd4r: float = 150.0  # read burst
+    idd4w: float = 145.0  # write burst
+    idd5b: float = 195.0  # burst refresh
+    io_pj_per_bit: float = 2.0  # on-DIMM termination/strobe energy
+    devices_per_rank: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("vdd", "idd0", "idd2n", "idd3n", "idd4r", "idd5b"):
+            check_positive(name, getattr(self, name))
+
+
+class DRAMPowerModel:
+    """Energy accounting over cycle-model statistics."""
+
+    def __init__(
+        self,
+        timing: DDR4Timing = DDR4_2400,
+        params: DDR4PowerParams = DDR4PowerParams(),
+    ):
+        self.timing = timing
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # per-event energies (joules, full rank)
+    # ------------------------------------------------------------------
+    @property
+    def _tck(self) -> float:
+        return 1.0 / self.timing.clock_hz
+
+    @property
+    def activate_energy(self) -> float:
+        """One ACT/PRE pair across the rank."""
+        p = self.params
+        device = (p.idd0 - p.idd3n) * 1e-3 * p.vdd * self.timing.trc * self._tck
+        return device * p.devices_per_rank
+
+    @property
+    def read_burst_energy(self) -> float:
+        """One BL8 read burst across the rank, incl. on-DIMM I/O."""
+        p = self.params
+        cycles = self.timing.burst_cycles
+        device = (p.idd4r - p.idd3n) * 1e-3 * p.vdd * cycles * self._tck
+        array = device * p.devices_per_rank
+        io = self.timing.burst_bytes * 8 * p.io_pj_per_bit * 1e-12
+        return array + io
+
+    @property
+    def write_burst_energy(self) -> float:
+        p = self.params
+        cycles = self.timing.burst_cycles
+        device = (p.idd4w - p.idd3n) * 1e-3 * p.vdd * cycles * self._tck
+        array = device * p.devices_per_rank
+        io = self.timing.burst_bytes * 8 * p.io_pj_per_bit * 1e-12
+        return array + io
+
+    @property
+    def background_watts(self) -> float:
+        """Average standby power per rank (mix of active/precharged
+        standby plus the refresh average)."""
+        p = self.params
+        standby = 0.5 * (p.idd2n + p.idd3n) * 1e-3 * p.vdd * p.devices_per_rank
+        refresh = (
+            (p.idd5b - p.idd3n) * 1e-3 * p.vdd
+            * (self.timing.trfc / self.timing.trefi)
+            * p.devices_per_rank
+        )
+        return standby + refresh
+
+    # ------------------------------------------------------------------
+    def energy_of(self, stats: DRAMStats) -> Dict[str, float]:
+        """Energy breakdown (joules) of one cycle-model run (per rank
+        population that the stats cover)."""
+        background = self.background_watts * stats.seconds
+        return {
+            "activate": stats.activations * self.activate_energy,
+            "read": stats.reads * self.read_burst_energy,
+            "write": stats.writes * self.write_burst_energy,
+            "background": background,
+        }
+
+    def total_energy(self, stats: DRAMStats) -> float:
+        return sum(self.energy_of(stats).values())
+
+    # ------------------------------------------------------------------
+    def derived_params(self) -> Dict[str, float]:
+        """The aggregate coefficients the Fig. 14 energy layer uses.
+
+        * ``dram_pj_per_bit`` — read burst energy over its bits;
+        * ``dram_activate_nj`` — one rank ACT/PRE pair;
+        * ``dram_static_watts_per_rank`` — background power.
+        """
+        bits = self.timing.burst_bytes * 8
+        return {
+            "dram_pj_per_bit": self.read_burst_energy / bits * 1e12,
+            "dram_activate_nj": self.activate_energy * 1e9,
+            "dram_static_watts_per_rank": self.background_watts,
+        }

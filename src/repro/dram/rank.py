@@ -1,0 +1,91 @@
+"""Rank-level constraints: tRRD, the four-activate window, refresh."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DDR4Timing
+
+
+class Rank:
+    """A rank: a set of banks sharing activate-rate limits.
+
+    The rank enforces tRRD (minimum gap between ACTs to any two banks)
+    and tFAW (at most four ACTs per rolling window), and performs
+    all-bank refresh every tREFI.
+    """
+
+    def __init__(self, timing: DDR4Timing):
+        self.timing = timing
+        self.banks: List[Bank] = [Bank(timing) for _ in range(timing.banks_per_rank)]
+        self._act_history: Deque[int] = deque(maxlen=4)
+        self._last_act = -(10**9)
+        self._last_column = -(10**9)
+        self._last_column_group = -1
+        self._next_refresh = timing.trefi
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def earliest_activate(self, bank_index: int) -> int:
+        """Earliest cycle an ACT to ``bank_index`` satisfies bank + rank limits."""
+        earliest = self.banks[bank_index].earliest_activate()
+        earliest = max(earliest, self._last_act + self.timing.trrd)
+        if len(self._act_history) == 4:
+            earliest = max(earliest, self._act_history[0] + self.timing.tfaw)
+        return earliest
+
+    def activate(self, cycle: int, bank_index: int, row: int) -> None:
+        if cycle < self.earliest_activate(bank_index):
+            raise RuntimeError(
+                f"rank ACT at {cycle} violates tRRD/tFAW (earliest "
+                f"{self.earliest_activate(bank_index)})"
+            )
+        self.banks[bank_index].activate(cycle, row)
+        self._act_history.append(cycle)
+        self._last_act = cycle
+
+    # ------------------------------------------------------------------
+    def earliest_column_for_group(self, bank_group: int) -> int:
+        """Earliest cycle a column command to ``bank_group`` satisfies
+        the bank-group constraint: tCCD_L within the group that issued
+        the previous column command, tCCD_S across groups."""
+        gap = (
+            self.timing.tccd_l
+            if bank_group == self._last_column_group
+            else self.timing.tccd
+        )
+        return self._last_column + gap
+
+    def record_column(self, cycle: int, bank_group: int) -> None:
+        """Note a column command for bank-group timing tracking."""
+        self._last_column = cycle
+        self._last_column_group = bank_group
+
+    # ------------------------------------------------------------------
+    def maybe_refresh(self, cycle: int) -> int:
+        """Perform refresh if due; returns the cycle the rank is usable.
+
+        The controller calls this before scheduling; a due refresh
+        closes all rows and blocks the rank for tRFC.
+        """
+        if cycle < self._next_refresh:
+            return cycle
+        # Close any open rows (auto-precharge semantics of REF).
+        done = cycle + self.timing.trfc
+        for bank in self.banks:
+            bank.open_row = None
+            bank.block_until(done)
+        self._next_refresh += self.timing.trefi
+        self.refreshes += 1
+        return done
+
+    # ------------------------------------------------------------------
+    @property
+    def total_activations(self) -> int:
+        return sum(bank.activations for bank in self.banks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(bank.row_hits for bank in self.banks)

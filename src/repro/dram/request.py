@@ -1,0 +1,44 @@
+"""Memory requests flowing into the DRAM model."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.address import DecodedAddress
+
+
+class RequestType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One burst-sized (64 B) memory request.
+
+    ``arrival`` is the cycle the request enters the controller queue;
+    ``completed_at`` is filled by the scheduler when data is returned
+    (READ) or accepted (WRITE).
+    """
+
+    type: RequestType
+    address: DecodedAddress
+    arrival: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completed_at: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> int:
+        if self.completed_at is None:
+            raise ValueError("request not completed yet")
+        return self.completed_at - self.arrival

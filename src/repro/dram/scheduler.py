@@ -1,0 +1,182 @@
+"""FR-FCFS command scheduling for one channel.
+
+The scheduler is event-driven: instead of ticking every cycle it
+computes, for each queued request, the earliest legal issue cycle of
+that request's *next required command* (column access on a row hit,
+PRE on a conflict, ACT on a closed bank), then issues the best
+candidate under first-ready / first-come-first-served ordering:
+
+1. among requests whose row is already open (ready column commands),
+   the one with the earliest issue cycle (ties: oldest);
+2. otherwise the oldest request's required command.
+
+One command per cycle crosses the C/A bus; data transfers serialize on
+the channel's data bus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.rank import Rank
+from repro.dram.request import Request, RequestType
+from repro.dram.timing import DDR4Timing
+
+
+@dataclass
+class _Candidate:
+    request: Request
+    command: str  # "ACT" | "PRE" | "COL"
+    issue_cycle: int
+    is_hit: bool
+
+
+class ChannelScheduler:
+    """One memory channel: ranks, shared buses, FR-FCFS queue."""
+
+    def __init__(self, timing: DDR4Timing, ranks: int, queue_depth: int = 64):
+        self.timing = timing
+        self.ranks: List[Rank] = [Rank(timing) for _ in range(ranks)]
+        #: The scheduler's visible window (the real controller's
+        #: ``queue_depth``-entry command queue); requests beyond it wait
+        #: in the backlog FIFO and enter as slots free up.  This also
+        #: bounds each scheduling step to O(queue_depth).
+        self.queue: List[Request] = []
+        self.backlog: "deque[Request]" = deque()
+        self.queue_depth = queue_depth
+        self.cycle = 0
+        self._cmd_bus_free = 0
+        self._data_bus_free = 0
+        # statistics
+        self.reads = 0
+        self.writes = 0
+        self.data_bus_busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self.queue) + len(self.backlog)
+
+    def enqueue(self, request: Request) -> None:
+        if request.address.rank >= len(self.ranks):
+            raise ValueError(
+                f"request rank {request.address.rank} out of range "
+                f"({len(self.ranks)} ranks)"
+            )
+        if len(self.queue) < self.queue_depth:
+            self.queue.append(request)
+        else:
+            self.backlog.append(request)
+
+    def _refill(self) -> None:
+        while self.backlog and len(self.queue) < self.queue_depth:
+            self.queue.append(self.backlog.popleft())
+
+    # ------------------------------------------------------------------
+    def _next_command(self, request: Request) -> _Candidate:
+        """The next required command for ``request`` and its earliest cycle."""
+        addr = request.address
+        rank = self.ranks[addr.rank]
+        bank = rank.banks[addr.flat_bank]
+        is_write = request.type is RequestType.WRITE
+
+        if bank.open_row == addr.row:
+            earliest = bank.earliest_column(is_write)
+            # Bank-group constraint: tCCD_L within a group, tCCD_S across.
+            earliest = max(
+                earliest, rank.earliest_column_for_group(addr.bank_group)
+            )
+            # Data-bus constraint: the burst must not overlap a prior one.
+            latency = self.timing.cwl if is_write else self.timing.cl
+            earliest = max(earliest, self._data_bus_free - latency)
+            return _Candidate(request, "COL", max(earliest, self.cycle), True)
+
+        if bank.open_row is not None:
+            earliest = bank.earliest_precharge()
+            return _Candidate(request, "PRE", max(earliest, self.cycle), False)
+
+        earliest = rank.earliest_activate(addr.flat_bank)
+        return _Candidate(request, "ACT", max(earliest, self.cycle), False)
+
+    def _pick(self) -> Optional[_Candidate]:
+        if not self.queue:
+            return None
+        candidates = [self._next_command(r) for r in self.queue]
+        # Wall-clock FR-FCFS: look only at commands issuable at the
+        # earliest possible cycle, so e.g. ACTs to other banks proceed
+        # while an opened row waits out tRCD.  Among those, prefer row
+        # hits, then the oldest request.
+        first_cycle = min(c.issue_cycle for c in candidates)
+        ready = [c for c in candidates if c.issue_cycle == first_cycle]
+        return min(ready, key=lambda c: (not c.is_hit, c.request.arrival))
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Request]:
+        """Issue one command; returns the request if it completed."""
+        choice = self._pick()
+        if choice is None:
+            return None
+
+        issue = max(choice.issue_cycle, self._cmd_bus_free, self.cycle)
+        addr = choice.request.address
+        rank = self.ranks[addr.rank]
+
+        # Refresh is checked at the issue point; a due refresh delays it.
+        usable = rank.maybe_refresh(issue)
+        if usable > issue:
+            # Bank state changed (rows closed); recompute next round.
+            self.cycle = max(self.cycle, issue)
+            self._cmd_bus_free = max(self._cmd_bus_free, issue + 1)
+            return None
+
+        bank = rank.banks[addr.flat_bank]
+        self._cmd_bus_free = issue + 1
+        self.cycle = issue
+
+        if choice.command == "ACT":
+            bank.row_misses += 1
+            rank.activate(issue, addr.flat_bank, addr.row)
+            return None
+        if choice.command == "PRE":
+            bank.precharge(issue)
+            return None
+
+        # Column command: completes the request.
+        if choice.request.type is RequestType.WRITE:
+            done = bank.write(issue, addr.row)
+            self.writes += 1
+        else:
+            done = bank.read(issue, addr.row)
+            self.reads += 1
+        rank.record_column(issue, addr.bank_group)
+        self._data_bus_free = done
+        self.data_bus_busy_cycles += self.timing.burst_cycles
+        choice.request.completed_at = done
+        self.queue.remove(choice.request)
+        self._refill()
+        return choice.request
+
+    def drain(self, max_commands: int = 10_000_000) -> int:
+        """Run until the queue empties; returns the last completion cycle."""
+        self._refill()
+        last_done = self.cycle
+        for _ in range(max_commands):
+            if not self.queue:
+                break
+            finished = self.step()
+            if finished is not None:
+                last_done = max(last_done, finished.completed_at)
+        else:
+            raise RuntimeError("scheduler did not drain (command budget exhausted)")
+        return max(last_done, self._data_bus_free)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_activations(self) -> int:
+        return sum(rank.total_activations for rank in self.ranks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(rank.total_row_hits for rank in self.ranks)

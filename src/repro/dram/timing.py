@@ -1,0 +1,117 @@
+"""DDR4 timing parameter sets.
+
+All values are in DRAM command-clock cycles (tCK).  For DDR4-2400 the
+I/O runs at 1200 MHz (2400 MT/s double data rate), so tCK = 0.833 ns and
+a 64-byte burst (BL8 on a 64-bit bus) occupies 4 clocks.
+
+The defaults reproduce the paper's Table 3: "CL-tRCD-tRP: 16-16-16,
+tRC=55, tCCD=4, tRRD=4, tFAW=6".  tFAW=6 as printed cannot be cycles
+(four ACTs cannot complete in 6 tCK); we read it as 6×tRRD = 24 cycles,
+which matches JEDEC DDR4-2400 (tFAW ≈ 21 ns ≈ 25 tCK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """DDR4 device timing in command-clock cycles."""
+
+    name: str = "DDR4-2400"
+    clock_hz: float = 1.2e9  # command clock (half the MT/s rate)
+    burst_length: int = 8  # BL8
+    bus_bits: int = 64  # DIMM data bus width
+
+    cl: int = 16  # CAS latency (READ to data)
+    cwl: int = 12  # CAS write latency
+    trcd: int = 16  # ACT to RD/WR
+    trp: int = 16  # PRE to ACT
+    trc: int = 55  # ACT to ACT, same bank
+    tras: int = 39  # ACT to PRE (trc - trp)
+    tccd: int = 4  # column-to-column, different bank groups (tCCD_S)
+    #: Column-to-column within one bank group (DDR4's tCCD_L) — bank
+    #: groups exist precisely because back-to-back column accesses to
+    #: the same group are slower.
+    tccd_l: int = 6
+    trrd: int = 4  # ACT to ACT, different banks
+    tfaw: int = 24  # four-activate window
+    trtp: int = 9  # READ to PRE
+    twr: int = 18  # write recovery
+    twtr: int = 9  # write-to-read turnaround
+    trefi: int = 9360  # refresh interval (7.8 us)
+    trfc: int = 420  # refresh cycle time (350 ns at 8 Gb)
+
+    rows_per_bank: int = 65536
+    columns_per_row: int = 1024
+    device_width: int = 8  # x8 devices
+    banks_per_group: int = 4
+    bank_groups: int = 4
+
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("clock_hz", "burst_length", "bus_bits", "cl", "trcd", "trp"):
+            check_positive(name, getattr(self, name))
+        if self.tras + self.trp > self.trc + 1:
+            raise ValueError(
+                f"inconsistent timing: tRAS({self.tras}) + tRP({self.trp}) "
+                f"> tRC({self.trc}) + 1"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def banks_per_rank(self) -> int:
+        return self.banks_per_group * self.bank_groups
+
+    @property
+    def burst_cycles(self) -> int:
+        """Clocks the data bus is busy per burst (DDR: 2 beats/clock)."""
+        return self.burst_length // 2
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes transferred per burst (64 for BL8 on a 64-bit bus)."""
+        return self.burst_length * self.bus_bits // 8
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per open row across the rank (page size × chips)."""
+        chips = self.bus_bits // self.device_width
+        return self.columns_per_row * self.device_width // 8 * chips
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak channel bandwidth in bytes/second."""
+        return self.clock_hz * 2 * self.bus_bits / 8
+
+    @property
+    def ns_per_cycle(self) -> float:
+        return 1e9 / self.clock_hz
+
+
+#: Table 3 configuration (the ENMC DIMM).
+DDR4_2400 = DDR4Timing()
+
+#: The CPU baseline's memory (Xeon 8280: DDR4-2666).
+DDR4_2666 = DDR4Timing(
+    name="DDR4-2666",
+    clock_hz=1.333e9,
+    cl=19,
+    cwl=14,
+    trcd=19,
+    trp=19,
+    trc=62,
+    tras=43,
+    tccd=4,
+    trrd=4,
+    tfaw=26,
+    trtp=10,
+    twr=20,
+    twtr=10,
+    trefi=10400,
+    trfc=467,
+)

@@ -1,0 +1,23 @@
+"""Energy, area and power models (paper Tables 4-5, Fig. 14)."""
+
+from repro.energy.params import EnergyParams, DEFAULT_ENERGY_PARAMS
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.area import (
+    ENMC_AREA_POWER_BREAKDOWN,
+    NMP_BUDGET_TABLE,
+    enmc_totals,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "EnergyParams",
+    "DEFAULT_ENERGY_PARAMS",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "ENMC_AREA_POWER_BREAKDOWN",
+    "NMP_BUDGET_TABLE",
+    "enmc_totals",
+    "render_table4",
+    "render_table5",
+]

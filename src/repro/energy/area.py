@@ -1,0 +1,83 @@
+"""Area and power estimates (paper Tables 4 and 5).
+
+These constants are the paper's synthesis results (Design Compiler,
+TSMC 28 nm, 400 MHz); we encode them directly — they are inputs to the
+architecture comparison, not outputs of a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class AreaPower:
+    """One component's area (mm²) and power (mW)."""
+
+    area_mm2: float
+    power_mw: float
+
+
+#: Table 5 — ENMC component breakdown.
+ENMC_AREA_POWER_BREAKDOWN: Dict[str, AreaPower] = {
+    "INT4 MAC": AreaPower(0.013, 10.4),
+    "FP32 MAC": AreaPower(0.145, 58.0),
+    "Compute Buffer": AreaPower(0.061, 56.8),
+    "Control Buffer": AreaPower(0.053, 49.3),
+    "ENMC Ctrl": AreaPower(0.035, 32.9),
+    "DRAM Ctrl": AreaPower(0.135, 78.0),
+}
+
+#: Table 4 — baseline configurations at matched budget.
+NMP_BUDGET_TABLE: Dict[str, Tuple[str, AreaPower]] = {
+    "NDA": ("4*4 Functional Units + 1KB Memory", AreaPower(0.445, 293.6)),
+    "Chameleon": ("4*4 Systolic Array + 1KB Memory", AreaPower(0.398, 249.0)),
+    "TensorDIMM": ("16-lane VPU + 512B Queue * 3", AreaPower(0.457, 303.5)),
+    "ENMC": ("FP32 * 16 + INT4 * 128 + 256B Buffer * 4", AreaPower(0.442, 285.4)),
+}
+
+
+def enmc_totals() -> AreaPower:
+    """Summed Table 5 components (the paper's 0.442 mm² / 285.4 mW)."""
+    area = sum(c.area_mm2 for c in ENMC_AREA_POWER_BREAKDOWN.values())
+    power = sum(c.power_mw for c in ENMC_AREA_POWER_BREAKDOWN.values())
+    return AreaPower(round(area, 3), round(power, 1))
+
+
+def component_fractions() -> Dict[str, Tuple[float, float]]:
+    """(area fraction, power fraction) per Table 5 component."""
+    totals = enmc_totals()
+    return {
+        name: (c.area_mm2 / totals.area_mm2, c.power_mw / totals.power_mw)
+        for name, c in ENMC_AREA_POWER_BREAKDOWN.items()
+    }
+
+
+def render_table5() -> str:
+    """Table 5 as printed in the paper."""
+    totals = enmc_totals()
+    rows = [
+        (name, c.area_mm2, c.power_mw)
+        for name, c in ENMC_AREA_POWER_BREAKDOWN.items()
+    ]
+    rows.append(("Total", totals.area_mm2, totals.power_mw))
+    return render_table(
+        ["Component", "Area (mm^2)", "Power (mW)"], rows,
+        title="Table 5: ENMC area and power estimation",
+    )
+
+
+def render_table4() -> str:
+    """Table 4 as printed in the paper."""
+    rows = [
+        (name, config, ap.area_mm2, ap.power_mw)
+        for name, (config, ap) in NMP_BUDGET_TABLE.items()
+    ]
+    return render_table(
+        ["NMP Design", "Configuration", "Est. Area (mm^2)", "Est. Power (mW)"],
+        rows,
+        title="Table 4: NMP designs at matched area/power budget",
+    )

@@ -1,0 +1,103 @@
+"""Energy accounting over simulation results (Fig. 14's three pools).
+
+Fig. 14 breaks energy into **DRAM static cost** (background + refresh
+power integrated over execution time), **DRAM access** (per-bit access
+plus per-activation energy), and **computation & control logic**
+(MAC/SFU switching energy plus controller power over time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.params import EnergyParams, DEFAULT_ENERGY_PARAMS
+from repro.enmc.simulator import SimulationResult
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per batched inference, split by Fig. 14's categories."""
+
+    dram_static: float
+    dram_access: float
+    compute_and_control: float
+
+    @property
+    def total(self) -> float:
+        return self.dram_static + self.dram_access + self.compute_and_control
+
+    def normalized_to(self, reference: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Each pool as a fraction of ``reference``'s total (the Fig. 14
+        y-axis normalizes to TensorDIMM)."""
+        if reference.total <= 0:
+            raise ValueError("reference energy must be positive")
+        return EnergyBreakdown(
+            dram_static=self.dram_static / reference.total,
+            dram_access=self.dram_access / reference.total,
+            compute_and_control=self.compute_and_control / reference.total,
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.dram_static + other.dram_static,
+            self.dram_access + other.dram_access,
+            self.compute_and_control + other.compute_and_control,
+        )
+
+
+class EnergyModel:
+    """Turns a :class:`SimulationResult` into an energy breakdown."""
+
+    def __init__(
+        self,
+        params: EnergyParams = DEFAULT_ENERGY_PARAMS,
+        total_ranks: int = 64,
+        logic_watts: float = 0.2854,  # Table 4: ENMC total power
+        control_fraction: float = 0.42,  # Table 5: ctrl+DRAM ctrl share
+    ):
+        check_positive("total_ranks", total_ranks)
+        check_positive("logic_watts", logic_watts)
+        self.params = params
+        self.total_ranks = total_ranks
+        self.logic_watts = logic_watts
+        self.control_fraction = control_fraction
+
+    # ------------------------------------------------------------------
+    def energy_of(
+        self, result: SimulationResult, seconds: float = None
+    ) -> EnergyBreakdown:
+        """Energy of one batched inference.
+
+        ``seconds`` defaults to the result's own (pipelined) latency;
+        pass :attr:`SimulationResult.serialized_seconds` for designs
+        without dual-module overlap.
+        """
+        params = self.params
+        elapsed = result.seconds if seconds is None else seconds
+        if elapsed < 0:
+            raise ValueError(f"seconds must be non-negative, got {elapsed}")
+
+        static = params.dram_static_watts_per_rank * self.total_ranks * elapsed
+
+        total_bytes = (
+            result.int_bytes_per_rank + result.fp_bytes_per_rank
+        ) * self.total_ranks
+        total_activations = result.activations_per_rank * self.total_ranks
+        access = (
+            total_bytes * 8 * params.dram_pj_per_bit * 1e-12
+            + total_activations * params.dram_activate_nj * 1e-9
+        )
+
+        compute = (
+            result.int_macs_per_rank * params.int4_mac_pj
+            + result.fp_macs_per_rank * params.fp32_mac_pj
+        ) * self.total_ranks * 1e-12
+        # Control + datapath idle power integrated over the run.
+        compute += self.logic_watts * self.control_fraction * self.total_ranks \
+            * elapsed
+        return EnergyBreakdown(
+            dram_static=static,
+            dram_access=access,
+            compute_and_control=compute,
+        )

@@ -1,0 +1,56 @@
+"""Energy coefficients (28 nm logic + DDR4 device energies).
+
+The per-operation and per-bit values are standard figures for the
+technology node (Horowitz ISSCC'14 scaling, DDR4 datasheet currents);
+the logic power totals come from the paper's own synthesis results
+(Table 4/5), so the Fig. 14 breakdown is anchored to published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Coefficients for the three Fig. 14 energy pools."""
+
+    # DRAM access: row activation amortized + column access + on-DIMM I/O.
+    # Rank-local NMP avoids the channel I/O, hence lower than host-side.
+    dram_pj_per_bit: float = 6.0
+    dram_activate_nj: float = 1.5  # per row activation
+
+    # DRAM background (static + refresh) per rank.
+    dram_static_watts_per_rank: float = 0.125
+
+    # Compute energies at 28 nm.
+    int4_mac_pj: float = 0.1
+    fp32_mac_pj: float = 3.7
+    sfu_op_pj: float = 2.0
+
+    # Control overhead: controller + DRAM-controller power applies
+    # whenever the ENMC logic is active (Table 5: 32.9 + 78.0 mW).
+    control_watts: float = 0.111
+
+    def __post_init__(self) -> None:
+        for name in ("dram_pj_per_bit", "dram_static_watts_per_rank",
+                     "int4_mac_pj", "fp32_mac_pj"):
+            check_positive(name, getattr(self, name))
+
+    @classmethod
+    def from_dram_power(cls, power_model, **overrides) -> "EnergyParams":
+        """Derive the DRAM coefficients from an IDD-based power model
+        (:class:`repro.dram.power.DRAMPowerModel`).
+
+        The IDD derivation assumes no power-down modes, so its
+        background power is the upper curve; the class defaults model a
+        rank that enters power-down between accesses.
+        """
+        derived = power_model.derived_params()
+        derived.update(overrides)
+        return cls(**derived)
+
+
+DEFAULT_ENERGY_PARAMS = EnergyParams()

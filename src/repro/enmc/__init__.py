@@ -1,0 +1,52 @@
+"""The ENMC DIMM microarchitecture (paper Section 5, Table 3).
+
+Two complementary models:
+
+* **Functional** — :class:`ENMCDimm` executes real ENMC instruction
+  streams (from :mod:`repro.compiler`) against buffer/MAC/SFU models,
+  byte-accurate against the numpy algorithm; used to validate the
+  compiler and ISA.
+* **Performance** — :class:`ENMCSimulator` computes cycle counts for
+  paper-size workloads using the MAC-array throughput model and the
+  analytic DRAM model, with the Screener/Executor running in parallel
+  as the dual-module design intends.
+"""
+
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.buffers import Buffer, BufferSet
+from repro.enmc.mac import MACArray, SpecialFunctionUnit
+from repro.enmc.screener_unit import ScreenerUnit
+from repro.enmc.executor_unit import ExecutorUnit
+from repro.enmc.controller import ENMCController, ExecutionTrace
+from repro.enmc.dimm import ENMCDimm
+from repro.enmc.simulator import ENMCSimulator, PhaseBreakdown, SimulationResult
+from repro.enmc.pipeline_sim import (
+    DualModulePipeline,
+    PipelineResult,
+    TileTrace,
+    TileWork,
+)
+from repro.enmc.trace_driven import TraceReplayResult, replay_kernel_on_dram
+
+__all__ = [
+    "ENMCConfig",
+    "DEFAULT_CONFIG",
+    "Buffer",
+    "BufferSet",
+    "MACArray",
+    "SpecialFunctionUnit",
+    "ScreenerUnit",
+    "ExecutorUnit",
+    "ENMCController",
+    "ExecutionTrace",
+    "ENMCDimm",
+    "ENMCSimulator",
+    "PhaseBreakdown",
+    "SimulationResult",
+    "DualModulePipeline",
+    "PipelineResult",
+    "TileWork",
+    "TileTrace",
+    "replay_kernel_on_dram",
+    "TraceReplayResult",
+]

@@ -1,0 +1,97 @@
+"""On-DIMM SRAM buffer models.
+
+Buffers are functional (they hold numpy arrays) and enforce their
+capacity, which is the constraint that forces the compiler to tile:
+256 B holds 512 INT4 values or 64 FP32 values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import BufferId
+from repro.utils.validation import check_positive
+
+#: Storage width per element by buffer, in bits.
+_BUFFER_BITS: Dict[BufferId, int] = {
+    BufferId.FEATURE_INT4: 4,
+    BufferId.WEIGHT_INT4: 4,
+    BufferId.PSUM_INT4: 32,  # accumulators are wide even on the INT4 path
+    BufferId.FEATURE_FP32: 32,
+    BufferId.WEIGHT_FP32: 32,
+    BufferId.PSUM_FP32: 32,
+    BufferId.INDEX: 16,
+    BufferId.OUTPUT: 32,
+}
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when a write exceeds a buffer's capacity."""
+
+
+class Buffer:
+    """One SRAM buffer: capacity-checked numpy storage."""
+
+    def __init__(self, buffer_id: BufferId, capacity_bytes: int):
+        check_positive("capacity_bytes", capacity_bytes)
+        self.buffer_id = buffer_id
+        self.capacity_bytes = capacity_bytes
+        self.element_bits = _BUFFER_BITS[buffer_id]
+        self._data: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_elements(self) -> int:
+        return self.capacity_bytes * 8 // self.element_bits
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise RuntimeError(f"{self.buffer_id.name} buffer is empty")
+        return self._data
+
+    @property
+    def occupancy_bytes(self) -> float:
+        if self._data is None:
+            return 0.0
+        return self._data.size * self.element_bits / 8.0
+
+    @property
+    def empty(self) -> bool:
+        return self._data is None
+
+    # ------------------------------------------------------------------
+    def write(self, values: np.ndarray) -> None:
+        array = np.asarray(values)
+        needed = array.size * self.element_bits / 8.0
+        if needed > self.capacity_bytes:
+            raise BufferOverflowError(
+                f"{array.size} elements ({needed:.0f} B) exceed "
+                f"{self.buffer_id.name} capacity {self.capacity_bytes} B"
+            )
+        self._data = array.copy()
+
+    def clear(self) -> None:
+        self._data = None
+
+
+class BufferSet:
+    """All eight architectural buffers of one ENMC rank."""
+
+    def __init__(self, capacity_bytes: int = 256):
+        self._buffers: Dict[BufferId, Buffer] = {
+            buffer_id: Buffer(buffer_id, capacity_bytes) for buffer_id in BufferId
+        }
+
+    def __getitem__(self, buffer_id: BufferId) -> Buffer:
+        return self._buffers[buffer_id]
+
+    def clear_all(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.clear()
+
+    @property
+    def total_occupancy_bytes(self) -> float:
+        return sum(b.occupancy_bytes for b in self._buffers.values())

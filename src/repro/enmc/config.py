@@ -1,0 +1,79 @@
+"""ENMC hardware configuration (paper Table 3).
+
+One note on the INT4 MAC count: Table 3 lists 128 INT4 MACs while the
+prose in Section 6.2 says 64; we default to the table (128) and expose
+the knob so the ablation bench can sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ENMCConfig:
+    """Per-rank ENMC logic plus the DIMM-level memory organization."""
+
+    # ENMC logic (per rank)
+    frequency_hz: float = 400e6  # 28 nm synthesis point
+    int4_macs: int = 128
+    fp32_macs: int = 16
+    screener_buffer_bytes: int = 256  # feature + weight, each
+    executor_buffer_bytes: int = 256
+    psum_buffer_bytes: int = 256
+    output_buffer_bytes: int = 256
+    sfu_taylor_order: int = 4
+    sfu_elements_per_cycle: int = 4
+
+    # memory organization
+    timing: DDR4Timing = field(default_factory=lambda: DDR4_2400)
+    channels: int = 8
+    ranks_per_channel: int = 8
+
+    # datapath precisions
+    screener_bits: int = 4
+    executor_bits: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("frequency_hz", "int4_macs", "fp32_macs", "channels",
+                     "ranks_per_channel"):
+            check_positive(name, getattr(self, name))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ranks(self) -> int:
+        return self.channels * self.ranks_per_channel
+
+    @property
+    def rank_bandwidth(self) -> float:
+        """Internal bandwidth available to one rank's ENMC logic (B/s).
+
+        Non-intrusive rank-level NMP sees the full channel rate while
+        its rank drives the bus; aggregate internal bandwidth scales
+        with ranks because each rank's logic accesses its own devices.
+        """
+        return self.timing.peak_bandwidth
+
+    @property
+    def aggregate_internal_bandwidth(self) -> float:
+        """Sum of rank-level bandwidth across the system (the NMP win)."""
+        return self.rank_bandwidth * self.total_ranks
+
+    @property
+    def dram_cycles_per_logic_cycle(self) -> float:
+        """DRAM command clocks per ENMC logic clock (1200/400 = 3)."""
+        return self.timing.clock_hz / self.frequency_hz
+
+    # ------------------------------------------------------------------
+    def int4_macs_per_second(self) -> float:
+        return self.int4_macs * self.frequency_hz
+
+    def fp32_macs_per_second(self) -> float:
+        return self.fp32_macs * self.frequency_hz
+
+
+#: The paper's evaluated configuration.
+DEFAULT_CONFIG = ENMCConfig()

@@ -1,0 +1,337 @@
+"""The ENMC controller: decodes instruction streams and drives the units.
+
+This is the functional half of the DIMM model.  It executes a
+:class:`repro.isa.program.Program` against a bound memory image,
+dispatching to the Screener and Executor units, while charging cycles
+to an :class:`ExecutionTrace`:
+
+* DRAM access cycles come from the analytic DRAM model (one rank's
+  view), converted to ENMC logic cycles;
+* compute cycles come from the MAC-array and SFU occupancy models;
+* every decoded instruction costs one controller cycle (the decoder
+  processes one instruction per cycle from the FIFO).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.analytic import AnalyticDRAMModel
+from repro.enmc.buffers import BufferSet
+from repro.enmc.config import ENMCConfig
+from repro.enmc.executor_unit import ExecutorUnit
+from repro.enmc.screener_unit import ScreenerUnit
+from repro.isa.instruction import (
+    Barrier,
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+    SpecialFunction,
+    Store,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+from repro.isa.program import Program
+
+
+class MemoryImage:
+    """Address-indexed tile storage backing LDR/STR.
+
+    Each entry records the tile array and its storage width in bits so
+    traffic is charged at the precision actually stored in DRAM.
+    """
+
+    def __init__(self) -> None:
+        self._tiles: Dict[int, Tuple[np.ndarray, int]] = {}
+
+    def bind(self, address: int, array: np.ndarray, bits: int) -> None:
+        if address in self._tiles:
+            raise ValueError(f"address {address:#x} already bound")
+        self._tiles[address] = (np.asarray(array), bits)
+
+    def fetch(self, address: int) -> Tuple[np.ndarray, int]:
+        try:
+            return self._tiles[address]
+        except KeyError:
+            raise KeyError(f"no tile bound at {address:#x}") from None
+
+    def store(self, address: int, array: np.ndarray, bits: int = 32) -> None:
+        self._tiles[address] = (np.asarray(array).copy(), bits)
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+
+@dataclass
+class ExecutionTrace:
+    """Cycle and event accounting for one program execution."""
+
+    controller_cycles: int = 0
+    dram_cycles: float = 0.0
+    screener_cycles: int = 0
+    executor_cycles: int = 0
+    sfu_cycles: int = 0
+    dram_bytes: float = 0.0
+    dram_activations: float = 0.0
+    instructions_executed: int = 0
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
+    outputs: List[np.ndarray] = field(default_factory=list)
+    candidate_indices: List[int] = field(default_factory=list)
+    #: ``(category index, exact score)`` pairs computed by the Executor
+    #: from generator-issued candidate work.
+    exact_results: List[Tuple[int, float]] = field(default_factory=list)
+    #: The same results tagged with the BATCH_ID register — the
+    #: ``(batch_id, candidate_id)`` interface of Section 5.2, used by
+    #: batched programs.
+    tagged_results: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: ``(batch_id, candidate index)`` pairs from FILTER.
+    tagged_candidates: List[Tuple[int, int]] = field(default_factory=list)
+    generated_instructions: int = 0
+    register_reads: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """Serialized upper bound: controller + DRAM + compute.
+
+        The dual-module performance model in
+        :mod:`repro.enmc.simulator` overlaps these; the functional
+        trace keeps them separate so tests can assert each pool.
+        """
+        return (
+            self.controller_cycles
+            + self.dram_cycles
+            + self.screener_cycles
+            + self.executor_cycles
+            + self.sfu_cycles
+        )
+
+    def count(self, opcode: Opcode) -> int:
+        return self.opcode_counts.get(opcode.name, 0)
+
+
+class ENMCController:
+    """Instruction decode and dispatch for one rank's ENMC logic."""
+
+    def __init__(self, config: ENMCConfig, memory: Optional[MemoryImage] = None):
+        self.config = config
+        self.memory = memory or MemoryImage()
+        self.buffers = BufferSet(config.screener_buffer_bytes)
+        self.screener = ScreenerUnit(config, self.buffers)
+        self.executor = ExecutorUnit(config, self.buffers)
+        self.registers: Dict[RegisterId, int] = {reg: 0 for reg in RegisterId}
+        self._explicit_filter_base = False
+        self._dram = AnalyticDRAMModel(
+            config.timing, channels=1, ranks_per_channel=1
+        )
+
+    # ------------------------------------------------------------------
+    def _dram_cycles_for(self, num_bytes: float) -> float:
+        """Stream ``num_bytes`` from this rank, in ENMC logic cycles."""
+        if num_bytes <= 0:
+            return 0.0
+        estimate = self._dram.stream(num_bytes)
+        return estimate.cycles / self.config.dram_cycles_per_logic_cycle
+
+    def _threshold(self) -> float:
+        """The preloaded filter threshold (fixed-point register).
+
+        Stored as a signed 16.16 fixed-point value in the 64-bit reg.
+        """
+        raw = self.registers[RegisterId.THRESHOLD]
+        if raw >= 1 << 63:
+            raw -= 1 << 64
+        return raw / 65536.0
+
+    @staticmethod
+    def encode_threshold(value: float) -> int:
+        """Host-side helper: float → the THRESHOLD register encoding."""
+        raw = int(round(value * 65536.0))
+        if raw < 0:
+            raw += 1 << 64
+        return raw
+
+    # ------------------------------------------------------------------
+    def execute(self, program: Program) -> ExecutionTrace:
+        """Run ``program`` to completion; returns the trace."""
+        trace = ExecutionTrace()
+        filter_base = 0
+        for instruction in program:
+            trace.instructions_executed += 1
+            trace.controller_cycles += 1
+            name = instruction.opcode.name
+            trace.opcode_counts[name] = trace.opcode_counts.get(name, 0) + 1
+            filter_base = self._dispatch(instruction, trace, filter_base)
+        return trace
+
+    def _dispatch(
+        self, instruction: Instruction, trace: ExecutionTrace, filter_base: int
+    ) -> int:
+        if isinstance(instruction, Init):
+            self.registers[instruction.register] = instruction.value
+            if instruction.register is RegisterId.FILTER_BASE:
+                # Explicit tile addressing (batched programs) overrides
+                # the implicit sequential-tile accumulation.
+                self._explicit_filter_base = True
+            return filter_base
+
+        if isinstance(instruction, Query):
+            value = self.registers[instruction.register]
+            trace.register_reads.append((instruction.register.name, value))
+            return filter_base
+
+        if isinstance(instruction, Load):
+            array, bits = self.memory.fetch(instruction.address)
+            self.buffers[instruction.buffer].write(array)
+            trace.dram_bytes += array.size * bits / 8.0
+            trace.dram_cycles += self._dram_cycles_for(array.size * bits / 8.0)
+            trace.dram_activations += math.ceil(
+                array.size * bits / 8.0 / self.config.timing.row_bytes
+            )
+            return filter_base
+
+        if isinstance(instruction, Store):
+            buffer = self.buffers[instruction.buffer]
+            self.memory.store(instruction.address, buffer.data)
+            num_bytes = buffer.occupancy_bytes
+            trace.dram_bytes += num_bytes
+            trace.dram_cycles += self._dram_cycles_for(num_bytes)
+            return filter_base
+
+        if isinstance(instruction, Move):
+            source = self.buffers[instruction.source]
+            self.buffers[instruction.destination].write(source.data)
+            return filter_base
+
+        if isinstance(instruction, Compute):
+            return self._dispatch_compute(instruction, trace, filter_base)
+
+        if isinstance(instruction, Filter):
+            base = (
+                self.registers[RegisterId.FILTER_BASE]
+                if self._explicit_filter_base
+                else filter_base
+            )
+            batch_id = self.registers[RegisterId.BATCH_ID]
+            result = self.screener.filter(self._threshold(), base_index=base)
+            trace.screener_cycles += result.cycles
+            trace.candidate_indices.extend(result.indices.tolist())
+            trace.tagged_candidates.extend(
+                (batch_id, int(idx)) for idx in result.indices
+            )
+            self.registers[RegisterId.CANDIDATE_COUNT] = len(trace.candidate_indices)
+            # The instruction generator turns filtered indices into
+            # Executor candidate work (Section 5.2: "The instruction
+            # generator receives the indices of classification
+            # candidates from the Screener ... and generates the
+            # corresponding instruction for candidate-only computation").
+            if self.registers[RegisterId.WEIGHT_BASE]:
+                self._generate_candidate_work(result.indices, trace)
+            # Consume the tile: advance the base and clear the PSUM for
+            # the next tile's accumulation.
+            tile_rows = self.buffers[BufferId.PSUM_INT4].data.size
+            self.buffers[BufferId.PSUM_INT4].clear()
+            return filter_base + tile_rows
+
+        if isinstance(instruction, SpecialFunction):
+            trace.sfu_cycles += self.executor.special_function(instruction.opcode)
+            return filter_base
+
+        if isinstance(instruction, Barrier) or isinstance(instruction, Nop):
+            return filter_base
+
+        if isinstance(instruction, Return):
+            output = self.buffers[BufferId.OUTPUT]
+            if not output.empty:
+                trace.outputs.append(output.data.copy())
+                output.clear()
+            return filter_base
+
+        if isinstance(instruction, Clear):
+            self.buffers.clear_all()
+            for register in self.registers:
+                self.registers[register] = 0
+            self._explicit_filter_base = False
+            return 0
+
+        raise TypeError(f"cannot execute {type(instruction).__name__}")
+
+    def _generate_candidate_work(
+        self, indices: np.ndarray, trace: ExecutionTrace
+    ) -> None:
+        """Execute generator-issued candidate-only computation.
+
+        For each candidate index the Executor gathers the bias-augmented
+        weight row ``[W_i | b_i]`` from DRAM and dots it with the
+        bias-augmented feature ``[h | 1]`` bound at FEATURE_BASE.  The
+        256 B Executor buffers are time-multiplexed over ``d``-length
+        rows in 64-float chunks; the chunking shows up as extra
+        controller cycles and DRAM bursts, while the functional result
+        is the full dot product.
+        """
+        feature_base = self.registers[RegisterId.FEATURE_BASE]
+        feature, _ = self.memory.fetch(feature_base)
+        weight_base = self.registers[RegisterId.WEIGHT_BASE]
+        row_elements = self.registers[RegisterId.HIDDEN_DIM]
+        if row_elements == 0:
+            raise RuntimeError("HIDDEN_DIM register not initialized")
+        row_stride = row_elements * 4
+        chunk = self.buffers[BufferId.FEATURE_FP32].capacity_elements
+        chunks_per_row = math.ceil(row_elements / chunk)
+
+        for index in indices.tolist():
+            address = weight_base + index * row_stride
+            row, bits = self.memory.fetch(address)
+            row_bytes = row.size * bits / 8.0
+            trace.dram_bytes += row_bytes
+            trace.dram_cycles += self._dram_cycles_for(row_bytes)
+            trace.dram_activations += 1  # candidate rows are scattered
+            trace.executor_cycles += self.executor.mac.cycles_for(row.size)
+            # Generated LDR/MUL_ADD pairs per chunk plus one MOVE.
+            generated = 2 * chunks_per_row + 1
+            trace.generated_instructions += generated
+            trace.controller_cycles += generated
+            value = float(row @ feature)
+            trace.exact_results.append((index, value))
+            trace.tagged_results.append(
+                (self.registers[RegisterId.BATCH_ID], index, value)
+            )
+
+    def _dispatch_compute(
+        self, instruction: Compute, trace: ExecutionTrace, filter_base: int
+    ) -> int:
+        opcode = instruction.opcode
+        if opcode is Opcode.MUL_ADD_INT4:
+            trace.screener_cycles += self.screener.multiply_accumulate()
+        elif opcode is Opcode.MUL_ADD_FP32:
+            trace.executor_cycles += self.executor.multiply_accumulate()
+        else:
+            # Plain elementwise ADD/MUL between two buffers.
+            a = self.buffers[instruction.buffer_a]
+            b = self.buffers[instruction.buffer_b]
+            if a.data.shape != b.data.shape:
+                raise RuntimeError(
+                    f"{opcode.name} shape mismatch {a.data.shape} vs {b.data.shape}"
+                )
+            result = a.data + b.data if "ADD" in opcode.name else a.data * b.data
+            a.write(result)
+            lanes = (
+                self.config.int4_macs
+                if instruction.buffer_a.is_integer
+                else self.config.fp32_macs
+            )
+            cycles = max(1, -(-a.data.size // lanes))
+            if instruction.buffer_a.is_integer:
+                trace.screener_cycles += cycles
+            else:
+                trace.executor_cycles += cycles
+        return filter_base

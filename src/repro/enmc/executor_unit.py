@@ -1,0 +1,65 @@
+"""The Executor unit: FP32 MAC array + special-function unit.
+
+"The Executor computes candidate-only classification under
+full-precision ... it applies floating-point MAC array and has an extra
+special-function unit that performs the non-linear activation such as
+Softmax and Sigmoid."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.enmc.buffers import BufferSet
+from repro.enmc.config import ENMCConfig
+from repro.enmc.mac import MACArray, SpecialFunctionUnit
+from repro.isa.opcodes import BufferId, Opcode
+
+
+class ExecutorUnit:
+    """Full-precision candidates-only compute over on-DIMM buffers."""
+
+    def __init__(self, config: ENMCConfig, buffers: BufferSet):
+        self.config = config
+        self.buffers = buffers
+        self.mac = MACArray(lanes=config.fp32_macs, bits=config.executor_bits)
+        self.sfu = SpecialFunctionUnit(
+            taylor_order=config.sfu_taylor_order,
+            elements_per_cycle=config.sfu_elements_per_cycle,
+        )
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    def multiply_accumulate(self) -> int:
+        """MUL_ADD_FP32: psum += weight_rows @ feature."""
+        weight = self.buffers[BufferId.WEIGHT_FP32].data
+        feature = self.buffers[BufferId.FEATURE_FP32].data
+        if weight.ndim != 2:
+            raise RuntimeError(f"weight tile must be 2-D, got shape {weight.shape}")
+        if feature.shape[-1] != weight.shape[1]:
+            raise RuntimeError(
+                f"feature length {feature.shape[-1]} != tile width {weight.shape[1]}"
+            )
+        partial = self.mac.matvec(weight, np.atleast_1d(feature))
+        psum_buffer = self.buffers[BufferId.PSUM_FP32]
+        if psum_buffer.empty:
+            psum_buffer.write(partial)
+        else:
+            psum_buffer.write(psum_buffer.data + partial)
+        cycles = self.mac.cycles_for(weight.size)
+        self.busy_cycles += cycles
+        return cycles
+
+    def special_function(self, opcode: Opcode) -> int:
+        """SOFTMAX / SIGMOID over the FP32 PSUM buffer, in place."""
+        psum_buffer = self.buffers[BufferId.PSUM_FP32]
+        values = psum_buffer.data
+        if opcode is Opcode.SOFTMAX:
+            psum_buffer.write(self.sfu.softmax(values))
+        elif opcode is Opcode.SIGMOID:
+            psum_buffer.write(self.sfu.sigmoid(values))
+        else:
+            raise ValueError(f"{opcode.name} is not a special function")
+        cycles = self.sfu.cycles_for(values.size)
+        self.busy_cycles += cycles
+        return cycles

@@ -1,0 +1,82 @@
+"""MAC-array and special-function-unit timing/functional models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.linalg.functional import taylor_exp
+from repro.utils.validation import check_positive
+
+
+class MACArray:
+    """A bank of multiply-accumulate lanes at a fixed precision.
+
+    Throughput is one MAC per lane per cycle (the synthesized arrays
+    are fully pipelined); ``cycles_for`` converts a MAC count into
+    occupancy cycles.
+    """
+
+    def __init__(self, lanes: int, bits: int):
+        check_positive("lanes", lanes)
+        check_positive("bits", bits)
+        self.lanes = lanes
+        self.bits = bits
+        self.total_macs = 0
+
+    def cycles_for(self, macs: float) -> int:
+        """Occupancy cycles to perform ``macs`` multiply-accumulates."""
+        if macs < 0:
+            raise ValueError(f"macs must be non-negative, got {macs}")
+        self.total_macs += macs
+        return math.ceil(macs / self.lanes)
+
+    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """Functional matrix-vector product (the array's dataflow)."""
+        return np.asarray(matrix) @ np.asarray(vector)
+
+    def __repr__(self) -> str:
+        return f"MACArray(lanes={self.lanes}, bits={self.bits})"
+
+
+class SpecialFunctionUnit:
+    """The Executor's non-linear unit: Taylor-expanded exp, sigmoid.
+
+    Section 6.2: "we approximate the exponential function with Taylor
+    expansion to the 4th order".  The unit processes
+    ``elements_per_cycle`` values per cycle.
+    """
+
+    def __init__(self, taylor_order: int = 4, elements_per_cycle: int = 4):
+        check_positive("taylor_order", taylor_order)
+        check_positive("elements_per_cycle", elements_per_cycle)
+        self.taylor_order = taylor_order
+        self.elements_per_cycle = elements_per_cycle
+
+    def cycles_for(self, elements: int) -> int:
+        if elements < 0:
+            raise ValueError(f"elements must be non-negative, got {elements}")
+        return math.ceil(elements / self.elements_per_cycle)
+
+    def softmax(self, values: np.ndarray) -> np.ndarray:
+        """Max-shifted softmax with the Taylor-approximated exponential."""
+        array = np.asarray(values, dtype=np.float64)
+        shifted = array - np.max(array, axis=-1, keepdims=True)
+        exp = taylor_exp(shifted, order=self.taylor_order)
+        total = np.sum(exp, axis=-1, keepdims=True)
+        total = np.where(total > 0, total, 1.0)
+        return exp / total
+
+    def sigmoid(self, values: np.ndarray) -> np.ndarray:
+        """Sigmoid via the same exp unit: 1 / (1 + exp(-x)).
+
+        Arguments are clamped to the series' accurate range; outside it
+        the hardware saturates to 0/1, matching a real SFU's behaviour.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        clamped = np.clip(array, -4.0, 4.0)
+        approx = 1.0 / (1.0 + taylor_exp(-clamped, order=self.taylor_order))
+        return np.where(
+            np.abs(array) <= 4.0, approx, np.where(array > 0, 1.0, 0.0)
+        )

@@ -1,0 +1,80 @@
+"""The Screener unit: INT4 MAC array + threshold filter (Section 5.2).
+
+"The Screener processes the approximate screening phase ... with
+fixed-point precision.  We put two input buffers (feature buffer and
+screening weight buffer), a fixed-point MAC array, a PSUM buffer, a
+threshold filter, and an instruction translator in the Screener."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.enmc.buffers import BufferSet
+from repro.enmc.config import ENMCConfig
+from repro.enmc.mac import MACArray
+from repro.isa.opcodes import BufferId
+
+
+@dataclass
+class FilterResult:
+    """Indices the comparator array kept, plus its cycle cost."""
+
+    indices: np.ndarray
+    cycles: int
+
+
+class ScreenerUnit:
+    """Fixed-point screening over on-DIMM buffers."""
+
+    def __init__(self, config: ENMCConfig, buffers: BufferSet):
+        self.config = config
+        self.buffers = buffers
+        self.mac = MACArray(lanes=config.int4_macs, bits=config.screener_bits)
+        self.busy_cycles = 0
+        self.filtered_candidates: List[int] = []
+
+    # ------------------------------------------------------------------
+    def multiply_accumulate(self) -> int:
+        """MUL_ADD_INT4: psum += weight_tile @ feature.
+
+        The weight buffer holds a ``(rows, k_tile)`` INT4 tile and the
+        feature buffer the matching ``k_tile`` slice; results accumulate
+        into the (wide) INT4-path PSUM buffer.  Returns occupancy cycles.
+        """
+        weight = self.buffers[BufferId.WEIGHT_INT4].data
+        feature = self.buffers[BufferId.FEATURE_INT4].data
+        if weight.ndim != 2:
+            raise RuntimeError(f"weight tile must be 2-D, got shape {weight.shape}")
+        if feature.shape[-1] != weight.shape[1]:
+            raise RuntimeError(
+                f"feature length {feature.shape[-1]} != tile width {weight.shape[1]}"
+            )
+        partial = self.mac.matvec(weight, np.atleast_1d(feature))
+        psum_buffer = self.buffers[BufferId.PSUM_INT4]
+        if psum_buffer.empty:
+            psum_buffer.write(partial)
+        else:
+            psum_buffer.write(psum_buffer.data + partial)
+        cycles = self.mac.cycles_for(weight.size)
+        self.busy_cycles += cycles
+        return cycles
+
+    def filter(self, threshold: float, base_index: int = 0) -> FilterResult:
+        """FILTER: comparator array over the PSUM buffer.
+
+        Keeps indices whose value exceeds ``threshold``; ``base_index``
+        offsets tile-local indices into the global category space.  The
+        comparator array matches MAC width, so one pass costs
+        ``ceil(rows / lanes)`` cycles.
+        """
+        psum = self.buffers[BufferId.PSUM_INT4].data
+        kept = np.flatnonzero(psum > threshold) + base_index
+        self.buffers[BufferId.INDEX].write(kept.astype(np.int64))
+        cycles = max(1, -(-psum.size // self.config.int4_macs))
+        self.busy_cycles += cycles
+        self.filtered_candidates.extend(kept.tolist())
+        return FilterResult(indices=kept, cycles=cycles)

@@ -1,0 +1,220 @@
+"""The ENMC performance model (the paper's Fig. 13/14/15 engine).
+
+For paper-scale workloads (hundreds of MB of weights per inference),
+per-instruction functional simulation is unnecessary: the DIMM runs a
+regular tiled dataflow whose time is governed by four resource pools —
+rank-level DRAM bandwidth, INT4 MAC throughput, FP32 MAC throughput,
+and the SFU.  The simulator composes the analytic DRAM model with the
+MAC occupancy models and the dual-module pipeline:
+
+* the Screener streams the quantized screening weights from its own
+  rank's devices, overlapping DRAM bursts with INT4 MACs (take the
+  max);
+* the Executor gathers candidate weight rows and runs FP32 MACs
+  (again max of memory and compute), then the SFU normalizes;
+* Screener and Executor run in parallel (Section 5.1): in steady state
+  a tile's candidate phase overlaps the next tile's screening, so one
+  batch costs ``max(screen, execute)`` plus a fill term.
+
+Work is sharded across ``channels × ranks`` ENMC instances, each
+owning a ``1/(C·R)`` slice of the category space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.metrics import ClassificationCost
+from repro.data.registry import Workload
+from repro.dram.analytic import AnalyticDRAMModel
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Seconds spent in each resource pool for one phase."""
+
+    memory_seconds: float
+    compute_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Streamed execution: memory and compute overlap."""
+        return max(self.memory_seconds, self.compute_seconds)
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_seconds >= self.compute_seconds else "compute"
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Timing and traffic accounting for one batched inference."""
+
+    screen: PhaseBreakdown
+    execute: PhaseBreakdown
+    sfu_seconds: float
+    batch_size: int
+    #: DRAM traffic per rank (bytes), split by phase precision.
+    int_bytes_per_rank: float
+    fp_bytes_per_rank: float
+    activations_per_rank: float
+    int_macs_per_rank: float
+    fp_macs_per_rank: float
+    pipeline_tiles: int
+
+    @property
+    def seconds(self) -> float:
+        """End-to-end classification latency for the batch.
+
+        Dual-module pipelining overlaps screening tile ``i+1`` with
+        candidate execution of tile ``i``; the non-overlapped residue is
+        one tile of the shorter phase (pipeline fill).
+        """
+        longer = max(self.screen.seconds, self.execute.seconds)
+        shorter = min(self.screen.seconds, self.execute.seconds)
+        fill = shorter / max(self.pipeline_tiles, 1)
+        return longer + fill + self.sfu_seconds
+
+    @property
+    def serialized_seconds(self) -> float:
+        """No dual-module overlap (the homogeneous-NMP execution style)."""
+        return self.screen.seconds + self.execute.seconds + self.sfu_seconds
+
+    @property
+    def seconds_per_sample(self) -> float:
+        return self.seconds / self.batch_size
+
+
+class ENMCSimulator:
+    """Analytic performance model of an ENMC system."""
+
+    def __init__(self, config: ENMCConfig = DEFAULT_CONFIG):
+        self.config = config
+        # One rank's private view of its devices.
+        self._rank_dram = AnalyticDRAMModel(
+            config.timing, channels=1, ranks_per_channel=1
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        workload: Workload,
+        projection_dim: Optional[int] = None,
+        candidates_per_row: int = 32,
+        batch_size: int = 1,
+        unique_candidate_fraction: float = 1.0,
+        tile_rows: int = 512,
+    ) -> SimulationResult:
+        """Simulate one batched classification on the ENMC system.
+
+        ``projection_dim`` defaults to the paper's operating point
+        ``d/4``; ``candidates_per_row`` is the post-filter budget ``m``.
+        """
+        check_positive("batch_size", batch_size)
+        check_positive("candidates_per_row", candidates_per_row)
+        config = self.config
+        l, d = workload.num_categories, workload.hidden_dim
+        k = projection_dim or max(1, d // 4)
+        shards = config.total_ranks
+        l_shard = math.ceil(l / shards)
+
+        # ---------------- screening phase (per rank) ----------------
+        # The host projects h → Ph once (k·d MACs, trivial on the CPU)
+        # and ships the k-vector with the instruction packet, so each
+        # rank streams only its W̃ shard and runs l_shard·k INT4 MACs.
+        screen_bytes = l_shard * k * config.screener_bits / 8.0
+        screen_mem = self._rank_dram.stream(screen_bytes).seconds
+        screen_macs = batch_size * l_shard * k
+        screen_compute = screen_macs / config.int4_macs_per_second()
+        screen = PhaseBreakdown(screen_mem, screen_compute)
+
+        # ---------------- candidate phase (per rank) ----------------
+        total_candidates = batch_size * candidates_per_row
+        unique_rows = min(
+            total_candidates * unique_candidate_fraction, float(l)
+        )
+        rows_per_rank = max(1, math.ceil(unique_rows / shards))
+        row_bytes = d * 4.0
+        exec_mem = self._rank_dram.gather(rows_per_rank, row_bytes).seconds
+        exec_macs = math.ceil(total_candidates / shards) * d
+        exec_compute = exec_macs / config.fp32_macs_per_second()
+        execute = PhaseBreakdown(exec_mem, exec_compute)
+
+        # ---------------- SFU ----------------
+        # The mixed output vector normalizes on-DIMM for the rank's
+        # shard; only candidate entries need fresh exponentials, the
+        # approximate entries reuse screening-phase results.
+        sfu_elements = math.ceil(total_candidates / shards) + batch_size
+        sfu_cycles = math.ceil(sfu_elements / config.sfu_elements_per_cycle)
+        sfu_seconds = sfu_cycles / config.frequency_hz
+
+        tiles = max(1, math.ceil(l_shard / tile_rows))
+        return SimulationResult(
+            screen=screen,
+            execute=execute,
+            sfu_seconds=sfu_seconds,
+            batch_size=batch_size,
+            int_bytes_per_rank=screen_bytes,
+            fp_bytes_per_rank=rows_per_rank * row_bytes,
+            activations_per_rank=(
+                self._rank_dram.stream(screen_bytes).activations + rows_per_rank
+            ),
+            int_macs_per_rank=screen_macs,
+            fp_macs_per_rank=exec_macs,
+            pipeline_tiles=tiles,
+        )
+
+    # ------------------------------------------------------------------
+    def simulate_full_classification(
+        self, workload: Workload, batch_size: int = 1
+    ) -> SimulationResult:
+        """Baseline: the DIMM computes the *full* classification (no
+        screening) — what a naive NMP offload would do."""
+        config = self.config
+        l, d = workload.num_categories, workload.hidden_dim
+        shards = config.total_ranks
+        l_shard = math.ceil(l / shards)
+
+        weight_bytes = l_shard * d * 4.0
+        mem = self._rank_dram.stream(weight_bytes).seconds
+        macs = batch_size * l_shard * d
+        compute = macs / config.fp32_macs_per_second()
+        phase = PhaseBreakdown(mem, compute)
+        sfu_cycles = math.ceil(l_shard / config.sfu_elements_per_cycle)
+        return SimulationResult(
+            screen=PhaseBreakdown(0.0, 0.0),
+            execute=phase,
+            sfu_seconds=sfu_cycles / config.frequency_hz,
+            batch_size=batch_size,
+            int_bytes_per_rank=0.0,
+            fp_bytes_per_rank=weight_bytes,
+            activations_per_rank=self._rank_dram.stream(weight_bytes).activations,
+            int_macs_per_rank=0.0,
+            fp_macs_per_rank=macs,
+            pipeline_tiles=1,
+        )
+
+    # ------------------------------------------------------------------
+    def cost_for(
+        self,
+        workload: Workload,
+        projection_dim: Optional[int] = None,
+        candidates_per_row: int = 32,
+        batch_size: int = 1,
+    ) -> ClassificationCost:
+        """The algorithm-level cost this simulation corresponds to."""
+        from repro.core.metrics import cost_of_screened_classification
+
+        d = workload.hidden_dim
+        return cost_of_screened_classification(
+            num_categories=workload.num_categories,
+            hidden_dim=d,
+            projection_dim=projection_dim or max(1, d // 4),
+            candidates_per_row=candidates_per_row,
+            batch_size=batch_size,
+            quantization_bits=self.config.screener_bits,
+        )

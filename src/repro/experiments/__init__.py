@@ -1,0 +1,34 @@
+"""One module per paper table/figure (see DESIGN.md §4).
+
+Every module exposes ``run(...)`` returning structured row data and
+``report(...)`` rendering the same rows the paper plots/tabulates.
+``runner.py`` is the ``enmc-experiments`` CLI entry point.
+"""
+
+from repro.experiments import (
+    fig04_breakdown,
+    fig05_motivation,
+    fig11_quality,
+    fig12_sensitivity,
+    fig13_performance,
+    fig14_energy,
+    fig15_scalability,
+    summary,
+    table4_budget,
+    table5_area_power,
+)
+
+ALL_EXPERIMENTS = {
+    "fig4": fig04_breakdown,
+    "fig5": fig05_motivation,
+    "fig11": fig11_quality,
+    "fig12": fig12_sensitivity,
+    "fig13": fig13_performance,
+    "fig14": fig14_energy,
+    "fig15": fig15_scalability,
+    "table4": table4_budget,
+    "table5": table5_area_power,
+    "summary": summary,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

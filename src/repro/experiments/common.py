@@ -1,0 +1,167 @@
+"""Shared experiment plumbing: quality harness and speedup accounting.
+
+Accuracy experiments run on :func:`repro.data.registry.scaled_task`
+instances (materialized matrices, scaled category counts); performance
+and energy experiments use the analytic models at full paper sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core import (
+    ApproximateScreeningClassifier,
+    CandidateSelector,
+    FullClassifier,
+    ScreeningConfig,
+    train_screener,
+)
+from repro.core.metrics import cost_of_screened_classification
+from repro.core.screener import ScreeningModule
+from repro.data.registry import Workload, scaled_task
+from repro.data.synthetic import SyntheticTask
+from repro.host.cpu import CPUModel, XEON_8280
+from repro.metrics import bleu, perplexity_from_proba, precision_at_k
+from repro.utils.rng import rng_from_labels
+
+
+@dataclass
+class PreparedWorkload:
+    """A scaled task with a trained screener, ready for evaluation."""
+
+    workload: Workload
+    task: SyntheticTask
+    screener: ScreeningModule
+    train_features: np.ndarray
+
+    @property
+    def classifier(self) -> FullClassifier:
+        return self.task.classifier
+
+    def screened(self, num_candidates: int) -> ApproximateScreeningClassifier:
+        selector = CandidateSelector(mode="top_m", num_candidates=num_candidates)
+        return ApproximateScreeningClassifier(
+            self.classifier, self.screener, selector=selector
+        )
+
+
+def prepare_workload(
+    workload: Workload,
+    scale: int = 32,
+    max_categories: int = 16_384,
+    train_samples: int = 768,
+    screener_scale: float = 0.25,
+    quantization_bits: Optional[int] = 4,
+) -> PreparedWorkload:
+    """Materialize a scaled task and distill its screener."""
+    task = scaled_task(workload, scale=scale, max_categories=max_categories)
+    rng = rng_from_labels(workload.abbr, "experiment")
+    features = task.sample_features(train_samples, rng=rng)
+    config = ScreeningConfig.from_scale(
+        workload.hidden_dim, scale=screener_scale, quantization_bits=quantization_bits
+    )
+    screener = train_screener(
+        task.classifier, features, config=config, solver="lstsq", rng=rng
+    )
+    return PreparedWorkload(
+        workload=workload, task=task, screener=screener, train_features=features
+    )
+
+
+# ----------------------------------------------------------------------
+# quality metrics per application
+# ----------------------------------------------------------------------
+def lm_quality(
+    prepared: PreparedWorkload,
+    predict_proba: Callable[[np.ndarray], np.ndarray],
+    num_tokens: int = 256,
+) -> float:
+    """Perplexity on held-out synthetic tokens (lower is better)."""
+    rng = rng_from_labels(prepared.workload.abbr, "lm-eval")
+    features, labels = prepared.task.sample(num_tokens, rng=rng)
+    return perplexity_from_proba(predict_proba(features), labels)
+
+
+def nmt_quality(
+    prepared: PreparedWorkload,
+    predict: Callable[[np.ndarray], np.ndarray],
+    num_sentences: int = 24,
+    sentence_len: int = 12,
+) -> float:
+    """BLEU of the method's greedy decode against the full classifier's
+    greedy decode on the same feature sequences (quality preservation)."""
+    rng = rng_from_labels(prepared.workload.abbr, "nmt-eval")
+    references: List[List[int]] = []
+    candidates: List[List[int]] = []
+    for _ in range(num_sentences):
+        features = prepared.task.sample_features(sentence_len, rng=rng)
+        references.append(prepared.classifier.predict(features).tolist())
+        candidates.append(np.asarray(predict(features)).tolist())
+    return bleu(candidates, references, smoothing=1.0)
+
+
+def reco_quality(
+    prepared: PreparedWorkload,
+    scores_fn: Callable[[np.ndarray], np.ndarray],
+    num_samples: int = 128,
+    k: int = 1,
+) -> float:
+    """Precision@k against the synthetic task's true labels."""
+    rng = rng_from_labels(prepared.workload.abbr, "reco-eval")
+    features, labels = prepared.task.sample(num_samples, rng=rng)
+    return precision_at_k(scores_fn(features), labels, k=k)
+
+
+# ----------------------------------------------------------------------
+# speedup accounting
+# ----------------------------------------------------------------------
+def cpu_speedup_for_screening(
+    workload: Workload,
+    candidates_per_row: int,
+    cpu: CPUModel = XEON_8280,
+    batch_size: int = 1,
+    projection_dim: Optional[int] = None,
+    quantization_bits: int = 4,
+) -> float:
+    """CPU-time speedup of screened vs. full classification at *paper*
+    category counts (Fig. 11 x-axis).  Quality is measured on the
+    scaled task; cost is measured at full scale — candidate budgets are
+    expressed as fractions so both sides agree."""
+    d = workload.hidden_dim
+    full = cpu.full_classification_seconds(
+        workload.num_categories, d, batch_size
+    )
+    cost = cost_of_screened_classification(
+        num_categories=workload.num_categories,
+        hidden_dim=d,
+        projection_dim=projection_dim or max(1, d // 4),
+        candidates_per_row=candidates_per_row,
+        batch_size=batch_size,
+        quantization_bits=quantization_bits,
+    )
+    screened = cpu.screened_classification_seconds(
+        cost, gathers=min(batch_size * candidates_per_row, workload.num_categories)
+    )
+    return full / screened
+
+
+def geometric_mean(values) -> float:
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("no values")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def candidates_at_fraction(workload: Workload, task_categories: int,
+                           fraction: float) -> Dict[str, int]:
+    """Candidate counts at ``fraction`` for the scaled task (quality)
+    and the full workload (cost)."""
+    return {
+        "task": max(1, int(round(task_categories * fraction))),
+        "paper": max(1, int(round(workload.num_categories * fraction))),
+    }

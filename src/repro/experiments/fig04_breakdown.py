@@ -1,0 +1,153 @@
+"""Fig. 4 — parameter/operation breakdown: classification vs the rest.
+
+"For the three NLP tasks, classifiers consume a significant amount of
+parameters and operations.  When classification category sizes scale to
+millions as in large-scale recommendation, classification layers become
+the major bottleneck."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.data.registry import Workload, iter_workloads
+from repro.models import build_front_end
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    workload: str
+    classification_params: int
+    front_end_params: int
+    classification_flops: float
+    front_end_flops: float
+
+    @property
+    def param_fraction(self) -> float:
+        total = self.classification_params + self.front_end_params
+        return self.classification_params / total
+
+    @property
+    def flop_fraction(self) -> float:
+        total = self.classification_flops + self.front_end_flops
+        return self.classification_flops / total
+
+
+def _front_end_report(workload: Workload):
+    """Full-size front-end accounting.
+
+    The input embedding is scaled to the true *input* vocabulary: for
+    LM/NMT that equals the label vocabulary (tied embeddings), but
+    recommendation models embed word tokens, not the 670K-100M label
+    space — their input vocabulary stays a few hundred thousand words.
+    """
+    model = build_front_end(workload, vocab_cap=4096, compact=False)
+    report = model.report()
+    if workload.application == "Recommendation":
+        input_vocab = 500_000
+    else:
+        input_vocab = workload.num_categories
+    true_embed = input_vocab * model.embedding.dim
+    parameters = report.parameters - model.embedding.parameters + true_embed
+    return parameters, report.flops * workload.decode_steps
+
+
+def run(include_synthetic: bool = True) -> List[BreakdownRow]:
+    rows = []
+    for workload in iter_workloads(include_synthetic=include_synthetic):
+        front_params, front_flops = _front_end_report(workload)
+        classify_params = workload.num_categories * (workload.hidden_dim + 1)
+        classify_flops = 2.0 * classify_params * workload.decode_steps
+        rows.append(
+            BreakdownRow(
+                workload=workload.abbr,
+                classification_params=classify_params,
+                front_end_params=front_params,
+                classification_flops=classify_flops,
+                front_end_flops=front_flops,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class TimeBreakdownRow:
+    """Execution-time share of classification on the CPU baseline
+    (the introduction's characterization: "the final classification
+    layer consumes 50% of overall model inference time" for the
+    Transformer LM)."""
+
+    workload: str
+    front_end_seconds: float
+    classification_seconds: float
+
+    @property
+    def classification_share(self) -> float:
+        total = self.front_end_seconds + self.classification_seconds
+        return self.classification_seconds / total
+
+
+def run_time_breakdown(include_synthetic: bool = False) -> List[TimeBreakdownRow]:
+    """End-to-end CPU time split per workload."""
+    from repro.host.cpu import XEON_8280
+    from repro.host.system import _front_end_seconds
+    from repro.models.base import FrontEndReport
+
+    rows = []
+    for workload in iter_workloads(include_synthetic=include_synthetic):
+        front_params, front_flops = _front_end_report(workload)
+        report_obj = FrontEndReport(
+            parameters=front_params,
+            flops=front_flops / max(workload.decode_steps, 1),
+        )
+        front = _front_end_seconds(XEON_8280, report_obj, workload, 1)
+        classify = XEON_8280.full_classification_seconds(
+            workload.num_categories, workload.hidden_dim
+        ) * workload.decode_steps
+        rows.append(
+            TimeBreakdownRow(
+                workload=workload.abbr,
+                front_end_seconds=front,
+                classification_seconds=classify,
+            )
+        )
+    return rows
+
+
+def report(include_synthetic: bool = True) -> str:
+    rows = run(include_synthetic=include_synthetic)
+    table = [
+        (
+            r.workload,
+            f"{r.classification_params / 1e6:.1f}M",
+            f"{r.front_end_params / 1e6:.1f}M",
+            f"{100 * r.param_fraction:.1f}%",
+            f"{100 * r.flop_fraction:.1f}%",
+        )
+        for r in rows
+    ]
+    body = render_table(
+        ["Workload", "Classifier params", "Front-end params",
+         "Classifier param share", "Classifier op share"],
+        table,
+        title="Fig. 4: parameter/operation breakdown "
+              "(classification vs non-classification)",
+    )
+    time_rows = run_time_breakdown()
+    times = render_table(
+        ["Workload", "Front-end (ms)", "Classification (ms)",
+         "Classification share"],
+        [
+            (
+                r.workload,
+                round(1e3 * r.front_end_seconds, 3),
+                round(1e3 * r.classification_seconds, 3),
+                f"{100 * r.classification_share:.1f}%",
+            )
+            for r in time_rows
+        ],
+        title="Intro characterization: CPU inference-time split",
+    )
+    return body + "\n\n" + times

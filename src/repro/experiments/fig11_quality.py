@@ -1,0 +1,271 @@
+"""Fig. 11 — quality vs. speedup: AS against SVD-softmax and FGD.
+
+For each Table 2 workload, every method is swept over candidate
+budgets; quality is measured on the scaled synthetic task (relative to
+the full classifier on the same data) and speedup is the CPU-model
+ratio of full classification to the method at the *paper's* category
+count (budgets expressed as fractions keep the two sides consistent).
+
+Per-application quality metrics match the paper: BLEU (NMT),
+perplexity (LM, reported as the ratio method/full so "1.0" means no
+degradation), and P@1 (recommendation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import FGDClassifier, SVDSoftmax
+from repro.core import CandidateSelector
+from repro.data.registry import Workload, iter_workloads
+from repro.experiments.common import (
+    PreparedWorkload,
+    cpu_speedup_for_screening,
+    lm_quality,
+    nmt_quality,
+    prepare_workload,
+    reco_quality,
+)
+from repro.host.cpu import CPUModel, XEON_8280
+from repro.linalg.functional import sigmoid, softmax
+from repro.utils.rng import rng_from_labels
+from repro.utils.tables import render_table
+
+DEFAULT_FRACTIONS = (0.005, 0.02, 0.05, 0.13)
+
+
+@dataclass(frozen=True)
+class QualityPoint:
+    workload: str
+    method: str
+    candidate_fraction: float
+    quality: float
+    quality_metric: str
+    full_quality: float
+    speedup: float
+
+    @property
+    def quality_retention(self) -> float:
+        """Method quality relative to the exact classifier.
+
+        For perplexity (lower-better) this is full/method; for BLEU and
+        P@k (higher-better) it is method/full.  1.0 = no degradation.
+        """
+        if self.full_quality == 0:
+            return 0.0
+        if self.quality_metric == "perplexity":
+            if self.quality == 0:
+                return 0.0
+            return self.full_quality / self.quality
+        return self.quality / self.full_quality
+
+
+# ----------------------------------------------------------------------
+def _quality_of(
+    prepared: PreparedWorkload,
+    proba_fn: Callable[[np.ndarray], np.ndarray],
+    predict_fn: Callable[[np.ndarray], np.ndarray],
+) -> tuple:
+    """(quality value, metric name) for the workload's application."""
+    application = prepared.workload.application
+    if application == "NMT":
+        return nmt_quality(prepared, predict_fn), "bleu"
+    if application == "NLP":
+        return lm_quality(prepared, proba_fn), "perplexity"
+    return reco_quality(prepared, proba_fn), "p@1"
+
+
+def _full_quality(prepared: PreparedWorkload) -> tuple:
+    classifier = prepared.classifier
+
+    def proba(features):
+        return classifier.predict_proba(features)
+
+    return _quality_of(prepared, proba, classifier.predict)
+
+
+def _normalizer(prepared: PreparedWorkload):
+    if prepared.workload.normalization == "sigmoid":
+        return sigmoid
+    return lambda logits: softmax(logits, axis=-1)
+
+
+# ----------------------------------------------------------------------
+# per-method evaluation at one candidate budget
+# ----------------------------------------------------------------------
+def _evaluate_screening(
+    prepared: PreparedWorkload, fraction: float, cpu: CPUModel
+) -> tuple:
+    m_task = max(1, int(round(prepared.classifier.num_categories * fraction)))
+    model = prepared.screened(m_task)
+    normalize = _normalizer(prepared)
+    quality, metric = _quality_of(
+        prepared,
+        lambda features: normalize(model.forward(features).logits),
+        model.predict,
+    )
+    m_paper = max(1, int(round(prepared.workload.num_categories * fraction)))
+    speedup = cpu_speedup_for_screening(prepared.workload, m_paper, cpu=cpu)
+    return quality, metric, speedup
+
+
+def _evaluate_svd(
+    prepared: PreparedWorkload, fraction: float, cpu: CPUModel,
+    window_fraction: float = 0.125,
+) -> tuple:
+    classifier = prepared.classifier
+    d = classifier.hidden_dim
+    window = max(1, int(round(d * window_fraction)))
+    m_task = max(1, int(round(classifier.num_categories * fraction)))
+    model = SVDSoftmax(
+        classifier, window=window,
+        selector=CandidateSelector(mode="top_m", num_candidates=m_task),
+    )
+    normalize = _normalizer(prepared)
+    quality, metric = _quality_of(
+        prepared,
+        lambda features: normalize(model.forward(features).logits),
+        model.predict,
+    )
+    # Paper-scale cost: the d×d transform + l×w preview + m×d refine.
+    workload = prepared.workload
+    l = workload.num_categories
+    m_paper = max(1, int(round(l * fraction)))
+    flops = 2.0 * (d * d + l * window + m_paper * d)
+    stream_bytes = 4.0 * (d * d + l * window)
+    seconds = cpu.kernel_seconds(
+        flops=flops, stream_bytes=stream_bytes,
+        gathers=m_paper, gather_bytes=4.0 * m_paper * d,
+    )
+    full = cpu.full_classification_seconds(l, d)
+    return quality, metric, full / seconds
+
+
+def _evaluate_fgd(
+    prepared: PreparedWorkload, fraction: float, cpu: CPUModel
+) -> tuple:
+    classifier = prepared.classifier
+    m_task = max(1, int(round(classifier.num_categories * fraction)))
+    model = FGDClassifier(
+        classifier,
+        degree=16,
+        beam_width=max(4, min(32, m_task // 4)),
+        num_candidates=m_task,
+        rng=rng_from_labels(prepared.workload.abbr, "fgd"),
+    )
+    normalize = _normalizer(prepared)
+    quality, metric = _quality_of(
+        prepared,
+        lambda features: normalize(model.forward(features).logits),
+        model.predict,
+    )
+    # Paper-scale cost: visited count scales ~ log(l) · budget ratio.
+    workload = prepared.workload
+    l_task = classifier.num_categories
+    l = workload.num_categories
+    m_paper = max(1, int(round(l * fraction)))
+    visited_task = max(model.mean_visited, 1.0)
+    visited = visited_task * (np.log(l) / np.log(l_task)) * (m_paper / m_task)
+    # Selecting m candidates requires visiting a few× m vertices at
+    # minimum; the measured count on a tiny graph under-extrapolates.
+    visited = max(visited, 3.0 * m_paper)
+    d = workload.hidden_dim
+    flops = 2.0 * visited * (d + 2)
+    gather_bytes = visited * (4.0 * (d + 2) + 4.0 * model.degree)
+    # Graph search is latency-bound: hops are *serial* (each round's
+    # frontier depends on the previous round's scores), with only
+    # beam-width parallelism inside a round — unlike screening's
+    # independent streaming gathers.
+    rounds = visited / max(model.beam_width * model.degree, 1)
+    seconds = (
+        rounds * cpu.gather_latency_s
+        + visited * cpu.gather_latency_s / model.beam_width
+        + gather_bytes / cpu.stream_bandwidth
+        + flops / cpu.peak_flops
+        + cpu.invocation_overhead_s
+    )
+    full = cpu.full_classification_seconds(l, d)
+    return quality, metric, full / seconds
+
+
+_METHODS: Dict[str, Callable] = {
+    "AS": _evaluate_screening,
+    "SVD": _evaluate_svd,
+    "FGD": _evaluate_fgd,
+}
+
+
+# ----------------------------------------------------------------------
+def run(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    workloads: Optional[Sequence[Workload]] = None,
+    methods: Sequence[str] = ("AS", "SVD", "FGD"),
+    scale: int = 32,
+    max_categories: int = 16_384,
+    cpu: CPUModel = XEON_8280,
+) -> List[QualityPoint]:
+    points: List[QualityPoint] = []
+    selected = list(workloads) if workloads is not None else list(iter_workloads())
+    for workload in selected:
+        prepared = prepare_workload(
+            workload, scale=scale, max_categories=max_categories
+        )
+        full_quality, metric = _full_quality(prepared)
+        for method in methods:
+            evaluate = _METHODS[method]
+            for fraction in fractions:
+                quality, metric, speedup = evaluate(prepared, fraction, cpu)
+                points.append(
+                    QualityPoint(
+                        workload=workload.abbr,
+                        method=method,
+                        candidate_fraction=fraction,
+                        quality=quality,
+                        quality_metric=metric,
+                        full_quality=full_quality,
+                        speedup=speedup,
+                    )
+                )
+    return points
+
+
+def report(**kwargs) -> str:
+    points = run(**kwargs)
+    rows = [
+        (
+            p.workload, p.method, p.candidate_fraction,
+            round(p.quality, 4), p.quality_metric,
+            round(p.full_quality, 4),
+            round(p.quality_retention, 4), round(p.speedup, 2),
+        )
+        for p in points
+    ]
+    body = render_table(
+        ["Workload", "Method", "Cand. frac", "Quality", "Metric",
+         "Full quality", "Retention", "Speedup vs full CPU"],
+        rows,
+        title="Fig. 11: quality vs speedup trade-off (AS / SVD / FGD)",
+    )
+    # Per-workload trade-off scatter: x = speedup, y = retention;
+    # marker = method initial (A/S/F) — the paper's panel layout.
+    from repro.utils.charts import scatter
+
+    sections = [body]
+    for workload in sorted({p.workload for p in points}):
+        subset = [p for p in points if p.workload == workload]
+        sections.append(
+            f"\n{workload}: retention (y) vs speedup (x); "
+            "A=AS S=SVD F=FGD"
+        )
+        sections.append(
+            scatter(
+                [(p.speedup, p.quality_retention) for p in subset],
+                markers=[p.method[0] for p in subset],
+                width=48,
+                height=10,
+            )
+        )
+    return "\n".join(sections)

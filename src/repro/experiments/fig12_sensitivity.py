@@ -1,0 +1,131 @@
+"""Fig. 12 — sensitivity of approximate screening.
+
+(a) parameter-reduction scale (``k/d``) sweep: the paper picks 0.25 as
+"the good quality preserving" point.
+(b) quantization-level sweep: 4-bit fixed point "maintains approximation
+as using single floating-point precision".
+
+Quality here is screening-intrinsic: candidate recall@k (does the
+screener's candidate set contain the exact top-k) and the relative L2
+approximation error, measured on held-out features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    ApproximateScreeningClassifier,
+    CandidateSelector,
+    ScreeningConfig,
+    train_screener,
+)
+from repro.core.metrics import approximation_error, candidate_recall
+from repro.data.registry import Workload, get_workload, scaled_task
+from repro.utils.rng import rng_from_labels
+from repro.utils.tables import render_table
+
+DEFAULT_SCALES = (0.0625, 0.125, 0.25, 0.5)
+DEFAULT_BITS = (2, 4, 8, None)  # None = FP32
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    workload: str
+    parameter_scale: float
+    quantization_bits: Optional[int]
+    recall_at_1: float
+    recall_at_5: float
+    relative_error: float
+
+
+def _measure(
+    workload: Workload,
+    scale: float,
+    bits: Optional[int],
+    task_scale: int,
+    candidate_fraction: float = 0.02,
+    eval_samples: int = 96,
+) -> SensitivityPoint:
+    task = scaled_task(workload, scale=task_scale, max_categories=8192)
+    rng = rng_from_labels(workload.abbr, "fig12", scale, bits)
+    features = task.sample_features(768, rng=rng)
+    config = ScreeningConfig.from_scale(
+        workload.hidden_dim, scale=scale, quantization_bits=bits
+    )
+    screener = train_screener(
+        task.classifier, features, config=config, solver="lstsq", rng=rng
+    )
+    m = max(1, int(round(task.num_categories * candidate_fraction)))
+    model = ApproximateScreeningClassifier(
+        task.classifier, screener,
+        selector=CandidateSelector(mode="top_m", num_candidates=m),
+    )
+    test = task.sample_features(eval_samples, rng=rng)
+    output = model(test)
+    exact = task.classifier.logits(test)
+    return SensitivityPoint(
+        workload=workload.abbr,
+        parameter_scale=scale,
+        quantization_bits=bits,
+        recall_at_1=candidate_recall(exact, output, k=1),
+        recall_at_5=candidate_recall(exact, output, k=min(5, m)),
+        relative_error=approximation_error(exact, output.approximate_logits),
+    )
+
+
+def run_parameter_scales(
+    workload_abbr: str = "Transformer-W268K",
+    scales: Sequence[float] = DEFAULT_SCALES,
+    task_scale: int = 64,
+) -> List[SensitivityPoint]:
+    """Fig. 12(a): sweep ``k/d`` at the default INT4 quantization."""
+    workload = get_workload(workload_abbr)
+    return [_measure(workload, s, 4, task_scale) for s in scales]
+
+
+def run_quantization_levels(
+    workload_abbr: str = "Transformer-W268K",
+    bits_levels: Sequence[Optional[int]] = DEFAULT_BITS,
+    task_scale: int = 64,
+) -> List[SensitivityPoint]:
+    """Fig. 12(b): sweep quantization at the chosen scale 0.25."""
+    workload = get_workload(workload_abbr)
+    return [_measure(workload, 0.25, bits, task_scale) for bits in bits_levels]
+
+
+def run(workload_abbr: str = "Transformer-W268K", task_scale: int = 64):
+    return {
+        "parameter_scales": run_parameter_scales(workload_abbr, task_scale=task_scale),
+        "quantization_levels": run_quantization_levels(
+            workload_abbr, task_scale=task_scale
+        ),
+    }
+
+
+def report(workload_abbr: str = "Transformer-W268K", task_scale: int = 64) -> str:
+    results = run(workload_abbr, task_scale=task_scale)
+
+    def rows(points):
+        return [
+            (
+                p.parameter_scale,
+                "FP32" if p.quantization_bits is None else f"INT{p.quantization_bits}",
+                round(p.recall_at_1, 4), round(p.recall_at_5, 4),
+                round(p.relative_error, 4),
+            )
+            for p in points
+        ]
+
+    a = render_table(
+        ["k/d scale", "Precision", "Recall@1", "Recall@5", "Rel. L2 err"],
+        rows(results["parameter_scales"]),
+        title="Fig. 12(a): parameter-reduction scale sweep (INT4)",
+    )
+    b = render_table(
+        ["k/d scale", "Precision", "Recall@1", "Recall@5", "Rel. L2 err"],
+        rows(results["quantization_levels"]),
+        title="Fig. 12(b): quantization-level sweep (scale 0.25)",
+    )
+    return a + "\n\n" + b

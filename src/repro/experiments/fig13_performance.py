@@ -1,0 +1,112 @@
+"""Fig. 13 — classification performance across architectures.
+
+ENMC vs CPU / NDA / Chameleon / TensorDIMM at batch sizes 1, 2, 4,
+normalized to the vanilla-CPU (full classification) baseline; all
+schemes run approximate screening with each workload's tuned candidate
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.metrics import cost_of_screened_classification
+from repro.data.registry import Workload, iter_workloads
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.simulator import ENMCSimulator
+from repro.experiments.common import geometric_mean
+from repro.host.cpu import CPUModel, XEON_8280
+from repro.nmp import (
+    CHAMELEON_MODEL,
+    NDA_MODEL,
+    NMPBaselineModel,
+    TENSORDIMM_MODEL,
+)
+from repro.utils.tables import render_table
+
+DEFAULT_BATCHES = (1, 2, 4)
+NMP_BASELINES = (NDA_MODEL, CHAMELEON_MODEL, TENSORDIMM_MODEL)
+
+
+@dataclass(frozen=True)
+class PerformanceRow:
+    workload: str
+    batch_size: int
+    #: seconds per batched inference, per scheme
+    seconds: Dict[str, float]
+
+    def speedup(self, scheme: str) -> float:
+        return self.seconds["CPU"] / self.seconds[scheme]
+
+
+def run(
+    batch_sizes: Sequence[int] = DEFAULT_BATCHES,
+    workloads: Optional[Sequence[Workload]] = None,
+    cpu: CPUModel = XEON_8280,
+    config: ENMCConfig = DEFAULT_CONFIG,
+    baselines: Sequence[NMPBaselineModel] = NMP_BASELINES,
+) -> List[PerformanceRow]:
+    simulator = ENMCSimulator(config)
+    selected = list(workloads) if workloads is not None else list(iter_workloads())
+    rows: List[PerformanceRow] = []
+    for workload in selected:
+        m = workload.default_candidates
+        d = workload.hidden_dim
+        for batch in batch_sizes:
+            seconds: Dict[str, float] = {}
+            seconds["CPU"] = cpu.full_classification_seconds(
+                workload.num_categories, d, batch
+            )
+            cost = cost_of_screened_classification(
+                workload.num_categories, d, max(1, d // 4), m, batch
+            )
+            seconds["CPU+AS"] = cpu.screened_classification_seconds(
+                cost, gathers=min(batch * m, workload.num_categories)
+            )
+            for baseline in baselines:
+                seconds[baseline.name] = baseline.seconds(
+                    workload, candidates_per_row=m, batch_size=batch
+                )
+            seconds["ENMC"] = simulator.simulate(
+                workload, candidates_per_row=m, batch_size=batch
+            ).seconds
+            rows.append(
+                PerformanceRow(workload=workload.abbr, batch_size=batch,
+                               seconds=seconds)
+            )
+    return rows
+
+
+def summarize(rows: List[PerformanceRow]) -> Dict[str, float]:
+    """Geomean speedup over the vanilla CPU per scheme (the paper's
+    'average speedup' summary numbers)."""
+    schemes = [s for s in rows[0].seconds if s != "CPU"]
+    return {
+        scheme: geometric_mean(r.speedup(scheme) for r in rows)
+        for scheme in schemes
+    }
+
+
+def report(**kwargs) -> str:
+    rows = run(**kwargs)
+    schemes = list(rows[0].seconds.keys())
+    table = [
+        tuple([r.workload, r.batch_size]
+              + [round(r.speedup(s), 2) for s in schemes if s != "CPU"])
+        for r in rows
+    ]
+    headers = ["Workload", "Batch"] + [f"{s} (×)" for s in schemes if s != "CPU"]
+    body = render_table(
+        headers, table,
+        title="Fig. 13: speedup over vanilla CPU (full classification)",
+    )
+    summary = summarize(rows)
+    lines = [body, "", "Geomean speedups:"]
+    for scheme, value in summary.items():
+        lines.append(f"  {scheme:12s} {value:8.1f}×")
+    enmc = summary["ENMC"]
+    for scheme in ("NDA", "Chameleon", "TensorDIMM"):
+        if scheme in summary:
+            lines.append(f"  ENMC vs {scheme:12s} {enmc / summary[scheme]:6.2f}×")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Fig. 14 — energy breakdown vs TensorDIMM and TensorDIMM-Large.
+
+Energy splits into DRAM static, DRAM access, and computation & control
+logic, normalized to TensorDIMM.  Per the paper's setup, TensorDIMM and
+TensorDIMM-Large "need to operate over the full classification weight"
+(their homogeneous pipelines run the full-precision workload), while
+ENMC performs INT4 low-dimensional screening plus candidates-only
+compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.registry import Workload, iter_workloads
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.params import DEFAULT_ENERGY_PARAMS, EnergyParams
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.simulator import ENMCSimulator
+from repro.experiments.common import geometric_mean
+from repro.nmp import TENSORDIMM_LARGE_MODEL, TENSORDIMM_MODEL
+from repro.utils.tables import render_table
+
+#: Table 4 logic power per design (W); Large scales the VPU 4×.
+_LOGIC_WATTS = {"ENMC": 0.2854, "TensorDIMM": 0.3035, "TensorDIMM-Large": 0.980}
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    workload: str
+    scheme: str
+    breakdown: EnergyBreakdown
+
+    @property
+    def total(self) -> float:
+        return self.breakdown.total
+
+
+def run(
+    workloads: Optional[Sequence[Workload]] = None,
+    batch_size: int = 1,
+    config: ENMCConfig = DEFAULT_CONFIG,
+    params: EnergyParams = DEFAULT_ENERGY_PARAMS,
+) -> List[EnergyRow]:
+    simulator = ENMCSimulator(config)
+    selected = list(workloads) if workloads is not None else list(iter_workloads())
+    rows: List[EnergyRow] = []
+    total_ranks = config.total_ranks
+    for workload in selected:
+        m = workload.default_candidates
+        result = simulator.simulate(
+            workload, candidates_per_row=m, batch_size=batch_size
+        )
+        enmc_energy = EnergyModel(
+            params, total_ranks, logic_watts=_LOGIC_WATTS["ENMC"]
+        ).energy_of(result)
+        rows.append(EnergyRow(workload.abbr, "ENMC", enmc_energy))
+
+        for model in (TENSORDIMM_MODEL, TENSORDIMM_LARGE_MODEL):
+            sim = model.simulate_full(workload, batch_size=batch_size)
+            energy = EnergyModel(
+                params,
+                model.total_ranks,
+                logic_watts=_LOGIC_WATTS[model.name],
+            ).energy_of(sim, seconds=sim.serialized_seconds)
+            rows.append(EnergyRow(workload.abbr, model.name, energy))
+    return rows
+
+
+def summarize(rows: List[EnergyRow]) -> Dict[str, float]:
+    """Geomean energy reduction of ENMC vs each TensorDIMM variant."""
+    by_workload: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        by_workload.setdefault(row.workload, {})[row.scheme] = row.total
+    out = {}
+    for scheme in ("TensorDIMM", "TensorDIMM-Large"):
+        ratios = [
+            values[scheme] / values["ENMC"]
+            for values in by_workload.values()
+            if scheme in values and "ENMC" in values
+        ]
+        out[scheme] = geometric_mean(ratios)
+    return out
+
+
+def report(**kwargs) -> str:
+    rows = run(**kwargs)
+    references = {
+        row.workload: row.breakdown
+        for row in rows
+        if row.scheme == "TensorDIMM"
+    }
+    table = []
+    for row in rows:
+        normalized = row.breakdown.normalized_to(references[row.workload])
+        table.append(
+            (
+                row.workload, row.scheme,
+                round(normalized.dram_static, 4),
+                round(normalized.dram_access, 4),
+                round(normalized.compute_and_control, 4),
+                round(normalized.total, 4),
+            )
+        )
+    body = render_table(
+        ["Workload", "Scheme", "DRAM static", "DRAM access",
+         "Compute+Ctrl", "Total"],
+        table,
+        title="Fig. 14: energy breakdown normalized to TensorDIMM",
+    )
+    summary = summarize(rows)
+    lines = [body, ""]
+    for scheme, ratio in summary.items():
+        lines.append(f"ENMC energy reduction vs {scheme}: {ratio:.1f}×")
+    return "\n".join(lines)

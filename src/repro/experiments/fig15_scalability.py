@@ -1,0 +1,105 @@
+"""Fig. 15 — end-to-end scalability on the synthetic large datasets.
+
+Same XMLCNN front-end throughout; classification scales through
+670K → 1M → 10M → 100M categories.  End-to-end performance of
+TensorDIMM, TensorDIMM-Large and ENMC is normalized to the CPU
+baseline; the ENMC advantage grows with category count because it
+streams the lightweight screening weights and never spills
+intermediates back to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.data.registry import SCALABILITY_ABBRS, get_workload
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.simulator import ENMCSimulator
+from repro.host.cpu import CPUModel, XEON_8280
+from repro.host.system import _front_end_seconds
+from repro.models.base import FrontEndReport
+from repro.nmp import TENSORDIMM_LARGE_MODEL, TENSORDIMM_MODEL
+from repro.utils.tables import render_table
+
+#: The XMLCNN front-end accounting at full size (embedding excluded:
+#: it is part of the lookup phase shared by every scheme).
+XMLCNN_FRONT_END = FrontEndReport(parameters=4_500_000, flops=180e6)
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    workload: str
+    num_categories: int
+    #: end-to-end seconds per scheme
+    seconds: Dict[str, float]
+
+    def speedup(self, scheme: str) -> float:
+        return self.seconds["CPU"] / self.seconds[scheme]
+
+
+def run(
+    abbrs: Sequence[str] = SCALABILITY_ABBRS,
+    batch_size: int = 1,
+    cpu: CPUModel = XEON_8280,
+    config: ENMCConfig = DEFAULT_CONFIG,
+) -> List[ScalabilityRow]:
+    simulator = ENMCSimulator(config)
+    rows: List[ScalabilityRow] = []
+    for abbr in abbrs:
+        workload = get_workload(abbr)
+        m = workload.default_candidates
+        front = _front_end_seconds(cpu, XMLCNN_FRONT_END, workload, batch_size)
+        seconds: Dict[str, float] = {}
+        seconds["CPU"] = front + cpu.full_classification_seconds(
+            workload.num_categories, workload.hidden_dim, batch_size
+        )
+        for model in (TENSORDIMM_MODEL, TENSORDIMM_LARGE_MODEL):
+            sim = model.simulate_full(workload, batch_size=batch_size)
+            seconds[model.name] = front + sim.serialized_seconds
+        enmc = simulator.simulate(
+            workload, candidates_per_row=m, batch_size=batch_size
+        )
+        seconds["ENMC"] = front + enmc.seconds
+        rows.append(
+            ScalabilityRow(
+                workload=abbr,
+                num_categories=workload.num_categories,
+                seconds=seconds,
+            )
+        )
+    return rows
+
+
+def report(**kwargs) -> str:
+    rows = run(**kwargs)
+    schemes = [s for s in rows[0].seconds if s != "CPU"]
+    table = [
+        tuple([r.workload, r.num_categories]
+              + [round(r.speedup(s), 2) for s in schemes])
+        for r in rows
+    ]
+    body = render_table(
+        ["Workload", "Categories"] + [f"{s} (×)" for s in schemes],
+        table,
+        title="Fig. 15: end-to-end speedup over CPU (XMLCNN front-end)",
+    )
+    lines = [body, "", "ENMC advantage over TensorDIMM by scale:"]
+    for row in rows:
+        ratio = row.seconds["TensorDIMM"] / row.seconds["ENMC"]
+        ratio_large = row.seconds["TensorDIMM-Large"] / row.seconds["ENMC"]
+        lines.append(
+            f"  {row.workload:12s} vs TD {ratio:5.2f}×, vs TD-Large {ratio_large:5.2f}×"
+        )
+    from repro.utils.charts import bar_chart
+
+    lines.append("")
+    lines.append("ENMC end-to-end speedup over CPU by scale:")
+    lines.append(
+        bar_chart(
+            [row.workload for row in rows],
+            [round(row.speedup("ENMC"), 1) for row in rows],
+            unit="x",
+        )
+    )
+    return "\n".join(lines)

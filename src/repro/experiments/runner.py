@@ -1,0 +1,95 @@
+"""CLI: print any or all paper tables/figures (``enmc-experiments``)."""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment results to JSON types."""
+    import numpy as np
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="enmc-experiments",
+        description="Regenerate the ENMC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"which to run (default: all); choices: {sorted(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write <name>.txt reports and <name>.json data",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    selected = args.experiments or sorted(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"choices: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        module = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        report = module.report()
+        print(report)
+        print(f"--- {name} done in {time.perf_counter() - start:.1f}s\n")
+        if args.output is not None:
+            (args.output / f"{name}.txt").write_text(report + "\n")
+            data = _jsonable(module.run())
+            (args.output / f"{name}.json").write_text(
+                json.dumps(data, indent=2) + "\n"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

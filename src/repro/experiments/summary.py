@@ -1,0 +1,134 @@
+"""Headline digest: every paper claim vs. this reproduction's number.
+
+``run()`` executes the (fast, analytic) experiments and assembles the
+same paper-vs-measured table EXPERIMENTS.md records, with a per-claim
+verdict.  ``enmc-experiments summary`` prints it; the accuracy-side
+claims (Fig. 11/12) are included when ``include_quality=True`` (they
+materialize matrices and take a minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim with its measured counterpart."""
+
+    source: str
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+
+def _check(claims: List[Claim], source: str, claim: str, paper: str,
+           measured: float, fmt: str, low: float, high: float) -> None:
+    claims.append(
+        Claim(
+            source=source,
+            claim=claim,
+            paper_value=paper,
+            measured_value=fmt.format(measured),
+            holds=low <= measured <= high,
+        )
+    )
+
+
+def run(include_quality: bool = False) -> List[Claim]:
+    from repro.experiments import (
+        fig04_breakdown,
+        fig13_performance,
+        fig14_energy,
+        fig15_scalability,
+    )
+    from repro.energy.area import enmc_totals
+
+    claims: List[Claim] = []
+
+    # --- motivation -----------------------------------------------------
+    time_rows = {
+        r.workload: r for r in fig04_breakdown.run_time_breakdown()
+    }
+    _check(
+        claims, "Intro", "Transformer classification time share",
+        "~50%", 100 * time_rows["Transformer-W268K"].classification_share,
+        "{:.1f}%", 35.0, 65.0,
+    )
+    from repro.data.registry import get_workload
+
+    _check(
+        claims, "Sec. 2.2", "100M-category classifier footprint",
+        "~190 GB", get_workload("S100M").classifier_bytes / 1e9,
+        "{:.0f} GB", 170.0, 215.0,
+    )
+
+    # --- architecture performance (Fig. 13) -----------------------------
+    perf = fig13_performance.summarize(fig13_performance.run())
+    _check(claims, "Fig. 13", "AS speedup on CPU (avg)",
+           "7.3x", perf["CPU+AS"], "{:.1f}x", 3.0, 15.0)
+    _check(claims, "Fig. 13", "ENMC speedup over CPU (avg)",
+           "56.5x", perf["ENMC"], "{:.1f}x", 30.0, 150.0)
+    _check(claims, "Fig. 13", "ENMC vs TensorDIMM",
+           "2.7x", perf["ENMC"] / perf["TensorDIMM"], "{:.2f}x", 1.8, 4.5)
+    _check(claims, "Fig. 13", "ENMC vs NDA",
+           "3.5x", perf["ENMC"] / perf["NDA"], "{:.2f}x", 2.3, 6.0)
+    _check(claims, "Fig. 13", "ENMC vs Chameleon",
+           "5.6x", perf["ENMC"] / perf["Chameleon"], "{:.2f}x", 3.5, 10.0)
+
+    # --- energy (Fig. 14) -----------------------------------------------
+    energy = fig14_energy.summarize(fig14_energy.run())
+    _check(claims, "Fig. 14", "Energy reduction vs TensorDIMM",
+           "5.0x", energy["TensorDIMM"], "{:.1f}x", 3.0, 20.0)
+    _check(claims, "Fig. 14", "Energy reduction vs TensorDIMM-Large",
+           "8.4x", energy["TensorDIMM-Large"], "{:.1f}x",
+           energy["TensorDIMM"], 25.0)
+
+    # --- scalability (Fig. 15) ------------------------------------------
+    rows = fig15_scalability.run()
+    ratios = [r.seconds["TensorDIMM"] / r.seconds["ENMC"] for r in rows]
+    _check(claims, "Fig. 15", "ENMC/TensorDIMM gap growth (small→large)",
+           "2.2x → 7.1x", ratios[-1] / ratios[0], "{:.1f}x growth", 2.0, 20.0)
+
+    # --- area/power (Table 5) -------------------------------------------
+    totals = enmc_totals()
+    _check(claims, "Table 5", "ENMC total area",
+           "0.442 mm^2", totals.area_mm2, "{:.3f} mm^2", 0.441, 0.443)
+    _check(claims, "Table 5", "ENMC total power",
+           "285.4 mW", totals.power_mw, "{:.1f} mW", 285.3, 285.5)
+
+    # --- algorithm quality (optional: materializes matrices) -------------
+    if include_quality:
+        from repro.experiments import fig11_quality
+
+        points = fig11_quality.run(
+            fractions=(0.01,),
+            workloads=[get_workload("GNMT-E32K")],
+            scale=64, max_categories=4096, methods=("AS",),
+        )
+        best = points[0]
+        _check(claims, "Fig. 11", "NMT speedup at full BLEU retention",
+               "11.8x", best.speedup if best.quality_retention >= 0.99 else 0.0,
+               "{:.1f}x", 8.0, 20.0)
+
+    return claims
+
+
+def report(include_quality: bool = False) -> str:
+    claims = run(include_quality=include_quality)
+    table = [
+        (c.source, c.claim, c.paper_value, c.measured_value,
+         "✓" if c.holds else "✗")
+        for c in claims
+    ]
+    body = render_table(
+        ["Source", "Claim", "Paper", "Measured", "Holds"],
+        table,
+        title="Headline digest: paper vs. this reproduction",
+    )
+    held = sum(c.holds for c in claims)
+    return body + f"\n\n{held}/{len(claims)} headline claims reproduced in shape."

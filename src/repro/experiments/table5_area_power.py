@@ -1,0 +1,37 @@
+"""Table 5 — ENMC area and power breakdown."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.energy.area import (
+    ENMC_AREA_POWER_BREAKDOWN,
+    AreaPower,
+    component_fractions,
+    enmc_totals,
+    render_table5,
+)
+
+
+def run() -> Dict[str, AreaPower]:
+    return dict(ENMC_AREA_POWER_BREAKDOWN)
+
+
+def report() -> str:
+    totals = enmc_totals()
+    fractions = component_fractions()
+    compute_area = (
+        fractions["INT4 MAC"][0] + fractions["FP32 MAC"][0]
+    )
+    buffer_area = (
+        fractions["Compute Buffer"][0] + fractions["Control Buffer"][0]
+    )
+    lines = [
+        render_table5(),
+        "",
+        f"Compute units: {100 * compute_area:.1f}% of area "
+        f"(paper: 40.8% incl. overhead allocation)",
+        f"Buffers: {100 * buffer_area:.1f}% of area",
+        f"Totals: {totals.area_mm2} mm², {totals.power_mw} mW",
+    ]
+    return "\n".join(lines)

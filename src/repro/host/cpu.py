@@ -1,0 +1,129 @@
+"""A roofline model of the CPU baseline (Intel Xeon Platinum 8280).
+
+Section 6.2: "The CPU baseline is Intel Xeon Platinum 8280 @ 2.7GHz,
+28 physical cores, 6 DDR4-2666 channels, 512 GB, 128 GB/s ideal
+bandwidth."  Execution time of a kernel is the max of its compute time
+at (de-rated) peak FLOPs and its memory time at (de-rated) stream
+bandwidth — the roofline the paper plots in Fig. 5(b).
+
+Efficiency de-ratings are explicit fields:
+
+* ``stream_efficiency`` — fraction of ideal bandwidth achieved by a
+  sequential FP32 weight stream (STREAM-like, ~0.75);
+* ``quantized_stream_efficiency`` — sub-word INT4 tiles read through a
+  CPU cache hierarchy waste bus width on unpacking (~0.5);
+* ``gather_latency_s`` — per-row random access latency for candidate
+  gathers;
+* ``invocation_overhead_s`` — per-layer framework/launch overhead (the
+  paper's measured screening overhead of 3.1% of full classification
+  on CPU includes this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ClassificationCost
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Roofline CPU with explicit efficiency de-ratings."""
+
+    name: str = "Xeon-Platinum-8280"
+    cores: int = 28
+    frequency_hz: float = 2.7e9
+    flops_per_cycle_per_core: int = 64  # 2×AVX-512 FMA, FP32
+    ideal_bandwidth: float = 128e9  # 6 × DDR4-2666
+    stream_efficiency: float = 0.75
+    quantized_stream_efficiency: float = 0.5
+    gather_latency_s: float = 100e-9
+    #: Outstanding-miss parallelism across cores: large gathers become
+    #: bandwidth-bound rather than latency-serial.
+    memory_level_parallelism: int = 64
+    invocation_overhead_s: float = 40e-6
+    #: CPUs lack INT4 datapaths; quantized screening compute runs at a
+    #: fraction of FP32 peak (unpack + convert overhead).
+    int_compute_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("frequency_hz", self.frequency_hz)
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        return self.cores * self.frequency_hz * self.flops_per_cycle_per_core
+
+    @property
+    def stream_bandwidth(self) -> float:
+        return self.ideal_bandwidth * self.stream_efficiency
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point in FLOPs/byte."""
+        return self.peak_flops / self.stream_bandwidth
+
+    # ------------------------------------------------------------------
+    def kernel_seconds(
+        self,
+        flops: float,
+        stream_bytes: float,
+        quantized_bytes: float = 0.0,
+        gathers: int = 0,
+        gather_bytes: float = 0.0,
+        int_flops: float = 0.0,
+    ) -> float:
+        """Roofline time for one kernel invocation."""
+        compute = flops / self.peak_flops
+        compute += int_flops / (self.peak_flops * self.int_compute_efficiency)
+        memory = stream_bytes / self.stream_bandwidth
+        memory += quantized_bytes / (
+            self.ideal_bandwidth * self.quantized_stream_efficiency
+        )
+        if gathers:
+            latency_bound = gathers * self.gather_latency_s / self.memory_level_parallelism
+            bandwidth_bound = gather_bytes / self.stream_bandwidth
+            memory += max(latency_bound, bandwidth_bound)
+        return max(compute, memory) + self.invocation_overhead_s
+
+    # ------------------------------------------------------------------
+    def full_classification_seconds(
+        self, num_categories: int, hidden_dim: int, batch_size: int = 1
+    ) -> float:
+        """Exact ``z = W h + b`` on the CPU (the Fig. 13 '1×' baseline)."""
+        from repro.core.metrics import cost_of_full_classification
+
+        cost = cost_of_full_classification(num_categories, hidden_dim, batch_size)
+        return self.kernel_seconds(flops=cost.fp_flops, stream_bytes=cost.fp_bytes)
+
+    def screened_classification_seconds(self, cost: ClassificationCost,
+                                        gathers: int = 0) -> float:
+        """Approximate-screening classification on the CPU.
+
+        ``cost`` comes from :func:`cost_of_screened_classification`;
+        integer traffic streams at the quantized de-rating, candidate
+        rows pay per-gather latency.
+        """
+        return self.kernel_seconds(
+            flops=cost.fp_flops,
+            stream_bytes=0.0,
+            quantized_bytes=cost.int_bytes,
+            gathers=gathers,
+            gather_bytes=cost.fp_bytes,
+            int_flops=cost.int_flops,
+        )
+
+    def roofline_point(self, cost: ClassificationCost) -> tuple:
+        """(operational intensity, attained GFLOP/s) for Fig. 5(b)."""
+        seconds = self.kernel_seconds(
+            flops=cost.fp_flops, stream_bytes=cost.bytes, int_flops=cost.int_flops
+        )
+        intensity = cost.operational_intensity
+        attained = cost.flops / seconds
+        return intensity, attained
+
+
+#: The paper's CPU baseline.
+XEON_8280 = CPUModel()

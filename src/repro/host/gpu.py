@@ -1,0 +1,87 @@
+"""A GPU host model (paper Section 2.2 / Fig. 3).
+
+The paper motivates ENMC partly by GPUs' limited device memory: XC
+weights exceed HBM capacity, forcing host↔device transfers over PCIe.
+This roofline-plus-transfer model quantifies that: classification runs
+at HBM bandwidth only for the resident slice of ``W``; the overflow
+streams over the interconnect every batch.
+
+Used by the ``examples``/analysis layer; ENMC's headline comparisons
+(Fig. 13) use the CPU baseline as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ClassificationCost
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """A V100-class accelerator (the paper's era)."""
+
+    name: str = "V100"
+    peak_flops: float = 14e12  # FP32
+    hbm_bandwidth: float = 900e9
+    device_memory_bytes: float = 32e9
+    interconnect_bandwidth: float = 16e9  # PCIe 3 x16
+    interconnect_latency_s: float = 10e-6
+    kernel_launch_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        check_positive("peak_flops", self.peak_flops)
+        check_positive("hbm_bandwidth", self.hbm_bandwidth)
+
+    # ------------------------------------------------------------------
+    def classification_seconds(
+        self,
+        num_categories: int,
+        hidden_dim: int,
+        batch_size: int = 1,
+        resident_fraction: float = None,
+    ) -> float:
+        """Exact classification with capacity-driven weight spill.
+
+        ``resident_fraction`` defaults to whatever share of ``W`` fits
+        in device memory (leaving 20% headroom for activations).
+        """
+        check_positive("num_categories", num_categories)
+        check_positive("hidden_dim", hidden_dim)
+        weight_bytes = 4.0 * num_categories * hidden_dim
+        if resident_fraction is None:
+            budget = 0.8 * self.device_memory_bytes
+            resident_fraction = min(1.0, budget / weight_bytes)
+        if not 0.0 <= resident_fraction <= 1.0:
+            raise ValueError(
+                f"resident_fraction must be in [0, 1], got {resident_fraction}"
+            )
+
+        flops = 2.0 * num_categories * hidden_dim * batch_size
+        compute = flops / self.peak_flops
+        hbm_time = weight_bytes * resident_fraction / self.hbm_bandwidth
+        spill_bytes = weight_bytes * (1.0 - resident_fraction)
+        transfer = 0.0
+        if spill_bytes > 0:
+            transfer = (
+                self.interconnect_latency_s
+                + spill_bytes / self.interconnect_bandwidth
+            )
+        return max(compute, hbm_time) + transfer + self.kernel_launch_s
+
+    def screened_classification_seconds(
+        self, cost: ClassificationCost, resident: bool = True
+    ) -> float:
+        """Screened classification; the screener fits on-device."""
+        compute = cost.flops / self.peak_flops
+        bandwidth = self.hbm_bandwidth if resident else self.interconnect_bandwidth
+        memory = cost.bytes / bandwidth
+        return max(compute, memory) + self.kernel_launch_s
+
+    def capacity_exceeded(self, num_categories: int, hidden_dim: int) -> bool:
+        """Does the classifier overflow device memory (Fig. 3's case)?"""
+        return 4.0 * num_categories * hidden_dim > 0.8 * self.device_memory_bytes
+
+
+V100 = GPUModel()

@@ -1,0 +1,66 @@
+"""The host memory controller: delivers ENMC instructions over DDR4.
+
+Section 5.3: ENMC instructions are issued "from the memory controller
+with PRECHARGE command combining special addresses and data".  This
+module models the delivery path: programs become packets of PRECHARGE
+slots (+ DQ bursts for data-carrying instructions), charged against the
+channel's command/data bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.isa.encoding import EncodedCommand
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class InstructionPacket:
+    """One program rendered as a stream of DDR4 command-bus events."""
+
+    commands: List[EncodedCommand]
+    channel: int
+    rank: int
+
+    @property
+    def command_slots(self) -> int:
+        """C/A bus slots (one per PRECHARGE-encoded instruction)."""
+        return len(self.commands)
+
+    @property
+    def dq_bursts(self) -> int:
+        """Data-bus bursts carrying immediates/addresses."""
+        return sum(1 for command in self.commands if command.data is not None)
+
+
+class HostMemoryController:
+    """Packs programs into packets and accounts delivery time."""
+
+    def __init__(self, timing: DDR4Timing = DDR4_2400, channels: int = 8):
+        self.timing = timing
+        self.channels = channels
+        self.packets_sent = 0
+
+    def pack(self, program: Program, channel: int = 0, rank: int = 0) -> InstructionPacket:
+        if not 0 <= channel < self.channels:
+            raise ValueError(f"channel {channel} out of range (0..{self.channels - 1})")
+        return InstructionPacket(
+            commands=program.encoded(), channel=channel, rank=rank
+        )
+
+    def delivery_cycles(self, packet: InstructionPacket) -> int:
+        """DRAM-clock cycles to deliver a packet to the DIMM.
+
+        Each command occupies one C/A slot (1 cycle); each DQ payload
+        occupies one burst on the data bus.  Command and data phases
+        interleave, so the total is their sum (the C/A bus is the
+        bottleneck for instruction-dense streams).
+        """
+        self.packets_sent += 1
+        return packet.command_slots + packet.dq_bursts * self.timing.burst_cycles
+
+    def delivery_seconds(self, packet: InstructionPacket) -> float:
+        return self.delivery_cycles(packet) / self.timing.clock_hz

@@ -1,0 +1,53 @@
+"""The ENMC instruction set (paper Table 1 and Fig. 8).
+
+Instructions ride on DDR4 PRECHARGE commands: a normal PRECHARGE drives
+all row-address bits low, so a PRECHARGE with row-address bits set is
+recognized by the DIMM as an ENMC instruction.  The command occupies
+13 bits (A0-A12); instructions carrying immediate data or addresses add
+one 64-bit DQ-bus word.
+"""
+
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+from repro.isa.instruction import (
+    Barrier,
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+    SpecialFunction,
+    Store,
+)
+from repro.isa.encoding import EncodedCommand, decode, encode
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.program import Program
+
+__all__ = [
+    "Opcode",
+    "BufferId",
+    "RegisterId",
+    "Instruction",
+    "Init",
+    "Load",
+    "Store",
+    "Move",
+    "Compute",
+    "Filter",
+    "SpecialFunction",
+    "Barrier",
+    "Nop",
+    "Query",
+    "Return",
+    "Clear",
+    "EncodedCommand",
+    "encode",
+    "decode",
+    "assemble",
+    "disassemble",
+    "Program",
+]

@@ -1,0 +1,180 @@
+"""Text assembly for ENMC programs.
+
+The assembler accepts the mnemonic syntax the paper uses in Table 1 and
+Fig. 8, one instruction per line, ``#`` comments::
+
+    INIT vocab_size, 33278
+    LDR feature_int4, 0x1000
+    MUL_ADD_INT4 feature_int4, weight_int4
+    FILTER psum_int4
+    RETURN
+
+Buffer and register operands may be written by name (case-insensitive)
+or numerically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instruction import (
+    Barrier,
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+    SpecialFunction,
+    Store,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+
+class AssemblerError(ValueError):
+    """Raised with the offending line number and text."""
+
+    def __init__(self, line_number: int, line: str, message: str):
+        super().__init__(f"line {line_number}: {message!s} in {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 0)
+
+
+def _parse_buffer(token: str) -> BufferId:
+    token = token.strip()
+    try:
+        return BufferId(_parse_int(token))
+    except ValueError:
+        pass
+    try:
+        return BufferId[token.upper()]
+    except KeyError:
+        raise ValueError(f"unknown buffer {token!r}") from None
+
+
+def _parse_register(token: str) -> RegisterId:
+    token = token.strip()
+    try:
+        return RegisterId(_parse_int(token))
+    except ValueError:
+        pass
+    try:
+        return RegisterId[token.upper()]
+    except KeyError:
+        raise ValueError(f"unknown register {token!r}") from None
+
+
+def _parse_line(line: str) -> Instruction:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.upper()
+    operands = [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise ValueError(f"{mnemonic} expects {count} operand(s), got {len(operands)}")
+
+    if mnemonic == "INIT":
+        need(2)
+        return Init(register=_parse_register(operands[0]), value=_parse_int(operands[1]))
+    if mnemonic == "QUERY":
+        need(1)
+        return Query(register=_parse_register(operands[0]))
+    if mnemonic == "LDR":
+        need(2)
+        return Load(buffer=_parse_buffer(operands[0]), address=_parse_int(operands[1]))
+    if mnemonic == "STR":
+        need(2)
+        return Store(buffer=_parse_buffer(operands[0]), address=_parse_int(operands[1]))
+    if mnemonic == "MOVE":
+        need(2)
+        return Move(
+            destination=_parse_buffer(operands[0]), source=_parse_buffer(operands[1])
+        )
+    if mnemonic in ("ADD_INT4", "MUL_INT4", "ADD_FP32", "MUL_FP32",
+                    "MUL_ADD_INT4", "MUL_ADD_FP32"):
+        need(2)
+        return Compute(
+            opcode=Opcode[mnemonic],
+            buffer_a=_parse_buffer(operands[0]),
+            buffer_b=_parse_buffer(operands[1]),
+        )
+    if mnemonic == "FILTER":
+        need(1)
+        return Filter(buffer=_parse_buffer(operands[0]))
+    if mnemonic in ("SOFTMAX", "SIGMOID"):
+        need(0)
+        return SpecialFunction(opcode=Opcode[mnemonic])
+    if mnemonic == "BARRIER":
+        need(0)
+        return Barrier()
+    if mnemonic == "NOP":
+        need(0)
+        return Nop()
+    if mnemonic == "RETURN":
+        need(0)
+        return Return()
+    if mnemonic == "CLR":
+        need(0)
+        return Clear()
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble multi-line source text into instruction objects."""
+    instructions: List[Instruction] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            instructions.append(_parse_line(line))
+        except ValueError as exc:
+            raise AssemblerError(number, raw, exc) from exc
+    return instructions
+
+
+def disassemble(instructions: List[Instruction]) -> str:
+    """Render instructions back to canonical assembly text."""
+    lines = []
+    for instruction in instructions:
+        if isinstance(instruction, Init):
+            lines.append(
+                f"INIT {instruction.register.name.lower()}, {instruction.value}"
+            )
+        elif isinstance(instruction, Query):
+            lines.append(f"QUERY {instruction.register.name.lower()}")
+        elif isinstance(instruction, Load):
+            lines.append(
+                f"LDR {instruction.buffer.name.lower()}, {instruction.address:#x}"
+            )
+        elif isinstance(instruction, Store):
+            lines.append(
+                f"STR {instruction.buffer.name.lower()}, {instruction.address:#x}"
+            )
+        elif isinstance(instruction, Move):
+            lines.append(
+                f"MOVE {instruction.destination.name.lower()}, "
+                f"{instruction.source.name.lower()}"
+            )
+        elif isinstance(instruction, Compute):
+            lines.append(
+                f"{instruction.opcode.name} {instruction.buffer_a.name.lower()}, "
+                f"{instruction.buffer_b.name.lower()}"
+            )
+        elif isinstance(instruction, Filter):
+            lines.append(f"FILTER {instruction.buffer.name.lower()}")
+        elif isinstance(instruction, SpecialFunction):
+            lines.append(instruction.opcode.name)
+        elif isinstance(instruction, (Barrier, Nop, Return, Clear)):
+            lines.append(instruction.opcode.name)
+        else:
+            raise TypeError(f"cannot disassemble {type(instruction).__name__}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Wire encoding of ENMC instructions (Fig. 8).
+
+Layout of the 13-bit command word (A0 is bit 0):
+
+* bits [4:0]  — 5-bit opcode;
+* generic form (Fig. 8a): bits [8:5] operand 0, bits [12:9] operand 1
+  (two 4-bit buffer IDs);
+* register form (Fig. 8b/c, opcode REG): bit 5 = R/W (1 = write),
+  bits [10:6] = 5-bit register ID.
+
+Instructions whose :attr:`Opcode.carries_data` is true are followed by
+one 64-bit DQ word (address or immediate).  A command word of zero is a
+*normal* PRECHARGE — the all-row-bits-low pattern — so the encoder
+guarantees every instruction encodes to a non-zero word (NOP sets a
+marker bit in the operand field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instruction import (
+    Barrier,
+    Clear,
+    Compute,
+    Filter,
+    Init,
+    Instruction,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+    SpecialFunction,
+    Store,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+_COMMAND_BITS = 13
+_COMMAND_MASK = (1 << _COMMAND_BITS) - 1
+#: Marker bit distinguishing an encoded NOP from a normal PRECHARGE.
+_NOP_MARKER = 1 << 5
+
+
+@dataclass(frozen=True)
+class EncodedCommand:
+    """One instruction on the wire: 13 command bits + optional DQ word."""
+
+    command: int
+    data: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.command <= _COMMAND_MASK:
+            raise ValueError(
+                f"command word {self.command:#x} outside 13-bit non-zero range"
+            )
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode(self.command & 0b11111)
+
+    @property
+    def row_address_bits(self) -> str:
+        """The A12..A0 pattern as driven on the C/A bus."""
+        return format(self.command, f"0{_COMMAND_BITS}b")
+
+
+def _pack(opcode: Opcode, op0: int = 0, op1: int = 0) -> int:
+    if not 0 <= op0 < 16 or not 0 <= op1 < 16:
+        raise ValueError(f"operands must fit 4 bits: {op0}, {op1}")
+    return int(opcode) | (op0 << 5) | (op1 << 9)
+
+
+def _pack_reg(write: bool, register: RegisterId) -> int:
+    return int(Opcode.REG) | (int(write) << 5) | (int(register) << 6)
+
+
+def encode(instruction: Instruction) -> EncodedCommand:
+    """Encode a typed instruction into its wire format."""
+    if isinstance(instruction, Init):
+        return EncodedCommand(
+            command=_pack_reg(True, instruction.register),
+            data=instruction.value,
+        )
+    if isinstance(instruction, Query):
+        return EncodedCommand(command=_pack_reg(False, instruction.register))
+    if isinstance(instruction, Load):
+        return EncodedCommand(
+            command=_pack(Opcode.LDR, int(instruction.buffer)),
+            data=instruction.address,
+        )
+    if isinstance(instruction, Store):
+        return EncodedCommand(
+            command=_pack(Opcode.STR, int(instruction.buffer)),
+            data=instruction.address,
+        )
+    if isinstance(instruction, Move):
+        return EncodedCommand(
+            command=_pack(
+                Opcode.MOVE, int(instruction.destination), int(instruction.source)
+            )
+        )
+    if isinstance(instruction, Compute):
+        return EncodedCommand(
+            command=_pack(
+                instruction.opcode, int(instruction.buffer_a), int(instruction.buffer_b)
+            )
+        )
+    if isinstance(instruction, Filter):
+        return EncodedCommand(command=_pack(Opcode.FILTER, int(instruction.buffer)))
+    if isinstance(instruction, SpecialFunction):
+        return EncodedCommand(command=_pack(instruction.opcode, 1))
+    if isinstance(instruction, Barrier):
+        return EncodedCommand(command=_pack(Opcode.BARRIER, 1))
+    if isinstance(instruction, Return):
+        return EncodedCommand(command=_pack(Opcode.RETURN, 1))
+    if isinstance(instruction, Clear):
+        return EncodedCommand(command=_pack(Opcode.CLR, 1))
+    if isinstance(instruction, Nop):
+        return EncodedCommand(command=int(Opcode.NOP) | _NOP_MARKER)
+    raise TypeError(f"cannot encode {type(instruction).__name__}")
+
+
+def decode(encoded: EncodedCommand) -> Instruction:
+    """Decode a wire command back to a typed instruction."""
+    word = encoded.command
+    opcode = Opcode(word & 0b11111)
+    op0 = (word >> 5) & 0b1111
+    op1 = (word >> 9) & 0b1111
+
+    if opcode is Opcode.REG:
+        write = bool((word >> 5) & 1)
+        register = RegisterId((word >> 6) & 0b11111)
+        if write:
+            if encoded.data is None:
+                raise ValueError("INIT requires a DQ data word")
+            return Init(register=register, value=encoded.data)
+        return Query(register=register)
+    if opcode is Opcode.LDR:
+        if encoded.data is None:
+            raise ValueError("LDR requires a DQ address word")
+        return Load(buffer=BufferId(op0), address=encoded.data)
+    if opcode is Opcode.STR:
+        if encoded.data is None:
+            raise ValueError("STR requires a DQ address word")
+        return Store(buffer=BufferId(op0), address=encoded.data)
+    if opcode is Opcode.MOVE:
+        return Move(destination=BufferId(op0), source=BufferId(op1))
+    if opcode.is_compute:
+        return Compute(opcode=opcode, buffer_a=BufferId(op0), buffer_b=BufferId(op1))
+    if opcode is Opcode.FILTER:
+        return Filter(buffer=BufferId(op0))
+    if opcode in (Opcode.SOFTMAX, Opcode.SIGMOID):
+        return SpecialFunction(opcode=opcode)
+    if opcode is Opcode.BARRIER:
+        return Barrier()
+    if opcode is Opcode.RETURN:
+        return Return()
+    if opcode is Opcode.CLR:
+        return Clear()
+    if opcode is Opcode.NOP:
+        return Nop()
+    raise ValueError(f"cannot decode opcode {opcode!r}")

@@ -1,0 +1,174 @@
+"""Typed instruction classes for the ENMC ISA (Table 1).
+
+Each class knows its opcode and operand layout; :mod:`repro.isa.encoding`
+maps instances to/from the 13-bit + 64-bit wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+_MASK_64 = (1 << 64) - 1
+
+
+class Instruction:
+    """Base class; concrete instructions are frozen dataclasses."""
+
+    opcode: Opcode
+
+    @property
+    def carries_data(self) -> bool:
+        return self.opcode.carries_data
+
+    def data_word(self) -> Optional[int]:
+        """The 64-bit DQ payload, or ``None`` if the command is 13-bit only."""
+        return None
+
+
+@dataclass(frozen=True)
+class Init(Instruction):
+    """INIT reg, data — write a controller status register."""
+
+    register: RegisterId
+    value: int
+    opcode: Opcode = Opcode.REG
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MASK_64:
+            raise ValueError(f"INIT value {self.value} exceeds 64 bits")
+
+    def data_word(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Query(Instruction):
+    """QUERY reg — read back a controller status register."""
+
+    register: RegisterId
+    opcode: Opcode = Opcode.REG
+
+    def data_word(self) -> Optional[int]:
+        return None  # data flows DIMM → host on the following burst
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """LDR buffer, addr — fill an on-DIMM buffer from DRAM."""
+
+    buffer: BufferId
+    address: int
+    opcode: Opcode = Opcode.LDR
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= _MASK_64:
+            raise ValueError(f"LDR address {self.address:#x} exceeds 64 bits")
+
+    def data_word(self) -> int:
+        return self.address
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """STR buffer, addr — spill an on-DIMM buffer to DRAM."""
+
+    buffer: BufferId
+    address: int
+    opcode: Opcode = Opcode.STR
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= _MASK_64:
+            raise ValueError(f"STR address {self.address:#x} exceeds 64 bits")
+
+    def data_word(self) -> int:
+        return self.address
+
+
+@dataclass(frozen=True)
+class Move(Instruction):
+    """MOVE dst, src — transfer between two on-DIMM buffers."""
+
+    destination: BufferId
+    source: BufferId
+    opcode: Opcode = Opcode.MOVE
+
+
+@dataclass(frozen=True)
+class Compute(Instruction):
+    """ADD/MUL/MUL_ADD at INT4 or FP32 over two buffers.
+
+    MUL_ADD accumulates into the matching-precision PSUM buffer, which
+    is implicit in the opcode (the hardware hard-wires it).
+    """
+
+    opcode: Opcode
+    buffer_a: BufferId
+    buffer_b: BufferId
+
+    def __post_init__(self) -> None:
+        if not self.opcode.is_compute:
+            raise ValueError(f"{self.opcode.name} is not a compute opcode")
+        int_op = self.opcode in (
+            Opcode.ADD_INT4, Opcode.MUL_INT4, Opcode.MUL_ADD_INT4
+        )
+        for buffer in (self.buffer_a, self.buffer_b):
+            if buffer in (BufferId.INDEX, BufferId.OUTPUT):
+                raise ValueError(f"compute cannot target {buffer.name}")
+            if int_op != buffer.is_integer:
+                raise ValueError(
+                    f"{self.opcode.name} operand {buffer.name} has wrong precision"
+                )
+
+
+@dataclass(frozen=True)
+class Filter(Instruction):
+    """FILTER buffer — threshold the PSUM buffer into the index buffer."""
+
+    buffer: BufferId
+    opcode: Opcode = Opcode.FILTER
+
+    def __post_init__(self) -> None:
+        if self.buffer not in (BufferId.PSUM_INT4, BufferId.PSUM_FP32):
+            raise ValueError("FILTER operates on a PSUM buffer")
+
+
+@dataclass(frozen=True)
+class SpecialFunction(Instruction):
+    """SOFTMAX / SIGMOID over the FP32 PSUM buffer (Executor SFU)."""
+
+    opcode: Opcode
+
+    def __post_init__(self) -> None:
+        if self.opcode not in (Opcode.SOFTMAX, Opcode.SIGMOID):
+            raise ValueError(f"{self.opcode.name} is not a special function")
+
+
+@dataclass(frozen=True)
+class Barrier(Instruction):
+    """BARRIER — wait for outstanding memory/compute/moves."""
+
+    opcode: Opcode = Opcode.BARRIER
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """NOP — pipeline bubble."""
+
+    opcode: Opcode = Opcode.NOP
+
+
+@dataclass(frozen=True)
+class Return(Instruction):
+    """RETURN — send the output buffer back to the host."""
+
+    opcode: Opcode = Opcode.RETURN
+
+
+@dataclass(frozen=True)
+class Clear(Instruction):
+    """CLR — reset all buffers and status registers."""
+
+    opcode: Opcode = Opcode.CLR

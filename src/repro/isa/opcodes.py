@@ -1,0 +1,103 @@
+"""Opcode, buffer and register identifier spaces.
+
+The command format (Fig. 8) gives 5 bits of opcode and 8 bits of
+operand space (two 4-bit buffer IDs, or 1 R/W bit + 5-bit register ID).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """5-bit primary opcodes covering Table 1."""
+
+    NOP = 0
+    LDR = 1
+    MUL_ADD_FP32 = 2  # Fig. 8(a) pins this to opcode 2
+    STR = 3
+    MOVE = 4
+    ADD_INT4 = 5
+    MUL_INT4 = 6
+    ADD_FP32 = 7
+    MUL_FP32 = 8
+    REG = 9  # Fig. 8(b/c): QUERY and INIT share opcode 9
+    MUL_ADD_INT4 = 10
+    FILTER = 11
+    SIGMOID = 12
+    SOFTMAX = 13
+    BARRIER = 14
+    RETURN = 15
+    CLR = 16
+
+    @property
+    def is_compute(self) -> bool:
+        return self in _COMPUTE_OPCODES
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether the instruction is followed by a 64-bit DQ word."""
+        return self in (Opcode.LDR, Opcode.STR, Opcode.REG)
+
+
+_COMPUTE_OPCODES = frozenset(
+    {
+        Opcode.ADD_INT4,
+        Opcode.MUL_INT4,
+        Opcode.ADD_FP32,
+        Opcode.MUL_FP32,
+        Opcode.MUL_ADD_INT4,
+        Opcode.MUL_ADD_FP32,
+    }
+)
+
+
+class BufferId(enum.IntEnum):
+    """4-bit on-DIMM buffer identifiers.
+
+    The Screener owns the INT4 feature/weight/psum buffers, the
+    Executor the FP32 set; INDEX carries filtered candidate indices and
+    OUTPUT stages results for RETURN.
+    """
+
+    FEATURE_INT4 = 0
+    WEIGHT_INT4 = 1
+    PSUM_INT4 = 2
+    FEATURE_FP32 = 3
+    WEIGHT_FP32 = 4
+    PSUM_FP32 = 5
+    INDEX = 6
+    OUTPUT = 7
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4, BufferId.PSUM_INT4)
+
+
+class RegisterId(enum.IntEnum):
+    """5-bit status-register file of the ENMC controller."""
+
+    FEATURE_BASE = 0  # DRAM address of input features
+    FEATURE_SIZE = 1
+    WEIGHT_BASE = 2  # DRAM address of the full classifier W
+    WEIGHT_SIZE = 3
+    SCREEN_WEIGHT_BASE = 4  # DRAM address of W̃
+    SCREEN_WEIGHT_SIZE = 5
+    VOCAB_SIZE = 6
+    HIDDEN_DIM = 7
+    PROJECTION_DIM = 8
+    BATCH_SIZE = 9
+    THRESHOLD = 10  # candidate filter threshold (fixed-point)
+    TILE_ROWS = 11
+    INSTRUCTION_COUNT = 12
+    STATUS = 13  # busy/done flags
+    CANDIDATE_COUNT = 14
+    OUTPUT_BASE = 15
+    #: Category-space offset of the tile currently in the PSUM buffer;
+    #: the compiler sets it before each FILTER so tile-local comparator
+    #: indices become global candidate ids.
+    FILTER_BASE = 16
+    #: Which batch row the current screening pass belongs to.  The
+    #: Screener forwards ``(batch_id, candidate_id)`` pairs to the
+    #: instruction generator (paper Section 5.2).
+    BATCH_ID = 17

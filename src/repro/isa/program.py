@@ -1,0 +1,79 @@
+"""Instruction sequences with static checking and traffic accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.isa.encoding import EncodedCommand, encode
+from repro.isa.instruction import Instruction, Load, Return, Store
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class Program:
+    """A validated ENMC instruction stream.
+
+    Programs are what the compiler emits and the DIMM simulator
+    executes; they also know their own command-bus footprint, which the
+    host model charges to the memory channel.
+    """
+
+    instructions: List[Instruction]
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("program is empty")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------
+    def encoded(self) -> List[EncodedCommand]:
+        """The wire-format command stream."""
+        return [encode(instruction) for instruction in self.instructions]
+
+    def count(self, opcode: Opcode) -> int:
+        """Number of instructions with the given opcode."""
+        return sum(1 for i in self.instructions if i.opcode is opcode)
+
+    @property
+    def command_bus_beats(self) -> int:
+        """C/A + DQ beats consumed delivering this program to the DIMM.
+
+        Each instruction costs one PRECHARGE slot; instructions with a
+        DQ payload add one 8-beat burst (the 64-bit word rides one
+        burst as Fig. 8 describes).
+        """
+        beats = 0
+        for instruction in self.instructions:
+            beats += 1
+            if instruction.carries_data:
+                beats += 8
+        return beats
+
+    @property
+    def dram_loads(self) -> List[Load]:
+        return [i for i in self.instructions if isinstance(i, Load)]
+
+    @property
+    def dram_stores(self) -> List[Store]:
+        return [i for i in self.instructions if isinstance(i, Store)]
+
+    def validate(self) -> None:
+        """Static checks: programs must end with RETURN and every
+        compute instruction must be reachable before it."""
+        if not any(isinstance(i, Return) for i in self.instructions):
+            raise ValueError("program never RETURNs results to the host")
+        last_return = max(
+            idx for idx, i in enumerate(self.instructions) if isinstance(i, Return)
+        )
+        tail = self.instructions[last_return + 1 :]
+        if any(i.opcode.is_compute for i in tail):
+            raise ValueError("compute instructions after the final RETURN are dead")

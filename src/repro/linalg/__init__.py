@@ -1,0 +1,36 @@
+"""Numerical building blocks shared by the algorithm and hardware models."""
+
+from repro.linalg.quantize import (
+    QuantizedTensor,
+    Quantizer,
+    dequantize,
+    quantize_symmetric,
+)
+from repro.linalg.projection import SparseRandomProjection, gaussian_projection
+from repro.linalg.functional import (
+    log_softmax,
+    sigmoid,
+    softmax,
+    taylor_exp,
+    taylor_softmax,
+)
+from repro.linalg.sgd import SGD, Adam
+from repro.linalg.topk import select_above_threshold, top_k_indices
+
+__all__ = [
+    "Quantizer",
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "dequantize",
+    "SparseRandomProjection",
+    "gaussian_projection",
+    "softmax",
+    "log_softmax",
+    "sigmoid",
+    "taylor_exp",
+    "taylor_softmax",
+    "SGD",
+    "Adam",
+    "top_k_indices",
+    "select_above_threshold",
+]

@@ -1,0 +1,96 @@
+"""Activation functions, including the hardware SFU approximation.
+
+The ENMC Executor approximates the exponential with a Taylor expansion
+to the 4th order (Section 6.2).  ``taylor_exp`` / ``taylor_softmax``
+model that special-function unit so algorithm-level experiments can
+quantify the SFU's accuracy impact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    array = np.asarray(logits, dtype=np.float64)
+    shifted = array - np.max(array, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    array = np.asarray(logits, dtype=np.float64)
+    shifted = array - np.max(array, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def sigmoid(logits: np.ndarray) -> np.ndarray:
+    """Elementwise logistic sigmoid (used by the multi-label workloads)."""
+    array = np.asarray(logits, dtype=np.float64)
+    out = np.empty_like(array)
+    positive = array >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-array[positive]))
+    exp_x = np.exp(array[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+_LN2 = 0.6931471805599453
+
+
+def taylor_exp(x: np.ndarray, order: int = 4) -> np.ndarray:
+    """Range-reduced Taylor approximation of exp(x) (the SFU model).
+
+    The hardware splits ``x = n·ln2 + r`` with ``|r| ≤ ln2/2``; the
+    ``2^n`` factor is an exponent shift in the floating-point datapath
+    and only ``exp(r)`` is evaluated as an ``order``-term Taylor
+    polynomial (Horner's rule).  Without the reduction a truncated
+    series diverges badly for ``x < -2``, which would corrupt softmax
+    tails.  Results are clamped at zero: the reduced polynomial is
+    positive on its domain, but we keep the guard for robustness at
+    order 1.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    array = np.asarray(x, dtype=np.float64)
+    n = np.round(array / _LN2)
+    r = array - n * _LN2
+    poly = np.ones_like(r)
+    for term in range(order, 0, -1):
+        poly = poly * r / term + 1.0
+    # Clamp the exponent shift to the representable range.
+    n = np.clip(n, -1022, 1023)
+    return np.maximum(np.ldexp(poly, n.astype(np.int64)), 0.0)
+
+
+def taylor_softmax(logits: np.ndarray, order: int = 4, axis: int = -1) -> np.ndarray:
+    """Softmax computed with the SFU's Taylor-approximated exponential.
+
+    Inputs are max-shifted first (the hardware subtracts the running
+    max from the PSUM buffer), which keeps arguments in the negative
+    range where the truncated series is best behaved.
+    """
+    array = np.asarray(logits, dtype=np.float64)
+    shifted = array - np.max(array, axis=axis, keepdims=True)
+    exp = taylor_exp(shifted, order=order)
+    total = np.sum(exp, axis=axis, keepdims=True)
+    total = np.where(total > 0, total, 1.0)
+    return exp / total
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit (front-end models)."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (front-end models)."""
+    return np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit, tanh approximation (Transformer FFN)."""
+    array = np.asarray(x, dtype=np.float64)
+    return 0.5 * array * (1.0 + np.tanh(0.7978845608028654 * (array + 0.044715 * array**3)))

@@ -1,0 +1,110 @@
+"""Random projections for dimensionality reduction.
+
+The screening module projects the hidden vector ``h`` from dimension
+``d`` down to ``k`` with the Achlioptas sparse random projection
+(paper Eq. 3):
+
+    P ∈ sqrt(3/k) · {-1, 0, +1}^{k×d}
+
+with entries drawn as -1/0/+1 with probabilities 1/6, 2/3, 1/6.  The
+ternary structure lets the hardware store ``P`` in 2-bit format (the
+paper notes < 0.1% overhead versus the classifier weights) and apply it
+with adds/subtracts only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class SparseRandomProjection:
+    """Achlioptas sparse random projection ``k×d``.
+
+    Parameters
+    ----------
+    input_dim:
+        Source dimensionality ``d`` (the model hidden size).
+    output_dim:
+        Target dimensionality ``k`` (the screener's reduced hidden size).
+    density:
+        Probability of a non-zero entry; Achlioptas' classic choice is
+        1/3 (so -1 and +1 each appear with probability 1/6).
+    rng:
+        Seed or generator; the projection is fixed once constructed and
+        never trained (paper Section 4.3).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        density: float = 1.0 / 3.0,
+        rng: RngLike = None,
+    ):
+        check_positive("input_dim", input_dim)
+        check_positive("output_dim", output_dim)
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        if output_dim > input_dim:
+            raise ValueError(
+                f"projection must reduce dimension: k={output_dim} > d={input_dim}"
+            )
+
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.density = density
+
+        generator = ensure_rng(rng)
+        half = density / 2.0
+        signs = generator.choice(
+            np.array([-1, 0, 1], dtype=np.int8),
+            size=(output_dim, input_dim),
+            p=[half, 1.0 - density, half],
+        )
+        self._ternary = signs
+        # Scaling keeps inner products unbiased: E[(Px)·(Py)] = x·y.
+        self._scale = np.sqrt(1.0 / (density * output_dim))
+
+    @property
+    def ternary(self) -> np.ndarray:
+        """The raw {-1, 0, +1} matrix (what the 2-bit hardware stores)."""
+        return self._ternary
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense floating-point projection matrix ``P``."""
+        return self._ternary.astype(np.float64) * self._scale
+
+    @property
+    def nbytes(self) -> float:
+        """Storage at 2 bits/entry, as the paper's hardware packs it."""
+        return self._ternary.size * 2 / 8.0
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        """Project ``features`` (``(..., d)``) to ``(..., k)``."""
+        array = np.asarray(features, dtype=np.float64)
+        if array.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"features last dim {array.shape[-1]} != input_dim {self.input_dim}"
+            )
+        return array @ self.matrix.T
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseRandomProjection(d={self.input_dim}, k={self.output_dim}, "
+            f"density={self.density:.3f})"
+        )
+
+
+def gaussian_projection(
+    input_dim: int, output_dim: int, rng: RngLike = None
+) -> np.ndarray:
+    """A dense Gaussian JL projection, used as an ablation against the
+    sparse ternary projection (see DESIGN.md §5)."""
+    check_positive("input_dim", input_dim)
+    check_positive("output_dim", output_dim)
+    generator = ensure_rng(rng)
+    return generator.standard_normal((output_dim, input_dim)) / np.sqrt(output_dim)

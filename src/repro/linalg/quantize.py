@@ -1,0 +1,127 @@
+"""Symmetric fixed-point quantization.
+
+The ENMC Screener runs at INT4 (Section 5.2); the paper's Fig. 12(b)
+sweeps quantization levels of the screening module.  We implement a
+per-tensor / per-row symmetric linear quantizer:
+
+    q = clip(round(x / scale), -2^(b-1), 2^(b-1) - 1)
+    x̂ = q * scale
+
+with ``scale`` chosen from the maximum absolute value, which matches
+the straightforward post-training quantization the paper describes
+("Both the input features and the screening parameters are further
+quantized at inference time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Bit-widths accepted by the hardware model (INT2 appears only in the
+#: Fig. 12(b) sensitivity sweep; the shipped Screener uses INT4).
+SUPPORTED_BITS = (2, 3, 4, 6, 8, 16)
+
+
+def _qrange(bits: int) -> tuple:
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"unsupported bit width {bits}; expected one of {SUPPORTED_BITS}")
+    qmax = 2 ** (bits - 1) - 1
+    qmin = -(2 ** (bits - 1))
+    return qmin, qmax
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor plus the scale(s) required to dequantize it.
+
+    ``scale`` is either a scalar (per-tensor) or an array broadcastable
+    against ``values`` along the quantization axis (per-row).
+    """
+
+    values: np.ndarray
+    scale: np.ndarray
+    bits: int
+
+    @property
+    def shape(self) -> tuple:
+        return self.values.shape
+
+    @property
+    def nbytes(self) -> float:
+        """Storage cost in bytes at the nominal bit width (fractional for sub-byte)."""
+        return self.values.size * self.bits / 8.0
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the floating-point approximation."""
+        return self.values.astype(np.float64) * self.scale
+
+
+def quantize_symmetric(
+    tensor: np.ndarray,
+    bits: int = 4,
+    axis: Optional[int] = None,
+) -> QuantizedTensor:
+    """Quantize ``tensor`` symmetrically to ``bits`` bits.
+
+    ``axis=None`` uses one scale for the whole tensor; an integer axis
+    computes one scale per slice along that axis (e.g. ``axis=1`` on an
+    ``(l, k)`` weight matrix gives per-output-row scales, which is what
+    a per-row MAC pipeline naturally supports).
+    """
+    array = np.asarray(tensor, dtype=np.float64)
+    qmin, qmax = _qrange(bits)
+
+    if axis is None:
+        max_abs = np.max(np.abs(array)) if array.size else 0.0
+        scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+    else:
+        reduce_axes = tuple(i for i in range(array.ndim) if i != axis % array.ndim)
+        max_abs = np.max(np.abs(array), axis=reduce_axes, keepdims=True)
+        scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
+
+    q = np.clip(np.round(array / scale), qmin, qmax)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return QuantizedTensor(values=q.astype(dtype), scale=np.asarray(scale), bits=bits)
+
+
+def dequantize(quantized: QuantizedTensor) -> np.ndarray:
+    """Module-level alias of :meth:`QuantizedTensor.dequantize`."""
+    return quantized.dequantize()
+
+
+def quantization_error(tensor: np.ndarray, bits: int, axis: Optional[int] = None) -> float:
+    """Root-mean-square reconstruction error of quantizing ``tensor``."""
+    array = np.asarray(tensor, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    reconstructed = quantize_symmetric(array, bits=bits, axis=axis).dequantize()
+    return float(np.sqrt(np.mean((array - reconstructed) ** 2)))
+
+
+class Quantizer:
+    """A reusable quantization policy (bit width + axis).
+
+    Hardware units hold a ``Quantizer`` describing their datapath; the
+    algorithm-level pipeline uses it to emulate fixed-point inference.
+    """
+
+    def __init__(self, bits: int = 4, axis: Optional[int] = None):
+        _qrange(bits)  # validates
+        check_positive("bits", bits)
+        self.bits = bits
+        self.axis = axis
+
+    def __call__(self, tensor: np.ndarray) -> QuantizedTensor:
+        return quantize_symmetric(tensor, bits=self.bits, axis=self.axis)
+
+    def fake_quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Quantize then immediately dequantize (simulated fixed point)."""
+        return self(tensor).dequantize()
+
+    def __repr__(self) -> str:
+        return f"Quantizer(bits={self.bits}, axis={self.axis})"

@@ -1,0 +1,73 @@
+"""Top-k and threshold selection over screening scores.
+
+Paper Section 4.2: "The estimation can be done with top-m searching or
+thresholding, where the threshold value can be tuned on validation
+sets."  Both primitives operate on batched score matrices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def top_k_indices(scores: np.ndarray, k: int, sort: bool = True) -> np.ndarray:
+    """Indices of the ``k`` largest entries along the last axis.
+
+    Returns an array of shape ``scores.shape[:-1] + (k,)``.  With
+    ``sort=True`` indices are ordered by descending score, which the
+    language-modeling decoder relies on; ``sort=False`` saves the sort
+    when the caller only needs set membership (candidate screening).
+    """
+    array = np.asarray(scores)
+    check_positive("k", k)
+    if k > array.shape[-1]:
+        raise ValueError(f"k={k} exceeds score dimension {array.shape[-1]}")
+
+    if k == array.shape[-1]:
+        indices = np.broadcast_to(
+            np.arange(k), array.shape[:-1] + (k,)
+        ).copy()
+    else:
+        indices = np.argpartition(array, -k, axis=-1)[..., -k:]
+
+    if sort:
+        gathered = np.take_along_axis(array, indices, axis=-1)
+        order = np.argsort(-gathered, axis=-1)
+        indices = np.take_along_axis(indices, order, axis=-1)
+    return indices
+
+
+def select_above_threshold(scores: np.ndarray, threshold: float) -> List[np.ndarray]:
+    """Per-row indices whose score strictly exceeds ``threshold``.
+
+    This models the Screener's comparator array; rows may select
+    different counts, so the result is a ragged list (one index array
+    per batch row).
+    """
+    array = np.asarray(scores)
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2:
+        raise ValueError(f"scores must be 1-D or 2-D, got shape {array.shape}")
+    return [np.flatnonzero(row > threshold) for row in array]
+
+
+def calibrate_threshold(scores: np.ndarray, target_candidates: float) -> float:
+    """Choose a threshold so rows select ``target_candidates`` on average.
+
+    This is the "tuned on validation sets" step: given screening scores
+    from a validation batch, pick the value whose exceedance count
+    matches the desired candidate budget.
+    """
+    array = np.asarray(scores, dtype=np.float64)
+    if array.ndim == 1:
+        array = array[None, :]
+    check_positive("target_candidates", target_candidates)
+    if target_candidates >= array.shape[-1]:
+        return float(np.min(array)) - 1.0
+    quantile = 1.0 - target_candidates / array.shape[-1]
+    return float(np.quantile(array, quantile))

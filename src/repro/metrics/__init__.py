@@ -1,0 +1,14 @@
+"""End-task quality metrics used in the paper's Fig. 11."""
+
+from repro.metrics.perplexity import perplexity, perplexity_from_proba
+from repro.metrics.bleu import bleu, sentence_bleu
+from repro.metrics.multilabel import precision_at_k, recall_at_k
+
+__all__ = [
+    "perplexity",
+    "perplexity_from_proba",
+    "bleu",
+    "sentence_bleu",
+    "precision_at_k",
+    "recall_at_k",
+]

@@ -1,0 +1,84 @@
+"""Corpus BLEU for the NMT workload (Fig. 11a y-axis).
+
+Standard BLEU-4 with brevity penalty (Papineni et al. 2002), over
+integer token sequences — the synthetic NMT task emits token ids, so no
+tokenizer is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+
+def _ngrams(tokens: Sequence[int], order: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1)
+    )
+
+
+def _clipped_matches(
+    candidate: Sequence[int], reference: Sequence[int], order: int
+) -> Tuple[int, int]:
+    """(clipped match count, candidate n-gram count) for one order."""
+    cand = _ngrams(candidate, order)
+    if not cand:
+        return 0, 0
+    ref = _ngrams(reference, order)
+    matches = sum(min(count, ref[gram]) for gram, count in cand.items())
+    return matches, sum(cand.values())
+
+
+def sentence_bleu(
+    candidate: Sequence[int],
+    reference: Sequence[int],
+    max_order: int = 4,
+    smoothing: float = 1.0,
+) -> float:
+    """Smoothed sentence-level BLEU (add-``smoothing`` on counts)."""
+    return bleu([candidate], [reference], max_order=max_order, smoothing=smoothing)
+
+
+def bleu(
+    candidates: List[Sequence[int]],
+    references: List[Sequence[int]],
+    max_order: int = 4,
+    smoothing: float = 0.0,
+) -> float:
+    """Corpus BLEU in [0, 1].
+
+    ``smoothing`` > 0 applies add-k smoothing to the modified
+    precisions, needed for very short synthetic sentences.
+    """
+    if len(candidates) != len(references):
+        raise ValueError(
+            f"{len(candidates)} candidates vs {len(references)} references"
+        )
+    if not candidates:
+        raise ValueError("empty corpus")
+
+    log_precision_sum = 0.0
+    for order in range(1, max_order + 1):
+        matches = 0
+        total = 0
+        for cand, ref in zip(candidates, references):
+            m, t = _clipped_matches(cand, ref, order)
+            matches += m
+            total += t
+        numerator = matches + smoothing
+        denominator = total + smoothing
+        if numerator == 0 or denominator == 0:
+            return 0.0
+        log_precision_sum += math.log(numerator / denominator)
+
+    candidate_len = sum(len(c) for c in candidates)
+    reference_len = sum(len(r) for r in references)
+    if candidate_len == 0:
+        return 0.0
+    brevity = (
+        1.0
+        if candidate_len >= reference_len
+        else math.exp(1.0 - reference_len / candidate_len)
+    )
+    return brevity * math.exp(log_precision_sum / max_order)

@@ -1,0 +1,70 @@
+"""Multi-label ranking metrics for the recommendation workload.
+
+Amazon-670K is evaluated with precision@k (the standard XC metric, used
+in XMLCNN and the extreme-classification repository the paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def _as_label_sets(true_labels: Sequence) -> list:
+    return [set(np.atleast_1d(row).tolist()) for row in true_labels]
+
+
+def precision_at_k(
+    scores: np.ndarray, true_labels: Sequence, k: int = 1
+) -> float:
+    """P@k: fraction of the top-k predictions that are true labels.
+
+    ``scores`` has shape ``(samples, categories)``; ``true_labels`` is a
+    per-sample collection of positive label indices (ragged allowed).
+    """
+    check_positive("k", k)
+    array = np.asarray(scores)
+    if array.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {array.shape}")
+    if k > array.shape[1]:
+        raise ValueError(f"k={k} exceeds category count {array.shape[1]}")
+    label_sets = _as_label_sets(true_labels)
+    if len(label_sets) != array.shape[0]:
+        raise ValueError(
+            f"{len(label_sets)} label rows vs {array.shape[0]} score rows"
+        )
+
+    top = np.argpartition(array, -k, axis=1)[:, -k:]
+    hits = sum(
+        len(set(row.tolist()) & labels) for row, labels in zip(top, label_sets)
+    )
+    return hits / (array.shape[0] * k)
+
+
+def recall_at_k(scores: np.ndarray, true_labels: Sequence, k: int = 1) -> float:
+    """R@k: fraction of true labels recovered in the top-k predictions."""
+    check_positive("k", k)
+    array = np.asarray(scores)
+    if array.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {array.shape}")
+    label_sets = _as_label_sets(true_labels)
+    if len(label_sets) != array.shape[0]:
+        raise ValueError(
+            f"{len(label_sets)} label rows vs {array.shape[0]} score rows"
+        )
+
+    k = min(k, array.shape[1])
+    top = np.argpartition(array, -k, axis=1)[:, -k:]
+    hits = 0
+    total = 0
+    for row, labels in zip(top, label_sets):
+        if not labels:
+            continue
+        hits += len(set(row.tolist()) & labels)
+        total += len(labels)
+    if total == 0:
+        raise ValueError("no positive labels provided")
+    return hits / total

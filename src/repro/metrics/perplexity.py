@@ -1,0 +1,39 @@
+"""Perplexity for language-modeling workloads (Fig. 11 b/c y-axis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Probability floor: a screened model can assign (near-)zero mass to a
+#: tail token; real perplexity harnesses clamp to avoid infinities.
+_PROBA_FLOOR = 1e-12
+
+
+def perplexity(log_probs: np.ndarray) -> float:
+    """Perplexity from per-token log probabilities (natural log)."""
+    array = np.asarray(log_probs, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("log_probs is empty")
+    return float(np.exp(-np.mean(array)))
+
+
+def perplexity_from_proba(probabilities: np.ndarray, targets: np.ndarray) -> float:
+    """Perplexity of predicted distributions against target tokens.
+
+    ``probabilities`` has shape ``(tokens, vocab)``; ``targets`` the
+    gold token index per row.
+    """
+    proba = np.asarray(probabilities, dtype=np.float64)
+    target_idx = np.asarray(targets, dtype=np.intp)
+    if proba.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got shape {proba.shape}")
+    if target_idx.shape != (proba.shape[0],):
+        raise ValueError(
+            f"targets shape {target_idx.shape} incompatible with "
+            f"{proba.shape[0]} rows"
+        )
+    check_positive("num tokens", proba.shape[0])
+    picked = proba[np.arange(proba.shape[0]), target_idx]
+    return perplexity(np.log(np.maximum(picked, _PROBA_FLOOR)))

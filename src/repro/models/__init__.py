@@ -1,0 +1,27 @@
+"""Numpy front-end models matching Table 2's inference models.
+
+These are real forward implementations (not stubs): they produce the
+hidden vectors ``h`` the classifier consumes, and they report parameter
+and operation counts for the Fig. 4 breakdown and the host performance
+model.  Weights are synthetically initialized — see DESIGN.md §2 for
+why that preserves the evaluation's validity.
+"""
+
+from repro.models.base import FrontEnd, FrontEndReport
+from repro.models.embedding import Embedding
+from repro.models.lstm import LSTMModel
+from repro.models.transformer import TransformerModel
+from repro.models.gnmt import GNMTModel
+from repro.models.xmlcnn import XMLCNNModel
+from repro.models.factory import build_front_end
+
+__all__ = [
+    "FrontEnd",
+    "FrontEndReport",
+    "Embedding",
+    "LSTMModel",
+    "TransformerModel",
+    "GNMTModel",
+    "XMLCNNModel",
+    "build_front_end",
+]

@@ -1,0 +1,57 @@
+"""Front-end model interface and accounting report."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrontEndReport:
+    """Parameter and operation accounting for one front-end inference.
+
+    ``flops`` is per single inference (one token step for sequence
+    models, one sample for XMLCNN) at batch size 1; callers scale by
+    batch and sequence length.
+    """
+
+    parameters: int
+    flops: float
+
+    @property
+    def parameter_bytes(self) -> int:
+        return self.parameters * 4
+
+
+class FrontEnd(abc.ABC):
+    """A feature extractor producing hidden vectors for the classifier."""
+
+    #: Hidden dimensionality of the produced features.
+    hidden_dim: int
+
+    @abc.abstractmethod
+    def extract(self, token_ids: np.ndarray) -> np.ndarray:
+        """Map integer inputs ``(batch, seq)`` to features ``(batch, hidden_dim)``.
+
+        Sequence models return the last-position hidden state (the
+        vector that feeds the classifier at the next-token prediction
+        step).
+        """
+
+    @abc.abstractmethod
+    def report(self) -> FrontEndReport:
+        """Parameter/FLOP accounting for Fig. 4 and the host model."""
+
+    def extract_sequence(self, token_ids: np.ndarray) -> np.ndarray:
+        """Features for *every* position ``(batch, seq, hidden_dim)``.
+
+        Default falls back to repeated ``extract`` on prefixes, which
+        subclasses override with an efficient pass.
+        """
+        array = np.atleast_2d(np.asarray(token_ids))
+        steps = []
+        for t in range(1, array.shape[1] + 1):
+            steps.append(self.extract(array[:, :t]))
+        return np.stack(steps, axis=1)

@@ -1,0 +1,39 @@
+"""Token embedding table shared by the sequence front-ends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class Embedding:
+    """A dense lookup table mapping token ids to vectors."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: RngLike = None):
+        check_positive("vocab_size", vocab_size)
+        check_positive("dim", dim)
+        generator = ensure_rng(rng)
+        self.table = generator.standard_normal((vocab_size, dim)) / np.sqrt(dim)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.table.shape[1]
+
+    @property
+    def parameters(self) -> int:
+        return self.table.size
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(token_ids, dtype=np.intp)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise ValueError(
+                f"token ids out of range [0, {self.vocab_size}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return self.table[ids]

@@ -1,0 +1,56 @@
+"""Build the Table 2 front-end for a workload.
+
+Accuracy experiments never need the paper-size front-ends (the
+classifier is what's under study), so the factory accepts a
+``vocab_cap`` that bounds the embedding table, and a ``compact`` flag
+that shrinks layer counts for fast CI runs while keeping the hidden
+dimension — the only front-end property the classifier sees.
+"""
+
+from __future__ import annotations
+
+from repro.data.registry import Workload
+from repro.models.base import FrontEnd
+from repro.models.gnmt import GNMTModel
+from repro.models.lstm import LSTMModel
+from repro.models.transformer import TransformerModel
+from repro.models.xmlcnn import XMLCNNModel
+from repro.utils.rng import RngLike, rng_from_labels
+
+
+def build_front_end(
+    workload: Workload,
+    vocab_cap: int = 8192,
+    compact: bool = True,
+    rng: RngLike = None,
+) -> FrontEnd:
+    """Instantiate the workload's front-end model."""
+    vocab = min(workload.num_categories, vocab_cap)
+    generator = rng if rng is not None else rng_from_labels(workload.abbr, "front-end")
+    if workload.model == "LSTM":
+        return LSTMModel(
+            vocab_size=vocab,
+            hidden_dim=workload.hidden_dim,
+            num_layers=1 if compact else 2,
+            rng=generator,
+        )
+    if workload.model == "Transformer":
+        return TransformerModel(
+            vocab_size=vocab,
+            hidden_dim=workload.hidden_dim,
+            num_layers=2 if compact else 6,
+            rng=generator,
+        )
+    if workload.model == "GNMT":
+        return GNMTModel(
+            vocab_size=vocab,
+            hidden_dim=workload.hidden_dim,
+            encoder_layers=1 if compact else 2,
+            decoder_layers=1 if compact else 2,
+            rng=generator,
+        )
+    if workload.model == "XMLCNN":
+        return XMLCNNModel(
+            vocab_size=vocab, hidden_dim=workload.hidden_dim, rng=generator
+        )
+    raise ValueError(f"unknown front-end model {workload.model!r}")

@@ -1,0 +1,159 @@
+"""A GNMT-style encoder/decoder front-end (GNMT-E32K).
+
+Google's NMT system (Wu et al. 2016) is a deep LSTM encoder-decoder
+with additive attention.  We implement a compact faithful variant: an
+LSTM encoder stack, an LSTM decoder stack, and Bahdanau-style additive
+attention whose context vector is concatenated to the decoder state and
+projected back to ``hidden_dim`` — that projected vector is the feature
+the extreme classifier consumes at each decode step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.functional import softmax, tanh
+from repro.models.base import FrontEnd, FrontEndReport
+from repro.models.embedding import Embedding
+from repro.models.lstm import _LSTMCell
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class _AdditiveAttention:
+    def __init__(self, dim: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(dim)
+        self.w_query = rng.standard_normal((dim, dim)) * scale
+        self.w_key = rng.standard_normal((dim, dim)) * scale
+        self.v = rng.standard_normal(dim) * scale
+        self.dim = dim
+
+    @property
+    def parameters(self) -> int:
+        return self.w_query.size + self.w_key.size + self.v.size
+
+    def __call__(self, query: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        """``query`` (batch, dim), ``memory`` (batch, src, dim) → context."""
+        projected = tanh(
+            query[:, None, :] @ self.w_query.T + memory @ self.w_key.T
+        )
+        scores = projected @ self.v  # (batch, src)
+        weights = softmax(scores, axis=-1)
+        return np.einsum("bs,bsd->bd", weights, memory)
+
+
+class GNMTModel(FrontEnd):
+    """Encoder-decoder with attention; decode steps yield classifier features."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int = 1024,
+        encoder_layers: int = 2,
+        decoder_layers: int = 2,
+        rng: RngLike = None,
+    ):
+        check_positive("vocab_size", vocab_size)
+        check_positive("hidden_dim", hidden_dim)
+        generator = ensure_rng(rng)
+        self.embedding = Embedding(vocab_size, hidden_dim, rng=generator)
+        self.encoder: List[_LSTMCell] = [
+            _LSTMCell(hidden_dim, hidden_dim, generator) for _ in range(encoder_layers)
+        ]
+        self.decoder: List[_LSTMCell] = [
+            _LSTMCell(hidden_dim, hidden_dim, generator) for _ in range(decoder_layers)
+        ]
+        self.attention = _AdditiveAttention(hidden_dim, generator)
+        scale = 1.0 / np.sqrt(2 * hidden_dim)
+        self.w_combine = generator.standard_normal((hidden_dim, 2 * hidden_dim)) * scale
+        self.hidden_dim = hidden_dim
+
+    # ------------------------------------------------------------------
+    def encode(self, source_ids: np.ndarray) -> np.ndarray:
+        """Run the encoder stack; returns memory ``(batch, src, dim)``."""
+        ids = np.atleast_2d(np.asarray(source_ids, dtype=np.intp))
+        batch, seq = ids.shape
+        states = [
+            (np.zeros((batch, self.hidden_dim)), np.zeros((batch, self.hidden_dim)))
+            for _ in self.encoder
+        ]
+        embedded = self.embedding(ids)
+        memory = np.empty((batch, seq, self.hidden_dim))
+        for t in range(seq):
+            x = embedded[:, t]
+            for layer, cell in enumerate(self.encoder):
+                h, c = cell.step(x, states[layer])
+                states[layer] = (h, c)
+                x = h
+            memory[:, t] = x
+        return memory
+
+    def decode_step(
+        self,
+        token_ids: np.ndarray,
+        memory: np.ndarray,
+        states: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+        """One decoder step; returns (features, new_states)."""
+        ids = np.asarray(token_ids, dtype=np.intp).reshape(-1)
+        batch = ids.shape[0]
+        if states is None:
+            states = [
+                (np.zeros((batch, self.hidden_dim)), np.zeros((batch, self.hidden_dim)))
+                for _ in self.decoder
+            ]
+        x = self.embedding(ids)
+        new_states = []
+        for layer, cell in enumerate(self.decoder):
+            h, c = cell.step(x, states[layer])
+            new_states.append((h, c))
+            x = h
+        context = self.attention(x, memory)
+        combined = np.concatenate([x, context], axis=-1)
+        features = tanh(combined @ self.w_combine.T)
+        return features, new_states
+
+    def extract(self, token_ids: np.ndarray) -> np.ndarray:
+        """Translate-like extraction: encode the sequence, run one
+        decode step primed with the last token."""
+        ids = np.atleast_2d(np.asarray(token_ids, dtype=np.intp))
+        memory = self.encode(ids)
+        features, _ = self.decode_step(ids[:, -1], memory)
+        return features
+
+    def greedy_decode(
+        self, source_ids: np.ndarray, start_token: int, steps: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedy decoding against a caller-supplied classifier is done
+        in :mod:`repro.experiments`; here we return the per-step
+        features for a forced prefix of ``start_token`` repeats
+        (teacher-forcing harness)."""
+        check_positive("steps", steps)
+        ids = np.atleast_2d(np.asarray(source_ids, dtype=np.intp))
+        memory = self.encode(ids)
+        batch = ids.shape[0]
+        token = np.full(batch, start_token, dtype=np.intp)
+        states = None
+        features = np.empty((batch, steps, self.hidden_dim))
+        for t in range(steps):
+            feats, states = self.decode_step(token, memory, states)
+            features[:, t] = feats
+        return features, token
+
+    def report(self) -> FrontEndReport:
+        parameters = (
+            self.embedding.parameters
+            + sum(c.parameters for c in self.encoder)
+            + sum(c.parameters for c in self.decoder)
+            + self.attention.parameters
+            + self.w_combine.size
+        )
+        flops = 2.0 * (
+            sum(c.w_x.size + c.w_h.size for c in self.encoder)
+            + sum(c.w_x.size + c.w_h.size for c in self.decoder)
+            + self.attention.parameters
+            + self.w_combine.size
+        )
+        return FrontEndReport(parameters=parameters, flops=flops)

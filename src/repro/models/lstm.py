@@ -1,0 +1,114 @@
+"""A multi-layer LSTM language-model front-end (LSTM-W33K).
+
+Standard LSTM cell per layer:
+
+    i, f, g, o = split(W_x x + W_h h + b)
+    c' = σ(f)·c + σ(i)·tanh(g)
+    h' = σ(o)·tanh(c')
+
+The Wikitext-2 model in the paper (Merity et al.) uses hidden size 1500;
+we default to 2 layers as that setup does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.functional import sigmoid, tanh
+from repro.models.base import FrontEnd, FrontEndReport
+from repro.models.embedding import Embedding
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class _LSTMCell:
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        scale_x = 1.0 / np.sqrt(input_dim)
+        scale_h = 1.0 / np.sqrt(hidden_dim)
+        self.w_x = rng.standard_normal((4 * hidden_dim, input_dim)) * scale_x
+        self.w_h = rng.standard_normal((4 * hidden_dim, hidden_dim)) * scale_h
+        self.bias = np.zeros(4 * hidden_dim)
+        # Classic trick: positive forget-gate bias stabilizes early steps.
+        self.bias[hidden_dim : 2 * hidden_dim] = 1.0
+        self.hidden_dim = hidden_dim
+        self.input_dim = input_dim
+
+    @property
+    def parameters(self) -> int:
+        return self.w_x.size + self.w_h.size + self.bias.size
+
+    def step(
+        self, x: np.ndarray, state: Tuple[np.ndarray, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        h, c = state
+        gates = x @ self.w_x.T + h @ self.w_h.T + self.bias
+        hd = self.hidden_dim
+        i = sigmoid(gates[:, :hd])
+        f = sigmoid(gates[:, hd : 2 * hd])
+        g = tanh(gates[:, 2 * hd : 3 * hd])
+        o = sigmoid(gates[:, 3 * hd :])
+        c_next = f * c + i * g
+        h_next = o * tanh(c_next)
+        return h_next, c_next
+
+
+class LSTMModel(FrontEnd):
+    """Multi-layer LSTM producing the final hidden state as features."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int = 1500,
+        num_layers: int = 2,
+        embed_dim: Optional[int] = None,
+        rng: RngLike = None,
+    ):
+        check_positive("vocab_size", vocab_size)
+        check_positive("hidden_dim", hidden_dim)
+        check_positive("num_layers", num_layers)
+        generator = ensure_rng(rng)
+        embed_dim = embed_dim or hidden_dim
+        self.embedding = Embedding(vocab_size, embed_dim, rng=generator)
+        self.cells: List[_LSTMCell] = []
+        in_dim = embed_dim
+        for _ in range(num_layers):
+            self.cells.append(_LSTMCell(in_dim, hidden_dim, generator))
+            in_dim = hidden_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+
+    def _run(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.atleast_2d(np.asarray(token_ids, dtype=np.intp))
+        batch, seq = ids.shape
+        states = [
+            (np.zeros((batch, cell.hidden_dim)), np.zeros((batch, cell.hidden_dim)))
+            for cell in self.cells
+        ]
+        embedded = self.embedding(ids)  # (batch, seq, embed)
+        outputs = np.empty((batch, seq, self.hidden_dim))
+        for t in range(seq):
+            x = embedded[:, t]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell.step(x, states[layer])
+                states[layer] = (h, c)
+                x = h
+            outputs[:, t] = x
+        return outputs
+
+    def extract(self, token_ids: np.ndarray) -> np.ndarray:
+        return self._run(token_ids)[:, -1]
+
+    def extract_sequence(self, token_ids: np.ndarray) -> np.ndarray:
+        return self._run(token_ids)
+
+    def report(self) -> FrontEndReport:
+        parameters = self.embedding.parameters + sum(
+            cell.parameters for cell in self.cells
+        )
+        # Per token step: each cell does two dense matmuls (2 FLOPs/MAC).
+        flops = sum(
+            2.0 * (cell.w_x.size + cell.w_h.size) for cell in self.cells
+        )
+        return FrontEndReport(parameters=parameters, flops=flops)

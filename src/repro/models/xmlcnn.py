@@ -1,0 +1,111 @@
+"""XML-CNN front-end (XMLCNN-670K), after Liu et al., SIGIR 2017.
+
+A convolutional text model for extreme multi-label classification:
+word embeddings → 1-D convolutions with several filter widths →
+dynamic max pooling → a bottleneck fully-connected layer whose output
+(hidden 512) feeds the extreme classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.linalg.functional import relu
+from repro.models.base import FrontEnd, FrontEndReport
+from repro.models.embedding import Embedding
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class _Conv1D:
+    """A width-``w`` 1-D convolution over the sequence axis."""
+
+    def __init__(self, width: int, in_dim: int, filters: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(width * in_dim)
+        self.kernel = rng.standard_normal((filters, width, in_dim)) * scale
+        self.bias = np.zeros(filters)
+        self.width = width
+
+    @property
+    def parameters(self) -> int:
+        return self.kernel.size + self.bias.size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """``x`` (batch, seq, in_dim) → (batch, seq - w + 1, filters)."""
+        batch, seq, in_dim = x.shape
+        out_len = seq - self.width + 1
+        if out_len <= 0:
+            raise ValueError(
+                f"sequence length {seq} shorter than filter width {self.width}"
+            )
+        windows = np.stack(
+            [x[:, i : i + out_len] for i in range(self.width)], axis=2
+        )  # (batch, out_len, width, in_dim)
+        return np.einsum("bowd,fwd->bof", windows, self.kernel) + self.bias
+
+
+class XMLCNNModel(FrontEnd):
+    """Convolutions + dynamic max pooling + bottleneck features."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int = 512,
+        embed_dim: int = 128,
+        filter_widths: tuple = (2, 4, 8),
+        filters_per_width: int = 32,
+        pool_chunks: int = 4,
+        rng: RngLike = None,
+    ):
+        check_positive("vocab_size", vocab_size)
+        check_positive("hidden_dim", hidden_dim)
+        check_positive("filters_per_width", filters_per_width)
+        check_positive("pool_chunks", pool_chunks)
+        generator = ensure_rng(rng)
+        self.embedding = Embedding(vocab_size, embed_dim, rng=generator)
+        self.convs: List[_Conv1D] = [
+            _Conv1D(width, embed_dim, filters_per_width, generator)
+            for width in filter_widths
+        ]
+        pooled_dim = len(filter_widths) * filters_per_width * pool_chunks
+        scale = 1.0 / np.sqrt(pooled_dim)
+        self.w_bottleneck = generator.standard_normal((hidden_dim, pooled_dim)) * scale
+        self.b_bottleneck = np.zeros(hidden_dim)
+        self.pool_chunks = pool_chunks
+        self.hidden_dim = hidden_dim
+
+    def _dynamic_max_pool(self, feature_map: np.ndarray) -> np.ndarray:
+        """Max over ``pool_chunks`` equal sequence chunks, concatenated."""
+        batch, length, filters = feature_map.shape
+        chunks = np.array_split(np.arange(length), self.pool_chunks)
+        pooled = [
+            feature_map[:, chunk].max(axis=1) if chunk.size else
+            np.zeros((batch, filters))
+            for chunk in chunks
+        ]
+        return np.concatenate(pooled, axis=-1)
+
+    def extract(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.atleast_2d(np.asarray(token_ids, dtype=np.intp))
+        embedded = self.embedding(ids)
+        pooled = [self._dynamic_max_pool(relu(conv(embedded))) for conv in self.convs]
+        concatenated = np.concatenate(pooled, axis=-1)
+        return relu(concatenated @ self.w_bottleneck.T + self.b_bottleneck)
+
+    def report(self) -> FrontEndReport:
+        parameters = (
+            self.embedding.parameters
+            + sum(conv.parameters for conv in self.convs)
+            + self.w_bottleneck.size
+            + self.b_bottleneck.size
+        )
+        # FLOPs for a nominal 64-token document.
+        seq = 64
+        conv_flops = sum(
+            2.0 * conv.kernel.size * max(seq - conv.width + 1, 1)
+            for conv in self.convs
+        )
+        fc_flops = 2.0 * self.w_bottleneck.size
+        return FrontEndReport(parameters=parameters, flops=conv_flops + fc_flops)

@@ -1,0 +1,25 @@
+"""Performance models of the NMP baselines (paper Section 6.2, Table 4).
+
+All baselines are rank-level NMP designs configured at the same area
+and power budget as ENMC, and all run the approximate screening
+*algorithm* — the comparison isolates the architecture.  What they lack
+versus ENMC (Section 7.2):
+
+* homogeneous FP32 datapaths — the INT4 screening phase runs on FP32
+  units at FP32 throughput;
+* no dual-module pipeline — screening and candidate phases serialize;
+* small staging buffers — matrix-tile intermediates spill to DRAM.
+"""
+
+from repro.nmp.base import NMPBaselineModel
+from repro.nmp.nda import NDA_MODEL
+from repro.nmp.chameleon import CHAMELEON_MODEL
+from repro.nmp.tensordimm import TENSORDIMM_LARGE_MODEL, TENSORDIMM_MODEL
+
+__all__ = [
+    "NMPBaselineModel",
+    "NDA_MODEL",
+    "CHAMELEON_MODEL",
+    "TENSORDIMM_MODEL",
+    "TENSORDIMM_LARGE_MODEL",
+]

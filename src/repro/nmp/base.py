@@ -1,0 +1,163 @@
+"""The shared NMP-baseline performance model.
+
+Each baseline is parameterized by its compute style (lanes, frequency,
+utilization), buffer capacity, and spill behaviour; the timing
+composition mirrors :class:`repro.enmc.simulator.ENMCSimulator` minus
+the two ENMC advantages (INT4 screening units, dual-module overlap).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.registry import Workload
+from repro.dram.analytic import AnalyticDRAMModel
+from repro.dram.timing import DDR4Timing, DDR4_2400
+from repro.enmc.simulator import PhaseBreakdown, SimulationResult
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NMPBaselineModel:
+    """A homogeneous-FP32 rank-level NMP design."""
+
+    name: str
+    fp32_lanes: int
+    frequency_hz: float
+    buffer_bytes: int
+    #: Fraction of peak MAC throughput sustained on matvec tiles
+    #: (systolic arrays lose utilization on skinny operands).
+    compute_utilization: float = 1.0
+    #: Working-set bytes per output row during screening; rows beyond
+    #: the buffer spill accumulated partials to DRAM (write + readback).
+    psum_bytes_per_row: int = 4
+    channels: int = 8
+    ranks_per_channel: int = 8
+    timing: DDR4Timing = DDR4_2400
+
+    def __post_init__(self) -> None:
+        check_positive("fp32_lanes", self.fp32_lanes)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("buffer_bytes", self.buffer_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ranks(self) -> int:
+        return self.channels * self.ranks_per_channel
+
+    def macs_per_second(self) -> float:
+        return self.fp32_lanes * self.frequency_hz * self.compute_utilization
+
+    # ------------------------------------------------------------------
+    def _spill_bytes(self, rows: int, tile_width: int, hidden_dim: int) -> float:
+        """Extra DRAM traffic from staging-buffer overflow.
+
+        A screening matvec needs ``psum_bytes_per_row`` live bytes per
+        output row plus one ``tile_width`` input slice.  Rows that do
+        not fit are written out and read back once per input tile
+        (hidden_dim / tile_width passes) — the paper's "buffer overflow
+        results in frequent DRAM memory accesses".
+        """
+        live_rows = max(1, self.buffer_bytes // self.psum_bytes_per_row)
+        overflow_rows = max(0, rows - live_rows)
+        passes = max(1, math.ceil(hidden_dim / max(tile_width, 1)))
+        return 2.0 * overflow_rows * self.psum_bytes_per_row * passes
+
+    def simulate(
+        self,
+        workload: Workload,
+        projection_dim: int = 0,
+        candidates_per_row: int = 32,
+        batch_size: int = 1,
+        screener_bits: int = 4,
+        unique_candidate_fraction: float = 1.0,
+    ) -> SimulationResult:
+        """Screened classification on this baseline (Fig. 13 bars)."""
+        check_positive("batch_size", batch_size)
+        l, d = workload.num_categories, workload.hidden_dim
+        k = projection_dim or max(1, d // 4)
+        shards = self.total_ranks
+        l_shard = math.ceil(l / shards)
+        rank_dram = AnalyticDRAMModel(self.timing, channels=1, ranks_per_channel=1)
+
+        # Screening phase: same weight bytes as ENMC (the data is INT4
+        # in DRAM either way; the host pre-projects h → Ph) plus psum
+        # spill traffic; compute at FP32.
+        tile_width = max(1, self.buffer_bytes // 4 // 2)  # half features, half weights
+        screen_bytes = l_shard * k * screener_bits / 8.0
+        screen_bytes += self._spill_bytes(l_shard, tile_width, k)
+        screen_mem = rank_dram.stream(screen_bytes).seconds
+        screen_macs = batch_size * l_shard * k
+        screen_compute = screen_macs / self.macs_per_second()
+        screen = PhaseBreakdown(screen_mem, screen_compute)
+
+        # Candidate phase: identical traffic, FP32 compute.
+        total_candidates = batch_size * candidates_per_row
+        unique_rows = min(total_candidates * unique_candidate_fraction, float(l))
+        rows_per_rank = max(1, math.ceil(unique_rows / shards))
+        exec_mem = rank_dram.gather(rows_per_rank, d * 4.0).seconds
+        exec_macs = math.ceil(total_candidates / shards) * d
+        exec_compute = exec_macs / self.macs_per_second()
+        execute = PhaseBreakdown(exec_mem, exec_compute)
+
+        # Softmax runs on the same lanes (no SFU): ~8 ops per element.
+        sfu_elements = math.ceil(total_candidates / shards) + batch_size
+        sfu_seconds = 8.0 * sfu_elements / self.macs_per_second()
+
+        return SimulationResult(
+            screen=screen,
+            execute=execute,
+            sfu_seconds=sfu_seconds,
+            batch_size=batch_size,
+            int_bytes_per_rank=screen_bytes,
+            fp_bytes_per_rank=rows_per_rank * d * 4.0,
+            activations_per_rank=(
+                rank_dram.stream(screen_bytes).activations + rows_per_rank
+            ),
+            int_macs_per_rank=0.0,  # homogeneous: everything is FP32
+            fp_macs_per_rank=screen_macs + exec_macs,
+            pipeline_tiles=1,  # no dual-module overlap
+        )
+
+    def simulate_full(
+        self, workload: Workload, batch_size: int = 1
+    ) -> SimulationResult:
+        """Full classification on this baseline (no screening).
+
+        The Fig. 14/15 comparisons run TensorDIMM(-Large) over the full
+        classification weights — their homogeneous FP32 pipeline is
+        built for full-precision tensor ops, and the paper charges them
+        exactly that workload.
+        """
+        check_positive("batch_size", batch_size)
+        l, d = workload.num_categories, workload.hidden_dim
+        shards = self.total_ranks
+        l_shard = math.ceil(l / shards)
+        rank_dram = AnalyticDRAMModel(self.timing, channels=1, ranks_per_channel=1)
+
+        tile_width = max(1, self.buffer_bytes // 4 // 2)
+        weight_bytes = l_shard * d * 4.0
+        weight_bytes += self._spill_bytes(l_shard, tile_width, d)
+        mem = rank_dram.stream(weight_bytes).seconds
+        macs = batch_size * l_shard * d
+        compute = macs / self.macs_per_second()
+        phase = PhaseBreakdown(mem, compute)
+        sfu_seconds = 8.0 * l_shard / self.macs_per_second()
+
+        return SimulationResult(
+            screen=PhaseBreakdown(0.0, 0.0),
+            execute=phase,
+            sfu_seconds=sfu_seconds,
+            batch_size=batch_size,
+            int_bytes_per_rank=0.0,
+            fp_bytes_per_rank=weight_bytes,
+            activations_per_rank=rank_dram.stream(weight_bytes).activations,
+            int_macs_per_rank=0.0,
+            fp_macs_per_rank=macs,
+            pipeline_tiles=1,
+        )
+
+    def seconds(self, workload: Workload, **kwargs) -> float:
+        """Serialized latency (baselines have no phase overlap)."""
+        return self.simulate(workload, **kwargs).serialized_seconds

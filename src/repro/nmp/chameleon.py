@@ -1,0 +1,19 @@
+"""Chameleon (Asghari-Moghaddam et al., MICRO 2016).
+
+Near-DRAM acceleration co-packaged with commodity DRAM; the paper
+instantiates a 4×4 systolic array as its compute core (Table 4).
+Systolic arrays lose utilization on the skinny matrix-vector shapes of
+screening (one operand is a single vector), and the array's fill/drain
+latency further de-rates short tiles.
+"""
+
+from repro.nmp.base import NMPBaselineModel
+
+CHAMELEON_MODEL = NMPBaselineModel(
+    name="Chameleon",
+    fp32_lanes=16,  # 4×4 systolic array
+    frequency_hz=400e6,
+    buffer_bytes=1024,
+    compute_utilization=0.55,  # matvec on a systolic array: one column active + fill/drain
+    psum_bytes_per_row=4,
+)

@@ -1,0 +1,19 @@
+"""NDA (Farmahini-Farahani et al., HPCA 2015).
+
+Near-DRAM acceleration stacking coarse-grain reconfigurable
+accelerators (CGRA) on commodity DRAM.  Table 4 budget: 4×4 functional
+units + 1 KB memory.  The CGRA's FUs sustain good utilization on
+streaming matvecs but run at a moderate clock and spill partials beyond
+their 1 KB scratchpad.
+"""
+
+from repro.nmp.base import NMPBaselineModel
+
+NDA_MODEL = NMPBaselineModel(
+    name="NDA",
+    fp32_lanes=16,  # 4×4 functional units
+    frequency_hz=400e6,
+    buffer_bytes=1024,
+    compute_utilization=0.9,
+    psum_bytes_per_row=4,
+)

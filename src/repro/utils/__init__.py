@@ -1,0 +1,34 @@
+"""Shared utilities: deterministic RNG handling, units, table rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_gib,
+    bytes_to_mib,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+from repro.utils.tables import render_table
+from repro.utils.validation import (
+    check_batch_features,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "KIB",
+    "MIB",
+    "GIB",
+    "bytes_to_mib",
+    "bytes_to_gib",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "render_table",
+    "check_positive",
+    "check_probability",
+    "check_batch_features",
+]

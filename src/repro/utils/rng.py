@@ -1,0 +1,61 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+experiments reproducible and avoids the global numpy RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a freshly seeded generator (seed 0, so library-level
+    defaults are still deterministic), an ``int`` is used as a seed, and
+    an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng(0)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return rng
+    raise TypeError(f"expected None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are statistically independent regardless of how the parent
+    is used afterwards, which makes parallel components (e.g. per-rank
+    simulators) reproducible independently of execution order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def stable_seed(*parts: object) -> int:
+    """Hash arbitrary labels into a stable 63-bit seed.
+
+    Used by the workload registry so that e.g. the synthetic classifier
+    for ``("XMLCNN-670K", "weights")`` is identical across processes.
+    """
+    import hashlib
+
+    digest = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def rng_from_labels(*parts: object) -> np.random.Generator:
+    """A generator deterministically derived from string labels."""
+    return np.random.default_rng(stable_seed(*parts))

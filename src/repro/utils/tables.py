@@ -1,0 +1,49 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports;
+this module provides the shared formatting so every figure/table module
+emits a uniform, diff-friendly layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    formatted: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        formatted.append([_format_cell(cell, precision) for cell in row])
+
+    widths = [max(len(r[i]) for r in formatted) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(formatted):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Shared fixtures: a small structured task with a trained screener.
+
+Session-scoped so the distillation cost is paid once; tests must not
+mutate fixture state (make copies before editing arrays).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ScreeningConfig, train_screener
+from repro.data import make_task
+
+
+@pytest.fixture(scope="session")
+def small_task():
+    """A 2000-category, 64-dim structured task."""
+    return make_task(num_categories=2000, hidden_dim=64, rng=1)
+
+
+@pytest.fixture(scope="session")
+def small_screener(small_task):
+    """A screener distilled against the small task (k=16, INT4)."""
+    features = small_task.sample_features(512)
+    return train_screener(
+        small_task.classifier,
+        features,
+        config=ScreeningConfig(projection_dim=16),
+        solver="lstsq",
+        rng=2,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.baselines import FGDClassifier
+from repro.baselines.fgd import _build_knn_graph
+
+
+@pytest.fixture(scope="module")
+def fgd_setup():
+    from repro.data import make_task
+
+    task = make_task(num_categories=1000, hidden_dim=32, rng=3)
+    model = FGDClassifier(
+        task.classifier, degree=12, beam_width=8, num_candidates=20, rng=4
+    )
+    return task, model
+
+
+class TestGraphConstruction:
+    def test_exact_path_shape(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((100, 8))
+        graph = _build_knn_graph(vectors, degree=5, rng=rng)
+        assert graph.shape == (100, 5)
+
+    def test_no_self_loops_exact(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((50, 8))
+        graph = _build_knn_graph(vectors, degree=5, rng=rng)
+        for vertex in range(50):
+            assert vertex not in graph[vertex]
+
+    def test_sampled_path_shape(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((5000, 8))
+        graph = _build_knn_graph(vectors, degree=4, rng=rng, sample=64)
+        assert graph.shape == (5000, 4)
+        assert graph.min() >= 0
+        assert graph.max() < 5000
+
+    def test_neighbors_are_actually_similar(self):
+        # Clustered vectors: neighbors should come from the same cluster.
+        rng = np.random.default_rng(1)
+        centers = rng.standard_normal((4, 16)) * 10
+        vectors = np.concatenate(
+            [center + rng.standard_normal((25, 16)) for center in centers]
+        )
+        graph = _build_knn_graph(vectors, degree=5, rng=rng)
+        same_cluster = 0
+        for vertex in range(100):
+            same_cluster += np.sum(graph[vertex] // 25 == vertex // 25)
+        assert same_cluster / (100 * 5) > 0.8
+
+
+class TestSearch:
+    def test_candidates_within_budget(self, fgd_setup):
+        task, model = fgd_setup
+        out = model(task.sample_features(4))
+        assert all(idx.size <= 20 for idx in out.candidates)
+
+    def test_candidate_entries_exact(self, fgd_setup):
+        task, model = fgd_setup
+        features = task.sample_features(3)
+        out = model(features)
+        exact = task.classifier.logits(features)
+        for row, indices in enumerate(out.candidates):
+            assert np.allclose(out.logits[row, indices], exact[row, indices])
+
+    def test_non_candidates_floored(self, fgd_setup):
+        task, model = fgd_setup
+        out = model(task.sample_features(2))
+        for row, indices in enumerate(out.candidates):
+            mask = np.ones(task.num_categories, dtype=bool)
+            mask[indices] = False
+            assert np.all(out.logits[row, mask] == -1e3)
+
+    def test_visit_accounting(self, fgd_setup):
+        task, model = fgd_setup
+        before = len(model._visited_counts)
+        model(task.sample_features(4))
+        assert len(model._visited_counts) == before + 4
+        assert model.mean_visited > 0
+
+    def test_reasonable_top1_quality(self, fgd_setup):
+        task, model = fgd_setup
+        features = task.sample_features(24)
+        agreement = np.mean(
+            model.predict(features) == task.classifier.predict(features)
+        )
+        assert agreement >= 0.5  # graph search is approximate
+
+    def test_rejects_bad_params(self, small_task):
+        with pytest.raises(ValueError):
+            FGDClassifier(small_task.classifier, degree=0)
+        with pytest.raises(ValueError):
+            FGDClassifier(small_task.classifier, beam_width=0)
+
+
+class TestCost:
+    def test_cost_uses_measured_visits(self, fgd_setup):
+        task, model = fgd_setup
+        model(task.sample_features(2))
+        cost = model.cost(batch_size=1)
+        dim = task.classifier.hidden_dim + 2
+        assert cost.fp_flops == pytest.approx(2.0 * model.mean_visited * dim)
+
+    def test_cost_fallback_without_measurements(self, small_task):
+        model = FGDClassifier(small_task.classifier, num_candidates=8, rng=0)
+        cost = model.cost()
+        assert cost.fp_flops > 0

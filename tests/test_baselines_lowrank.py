@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.baselines import LowRankClassifier
+from repro.core import FullClassifier
+
+
+class TestLowRank:
+    def test_full_rank_is_exact(self, small_task):
+        model = LowRankClassifier(small_task.classifier, rank=64)
+        features = small_task.sample_features(3)
+        assert np.allclose(
+            model.logits(features), small_task.classifier.logits(features)
+        )
+        assert model.reconstruction_error() < 1e-10
+
+    def test_rank_improves_monotonically(self, small_task):
+        errors = [
+            LowRankClassifier(small_task.classifier, rank=r).reconstruction_error()
+            for r in (4, 16, 64)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_structured_task_low_rank_suffices(self, small_task):
+        # The synthetic task has effective rank ≤ 16: rank-24 capture
+        # should agree on nearly all predictions.
+        model = LowRankClassifier(small_task.classifier, rank=24)
+        features = small_task.sample_features(32)
+        agreement = np.mean(
+            model.predict(features) == small_task.classifier.predict(features)
+        )
+        assert agreement >= 0.9
+
+    def test_rejects_rank_above_dim(self, small_task):
+        with pytest.raises(ValueError):
+            LowRankClassifier(small_task.classifier, rank=65)
+
+    def test_predict_proba_softmax(self, small_task):
+        model = LowRankClassifier(small_task.classifier, rank=8)
+        proba = model.predict_proba(small_task.sample_features(2))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_proba_sigmoid(self):
+        clf = FullClassifier.random(50, 16, rng=0, normalization="sigmoid")
+        model = LowRankClassifier(clf, rank=8)
+        proba = model.predict_proba(np.zeros(16))
+        assert np.all((0 <= proba) & (proba <= 1))
+
+    def test_cost_linear_in_rank(self, small_task):
+        c8 = LowRankClassifier(small_task.classifier, rank=8).cost()
+        c16 = LowRankClassifier(small_task.classifier, rank=16).cost()
+        assert c16.fp_flops == pytest.approx(2 * c8.fp_flops, rel=0.01)

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.baselines import SVDSoftmax
+from repro.core import CandidateSelector
+from repro.core.metrics import candidate_recall
+
+
+@pytest.fixture(scope="module")
+def svd(request):
+    # Build on the session task via a module fixture indirection.
+    from repro.data import make_task
+
+    task = make_task(num_categories=2000, hidden_dim=64, rng=1)
+    return task, SVDSoftmax(task.classifier, window=16, num_candidates=32)
+
+
+class TestConstruction:
+    def test_rejects_window_exceeding_dim(self, small_task):
+        with pytest.raises(ValueError):
+            SVDSoftmax(small_task.classifier, window=65)
+
+    def test_rejects_zero_window(self, small_task):
+        with pytest.raises(ValueError):
+            SVDSoftmax(small_task.classifier, window=0)
+
+    def test_full_window_preview_is_exact(self, small_task):
+        model = SVDSoftmax(small_task.classifier, window=64, num_candidates=8)
+        features = small_task.sample_features(3)
+        assert np.allclose(
+            model.preview_logits(features),
+            small_task.classifier.logits(features),
+        )
+
+
+class TestForward:
+    def test_candidate_entries_exact(self, svd):
+        task, model = svd
+        features = task.sample_features(4)
+        out = model(features)
+        exact = task.classifier.logits(features)
+        for row, indices in enumerate(out.candidates):
+            assert np.allclose(out.logits[row, indices], exact[row, indices])
+
+    def test_structured_task_recall(self, svd):
+        task, model = svd
+        features = task.sample_features(32)
+        out = model(features)
+        exact = task.classifier.logits(features)
+        assert candidate_recall(exact, out, k=1) >= 0.9
+
+    def test_wider_window_better_preview(self, svd):
+        task, _ = svd
+        features = task.sample_features(16)
+        exact = task.classifier.logits(features)
+        errors = []
+        for window in (4, 16, 64):
+            model = SVDSoftmax(task.classifier, window=window)
+            preview = model.preview_logits(features)
+            errors.append(np.linalg.norm(preview - exact))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_predict_agrees_with_full_on_structured(self, svd):
+        task, model = svd
+        features = task.sample_features(24)
+        assert np.mean(
+            model.predict(features) == task.classifier.predict(features)
+        ) >= 0.9
+
+    def test_threshold_selector_supported(self, small_task):
+        model = SVDSoftmax(
+            small_task.classifier, window=16,
+            selector=CandidateSelector(
+                mode="threshold", num_candidates=8, threshold=0.0
+            ),
+        )
+        out = model(small_task.sample_features(2))
+        assert out.batch_size == 2
+
+
+class TestCost:
+    def test_cost_includes_transform(self, svd):
+        task, model = svd
+        cost = model.cost(batch_size=1)
+        d = task.classifier.hidden_dim
+        assert cost.fp_flops >= 2.0 * d * d  # the Σ V^T h transform
+
+    def test_cost_all_fp(self, svd):
+        _, model = svd
+        cost = model.cost()
+        assert cost.int_flops == 0
+        assert cost.int_bytes == 0
+
+    def test_cost_scales_with_window(self, small_task):
+        narrow = SVDSoftmax(small_task.classifier, window=4).cost()
+        wide = SVDSoftmax(small_task.classifier, window=32).cost()
+        assert wide.fp_bytes > narrow.fp_bytes

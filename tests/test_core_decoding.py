@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.core import beam_search_decode, greedy_decode
+from repro.core.decoding import _reorder_state
+
+
+class _ToyDecoder:
+    """A deterministic step function over a tiny Markov-ish model:
+    features are one-hot-ish encodings of the previous token."""
+
+    def __init__(self, vocab, hidden_dim, rng):
+        self.table = rng.standard_normal((vocab, hidden_dim))
+
+    def __call__(self, tokens, state):
+        step = 0 if state is None else state
+        features = self.table[np.asarray(tokens)] + 0.01 * step
+        return features, step + 1
+
+
+@pytest.fixture()
+def toy(small_task):
+    rng = np.random.default_rng(3)
+    decoder = _ToyDecoder(2000, small_task.hidden_dim, rng)
+    return decoder, small_task.classifier
+
+
+class TestGreedyDecode:
+    def test_shapes(self, toy):
+        decoder, classifier = toy
+        result = greedy_decode(decoder, classifier, np.array([1, 2]), steps=5)
+        assert result.tokens.shape == (2, 5)
+        assert result.scores.shape == (2,)
+        assert result.steps == 5
+
+    def test_deterministic(self, toy):
+        decoder, classifier = toy
+        a = greedy_decode(decoder, classifier, np.array([7]), steps=4)
+        b = greedy_decode(decoder, classifier, np.array([7]), steps=4)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_scores_are_log_probs(self, toy):
+        decoder, classifier = toy
+        result = greedy_decode(decoder, classifier, np.array([1]), steps=3)
+        assert result.scores[0] <= 0.0
+
+    def test_eos_early_stop(self, toy):
+        decoder, classifier = toy
+        # Find the first greedy token, then declare it EOS.
+        probe = greedy_decode(decoder, classifier, np.array([1]), steps=1)
+        eos = int(probe.tokens[0, 0])
+        result = greedy_decode(
+            decoder, classifier, np.array([1]), steps=5, eos_token=eos
+        )
+        assert np.all(result.tokens[0] == eos) or result.tokens[0, 0] == eos
+
+    def test_screened_classifier_matches_exact_on_structured(
+        self, toy, small_task, small_screener
+    ):
+        from repro.core import ApproximateScreeningClassifier
+
+        decoder, classifier = toy
+        screened = ApproximateScreeningClassifier(
+            classifier, small_screener, num_candidates=64
+        )
+        exact = greedy_decode(decoder, classifier, np.array([5]), steps=4)
+        approx = greedy_decode(decoder, screened, np.array([5]), steps=4)
+        assert np.mean(exact.tokens == approx.tokens) >= 0.75
+
+
+class TestBeamSearch:
+    def test_shapes(self, toy):
+        decoder, classifier = toy
+        result = beam_search_decode(
+            decoder, classifier, start_token=1, steps=4, beam_width=3
+        )
+        assert result.tokens.shape == (1, 3, 4)
+        assert result.scores.shape == (1, 3)
+
+    def test_beams_sorted_by_score(self, toy):
+        decoder, classifier = toy
+        result = beam_search_decode(
+            decoder, classifier, start_token=1, steps=4, beam_width=4
+        )
+        scores = result.scores[0]
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_best_beam_at_least_greedy(self, toy):
+        """Beam search's top hypothesis scores ≥ the greedy path."""
+        decoder, classifier = toy
+        greedy = greedy_decode(decoder, classifier, np.array([1]), steps=4)
+        beam = beam_search_decode(
+            decoder, classifier, start_token=1, steps=4, beam_width=4
+        )
+        assert beam.scores[0, 0] >= greedy.scores[0] - 1e-9
+
+    def test_width_one_equals_greedy(self, toy):
+        decoder, classifier = toy
+        greedy = greedy_decode(decoder, classifier, np.array([1]), steps=4)
+        beam = beam_search_decode(
+            decoder, classifier, start_token=1, steps=4, beam_width=1
+        )
+        assert np.array_equal(beam.tokens[0, 0], greedy.tokens[0])
+
+    def test_length_penalty_reorders_only(self, toy):
+        decoder, classifier = toy
+        result = beam_search_decode(
+            decoder, classifier, start_token=1, steps=3, beam_width=3,
+            length_penalty=0.6,
+        )
+        assert result.tokens.shape == (1, 3, 3)
+
+
+class TestReorderState:
+    def test_none(self):
+        assert _reorder_state(None, np.array([0])) is None
+
+    def test_array(self):
+        state = np.arange(6).reshape(3, 2)
+        out = _reorder_state(state, np.array([2, 0]))
+        assert np.array_equal(out, [[4, 5], [0, 1]])
+
+    def test_nested(self):
+        state = [(np.arange(3), np.arange(3) * 10)]
+        out = _reorder_state(state, np.array([2, 1]))
+        assert np.array_equal(out[0][0], [2, 1])
+        assert np.array_equal(out[0][1], [20, 10])
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            _reorder_state({"h": 1}, np.array([0]))

@@ -1,0 +1,154 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproximateScreeningClassifier,
+    CandidateSelector,
+    FullClassifier,
+)
+from repro.core.metrics import candidate_recall
+
+
+@pytest.fixture()
+def pipeline(small_task, small_screener):
+    return ApproximateScreeningClassifier(
+        small_task.classifier, small_screener, num_candidates=48
+    )
+
+
+class TestConstruction:
+    def test_rejects_category_mismatch(self, small_screener):
+        other = FullClassifier.random(100, 64, rng=0)
+        with pytest.raises(ValueError, match="categories"):
+            ApproximateScreeningClassifier(other, small_screener)
+
+    def test_rejects_hidden_mismatch(self, small_task, small_screener):
+        other = FullClassifier.random(2000, 32, rng=0)
+        with pytest.raises(ValueError, match="hidden"):
+            ApproximateScreeningClassifier(other, small_screener)
+
+    def test_default_selector_topm(self, pipeline):
+        assert pipeline.selector.mode == "top_m"
+
+
+class TestForward:
+    def test_output_shapes(self, pipeline, small_task):
+        out = pipeline(small_task.sample_features(5))
+        assert out.logits.shape == (5, 2000)
+        assert out.approximate_logits.shape == (5, 2000)
+        assert out.batch_size == 5
+        assert out.num_categories == 2000
+
+    def test_candidate_entries_are_exact(self, pipeline, small_task):
+        features = small_task.sample_features(4)
+        out = pipeline(features)
+        exact = small_task.classifier.logits(features)
+        for row, indices in enumerate(out.candidates):
+            assert np.allclose(out.logits[row, indices], exact[row, indices])
+
+    def test_non_candidate_entries_are_approximate(self, pipeline, small_task):
+        features = small_task.sample_features(2)
+        out = pipeline(features)
+        for row, indices in enumerate(out.candidates):
+            mask = np.ones(2000, dtype=bool)
+            mask[indices] = False
+            assert np.array_equal(
+                out.logits[row, mask], out.approximate_logits[row, mask]
+            )
+
+    def test_exact_fraction(self, pipeline, small_task):
+        out = pipeline(small_task.sample_features(3))
+        assert out.exact_fraction == pytest.approx(48 / 2000)
+
+    def test_structured_task_recall(self, pipeline, small_task):
+        features = small_task.sample_features(32)
+        out = pipeline(features)
+        exact = small_task.classifier.logits(features)
+        assert candidate_recall(exact, out, k=1) >= 0.95
+
+    def test_predictions_match_full_on_structured_task(
+        self, pipeline, small_task
+    ):
+        features = small_task.sample_features(32)
+        assert np.mean(
+            pipeline.predict(features)
+            == small_task.classifier.predict(features)
+        ) >= 0.95
+
+    def test_gathered_forward_identical(self, pipeline, small_task):
+        features = small_task.sample_features(6)
+        per_row = pipeline.forward(features)
+        gathered = pipeline.forward_gathered(features)
+        assert np.allclose(per_row.logits, gathered.logits, atol=1e-12)
+        for a, b in zip(per_row.candidates, gathered.candidates):
+            assert np.array_equal(a, b)
+
+    def test_gathered_forward_empty_candidates(self, small_task, small_screener):
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=1, threshold=1e12
+        )
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        out = model.forward_gathered(small_task.sample_features(2))
+        assert out.exact_count == 0
+
+    def test_empty_candidates_row_handled(self, small_task, small_screener):
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=1, threshold=1e12
+        )
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        out = model(small_task.sample_features(2))
+        assert out.exact_count == 0
+        assert np.array_equal(out.logits, out.approximate_logits)
+
+
+class TestProbabilities:
+    def test_predict_proba_distribution(self, pipeline, small_task):
+        proba = pipeline.predict_proba(small_task.sample_features(3))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_sigmoid_normalization_used(self, small_screener):
+        import copy
+
+        from repro.data import make_task
+
+        task = make_task(
+            num_categories=2000, hidden_dim=64, rng=1, normalization="sigmoid"
+        )
+        from repro.core import train_screener, ScreeningConfig
+
+        screener = train_screener(
+            task.classifier, task.sample_features(256),
+            config=ScreeningConfig(projection_dim=16), solver="lstsq", rng=0,
+        )
+        model = ApproximateScreeningClassifier(task.classifier, screener)
+        proba = model.predict_proba(task.sample_features(2))
+        assert np.all((0 <= proba) & (proba <= 1))
+        assert proba.sum(axis=1)[0] != pytest.approx(1.0)
+
+    def test_taylor_softmax_option(self, small_task, small_screener):
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener,
+            num_candidates=48, softmax_taylor_order=4,
+        )
+        features = small_task.sample_features(3)
+        proba = model.predict_proba(features)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        exact_model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, num_candidates=48
+        )
+        # SFU approximation keeps the argmax.
+        assert np.array_equal(
+            np.argmax(proba, axis=1),
+            np.argmax(exact_model.predict_proba(features), axis=1),
+        )
+
+    def test_top_k(self, pipeline, small_task):
+        features = small_task.sample_features(2)
+        top = pipeline.top_k(features, 5)
+        assert top.shape == (2, 5)
+        out = pipeline(features)
+        assert np.array_equal(top[:, 0], np.argmax(out.logits, axis=1))

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.core.screener import (
+    ScreeningConfig,
+    ScreeningModule,
+    initialize_screener,
+)
+from repro.linalg.projection import SparseRandomProjection
+
+
+class TestScreeningConfig:
+    def test_from_scale_quarter(self):
+        config = ScreeningConfig.from_scale(512, 0.25)
+        assert config.projection_dim == 128
+
+    def test_from_scale_minimum_one(self):
+        config = ScreeningConfig.from_scale(8, 0.01)
+        assert config.projection_dim == 1
+
+    def test_from_scale_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ScreeningConfig.from_scale(512, 0.0)
+        with pytest.raises(ValueError):
+            ScreeningConfig.from_scale(512, 1.5)
+
+    def test_rejects_non_positive_dim(self):
+        with pytest.raises(ValueError):
+            ScreeningConfig(projection_dim=0)
+
+
+class TestScreeningModule:
+    def _module(self, l=50, d=32, k=8, bits=4):
+        projection = SparseRandomProjection(d, k, rng=0)
+        rng = np.random.default_rng(1)
+        return ScreeningModule(
+            projection,
+            rng.standard_normal((l, k)),
+            rng.standard_normal(l),
+            quantization_bits=bits,
+        )
+
+    def test_shapes(self):
+        module = self._module()
+        assert module.num_categories == 50
+        assert module.hidden_dim == 32
+        assert module.projection_dim == 8
+
+    def test_rejects_weight_projection_mismatch(self):
+        projection = SparseRandomProjection(32, 8, rng=0)
+        with pytest.raises(ValueError):
+            ScreeningModule(projection, np.zeros((10, 9)), np.zeros(10))
+
+    def test_rejects_bias_mismatch(self):
+        projection = SparseRandomProjection(32, 8, rng=0)
+        with pytest.raises(ValueError):
+            ScreeningModule(projection, np.zeros((10, 8)), np.zeros(9))
+
+    def test_forward_shape(self):
+        module = self._module()
+        out = module.approximate_logits(np.zeros((4, 32)))
+        assert out.shape == (4, 50)
+
+    def test_fp32_mode_matches_manual(self):
+        module = self._module(bits=None)
+        feature = np.random.default_rng(2).standard_normal(32)
+        expected = module.weight @ module.projection(feature[None, :])[0] + module.bias
+        assert np.allclose(module.approximate_logits(feature)[0], expected)
+
+    def test_quantized_differs_from_fp32_but_close(self):
+        fp = self._module(bits=None)
+        q = ScreeningModule(fp.projection, fp.weight, fp.bias, quantization_bits=4)
+        feature = np.random.default_rng(3).standard_normal(32)
+        a = fp.approximate_logits(feature)
+        b = q.approximate_logits(feature)
+        assert not np.allclose(a, b)
+        # INT4 stays within ~20% relative error on well-scaled data.
+        assert np.linalg.norm(a - b) / np.linalg.norm(a) < 0.5
+
+    def test_nbytes_counts_quantized_weight(self):
+        module = self._module(l=100, d=32, k=8, bits=4)
+        expected = 100 * 8 * 0.5 + 100 * 4 + module.projection.nbytes
+        assert module.nbytes == expected
+
+    def test_parameter_scale(self):
+        module = self._module(l=100, d=32, k=8)
+        assert module.parameter_scale() == pytest.approx(8 / 32)
+
+    def test_batch_rows_quantized_independently(self):
+        # A huge row must not destroy a small row's resolution.
+        module = self._module(bits=4)
+        rng = np.random.default_rng(4)
+        small = rng.standard_normal(32) * 0.01
+        large = rng.standard_normal(32) * 100.0
+        batch_out = module.approximate_logits(np.stack([small, large]))
+        single_out = module.approximate_logits(small)
+        assert np.allclose(batch_out[0], single_out[0])
+
+
+class TestInitializeScreener:
+    def test_shapes_from_config(self):
+        module = initialize_screener(
+            100, 64, ScreeningConfig(projection_dim=16), rng=0
+        )
+        assert module.weight.shape == (100, 16)
+        assert module.bias.shape == (100,)
+        assert np.all(module.bias == 0)
+
+    def test_reproducible(self):
+        a = initialize_screener(50, 32, ScreeningConfig(projection_dim=8), rng=3)
+        b = initialize_screener(50, 32, ScreeningConfig(projection_dim=8), rng=3)
+        assert np.array_equal(a.weight, b.weight)
+        assert np.array_equal(a.projection.ternary, b.projection.ternary)

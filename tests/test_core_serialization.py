@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    load_classifier,
+    load_screener,
+    save_classifier,
+    save_screener,
+)
+from repro.core.serialization import _FORMAT_VERSION
+
+
+class TestScreenerRoundTrip:
+    def test_exact_forward_equivalence(self, small_screener, small_task, tmp_path):
+        path = tmp_path / "screener.npz"
+        save_screener(path, small_screener)
+        loaded = load_screener(path)
+        features = small_task.sample_features(8)
+        assert np.array_equal(
+            small_screener.approximate_logits(features),
+            loaded.approximate_logits(features),
+        )
+
+    def test_fields_preserved(self, small_screener, tmp_path):
+        path = tmp_path / "screener.npz"
+        save_screener(path, small_screener)
+        loaded = load_screener(path)
+        assert loaded.quantization_bits == small_screener.quantization_bits
+        assert loaded.projection_dim == small_screener.projection_dim
+        assert np.array_equal(
+            loaded.projection.ternary, small_screener.projection.ternary
+        )
+
+    def test_fp32_screener(self, small_task, tmp_path):
+        from repro.core import ScreeningConfig, train_screener
+
+        screener = train_screener(
+            small_task.classifier, small_task.sample_features(128),
+            config=ScreeningConfig(projection_dim=8, quantization_bits=None),
+            solver="lstsq", rng=0,
+        )
+        path = tmp_path / "fp32.npz"
+        save_screener(path, screener)
+        assert load_screener(path).quantization_bits is None
+
+
+class TestClassifierRoundTrip:
+    def test_exact_equivalence(self, small_task, tmp_path):
+        path = tmp_path / "classifier.npz"
+        save_classifier(path, small_task.classifier)
+        loaded = load_classifier(path)
+        features = small_task.sample_features(4)
+        assert np.array_equal(
+            small_task.classifier.logits(features), loaded.logits(features)
+        )
+        assert loaded.normalization == small_task.classifier.normalization
+
+
+class TestFormatChecks:
+    def test_kind_mismatch(self, small_task, small_screener, tmp_path):
+        path = tmp_path / "artifact.npz"
+        save_classifier(path, small_task.classifier)
+        with pytest.raises(ValueError, match="classifier"):
+            load_screener(path)
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro-enmc artifact"):
+            load_classifier(path)
+
+    def test_future_version_rejected(self, small_task, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            format_version=np.int64(_FORMAT_VERSION + 1),
+            kind=np.str_("classifier"),
+            weight=small_task.classifier.weight,
+            bias=small_task.classifier.bias,
+            normalization=np.str_("softmax"),
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_classifier(path)

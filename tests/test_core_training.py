@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.core import FullClassifier, ScreeningConfig, train_screener
+from repro.core.training import TrainingReport
+
+
+@pytest.fixture(scope="module")
+def setup(small_task=None):
+    from repro.data import make_task
+
+    task = make_task(num_categories=500, hidden_dim=32, rng=5)
+    features = task.sample_features(256)
+    return task.classifier, features
+
+
+class TestTrainScreener:
+    def test_lstsq_single_epoch(self, setup):
+        classifier, features = setup
+        screener, report = train_screener(
+            classifier, features, solver="lstsq", rng=0, return_report=True
+        )
+        assert report.epochs == 1
+        assert report.solver == "lstsq"
+
+    def test_lstsq_is_optimal(self, setup):
+        """No other (W̃, b̃) on the same projection does better on the
+        training objective — perturbations only increase loss."""
+        classifier, features = setup
+        config = ScreeningConfig(projection_dim=8, quantization_bits=None)
+        screener = train_screener(
+            classifier, features, config=config, solver="lstsq", rng=0
+        )
+        targets = classifier.logits(features)
+        projected = screener.project(features)
+
+        def loss(weight, bias):
+            pred = projected @ weight.T + bias
+            return np.mean(np.sum((pred - targets) ** 2, axis=1))
+
+        base = loss(screener.weight, screener.bias)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            dw = rng.standard_normal(screener.weight.shape) * 0.01
+            db = rng.standard_normal(screener.bias.shape) * 0.01
+            assert loss(screener.weight + dw, screener.bias + db) >= base
+
+    def test_sgd_decreases_loss(self, setup):
+        classifier, features = setup
+        _, report = train_screener(
+            classifier, features,
+            config=ScreeningConfig(projection_dim=8),
+            solver="sgd", lr=0.001, epochs=10, rng=0, return_report=True,
+        )
+        assert report.losses[-1] < report.losses[0]
+
+    def test_adam_decreases_loss(self, setup):
+        classifier, features = setup
+        _, report = train_screener(
+            classifier, features,
+            config=ScreeningConfig(projection_dim=8),
+            solver="adam", lr=0.01, epochs=15, rng=0, return_report=True,
+        )
+        assert report.losses[-1] < 0.5 * report.losses[0]
+
+    def test_default_config_is_quarter_scale(self, setup):
+        classifier, features = setup
+        screener = train_screener(classifier, features, solver="lstsq", rng=0)
+        assert screener.projection_dim == classifier.hidden_dim // 4
+
+    def test_classifier_frozen(self, setup):
+        classifier, features = setup
+        before = classifier.weight.copy()
+        train_screener(classifier, features, solver="lstsq", rng=0)
+        assert np.array_equal(classifier.weight, before)
+
+    def test_rejects_unknown_solver(self, setup):
+        classifier, features = setup
+        with pytest.raises(ValueError, match="solver"):
+            train_screener(classifier, features, solver="lbfgs")
+
+    def test_rejects_wrong_feature_dim(self, setup):
+        classifier, _ = setup
+        with pytest.raises(ValueError):
+            train_screener(classifier, np.zeros((10, 7)), solver="lstsq")
+
+    def test_returns_screener_only_by_default(self, setup):
+        classifier, features = setup
+        result = train_screener(classifier, features, solver="lstsq", rng=0)
+        from repro.core.screener import ScreeningModule
+
+        assert isinstance(result, ScreeningModule)
+
+    def test_quantized_view_refreshed_after_training(self, setup):
+        classifier, features = setup
+        screener = train_screener(
+            classifier, features,
+            config=ScreeningConfig(projection_dim=8, quantization_bits=4),
+            solver="lstsq", rng=0,
+        )
+        # The quantized view reflects the trained weights, not the init.
+        assert np.allclose(
+            screener._weight_deq,
+            np.sign(screener.weight) * np.abs(screener._weight_deq),
+            atol=np.abs(screener.weight).max(),
+        )
+        approx = screener.approximate_logits(features[:8])
+        exact = classifier.logits(features[:8])
+        correlation = np.corrcoef(approx.ravel(), exact.ravel())[0, 1]
+        assert correlation > 0.8
+
+
+class TestTrainingReport:
+    def test_final_loss_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingReport().final_loss
+
+    def test_converged_logic(self):
+        report = TrainingReport(losses=[10.0, 9.99])
+        assert report.converged
+        report2 = TrainingReport(losses=[10.0, 5.0])
+        assert not report2.converged

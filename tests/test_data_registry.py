@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.data.registry import (
+    SCALABILITY_ABBRS,
+    TABLE2_ABBRS,
+    WORKLOADS,
+    get_workload,
+    iter_workloads,
+    scaled_task,
+)
+
+
+class TestTable2:
+    def test_paper_category_counts(self):
+        assert get_workload("LSTM-W33K").num_categories == 33_278
+        assert get_workload("Transformer-W268K").num_categories == 267_744
+        assert get_workload("GNMT-E32K").num_categories == 32_317
+        assert get_workload("XMLCNN-670K").num_categories == 670_091
+
+    def test_paper_hidden_dims(self):
+        assert get_workload("LSTM-W33K").hidden_dim == 1500
+        assert get_workload("Transformer-W268K").hidden_dim == 512
+        assert get_workload("GNMT-E32K").hidden_dim == 1024
+        assert get_workload("XMLCNN-670K").hidden_dim == 512
+
+    def test_xmlcnn_is_sigmoid(self):
+        assert get_workload("XMLCNN-670K").normalization == "sigmoid"
+
+    def test_synthetic_scaling_points(self):
+        assert get_workload("S1M").num_categories == 1_000_000
+        assert get_workload("S10M").num_categories == 10_000_000
+        assert get_workload("S100M").num_categories == 100_000_000
+
+    def test_s100m_footprint_matches_paper_claim(self):
+        # "around 190GB memory" for 100M categories at hidden 512.
+        footprint = get_workload("S100M").classifier_bytes
+        assert 180e9 < footprint < 220e9
+
+    def test_iter_default_excludes_synthetic(self):
+        abbrs = [w.abbr for w in iter_workloads()]
+        assert abbrs == list(TABLE2_ABBRS)
+
+    def test_iter_with_synthetic(self):
+        abbrs = [w.abbr for w in iter_workloads(include_synthetic=True)]
+        assert set(abbrs) == set(WORKLOADS)
+
+    def test_scalability_sweep_ordered(self):
+        counts = [get_workload(a).num_categories for a in SCALABILITY_ABBRS]
+        assert counts == sorted(counts)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("BERT-1M")
+
+    def test_default_candidates(self):
+        workload = get_workload("XMLCNN-670K")
+        expected = round(670_091 * workload.candidate_fraction)
+        assert workload.default_candidates == expected
+
+    def test_lm_budgets_exceed_topk_budgets(self):
+        """Perplexity needs a bigger candidate fraction than P@k."""
+        assert (
+            get_workload("LSTM-W33K").candidate_fraction
+            > get_workload("XMLCNN-670K").candidate_fraction
+        )
+
+
+class TestScaledTask:
+    def test_scale_divides_categories(self):
+        workload = get_workload("LSTM-W33K")
+        task = scaled_task(workload, scale=32)
+        assert task.num_categories == 33_278 // 32
+
+    def test_cap_applies(self):
+        workload = get_workload("XMLCNN-670K")
+        task = scaled_task(workload, scale=2, max_categories=1000)
+        assert task.num_categories == 1000
+
+    def test_hidden_dim_preserved(self):
+        workload = get_workload("LSTM-W33K")
+        task = scaled_task(workload, scale=64)
+        assert task.hidden_dim == 1500
+
+    def test_normalization_carried(self):
+        task = scaled_task(get_workload("XMLCNN-670K"), scale=128)
+        assert task.classifier.normalization == "sigmoid"
+
+    def test_deterministic_across_calls(self):
+        workload = get_workload("GNMT-E32K")
+        a = scaled_task(workload, scale=64)
+        b = scaled_task(workload, scale=64)
+        assert np.array_equal(a.classifier.weight, b.classifier.weight)
+
+    def test_different_scales_different_seeds(self):
+        workload = get_workload("GNMT-E32K")
+        a = scaled_task(workload, scale=64, max_categories=500)
+        b = scaled_task(workload, scale=32, max_categories=500)
+        assert not np.array_equal(a.classifier.weight, b.classifier.weight)
+
+    def test_minimum_floor(self):
+        task = scaled_task(get_workload("GNMT-E32K"), scale=10_000)
+        assert task.num_categories >= 64

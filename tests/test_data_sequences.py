@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.data import SequenceConfig, SyntheticCorpus, make_task
+from repro.metrics import perplexity_from_proba
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    task = make_task(num_categories=1000, hidden_dim=48, rng=15)
+    return SyntheticCorpus(task, SequenceConfig(num_clusters=20), rng=16)
+
+
+class TestConfig:
+    def test_rejects_bad_stickiness(self):
+        with pytest.raises(ValueError):
+            SequenceConfig(cluster_stickiness=1.5)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            SequenceConfig(state_decay=1.0)
+
+
+class TestSequences:
+    def test_shapes(self, corpus):
+        sequences = corpus.sample_sequences(4, 10, rng=1)
+        assert sequences.shape == (4, 10)
+        assert sequences.min() >= 0
+        assert sequences.max() < 1000
+
+    def test_reproducible(self, corpus):
+        a = corpus.sample_sequences(2, 8, rng=5)
+        b = corpus.sample_sequences(2, 8, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_cluster_stickiness(self, corpus):
+        """Consecutive tokens share a cluster far more often than
+        chance (20 clusters → chance ≈ head-skewed but well below the
+        configured 0.8)."""
+        sequences = corpus.sample_sequences(16, 32, rng=2)
+        same = 0
+        total = 0
+        clusters = corpus._cluster_of
+        for row in sequences:
+            for a, b in zip(row, row[1:]):
+                same += clusters[a] == clusters[b]
+                total += 1
+        assert same / total > 0.5
+
+    def test_zipf_marginals(self, corpus):
+        sequences = corpus.sample_sequences(32, 32, rng=3)
+        head = np.mean(sequences < 100)  # top 10% of 1000
+        assert head > 0.3
+
+
+class TestFeatures:
+    def test_feature_target_shapes(self, corpus):
+        sequences = corpus.sample_sequences(3, 9, rng=4)
+        features, targets = corpus.features_for_sequences(sequences, rng=5)
+        assert features.shape == (3 * 8, 48)
+        assert targets.shape == (3 * 8,)
+
+    def test_too_short_rejected(self, corpus):
+        with pytest.raises(ValueError, match="length"):
+            corpus.features_for_sequences(np.array([[1]]))
+
+    def test_context_beats_unigram(self, corpus):
+        """Exact-classifier perplexity on corpus features is much
+        better than the unigram (prior-only) baseline — the context
+        structure is real."""
+        features, targets = corpus.evaluation_batch(24, 12, rng=6)
+        proba = corpus.task.classifier.predict_proba(features)
+        model_ppl = perplexity_from_proba(proba, targets)
+        prior = corpus.task._prior
+        unigram = np.tile(prior, (len(targets), 1))
+        unigram_ppl = perplexity_from_proba(unigram, targets)
+        assert model_ppl < 0.5 * unigram_ppl
+
+    def test_screened_perplexity_tracks_exact(self, corpus):
+        """The end-to-end LM story on sequential data: screening with a
+        generous budget preserves corpus perplexity within ~20%."""
+        from repro.core import (
+            ApproximateScreeningClassifier,
+            ScreeningConfig,
+            train_screener,
+        )
+
+        task = corpus.task
+        screener = train_screener(
+            task.classifier, task.sample_features(512, rng=7),
+            config=ScreeningConfig.from_scale(48, 0.25),
+            solver="lstsq", rng=8,
+        )
+        model = ApproximateScreeningClassifier(
+            task.classifier, screener,
+            num_candidates=130,  # 13% of 1000, the paper's LM budget
+        )
+        features, targets = corpus.evaluation_batch(16, 10, rng=9)
+        exact_ppl = perplexity_from_proba(
+            task.classifier.predict_proba(features), targets
+        )
+        screened_ppl = perplexity_from_proba(
+            model.predict_proba(features), targets
+        )
+        assert screened_ppl < 1.2 * exact_ppl

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import SyntheticTask, SyntheticTaskConfig, make_task
+
+
+class TestConfig:
+    def test_rejects_rank_above_dim(self):
+        with pytest.raises(ValueError):
+            SyntheticTaskConfig(
+                num_categories=10, hidden_dim=8, effective_rank=16
+            )
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticTaskConfig(num_categories=0, hidden_dim=8)
+
+
+class TestTaskGeometry:
+    def test_classifier_shape(self, small_task):
+        assert small_task.classifier.weight.shape == (2000, 64)
+
+    def test_low_effective_rank(self, small_task):
+        """The weight spectrum decays: top-r singular values carry most
+        of the energy (the property screening exploits)."""
+        sv = np.linalg.svd(small_task.classifier.weight, compute_uv=False)
+        r = small_task.config.effective_rank
+        energy_top = np.sum(sv[:r] ** 2)
+        assert energy_top / np.sum(sv**2) > 0.5
+
+    def test_zipf_bias(self, small_task):
+        bias = small_task.classifier.bias
+        # Head categories get larger prior bias than tail.
+        assert bias[0] > bias[-1]
+        assert np.all(np.diff(bias) <= 1e-12)
+
+    def test_features_unit_rms(self, small_task):
+        features = small_task.sample_features(64)
+        rms = np.sqrt(np.mean(features**2, axis=1))
+        assert np.allclose(rms, 1.0)
+
+    def test_top_heavy_softmax(self, small_task):
+        """Samples produce peaked output distributions, like real LMs."""
+        features, _ = small_task.sample(32)
+        proba = small_task.classifier.predict_proba(features)
+        top10 = np.sort(proba, axis=1)[:, -10:].sum(axis=1)
+        # 10 of 2000 categories (0.5%) carry >25% of the mass.
+        assert np.mean(top10) > 0.25
+
+    def test_labels_achievable(self, small_task):
+        """The exact classifier beats chance by a wide margin."""
+        features, labels = small_task.sample(128)
+        accuracy = np.mean(small_task.classifier.predict(features) == labels)
+        assert accuracy > 50.0 / 2000
+
+
+class TestSampling:
+    def test_reproducible_with_rng(self, small_task):
+        a, la = small_task.sample(16, rng=9)
+        b, lb = small_task.sample(16, rng=9)
+        assert np.array_equal(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_zipf_label_skew(self, small_task):
+        labels = small_task.sample_labels(2000, rng=0)
+        head = np.mean(labels < 200)  # top 10% of categories
+        assert head > 0.4
+
+    def test_multilabel_shapes(self):
+        task = make_task(
+            500, 32, rng=0, normalization="sigmoid", labels_per_sample=5
+        )
+        features, labels = task.sample(8)
+        assert features.shape == (8, 32)
+        assert labels.shape == (8, 5)
+
+    def test_features_for_labels_aligned(self, small_task):
+        labels = np.array([3, 700])
+        features = small_task.features_for_labels(labels, rng=1)
+        logits = small_task.classifier.logits(features)
+        # Own-label logit should rank high.
+        ranks = (logits > logits[np.arange(2), labels][:, None]).sum(axis=1)
+        # Head label ranks near the top; the tail label (Zipf-penalized
+        # bias) still lands in the top quartile of 2000 categories.
+        assert ranks[0] < 50
+        assert ranks[1] < 500
+
+    @given(st.integers(1, 32))
+    @settings(max_examples=10, deadline=None)
+    def test_sample_count(self, count):
+        task = make_task(100, 16, rng=0)
+        features, labels = task.sample(count)
+        assert features.shape == (count, 16)
+        assert labels.shape == (count,)
+
+
+def test_make_task_defaults():
+    task = make_task(1000, 128, rng=0)
+    assert task.config.effective_rank == 32

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.data.registry import get_workload
+from repro.distributed import ClusterModel, ShardedClassifier, shard_ranges
+from repro.distributed.cluster import NetworkModel
+
+
+class TestShardRanges:
+    def test_covers_everything_once(self):
+        ranges = shard_ranges(100, 7)
+        covered = [i for r in ranges for i in r]
+        assert covered == list(range(100))
+
+    def test_balanced(self):
+        sizes = [len(r) for r in shard_ranges(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_exact_division(self):
+        assert [len(r) for r in shard_ranges(100, 4)] == [25, 25, 25, 25]
+
+    def test_more_shards_than_categories_rejected(self):
+        with pytest.raises(ValueError):
+            shard_ranges(3, 5)
+
+
+class TestShardedClassifier:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        from repro.core import ScreeningConfig
+        from repro.data import make_task
+
+        task = make_task(num_categories=1200, hidden_dim=64, rng=4)
+        model = ShardedClassifier(
+            task.classifier, num_shards=4,
+            config=ScreeningConfig(projection_dim=16),
+        )
+        model.train(task.sample_features(512), candidates_per_shard=16, rng=5)
+        return task, model
+
+    def test_untrained_forward_rejected(self, small_task):
+        model = ShardedClassifier(small_task.classifier, num_shards=2)
+        with pytest.raises(RuntimeError, match="train"):
+            model.forward(np.zeros(64))
+
+    def test_output_shape_global(self, sharded):
+        task, model = sharded
+        out = model(task.sample_features(3))
+        assert out.logits.shape == (3, 1200)
+
+    def test_candidates_in_global_order(self, sharded):
+        task, model = sharded
+        out = model(task.sample_features(2))
+        for indices in out.candidates:
+            assert indices.min() >= 0
+            assert indices.max() < 1200
+            # 16 candidates from each of 4 shards.
+            assert indices.size == 64
+
+    def test_candidate_entries_exact(self, sharded):
+        task, model = sharded
+        features = task.sample_features(2)
+        out = model(features)
+        exact = task.classifier.logits(features)
+        for row, indices in enumerate(out.candidates):
+            assert np.allclose(out.logits[row, indices], exact[row, indices])
+
+    def test_predictions_match_exact(self, sharded):
+        task, model = sharded
+        features = task.sample_features(24)
+        agreement = np.mean(
+            model.predict(features) == task.classifier.predict(features)
+        )
+        assert agreement >= 0.9
+
+    def test_top_k_reduce(self, sharded):
+        task, model = sharded
+        features = task.sample_features(4)
+        indices, scores = model.top_k(features, k=5)
+        assert indices.shape == (4, 5)
+        # Scores sorted descending; indices valid and match scores.
+        assert np.all(np.diff(scores, axis=1) <= 1e-12)
+        out = model(features)
+        rows = np.arange(4)[:, None]
+        assert np.allclose(out.logits[rows, indices], scores)
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("S10M")
+
+    def test_node_time_shrinks_with_nodes(self, workload):
+        cluster = ClusterModel()
+        one = cluster.simulate(workload, nodes=1)
+        eight = cluster.simulate(workload, nodes=8)
+        assert eight.node_seconds < one.node_seconds / 4
+
+    def test_reduce_grows_with_nodes(self, workload):
+        cluster = ClusterModel()
+        results = cluster.sweep(workload, (1, 4, 16))
+        reduce_times = [r.reduce_seconds for r in results]
+        assert reduce_times == sorted(reduce_times)
+
+    def test_scaling_has_diminishing_returns(self, workload):
+        """The reduce term eventually limits scale-out."""
+        cluster = ClusterModel(
+            network=NetworkModel(latency_s=1e-3)  # slow fabric
+        )
+        results = cluster.sweep(workload, (1, 256))
+        assert results[1].reduce_fraction > results[0].reduce_fraction
+
+    def test_total_is_sum(self, workload):
+        result = ClusterModel().simulate(workload, nodes=4)
+        assert result.seconds == pytest.approx(
+            result.node_seconds + result.reduce_seconds
+        )
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            ClusterModel().simulate(workload, nodes=0)
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_seconds(-1)

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DDR4_2400
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return AddressMapping(DDR4_2400, channels=4, ranks_per_channel=2)
+
+
+class TestDecode:
+    def test_zero_address(self, mapping):
+        decoded = mapping.decode(0)
+        assert decoded.channel == 0
+        assert decoded.rank == 0
+        assert decoded.row == 0
+        assert decoded.column == 0
+
+    def test_channel_interleave_first(self, mapping):
+        # Consecutive 64 B lines walk channels.
+        for i in range(4):
+            assert mapping.decode(i * 64).channel == i
+        assert mapping.decode(4 * 64).channel == 0
+
+    def test_bank_group_interleave_after_channels(self, mapping):
+        """Consecutive same-channel lines alternate bank groups, so
+        streams pay tCCD_S rather than same-group tCCD_L."""
+        a = mapping.decode(0)
+        b = mapping.decode(4 * 64)  # one full channel round
+        assert b.bank_group == (a.bank_group + 1) % 4
+        assert b.column == a.column
+
+    def test_column_advances_after_group_round(self, mapping):
+        groups = 4
+        a = mapping.decode(0)
+        b = mapping.decode(4 * 64 * groups)
+        assert b.column == a.column + 1
+        assert b.bank_group == a.bank_group
+
+    def test_row_locality_of_streams(self, mapping):
+        """A sequential stream stays in one row per (channel, group)
+        until the row is exhausted — the stream row-hit property."""
+        bursts_per_row = mapping.bursts_per_row
+        stride = 4 * 64 * 4  # same channel, same bank group
+        decoded = [
+            mapping.decode(addr)
+            for addr in range(0, stride * bursts_per_row, stride)
+        ]
+        assert all(d.row == decoded[0].row for d in decoded)
+        assert all(d.bank == decoded[0].bank for d in decoded)
+        assert all(d.bank_group == decoded[0].bank_group for d in decoded)
+
+    def test_bank_advances_after_row_of_columns(self, mapping):
+        step = 4 * 64 * 4 * mapping.bursts_per_row
+        a = mapping.decode(0)
+        b = mapping.decode(step)
+        assert (b.bank, b.rank) != (a.bank, a.rank) or b.row != a.row
+
+    def test_sub_line_addresses_same_burst(self, mapping):
+        assert mapping.decode(0) == mapping.decode(63)
+
+    def test_negative_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode(-1)
+
+    def test_flat_bank(self, mapping):
+        decoded = mapping.decode(0)
+        assert decoded.flat_bank == decoded.bank_group * 4 + decoded.bank
+
+
+class TestSequentialAddresses:
+    def test_burst_aligned(self, mapping):
+        addrs = mapping.sequential_addresses(10, 100)
+        assert addrs[0] == 0
+        assert all(a % 64 == 0 for a in addrs)
+
+    def test_covers_range(self, mapping):
+        addrs = mapping.sequential_addresses(0, 256)
+        assert len(addrs) == 4
+
+    def test_partial_tail_included(self, mapping):
+        addrs = mapping.sequential_addresses(0, 65)
+        assert len(addrs) == 2
+
+
+def test_capacity():
+    mapping = AddressMapping(DDR4_2400, channels=8, ranks_per_channel=8)
+    # 8 ch × 8 ranks × 16 banks × 65536 rows × 8 KiB = 512 GiB.
+    assert mapping.capacity_bytes == 8 * 8 * 16 * 65536 * 8192

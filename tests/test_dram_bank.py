@@ -1,0 +1,115 @@
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DDR4_2400
+
+
+@pytest.fixture()
+def bank():
+    return Bank(DDR4_2400)
+
+
+class TestActivate:
+    def test_opens_row(self, bank):
+        bank.activate(0, row=7)
+        assert bank.open_row == 7
+        assert bank.activations == 1
+
+    def test_act_to_open_bank_rejected(self, bank):
+        bank.activate(0, row=1)
+        with pytest.raises(RuntimeError, match="open row"):
+            bank.activate(100, row=2)
+
+    def test_trc_enforced(self, bank):
+        bank.activate(0, row=1)
+        bank.precharge(bank.earliest_precharge())
+        # next ACT must wait for max(tRC from first ACT, tRP from PRE)
+        assert bank.earliest_activate() >= DDR4_2400.trc
+
+    def test_early_act_raises(self, bank):
+        bank.activate(0, row=1)
+        bank.open_row = None  # bypass the open-row check
+        with pytest.raises(RuntimeError, match="tRC"):
+            bank.activate(1, row=2)
+
+
+class TestColumnCommands:
+    def test_read_after_trcd(self, bank):
+        bank.activate(0, row=3)
+        assert bank.earliest_column(is_write=False) == DDR4_2400.trcd
+        done = bank.read(DDR4_2400.trcd, row=3)
+        assert done == DDR4_2400.trcd + DDR4_2400.cl + DDR4_2400.burst_cycles
+
+    def test_read_before_trcd_rejected(self, bank):
+        bank.activate(0, row=3)
+        with pytest.raises(RuntimeError, match="RD"):
+            bank.read(DDR4_2400.trcd - 1, row=3)
+
+    def test_read_wrong_row_rejected(self, bank):
+        bank.activate(0, row=3)
+        with pytest.raises(RuntimeError, match="open row"):
+            bank.read(DDR4_2400.trcd, row=4)
+
+    def test_read_closed_bank_rejected(self, bank):
+        with pytest.raises(RuntimeError, match="closed"):
+            bank.read(100, row=0)
+
+    def test_tccd_between_reads(self, bank):
+        bank.activate(0, row=0)
+        first = DDR4_2400.trcd
+        bank.read(first, row=0)
+        assert bank.earliest_column(is_write=False) == first + DDR4_2400.tccd
+
+    def test_write_recovery_delays_precharge(self, bank):
+        bank.activate(0, row=0)
+        t = DDR4_2400
+        cycle = t.trcd
+        bank.write(cycle, row=0)
+        assert bank.earliest_precharge() >= cycle + t.cwl + t.burst_cycles + t.twr
+
+    def test_read_to_precharge_trtp(self, bank):
+        bank.activate(0, row=0)
+        t = DDR4_2400
+        bank.read(t.trcd, row=0)
+        assert bank.earliest_precharge() >= t.trcd + t.trtp
+
+    def test_write_to_read_turnaround(self, bank):
+        bank.activate(0, row=0)
+        t = DDR4_2400
+        bank.write(t.trcd, row=0)
+        assert (
+            bank.earliest_column(is_write=False)
+            >= t.trcd + t.cwl + t.burst_cycles + t.twtr
+        )
+
+    def test_row_hit_counting(self, bank):
+        bank.activate(0, row=0)
+        cycle = DDR4_2400.trcd
+        bank.read(cycle, row=0)
+        bank.read(cycle + DDR4_2400.tccd, row=0)
+        assert bank.row_hits == 2
+
+
+class TestPrecharge:
+    def test_closes_row(self, bank):
+        bank.activate(0, row=5)
+        bank.precharge(bank.earliest_precharge())
+        assert bank.open_row is None
+
+    def test_tras_enforced(self, bank):
+        bank.activate(0, row=5)
+        with pytest.raises(RuntimeError, match="tRAS"):
+            bank.precharge(DDR4_2400.tras - 1)
+
+    def test_trp_after_precharge(self, bank):
+        bank.activate(0, row=5)
+        pre_cycle = bank.earliest_precharge()
+        bank.precharge(pre_cycle)
+        assert bank.earliest_activate() >= pre_cycle + DDR4_2400.trp
+
+
+def test_block_until_pushes_all(bank):
+    bank.block_until(1000)
+    assert bank.earliest_activate() >= 1000
+    assert bank.earliest_column(is_write=False) >= 1000
+    assert bank.earliest_column(is_write=True) >= 1000

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR4Timing, DDR4_2400
+
+
+@pytest.fixture()
+def rank():
+    return Rank(DDR4_2400)
+
+
+class TestActivateConstraints:
+    def test_trrd_between_banks(self, rank):
+        rank.activate(0, 0, row=0)
+        assert rank.earliest_activate(1) == DDR4_2400.trrd
+
+    def test_trrd_violation_raises(self, rank):
+        rank.activate(0, 0, row=0)
+        with pytest.raises(RuntimeError, match="tRRD"):
+            rank.activate(1, 1, row=0)
+
+    def test_four_activate_window(self, rank):
+        t = DDR4_2400
+        cycles = [0, t.trrd, 2 * t.trrd, 3 * t.trrd]
+        for bank, cycle in enumerate(cycles):
+            rank.activate(cycle, bank, row=0)
+        # Fifth ACT must wait until the first leaves the tFAW window.
+        assert rank.earliest_activate(4) >= cycles[0] + t.tfaw
+
+    def test_faw_window_slides(self, rank):
+        t = DDR4_2400
+        for i in range(4):
+            rank.activate(i * t.trrd, i, row=0)
+        fifth_cycle = t.tfaw
+        rank.activate(fifth_cycle, 4, row=0)
+        # Sixth gated by the second ACT + tFAW.
+        assert rank.earliest_activate(5) >= t.trrd + t.tfaw
+
+    def test_same_bank_gated_by_trc(self, rank):
+        rank.activate(0, 0, row=0)
+        assert rank.earliest_activate(0) >= DDR4_2400.trc
+
+
+class TestRefresh:
+    def test_no_refresh_before_trefi(self, rank):
+        assert rank.maybe_refresh(0) == 0
+        assert rank.refreshes == 0
+
+    def test_refresh_blocks_trfc(self, rank):
+        t = DDR4_2400
+        done = rank.maybe_refresh(t.trefi)
+        assert done == t.trefi + t.trfc
+        assert rank.refreshes == 1
+
+    def test_refresh_closes_rows(self, rank):
+        t = DDR4_2400
+        rank.activate(0, 0, row=7)
+        rank.maybe_refresh(t.trefi)
+        assert rank.banks[0].open_row is None
+
+    def test_refresh_interval_advances(self, rank):
+        t = DDR4_2400
+        rank.maybe_refresh(t.trefi)
+        assert rank.maybe_refresh(t.trefi + t.trfc + 1) == t.trefi + t.trfc + 1
+        assert rank.maybe_refresh(2 * t.trefi) == 2 * t.trefi + t.trfc
+
+
+class TestBankGroupColumnTiming:
+    def test_same_group_pays_tccd_l(self, rank):
+        rank.record_column(100, bank_group=2)
+        assert rank.earliest_column_for_group(2) == 100 + DDR4_2400.tccd_l
+
+    def test_cross_group_pays_tccd_s(self, rank):
+        rank.record_column(100, bank_group=2)
+        assert rank.earliest_column_for_group(1) == 100 + DDR4_2400.tccd
+
+    def test_tccd_l_slower_than_tccd_s(self):
+        assert DDR4_2400.tccd_l > DDR4_2400.tccd
+
+
+def test_stats_aggregate(rank):
+    t = DDR4_2400
+    rank.activate(0, 0, row=0)
+    rank.activate(t.trrd, 1, row=0)
+    assert rank.total_activations == 2

@@ -1,0 +1,76 @@
+"""The bounded scheduling window (queue_depth) and its backlog FIFO."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DDR4_2400, DRAMSystem
+from repro.dram.request import Request, RequestType
+from repro.dram.scheduler import ChannelScheduler
+
+
+def make_scheduler(depth=4):
+    return ChannelScheduler(DDR4_2400, ranks=2, queue_depth=depth)
+
+
+def make_request(system, address):
+    return system.submit(RequestType.READ, address)
+
+
+class TestWindow:
+    def test_overflow_goes_to_backlog(self):
+        scheduler = make_scheduler(depth=4)
+        system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=2,
+                            queue_depth=4)
+        for i in range(10):
+            system.submit(RequestType.READ, i * 64)
+        channel = system.channels[0]
+        assert len(channel.queue) == 4
+        assert len(channel.backlog) == 6
+        assert channel.pending == 10
+
+    def test_all_requests_complete(self):
+        system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=2,
+                            queue_depth=4)
+        requests = [system.submit(RequestType.READ, i * 64) for i in range(50)]
+        system.drain()
+        assert all(r.done for r in requests)
+
+    def test_backlog_preserves_fifo_entry(self):
+        """Backlogged requests enter the window in arrival order."""
+        system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=2,
+                            queue_depth=2)
+        requests = [
+            system.submit(RequestType.READ, i * 64, arrival=i)
+            for i in range(8)
+        ]
+        system.drain()
+        # Sequential same-row stream through a tiny window completes
+        # in arrival order.
+        completions = [r.completed_at for r in requests]
+        assert completions == sorted(completions)
+
+    def test_narrow_window_matches_wide_for_streams(self):
+        """Sequential streams schedule identically regardless of window
+        depth (no reordering opportunity)."""
+
+        def run(depth):
+            system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=2,
+                                queue_depth=depth)
+            system.stream_read(0, 64 * 256)
+            return system.drain().cycles
+
+        assert run(4) == run(64)
+
+    def test_wide_window_helps_gathers(self):
+        """Random gathers benefit from (or at least never lose to) a
+        deeper reordering window."""
+        rng = np.random.default_rng(3)
+        addrs = (rng.integers(0, 1 << 26, 200) // 64 * 64).tolist()
+
+        def run(depth):
+            system = DRAMSystem(DDR4_2400, channels=1, ranks_per_channel=2,
+                                queue_depth=depth)
+            system.gather_read(addrs)
+            return system.drain().cycles
+
+        assert run(64) <= run(2) * 1.01

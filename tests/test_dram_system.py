@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.dram import (
+    AnalyticDRAMModel,
+    DDR4_2400,
+    DRAMSystem,
+    Request,
+    RequestType,
+)
+
+
+def make_system(channels=1, ranks=8):
+    return DRAMSystem(DDR4_2400, channels=channels, ranks_per_channel=ranks)
+
+
+class TestSingleRequest:
+    def test_idle_read_latency(self):
+        system = make_system()
+        request = system.submit(RequestType.READ, 0)
+        stats = system.drain()
+        t = DDR4_2400
+        # ACT at 0 is impossible (cmd bus at cycle 0 OK): ACT, RD at
+        # +tRCD, data at +CL+burst.
+        assert request.completed_at == t.trcd + t.cl + t.burst_cycles
+        assert stats.reads == 1
+        assert stats.activations == 1
+
+    def test_write_completes(self):
+        system = make_system()
+        request = system.submit(RequestType.WRITE, 0)
+        system.drain()
+        assert request.done
+        assert request.latency > 0
+
+    def test_row_hit_second_read(self):
+        system = make_system()
+        first = system.submit(RequestType.READ, 0)
+        second = system.submit(RequestType.READ, 64 * 1)  # same row? no: next channel
+        # For channels=1, address 64 is the next column in the same row.
+        system.drain()
+        assert second.completed_at - first.completed_at <= DDR4_2400.tccd + \
+            DDR4_2400.burst_cycles
+
+
+class TestStreams:
+    def test_stream_row_hit_rate_high(self):
+        system = make_system()
+        system.stream_read(0, 64 * 1024)
+        stats = system.drain()
+        assert stats.row_hit_rate > 0.95
+
+    def test_stream_bandwidth_near_peak(self):
+        system = make_system()
+        system.stream_read(0, 256 * 1024)
+        stats = system.drain()
+        assert stats.bandwidth > 0.85 * DDR4_2400.peak_bandwidth
+
+    def test_multi_channel_scales(self):
+        single = make_system(channels=1)
+        single.stream_read(0, 128 * 1024)
+        bw1 = single.drain().bandwidth
+        quad = make_system(channels=4)
+        quad.stream_read(0, 128 * 1024)
+        bw4 = quad.drain().bandwidth
+        assert bw4 > 3.0 * bw1
+
+    def test_bytes_accounted(self):
+        system = make_system()
+        system.stream_read(0, 64 * 100)
+        stats = system.drain()
+        assert stats.bytes_transferred == 64 * 100
+
+    def test_write_stream(self):
+        system = make_system()
+        system.stream_write(0, 64 * 64)
+        stats = system.drain()
+        assert stats.writes == 64
+        assert stats.reads == 0
+
+
+class TestGather:
+    def test_gather_sustains_parallelism(self):
+        system = make_system()
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 28, 256) // 64 * 64
+        system.gather_read(addrs.tolist())
+        stats = system.drain()
+        # Random single-burst reads limited by bus: ≥ 60% of peak with
+        # 128 banks available.
+        assert stats.bandwidth > 0.5 * DDR4_2400.peak_bandwidth
+
+    def test_gather_mostly_misses(self):
+        system = make_system()
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 28, 200) // 64 * 64
+        system.gather_read(addrs.tolist())
+        stats = system.drain()
+        assert stats.row_hit_rate < 0.2 or stats.activations > 150
+
+
+class TestRefreshInStream:
+    def test_long_stream_refreshes(self):
+        system = make_system()
+        # ~34k bursts per channel: > tREFI at 4 cycles per burst.
+        system.stream_read(0, 64 * 40_000)
+        stats = system.drain()
+        assert stats.refreshes >= 1
+
+
+class TestValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            DRAMSystem(DDR4_2400, channels=0)
+
+    def test_request_latency_before_completion_raises(self):
+        request = Request(
+            type=RequestType.READ,
+            address=make_system().mapping.decode(0),
+        )
+        with pytest.raises(ValueError):
+            request.latency

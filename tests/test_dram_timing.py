@@ -1,0 +1,57 @@
+import pytest
+
+from repro.dram.timing import DDR4Timing, DDR4_2400, DDR4_2666
+
+
+class TestDDR4_2400:
+    def test_table3_core_timings(self):
+        t = DDR4_2400
+        assert (t.cl, t.trcd, t.trp) == (16, 16, 16)
+        assert t.trc == 55
+        assert t.tccd == 4
+        assert t.trrd == 4
+
+    def test_tfaw_reading(self):
+        # Table 3's "tFAW=6" read as 6×tRRD (see module docstring).
+        assert DDR4_2400.tfaw == 24
+
+    def test_burst_geometry(self):
+        t = DDR4_2400
+        assert t.burst_cycles == 4  # BL8, DDR
+        assert t.burst_bytes == 64
+
+    def test_peak_bandwidth(self):
+        # 2400 MT/s × 8 B = 19.2 GB/s.
+        assert DDR4_2400.peak_bandwidth == pytest.approx(19.2e9)
+
+    def test_row_bytes(self):
+        # 1024 columns × 8 bits × 8 chips = 8 KiB.
+        assert DDR4_2400.row_bytes == 8192
+
+    def test_banks(self):
+        assert DDR4_2400.banks_per_rank == 16
+
+    def test_ras_rc_consistency(self):
+        t = DDR4_2400
+        assert t.tras + t.trp <= t.trc + 1
+
+
+class TestDDR4_2666:
+    def test_faster_clock(self):
+        assert DDR4_2666.clock_hz > DDR4_2400.clock_hz
+
+    def test_peak_bandwidth(self):
+        assert DDR4_2666.peak_bandwidth == pytest.approx(21.3e9, rel=0.01)
+
+
+class TestValidation:
+    def test_rejects_inconsistent_ras(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DDR4Timing(tras=50, trp=16, trc=55)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            DDR4Timing(clock_hz=0)
+
+    def test_ns_per_cycle(self):
+        assert DDR4_2400.ns_per_cycle == pytest.approx(0.8333, rel=1e-3)

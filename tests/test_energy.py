@@ -1,0 +1,120 @@
+import pytest
+
+from repro.data.registry import get_workload
+from repro.energy import (
+    DEFAULT_ENERGY_PARAMS,
+    EnergyBreakdown,
+    EnergyModel,
+    enmc_totals,
+    render_table4,
+    render_table5,
+)
+from repro.energy.area import (
+    ENMC_AREA_POWER_BREAKDOWN,
+    NMP_BUDGET_TABLE,
+    component_fractions,
+)
+from repro.enmc.simulator import ENMCSimulator
+from repro.nmp import TENSORDIMM_MODEL
+
+
+class TestAreaTables:
+    def test_table5_totals_match_paper(self):
+        totals = enmc_totals()
+        assert totals.area_mm2 == pytest.approx(0.442, abs=1e-3)
+        assert totals.power_mw == pytest.approx(285.4, abs=0.1)
+
+    def test_table4_budget_matched(self):
+        """All four designs within ~15% area of each other."""
+        areas = [ap.area_mm2 for _, ap in NMP_BUDGET_TABLE.values()]
+        assert max(areas) / min(areas) < 1.2
+
+    def test_table4_enmc_entry(self):
+        config, ap = NMP_BUDGET_TABLE["ENMC"]
+        assert "INT4" in config
+        assert ap.power_mw == 285.4
+
+    def test_component_fractions_sum_to_one(self):
+        fractions = component_fractions()
+        assert sum(f[0] for f in fractions.values()) == pytest.approx(1.0)
+        assert sum(f[1] for f in fractions.values()) == pytest.approx(1.0)
+
+    def test_int4_array_cheap(self):
+        """128 INT4 MACs cost less area than 16 FP32 MACs — the
+        asymmetry that makes heterogeneity affordable."""
+        assert (
+            ENMC_AREA_POWER_BREAKDOWN["INT4 MAC"].area_mm2
+            < ENMC_AREA_POWER_BREAKDOWN["FP32 MAC"].area_mm2
+        )
+
+    def test_render_tables(self):
+        assert "0.442" in render_table5()
+        assert "TensorDIMM" in render_table4()
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0)
+        assert e.total == 6.0
+
+    def test_normalization(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0)
+        n = e.normalized_to(EnergyBreakdown(2.0, 2.0, 2.0))
+        assert n.total == pytest.approx(1.0)
+
+    def test_normalize_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(1, 1, 1).normalized_to(EnergyBreakdown(0, 0, 0))
+
+    def test_add(self):
+        total = EnergyBreakdown(1, 1, 1) + EnergyBreakdown(2, 2, 2)
+        assert total.total == 9
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("Transformer-W268K")
+
+    def test_positive_pools(self, workload):
+        result = ENMCSimulator().simulate(workload, candidates_per_row=1000)
+        energy = EnergyModel().energy_of(result)
+        assert energy.dram_static > 0
+        assert energy.dram_access > 0
+        assert energy.compute_and_control > 0
+
+    def test_static_scales_with_time(self, workload):
+        result = ENMCSimulator().simulate(workload, candidates_per_row=1000)
+        model = EnergyModel()
+        fast = model.energy_of(result, seconds=1e-5)
+        slow = model.energy_of(result, seconds=1e-3)
+        assert slow.dram_static == pytest.approx(100 * fast.dram_static)
+        assert slow.dram_access == fast.dram_access  # traffic unchanged
+
+    def test_enmc_beats_tensordimm_full(self, workload):
+        """The Fig. 14 headline: ENMC ~5-10× less energy than
+        TensorDIMM running full classification."""
+        m = workload.default_candidates
+        enmc_result = ENMCSimulator().simulate(workload, candidates_per_row=m)
+        enmc_energy = EnergyModel().energy_of(enmc_result)
+        td_result = TENSORDIMM_MODEL.simulate_full(workload)
+        td_energy = EnergyModel(logic_watts=0.3035).energy_of(
+            td_result, seconds=td_result.serialized_seconds
+        )
+        ratio = td_energy.total / enmc_energy.total
+        assert 3.0 < ratio < 20.0
+
+    def test_int4_compute_energy_small(self, workload):
+        """Screening's INT4 MACs contribute little energy despite doing
+        the bulk of operations."""
+        result = ENMCSimulator().simulate(workload, candidates_per_row=1000)
+        params = DEFAULT_ENERGY_PARAMS
+        int_energy = result.int_macs_per_rank * params.int4_mac_pj
+        fp_energy = result.fp_macs_per_rank * params.fp32_mac_pj
+        assert result.int_macs_per_rank > result.fp_macs_per_rank
+        assert int_energy < 2 * fp_energy
+
+    def test_rejects_negative_seconds(self, workload):
+        result = ENMCSimulator().simulate(workload, candidates_per_row=10)
+        with pytest.raises(ValueError):
+            EnergyModel().energy_of(result, seconds=-1.0)

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.enmc.buffers import Buffer, BufferOverflowError, BufferSet
+from repro.isa.opcodes import BufferId
+
+
+class TestBuffer:
+    def test_capacity_elements_int4(self):
+        buffer = Buffer(BufferId.FEATURE_INT4, 256)
+        assert buffer.capacity_elements == 512  # 256 B at 4 bits
+
+    def test_capacity_elements_fp32(self):
+        buffer = Buffer(BufferId.FEATURE_FP32, 256)
+        assert buffer.capacity_elements == 64
+
+    def test_write_and_read(self):
+        buffer = Buffer(BufferId.PSUM_FP32, 256)
+        data = np.arange(8.0)
+        buffer.write(data)
+        assert np.array_equal(buffer.data, data)
+
+    def test_write_copies(self):
+        buffer = Buffer(BufferId.PSUM_FP32, 256)
+        data = np.arange(4.0)
+        buffer.write(data)
+        data[0] = 99
+        assert buffer.data[0] == 0.0
+
+    def test_overflow_rejected(self):
+        buffer = Buffer(BufferId.FEATURE_FP32, 256)
+        with pytest.raises(BufferOverflowError):
+            buffer.write(np.zeros(65))
+
+    def test_int4_fits_more(self):
+        buffer = Buffer(BufferId.FEATURE_INT4, 256)
+        buffer.write(np.zeros(512))  # exactly full
+        assert buffer.occupancy_bytes == 256
+
+    def test_empty_read_raises(self):
+        buffer = Buffer(BufferId.OUTPUT, 256)
+        with pytest.raises(RuntimeError, match="empty"):
+            buffer.data
+
+    def test_clear(self):
+        buffer = Buffer(BufferId.OUTPUT, 256)
+        buffer.write(np.zeros(4))
+        buffer.clear()
+        assert buffer.empty
+        assert buffer.occupancy_bytes == 0
+
+
+class TestBufferSet:
+    def test_all_ids_present(self):
+        buffers = BufferSet(256)
+        for buffer_id in BufferId:
+            assert buffers[buffer_id].buffer_id is buffer_id
+
+    def test_clear_all(self):
+        buffers = BufferSet(256)
+        buffers[BufferId.OUTPUT].write(np.zeros(4))
+        buffers.clear_all()
+        assert buffers[BufferId.OUTPUT].empty
+
+    def test_total_occupancy(self):
+        buffers = BufferSet(256)
+        buffers[BufferId.PSUM_FP32].write(np.zeros(8))
+        assert buffers.total_occupancy_bytes == 32

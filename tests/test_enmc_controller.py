@@ -1,0 +1,244 @@
+import numpy as np
+import pytest
+
+from repro.enmc.config import DEFAULT_CONFIG
+from repro.enmc.controller import ENMCController, MemoryImage
+from repro.isa import Program, assemble
+from repro.isa.instruction import Filter, Init, Load, Move, Return
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+
+@pytest.fixture()
+def controller():
+    return ENMCController(DEFAULT_CONFIG)
+
+
+def bind_tile(controller, address, array, bits=4):
+    controller.memory.bind(address, np.asarray(array, dtype=np.float64), bits)
+
+
+class TestMemoryImage:
+    def test_bind_fetch(self):
+        image = MemoryImage()
+        image.bind(0x100, np.arange(4), 32)
+        array, bits = image.fetch(0x100)
+        assert bits == 32
+        assert np.array_equal(array, np.arange(4))
+
+    def test_double_bind_rejected(self):
+        image = MemoryImage()
+        image.bind(0x100, np.arange(4), 32)
+        with pytest.raises(ValueError):
+            image.bind(0x100, np.arange(4), 32)
+
+    def test_missing_fetch_raises(self):
+        with pytest.raises(KeyError):
+            MemoryImage().fetch(0x42)
+
+    def test_store_overwrites(self):
+        image = MemoryImage()
+        image.store(0x0, np.zeros(2))
+        image.store(0x0, np.ones(2))
+        assert np.array_equal(image.fetch(0x0)[0], np.ones(2))
+
+
+class TestRegisters:
+    def test_init_writes_register(self, controller):
+        trace = controller.execute(Program([
+            Init(RegisterId.VOCAB_SIZE, 1234), Return(),
+        ]))
+        assert controller.registers[RegisterId.VOCAB_SIZE] == 1234
+        assert trace.count(Opcode.REG) == 1
+
+    def test_query_records_read(self, controller):
+        program = Program(assemble("INIT status, 7\nQUERY status\nRETURN"))
+        trace = controller.execute(program)
+        assert ("STATUS", 7) in trace.register_reads
+
+    def test_threshold_fixed_point_roundtrip(self):
+        for value in (0.0, 1.5, -3.25, 1000.0625, -0.0001):
+            encoded = ENMCController.encode_threshold(value)
+            controller = ENMCController(DEFAULT_CONFIG)
+            controller.registers[RegisterId.THRESHOLD] = encoded
+            assert controller._threshold() == pytest.approx(value, abs=1e-4)
+
+
+class TestDataPath:
+    def test_load_charges_traffic(self, controller):
+        bind_tile(controller, 0x1000, np.ones(128), bits=4)
+        trace = controller.execute(Program([
+            Load(BufferId.WEIGHT_INT4, 0x1000), Return(),
+        ]))
+        assert trace.dram_bytes == 128 * 4 / 8
+        assert trace.dram_cycles > 0
+
+    def test_screening_tile_computes(self, controller):
+        rng = np.random.default_rng(0)
+        feature = rng.standard_normal(8)
+        weight = rng.standard_normal((16, 8))
+        bind_tile(controller, 0x100, feature)
+        bind_tile(controller, 0x200, weight)
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "MOVE output, psum_int4\n"
+            "RETURN"
+        ))
+        trace = controller.execute(program)
+        assert len(trace.outputs) == 1
+        assert np.allclose(trace.outputs[0], weight @ feature)
+        assert trace.screener_cycles > 0
+
+    def test_psum_accumulates_across_tiles(self, controller):
+        feature = np.ones(4)
+        bind_tile(controller, 0x100, feature)
+        bind_tile(controller, 0x200, np.ones((8, 4)))
+        bind_tile(controller, 0x300, 2 * np.ones((8, 4)))
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "LDR weight_int4, 0x300\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "MOVE output, psum_int4\n"
+            "RETURN"
+        ))
+        trace = controller.execute(program)
+        assert np.allclose(trace.outputs[0], 4.0 + 8.0)
+
+    def test_store_spills_buffer(self, controller):
+        bind_tile(controller, 0x100, np.arange(4.0), bits=32)
+        program = Program(assemble(
+            "LDR psum_fp32, 0x100\nSTR psum_fp32, 0x900\nRETURN"
+        ))
+        controller.execute(program)
+        stored, _ = controller.memory.fetch(0x900)
+        assert np.array_equal(stored, np.arange(4.0))
+
+    def test_clear_resets(self, controller):
+        bind_tile(controller, 0x100, np.ones(4))
+        program = Program(assemble(
+            "INIT vocab_size, 5\nLDR feature_int4, 0x100\nCLR\nRETURN"
+        ))
+        controller.execute(program)
+        assert controller.registers[RegisterId.VOCAB_SIZE] == 0
+        assert controller.buffers[BufferId.FEATURE_INT4].empty
+
+
+class TestFilterAndGeneration:
+    def test_filter_without_generator(self, controller):
+        bind_tile(controller, 0x100, np.array([1.0]))
+        bind_tile(controller, 0x200, np.array([[5.0], [-5.0], [2.0]]))
+        controller.registers[RegisterId.THRESHOLD] = \
+            ENMCController.encode_threshold(1.0)
+        program = Program([
+            Load(BufferId.FEATURE_INT4, 0x100),
+            Load(BufferId.WEIGHT_INT4, 0x200),
+            __import__("repro.isa.instruction", fromlist=["Compute"]).Compute(
+                Opcode.MUL_ADD_INT4, BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4
+            ),
+            Filter(BufferId.PSUM_INT4),
+            Return(),
+        ])
+        trace = controller.execute(program)
+        assert trace.candidate_indices == [0, 2]
+        assert controller.registers[RegisterId.CANDIDATE_COUNT] == 2
+
+    def test_filter_advances_base_across_tiles(self, controller):
+        bind_tile(controller, 0x100, np.array([1.0]))
+        bind_tile(controller, 0x200, np.array([[5.0], [-5.0]]))
+        bind_tile(controller, 0x300, np.array([[7.0], [-7.0]]))
+        controller.registers[RegisterId.THRESHOLD] = \
+            ENMCController.encode_threshold(0.0)
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "FILTER psum_int4\n"
+            "LDR weight_int4, 0x300\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "FILTER psum_int4\n"
+            "RETURN"
+        ))
+        trace = controller.execute(program)
+        assert trace.candidate_indices == [0, 2]
+
+    def test_generator_produces_exact_results(self, controller):
+        rng = np.random.default_rng(1)
+        d = 6
+        full_rows = rng.standard_normal((4, d + 1))
+        feature_fp = np.append(rng.standard_normal(d), 1.0)
+        bind_tile(controller, 0x50, feature_fp, bits=32)
+        for i in range(4):
+            bind_tile(controller, 0x4000 + i * (d + 1) * 4, full_rows[i], bits=32)
+        # Screening tile that selects rows 1 and 3.
+        bind_tile(controller, 0x100, np.array([1.0]))
+        bind_tile(controller, 0x200, np.array([[-1.0], [2.0], [-1.0], [2.0]]))
+        program = Program(assemble(
+            "INIT feature_base, 0x50\n"
+            "INIT weight_base, 0x4000\n"
+            f"INIT hidden_dim, {d + 1}\n"
+            "INIT threshold, 0x10000\n"  # 1.0 in 16.16
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "FILTER psum_int4\n"
+            "RETURN"
+        ))
+        trace = controller.execute(program)
+        assert [idx for idx, _ in trace.exact_results] == [1, 3]
+        for idx, value in trace.exact_results:
+            assert value == pytest.approx(float(full_rows[idx] @ feature_fp))
+        assert trace.generated_instructions > 0
+        assert trace.executor_cycles > 0
+
+    def test_generator_requires_hidden_dim(self, controller):
+        bind_tile(controller, 0x100, np.array([1.0]))
+        bind_tile(controller, 0x200, np.array([[5.0]]))
+        bind_tile(controller, 0x50, np.array([1.0, 1.0]), bits=32)
+        program = Program(assemble(
+            "INIT feature_base, 0x50\n"
+            "INIT weight_base, 0x4000\n"
+            "INIT threshold, 0\n"
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "FILTER psum_int4\n"
+            "RETURN"
+        ))
+        with pytest.raises(RuntimeError, match="HIDDEN_DIM"):
+            controller.execute(program)
+
+
+class TestSpecialFunctions:
+    def test_softmax_on_psum(self, controller):
+        bind_tile(controller, 0x100, np.array([2.0, 1.0, 0.0]), bits=32)
+        program = Program(assemble(
+            "LDR psum_fp32, 0x100\nSOFTMAX\nMOVE output, psum_fp32\nRETURN"
+        ))
+        trace = controller.execute(program)
+        assert trace.outputs[0].sum() == pytest.approx(1.0)
+        assert trace.sfu_cycles > 0
+
+    def test_sigmoid_on_psum(self, controller):
+        bind_tile(controller, 0x100, np.array([0.0]), bits=32)
+        program = Program(assemble(
+            "LDR psum_fp32, 0x100\nSIGMOID\nMOVE output, psum_fp32\nRETURN"
+        ))
+        trace = controller.execute(program)
+        assert trace.outputs[0][0] == pytest.approx(0.5, abs=0.01)
+
+
+class TestTraceAccounting:
+    def test_instruction_count(self, controller):
+        program = Program(assemble("NOP\nNOP\nBARRIER\nRETURN"))
+        trace = controller.execute(program)
+        assert trace.instructions_executed == 4
+        assert trace.controller_cycles == 4
+
+    def test_total_cycles_positive(self, controller):
+        bind_tile(controller, 0x100, np.ones(4))
+        program = Program(assemble("LDR feature_int4, 0x100\nRETURN"))
+        trace = controller.execute(program)
+        assert trace.total_cycles > 2

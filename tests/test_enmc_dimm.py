@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.controller import MemoryImage
+from repro.enmc.dimm import ENMCDimm
+from repro.isa import Program, assemble
+
+
+@pytest.fixture()
+def dimm():
+    memory = MemoryImage()
+    memory.bind(0x100, np.ones(8), 4)
+    memory.bind(0x200, np.ones((4, 8)), 4)
+    return ENMCDimm(DEFAULT_CONFIG, memory=memory)
+
+
+SCREEN_PROGRAM = (
+    "LDR feature_int4, 0x100\n"
+    "LDR weight_int4, 0x200\n"
+    "MUL_ADD_INT4 feature_int4, weight_int4\n"
+    "MOVE output, psum_int4\n"
+    "RETURN"
+)
+
+
+class TestENMCDimm:
+    def test_one_controller_per_rank(self, dimm):
+        assert len(dimm.ranks) == DEFAULT_CONFIG.ranks_per_channel
+
+    def test_execute_on_specific_rank(self, dimm):
+        program = Program(assemble(SCREEN_PROGRAM))
+        trace = dimm.execute(program, rank=3)
+        assert np.allclose(trace.outputs[0], 8.0)
+
+    def test_ranks_are_independent(self, dimm):
+        program = Program(assemble(SCREEN_PROGRAM))
+        dimm.execute(program, rank=0)
+        # Rank 1's buffers untouched.
+        from repro.isa.opcodes import BufferId
+
+        assert dimm.ranks[1].buffers[BufferId.PSUM_INT4].empty
+        assert not dimm.ranks[0].buffers[BufferId.PSUM_INT4].empty
+
+    def test_rank_out_of_range(self, dimm):
+        program = Program(assemble(SCREEN_PROGRAM))
+        with pytest.raises(ValueError, match="rank"):
+            dimm.execute(program, rank=99)
+
+    def test_wire_execution_equals_direct(self, dimm):
+        program = Program(assemble(SCREEN_PROGRAM))
+        direct = dimm.execute(program, rank=0)
+        wired = dimm.execute_wire(program.encoded(), rank=1)
+        assert np.allclose(direct.outputs[0], wired.outputs[0])
+
+    def test_regular_memory_capability(self, dimm):
+        assert dimm.regular_memory_capable
+
+    def test_shared_memory_image(self):
+        """All ranks see the same DIMM-resident data (the weight shard
+        layout is the compiler's business)."""
+        memory = MemoryImage()
+        memory.bind(0x0, np.arange(4.0), 32)
+        dimm = ENMCDimm(ENMCConfig(ranks_per_channel=2), memory=memory)
+        assert dimm.ranks[0].memory is dimm.ranks[1].memory

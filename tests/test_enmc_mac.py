@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.enmc.config import DEFAULT_CONFIG, ENMCConfig
+from repro.enmc.mac import MACArray, SpecialFunctionUnit
+from repro.linalg.functional import softmax
+
+
+class TestMACArray:
+    def test_cycles_ceiling(self):
+        mac = MACArray(lanes=128, bits=4)
+        assert mac.cycles_for(128) == 1
+        assert mac.cycles_for(129) == 2
+
+    def test_zero_macs(self):
+        assert MACArray(lanes=16, bits=32).cycles_for(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MACArray(lanes=16, bits=32).cycles_for(-1)
+
+    def test_accumulates_total(self):
+        mac = MACArray(lanes=16, bits=32)
+        mac.cycles_for(100)
+        mac.cycles_for(50)
+        assert mac.total_macs == 150
+
+    def test_matvec_functional(self):
+        mac = MACArray(lanes=16, bits=32)
+        matrix = np.arange(6.0).reshape(2, 3)
+        vector = np.array([1.0, 0.0, 2.0])
+        assert np.allclose(mac.matvec(matrix, vector), matrix @ vector)
+
+
+class TestSFU:
+    def test_cycles(self):
+        sfu = SpecialFunctionUnit(elements_per_cycle=4)
+        assert sfu.cycles_for(4) == 1
+        assert sfu.cycles_for(5) == 2
+        assert sfu.cycles_for(0) == 0
+
+    def test_softmax_close_to_exact(self):
+        sfu = SpecialFunctionUnit(taylor_order=4)
+        logits = np.array([3.0, 1.0, -2.0, 0.5])
+        approx = sfu.softmax(logits)
+        exact = softmax(logits)
+        assert np.allclose(approx, exact, atol=0.02)
+        assert approx.sum() == pytest.approx(1.0)
+
+    def test_softmax_order_improves(self):
+        logits = np.random.default_rng(0).standard_normal(32) * 3
+        exact = softmax(logits)
+        err2 = np.abs(SpecialFunctionUnit(taylor_order=2).softmax(logits) - exact).max()
+        err6 = np.abs(SpecialFunctionUnit(taylor_order=6).softmax(logits) - exact).max()
+        assert err6 <= err2
+
+    def test_sigmoid_saturation(self):
+        sfu = SpecialFunctionUnit()
+        out = sfu.sigmoid(np.array([-100.0, 0.0, 100.0]))
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.5, abs=0.01)
+        assert out[2] == 1.0
+
+    def test_sigmoid_monotone(self):
+        sfu = SpecialFunctionUnit()
+        x = np.linspace(-6, 6, 100)
+        out = sfu.sigmoid(x)
+        assert np.all(np.diff(out) >= -1e-9)
+
+
+class TestConfig:
+    def test_table3_defaults(self):
+        config = DEFAULT_CONFIG
+        assert config.frequency_hz == 400e6
+        assert config.int4_macs == 128
+        assert config.fp32_macs == 16
+        assert config.channels == 8
+        assert config.ranks_per_channel == 8
+        assert config.screener_buffer_bytes == 256
+
+    def test_total_ranks(self):
+        assert DEFAULT_CONFIG.total_ranks == 64
+
+    def test_rank_bandwidth(self):
+        assert DEFAULT_CONFIG.rank_bandwidth == pytest.approx(19.2e9)
+
+    def test_aggregate_internal_bandwidth(self):
+        # 64 ranks × 19.2 GB/s — the NMP bandwidth advantage.
+        assert DEFAULT_CONFIG.aggregate_internal_bandwidth == pytest.approx(
+            64 * 19.2e9
+        )
+
+    def test_clock_ratio(self):
+        assert DEFAULT_CONFIG.dram_cycles_per_logic_cycle == pytest.approx(3.0)
+
+    def test_mac_rates(self):
+        assert DEFAULT_CONFIG.int4_macs_per_second() == 128 * 400e6
+        assert DEFAULT_CONFIG.fp32_macs_per_second() == 16 * 400e6
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ENMCConfig(int4_macs=0)

@@ -1,0 +1,123 @@
+import math
+
+import pytest
+
+from repro.data.registry import get_workload
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+from repro.enmc.simulator import ENMCSimulator, PhaseBreakdown
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ENMCSimulator(DEFAULT_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("Transformer-W268K")
+
+
+class TestPhaseBreakdown:
+    def test_streaming_overlap_takes_max(self):
+        phase = PhaseBreakdown(memory_seconds=3.0, compute_seconds=1.0)
+        assert phase.seconds == 3.0
+        assert phase.bound == "memory"
+
+    def test_compute_bound(self):
+        phase = PhaseBreakdown(memory_seconds=1.0, compute_seconds=3.0)
+        assert phase.bound == "compute"
+
+
+class TestSimulate:
+    def test_screening_is_memory_bound(self, simulator, workload):
+        """With 128 INT4 MACs the screening phase should be limited by
+        rank bandwidth — the design point the paper argues for."""
+        result = simulator.simulate(workload, candidates_per_row=1000)
+        assert result.screen.bound == "memory"
+
+    def test_dual_module_beats_serialized(self, simulator, workload):
+        result = simulator.simulate(workload, candidates_per_row=5000)
+        assert result.seconds < result.serialized_seconds
+
+    def test_pipelined_close_to_max_phase(self, simulator, workload):
+        result = simulator.simulate(workload, candidates_per_row=5000)
+        longer = max(result.screen.seconds, result.execute.seconds)
+        assert result.seconds < 1.2 * longer + result.sfu_seconds + 1e-9
+
+    def test_batch_scales_compute_not_weights(self, simulator, workload):
+        one = simulator.simulate(workload, candidates_per_row=100, batch_size=1)
+        four = simulator.simulate(workload, candidates_per_row=100, batch_size=4)
+        assert four.int_bytes_per_rank == one.int_bytes_per_rank
+        assert four.int_macs_per_rank == pytest.approx(4 * one.int_macs_per_rank)
+
+    def test_default_projection_quarter(self, simulator, workload):
+        explicit = simulator.simulate(
+            workload, projection_dim=workload.hidden_dim // 4,
+            candidates_per_row=100,
+        )
+        default = simulator.simulate(workload, candidates_per_row=100)
+        assert default.seconds == explicit.seconds
+
+    def test_more_candidates_longer_execute(self, simulator, workload):
+        small = simulator.simulate(workload, candidates_per_row=100)
+        large = simulator.simulate(workload, candidates_per_row=10_000)
+        assert large.execute.seconds > small.execute.seconds
+
+    def test_more_ranks_faster(self, workload):
+        few = ENMCSimulator(ENMCConfig(channels=2, ranks_per_channel=2))
+        many = ENMCSimulator(ENMCConfig(channels=8, ranks_per_channel=8))
+        t_few = few.simulate(workload, candidates_per_row=1000).seconds
+        t_many = many.simulate(workload, candidates_per_row=1000).seconds
+        assert t_many < t_few / 4
+
+    def test_rejects_bad_batch(self, simulator, workload):
+        with pytest.raises(ValueError):
+            simulator.simulate(workload, batch_size=0)
+
+    def test_traffic_accounting(self, simulator, workload):
+        k = workload.hidden_dim // 4
+        result = simulator.simulate(workload, candidates_per_row=100)
+        shards = DEFAULT_CONFIG.total_ranks
+        l_shard = math.ceil(workload.num_categories / shards)
+        expected = l_shard * k * 4 / 8  # W̃ shard at INT4; Ph ships from host
+        assert result.int_bytes_per_rank == pytest.approx(expected)
+
+
+class TestCostFor:
+    def test_matches_cost_model(self, simulator, workload):
+        cost = simulator.cost_for(workload, candidates_per_row=100)
+        from repro.core.metrics import cost_of_screened_classification
+
+        expected = cost_of_screened_classification(
+            workload.num_categories, workload.hidden_dim,
+            workload.hidden_dim // 4, 100, 1, quantization_bits=4,
+        )
+        assert cost.int_bytes == expected.int_bytes
+        assert cost.fp_flops == expected.fp_flops
+
+
+class TestFullClassificationBaseline:
+    def test_full_slower_than_screened(self, simulator, workload):
+        screened = simulator.simulate(
+            workload, candidates_per_row=workload.default_candidates
+        )
+        full = simulator.simulate_full_classification(workload)
+        assert full.serialized_seconds > 3 * screened.seconds
+
+    def test_full_is_fp_only(self, simulator, workload):
+        full = simulator.simulate_full_classification(workload)
+        assert full.int_macs_per_rank == 0
+        assert full.int_bytes_per_rank == 0
+
+
+class TestHeterogeneousAdvantage:
+    def test_int4_units_essential(self, workload):
+        """Ablation (DESIGN.md §5): replacing the 128-lane INT4 array
+        with 16 FP32-rate lanes makes screening compute-bound and
+        slower — the homogeneous-NMP failure mode."""
+        hetero = ENMCSimulator(DEFAULT_CONFIG)
+        homo = ENMCSimulator(ENMCConfig(int4_macs=16))
+        t_het = hetero.simulate(workload, candidates_per_row=1000)
+        t_hom = homo.simulate(workload, candidates_per_row=1000)
+        assert t_hom.screen.bound == "compute"
+        assert t_hom.seconds > t_het.seconds

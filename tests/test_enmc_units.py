@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.enmc.buffers import BufferSet
+from repro.enmc.config import DEFAULT_CONFIG
+from repro.enmc.executor_unit import ExecutorUnit
+from repro.enmc.screener_unit import ScreenerUnit
+from repro.isa.opcodes import BufferId, Opcode
+
+
+@pytest.fixture()
+def buffers():
+    return BufferSet(DEFAULT_CONFIG.screener_buffer_bytes)
+
+
+@pytest.fixture()
+def screener_unit(buffers):
+    return ScreenerUnit(DEFAULT_CONFIG, buffers)
+
+
+@pytest.fixture()
+def executor_unit(buffers):
+    return ExecutorUnit(DEFAULT_CONFIG, buffers)
+
+
+class TestScreenerUnit:
+    def test_mac_result(self, screener_unit, buffers):
+        buffers[BufferId.FEATURE_INT4].write(np.array([1.0, 2.0]))
+        buffers[BufferId.WEIGHT_INT4].write(np.array([[1.0, 1.0], [2.0, -1.0]]))
+        cycles = screener_unit.multiply_accumulate()
+        assert cycles >= 1
+        assert np.allclose(buffers[BufferId.PSUM_INT4].data, [3.0, 0.0])
+
+    def test_accumulation(self, screener_unit, buffers):
+        buffers[BufferId.FEATURE_INT4].write(np.ones(2))
+        buffers[BufferId.WEIGHT_INT4].write(np.ones((2, 2)))
+        screener_unit.multiply_accumulate()
+        screener_unit.multiply_accumulate()
+        assert np.allclose(buffers[BufferId.PSUM_INT4].data, [4.0, 4.0])
+
+    def test_cycle_count_scales_with_tile(self, screener_unit, buffers):
+        buffers[BufferId.FEATURE_INT4].write(np.ones(4))
+        buffers[BufferId.WEIGHT_INT4].write(np.ones((64, 4)))
+        cycles = screener_unit.multiply_accumulate()
+        # 256 MACs / 128 lanes = 2 cycles.
+        assert cycles == 2
+
+    def test_filter_indices_and_base(self, screener_unit, buffers):
+        buffers[BufferId.PSUM_INT4].write(np.array([5.0, -1.0, 3.0]))
+        result = screener_unit.filter(threshold=2.0, base_index=100)
+        assert result.indices.tolist() == [100, 102]
+        assert result.cycles >= 1
+        assert buffers[BufferId.INDEX].data.tolist() == [100, 102]
+
+    def test_filter_records_candidates(self, screener_unit, buffers):
+        buffers[BufferId.PSUM_INT4].write(np.array([5.0]))
+        screener_unit.filter(threshold=0.0)
+        assert screener_unit.filtered_candidates == [0]
+
+    def test_busy_cycles_accumulate(self, screener_unit, buffers):
+        buffers[BufferId.FEATURE_INT4].write(np.ones(2))
+        buffers[BufferId.WEIGHT_INT4].write(np.ones((2, 2)))
+        screener_unit.multiply_accumulate()
+        before = screener_unit.busy_cycles
+        buffers[BufferId.PSUM_INT4].write(np.ones(4))
+        screener_unit.filter(0.0)
+        assert screener_unit.busy_cycles > before
+
+
+class TestExecutorUnit:
+    def test_mac_result(self, executor_unit, buffers):
+        buffers[BufferId.FEATURE_FP32].write(np.array([0.5, 2.0]))
+        buffers[BufferId.WEIGHT_FP32].write(np.array([[2.0, 1.0]]))
+        cycles = executor_unit.multiply_accumulate()
+        assert cycles >= 1
+        assert np.allclose(buffers[BufferId.PSUM_FP32].data, [3.0])
+
+    def test_cycle_count(self, executor_unit, buffers):
+        buffers[BufferId.FEATURE_FP32].write(np.ones(4))
+        buffers[BufferId.WEIGHT_FP32].write(np.ones((16, 4)))
+        # 64 MACs / 16 lanes = 4 cycles.
+        assert executor_unit.multiply_accumulate() == 4
+
+    def test_softmax(self, executor_unit, buffers):
+        buffers[BufferId.PSUM_FP32].write(np.array([1.0, 2.0, 0.0]))
+        cycles = executor_unit.special_function(Opcode.SOFTMAX)
+        assert cycles >= 1
+        assert buffers[BufferId.PSUM_FP32].data.sum() == pytest.approx(1.0)
+
+    def test_sigmoid(self, executor_unit, buffers):
+        buffers[BufferId.PSUM_FP32].write(np.array([0.0]))
+        executor_unit.special_function(Opcode.SIGMOID)
+        assert buffers[BufferId.PSUM_FP32].data[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_non_sfu_opcode(self, executor_unit, buffers):
+        buffers[BufferId.PSUM_FP32].write(np.array([0.0]))
+        with pytest.raises(ValueError):
+            executor_unit.special_function(Opcode.ADD_FP32)
+
+    def test_shape_mismatch_rejected(self, executor_unit, buffers):
+        buffers[BufferId.FEATURE_FP32].write(np.ones(3))
+        buffers[BufferId.WEIGHT_FP32].write(np.ones((2, 4)))
+        with pytest.raises(RuntimeError, match="tile width"):
+            executor_unit.multiply_accumulate()

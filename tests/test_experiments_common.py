@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.data.registry import get_workload
+from repro.experiments.common import (
+    candidates_at_fraction,
+    cpu_speedup_for_screening,
+    lm_quality,
+    nmt_quality,
+    prepare_workload,
+    reco_quality,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared_lm():
+    return prepare_workload(
+        get_workload("LSTM-W33K"), scale=256, max_categories=1024,
+        train_samples=256,
+    )
+
+
+@pytest.fixture(scope="module")
+def prepared_reco():
+    return prepare_workload(
+        get_workload("XMLCNN-670K"), scale=1024, max_categories=1024,
+        train_samples=256,
+    )
+
+
+class TestPrepareWorkload:
+    def test_shapes(self, prepared_lm):
+        assert prepared_lm.classifier.num_categories <= 1024
+        assert prepared_lm.classifier.hidden_dim == 1500
+        assert prepared_lm.screener.projection_dim == 375  # 0.25 × 1500
+
+    def test_screened_builder(self, prepared_lm):
+        model = prepared_lm.screened(32)
+        output = model(prepared_lm.train_features[:2])
+        assert output.exact_count == 64
+
+    def test_deterministic(self):
+        a = prepare_workload(
+            get_workload("GNMT-E32K"), scale=512, max_categories=256,
+            train_samples=128,
+        )
+        b = prepare_workload(
+            get_workload("GNMT-E32K"), scale=512, max_categories=256,
+            train_samples=128,
+        )
+        assert np.array_equal(a.classifier.weight, b.classifier.weight)
+        assert np.array_equal(a.screener.weight, b.screener.weight)
+
+
+class TestQualityMetrics:
+    def test_lm_quality_full_classifier(self, prepared_lm):
+        ppl = lm_quality(
+            prepared_lm, prepared_lm.classifier.predict_proba, num_tokens=64
+        )
+        assert 1.0 < ppl < prepared_lm.classifier.num_categories
+
+    def test_nmt_quality_self_is_one(self):
+        prepared = prepare_workload(
+            get_workload("GNMT-E32K"), scale=512, max_categories=256,
+            train_samples=128,
+        )
+        score = nmt_quality(
+            prepared, prepared.classifier.predict, num_sentences=4,
+            sentence_len=6,
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_reco_quality_range(self, prepared_reco):
+        p1 = reco_quality(
+            prepared_reco, prepared_reco.classifier.predict_proba,
+            num_samples=32,
+        )
+        assert 0.0 <= p1 <= 1.0
+
+
+class TestSpeedupAccounting:
+    def test_speedup_decreases_with_budget(self):
+        workload = get_workload("Transformer-W268K")
+        small = cpu_speedup_for_screening(workload, candidates_per_row=100)
+        large = cpu_speedup_for_screening(workload, candidates_per_row=50_000)
+        assert small > large > 1.0
+
+    def test_candidates_at_fraction(self):
+        workload = get_workload("LSTM-W33K")
+        result = candidates_at_fraction(workload, task_categories=1000,
+                                        fraction=0.1)
+        assert result["task"] == 100
+        assert result["paper"] == round(33_278 * 0.1)

@@ -1,0 +1,25 @@
+from repro.experiments import summary
+
+
+class TestSummary:
+    def test_all_fast_claims_hold(self):
+        claims = summary.run(include_quality=False)
+        failing = [c.claim for c in claims if not c.holds]
+        assert not failing, f"claims out of band: {failing}"
+
+    def test_claim_coverage(self):
+        claims = summary.run(include_quality=False)
+        sources = {c.source for c in claims}
+        assert {"Intro", "Fig. 13", "Fig. 14", "Fig. 15", "Table 5"} <= sources
+        assert len(claims) >= 10
+
+    def test_report_renders(self):
+        text = summary.report(include_quality=False)
+        assert "headline claims reproduced" in text
+        assert "✓" in text
+
+    def test_quality_claim_included_when_requested(self):
+        claims = summary.run(include_quality=True)
+        assert any(c.source == "Fig. 11" for c in claims)
+        fig11 = next(c for c in claims if c.source == "Fig. 11")
+        assert fig11.holds

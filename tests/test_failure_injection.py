@@ -1,0 +1,114 @@
+"""Failure injection: malformed programs, overflowing tiles, corrupt
+state — the DIMM model must fail loudly, never silently corrupt."""
+
+import numpy as np
+import pytest
+
+from repro.enmc.buffers import BufferOverflowError
+from repro.enmc.config import DEFAULT_CONFIG
+from repro.enmc.controller import ENMCController
+from repro.isa import Program, assemble
+
+
+@pytest.fixture()
+def controller():
+    return ENMCController(DEFAULT_CONFIG)
+
+
+class TestMalformedPrograms:
+    def test_compute_on_empty_buffers(self, controller):
+        program = Program(assemble(
+            "MUL_ADD_INT4 feature_int4, weight_int4\nRETURN"
+        ))
+        with pytest.raises(RuntimeError, match="empty"):
+            controller.execute(program)
+
+    def test_filter_before_compute(self, controller):
+        program = Program(assemble("FILTER psum_int4\nRETURN"))
+        with pytest.raises(RuntimeError, match="empty"):
+            controller.execute(program)
+
+    def test_move_from_empty_buffer(self, controller):
+        program = Program(assemble("MOVE output, psum_fp32\nRETURN"))
+        with pytest.raises(RuntimeError, match="empty"):
+            controller.execute(program)
+
+    def test_load_unbound_address(self, controller):
+        program = Program(assemble("LDR weight_int4, 0xDEAD\nRETURN"))
+        with pytest.raises(KeyError, match="no tile bound"):
+            controller.execute(program)
+
+    def test_softmax_on_empty_psum(self, controller):
+        program = Program(assemble("SOFTMAX\nRETURN"))
+        with pytest.raises(RuntimeError, match="empty"):
+            controller.execute(program)
+
+
+class TestOverflowingTiles:
+    def test_oversized_weight_tile(self, controller):
+        # 256 B INT4 buffer holds 512 elements; bind 1024.
+        controller.memory.bind(0x100, np.ones((64, 16)), 4)
+        program = Program(assemble("LDR weight_int4, 0x100\nRETURN"))
+        with pytest.raises(BufferOverflowError):
+            controller.execute(program)
+
+    def test_oversized_fp32_feature(self, controller):
+        controller.memory.bind(0x100, np.ones(65), 32)
+        program = Program(assemble("LDR feature_fp32, 0x100\nRETURN"))
+        with pytest.raises(BufferOverflowError):
+            controller.execute(program)
+
+
+class TestShapeMismatches:
+    def test_feature_weight_width_mismatch(self, controller):
+        controller.memory.bind(0x100, np.ones(8), 4)
+        controller.memory.bind(0x200, np.ones((16, 9)), 4)  # width 9 != 8
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "RETURN"
+        ))
+        with pytest.raises(RuntimeError, match="tile width"):
+            controller.execute(program)
+
+    def test_1d_weight_tile_rejected(self, controller):
+        controller.memory.bind(0x100, np.ones(8), 4)
+        controller.memory.bind(0x200, np.ones(8), 4)
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0x200\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "RETURN"
+        ))
+        with pytest.raises(RuntimeError, match="2-D"):
+            controller.execute(program)
+
+    def test_elementwise_shape_mismatch(self, controller):
+        controller.memory.bind(0x100, np.ones(8), 32)
+        controller.memory.bind(0x200, np.ones(4), 32)
+        program = Program(assemble(
+            "LDR psum_fp32, 0x100\n"
+            "LDR weight_fp32, 0x200\n"
+            "ADD_FP32 psum_fp32, weight_fp32\n"
+            "RETURN"
+        ))
+        with pytest.raises(RuntimeError, match="shape mismatch"):
+            controller.execute(program)
+
+
+class TestPartialFailureState:
+    def test_trace_reflects_work_before_failure(self, controller):
+        """A failing program leaves an inspectable partial trace via
+        the exception — buffers retain pre-failure content."""
+        controller.memory.bind(0x100, np.ones(8), 4)
+        program = Program(assemble(
+            "LDR feature_int4, 0x100\n"
+            "LDR weight_int4, 0xBAD\n"  # fails here
+            "RETURN"
+        ))
+        with pytest.raises(KeyError):
+            controller.execute(program)
+        from repro.isa.opcodes import BufferId
+
+        assert not controller.buffers[BufferId.FEATURE_INT4].empty

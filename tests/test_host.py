@@ -1,0 +1,143 @@
+import pytest
+
+from repro.core.metrics import (
+    cost_of_full_classification,
+    cost_of_screened_classification,
+)
+from repro.data.registry import get_workload
+from repro.host import ENMCSystem, HostOnlySystem, XEON_8280
+from repro.host.cpu import CPUModel
+from repro.host.memctrl import HostMemoryController
+from repro.isa import Program, assemble
+from repro.models.base import FrontEndReport
+
+
+class TestCPUModel:
+    def test_peak_flops(self):
+        # 28 cores × 2.7 GHz × 64 FLOPs/cycle ≈ 4.8 TFLOP/s.
+        assert XEON_8280.peak_flops == pytest.approx(4.8384e12)
+
+    def test_stream_bandwidth_derated(self):
+        assert XEON_8280.stream_bandwidth == pytest.approx(96e9)
+
+    def test_memory_bound_kernel(self):
+        # Full XC: intensity ~0.5 FLOPs/byte, far below the ridge.
+        cost = cost_of_full_classification(267_744, 512)
+        seconds = XEON_8280.kernel_seconds(
+            flops=cost.fp_flops, stream_bytes=cost.fp_bytes
+        )
+        memory_time = cost.fp_bytes / XEON_8280.stream_bandwidth
+        assert seconds == pytest.approx(
+            memory_time + XEON_8280.invocation_overhead_s
+        )
+
+    def test_compute_bound_kernel(self):
+        seconds = XEON_8280.kernel_seconds(flops=1e12, stream_bytes=1e6)
+        assert seconds == pytest.approx(
+            1e12 / XEON_8280.peak_flops + XEON_8280.invocation_overhead_s
+        )
+
+    def test_full_classification_scales_linearly(self):
+        t1 = XEON_8280.full_classification_seconds(100_000, 512)
+        t2 = XEON_8280.full_classification_seconds(200_000, 512)
+        assert t2 > 1.8 * t1
+
+    def test_screened_faster_than_full(self):
+        workload = get_workload("Transformer-W268K")
+        full = XEON_8280.full_classification_seconds(
+            workload.num_categories, workload.hidden_dim
+        )
+        cost = cost_of_screened_classification(
+            workload.num_categories, workload.hidden_dim, 128, 1000
+        )
+        screened = XEON_8280.screened_classification_seconds(cost, gathers=1000)
+        assert 3 < full / screened < 40
+
+    def test_gather_mlp_bandwidth_bound(self):
+        """Many gathers must be bandwidth-, not latency-, bound."""
+        cpu = XEON_8280
+        few = cpu.kernel_seconds(flops=0, stream_bytes=0, gathers=10,
+                                 gather_bytes=10 * 2048)
+        many = cpu.kernel_seconds(flops=0, stream_bytes=0, gathers=10_000,
+                                  gather_bytes=10_000 * 2048)
+        assert many < 1000 * (few - cpu.invocation_overhead_s) + \
+            cpu.invocation_overhead_s + 1e-3
+
+    def test_roofline_point(self):
+        cost = cost_of_full_classification(100_000, 512)
+        intensity, attained = XEON_8280.roofline_point(cost)
+        assert intensity < XEON_8280.ridge_intensity
+        assert attained < XEON_8280.peak_flops
+
+    def test_custom_model(self):
+        slow = CPUModel(cores=1, ideal_bandwidth=10e9)
+        assert slow.peak_flops < XEON_8280.peak_flops
+
+
+class TestMemoryController:
+    def test_pack_and_deliver(self):
+        memctrl = HostMemoryController()
+        program = Program(assemble(
+            "INIT vocab_size, 100\nLDR weight_int4, 0x0\nRETURN"
+        ))
+        packet = memctrl.pack(program)
+        assert packet.command_slots == 3
+        assert packet.dq_bursts == 2  # INIT + LDR carry data
+        cycles = memctrl.delivery_cycles(packet)
+        assert cycles == 3 + 2 * 4
+        assert memctrl.packets_sent == 1
+
+    def test_delivery_seconds(self):
+        memctrl = HostMemoryController()
+        program = Program(assemble("RETURN"))
+        seconds = memctrl.delivery_seconds(memctrl.pack(program))
+        assert seconds == pytest.approx(1 / 1.2e9)
+
+    def test_channel_range_checked(self):
+        memctrl = HostMemoryController(channels=2)
+        program = Program(assemble("RETURN"))
+        with pytest.raises(ValueError):
+            memctrl.pack(program, channel=5)
+
+
+class TestSystems:
+    @pytest.fixture()
+    def front_end(self):
+        return FrontEndReport(parameters=20_000_000, flops=40e6)
+
+    def test_classification_dominates_host_only(self, front_end):
+        workload = get_workload("XMLCNN-670K")
+        result = HostOnlySystem().run(workload, front_end)
+        assert result.classification_fraction > 0.8
+
+    def test_screened_host_faster(self, front_end):
+        workload = get_workload("Transformer-W268K")
+        system = HostOnlySystem()
+        full = system.run(workload, front_end, screened=False)
+        screened = system.run(
+            workload, front_end, screened=True,
+            candidates_per_row=workload.default_candidates,
+        )
+        assert screened.seconds < full.seconds
+
+    def test_enmc_system_fastest(self, front_end):
+        workload = get_workload("Transformer-W268K")
+        m = workload.default_candidates
+        host = HostOnlySystem().run(
+            workload, front_end, screened=True, candidates_per_row=m
+        )
+        enmc = ENMCSystem().run(workload, front_end, candidates_per_row=m)
+        assert enmc.classification_seconds < host.classification_seconds
+
+    def test_decode_steps_multiply_classification(self, front_end):
+        workload = get_workload("GNMT-E32K")  # 25 decode steps
+        result = HostOnlySystem().run(workload, front_end)
+        single = XEON_8280.full_classification_seconds(
+            workload.num_categories, workload.hidden_dim, 1
+        )
+        assert result.classification_seconds == pytest.approx(25 * single)
+
+    def test_batch_validation(self, front_end):
+        workload = get_workload("GNMT-E32K")
+        with pytest.raises(ValueError):
+            HostOnlySystem().run(workload, front_end, batch_size=0)

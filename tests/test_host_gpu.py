@@ -1,0 +1,65 @@
+import pytest
+
+from repro.core.metrics import cost_of_screened_classification
+from repro.data.registry import get_workload
+from repro.host import V100, GPUModel
+
+
+class TestGPUModel:
+    def test_small_classifier_fits(self):
+        # 33K × 1500 × 4 B ≈ 0.2 GB: resident.
+        assert not V100.capacity_exceeded(33_278, 1500)
+
+    def test_xc_overflows(self):
+        # 100M × 512 × 4 B ≈ 190 GB: far beyond HBM (Fig. 3's problem).
+        assert V100.capacity_exceeded(100_000_000, 512)
+
+    def test_resident_case_fast(self):
+        seconds = V100.classification_seconds(33_278, 1500)
+        # HBM-bound: 200 MB / 900 GB/s ≈ 0.22 ms.
+        assert seconds < 1e-3
+
+    def test_spill_dominates_at_scale(self):
+        workload = get_workload("S100M")
+        seconds = V100.classification_seconds(
+            workload.num_categories, workload.hidden_dim
+        )
+        weight_bytes = workload.classifier_bytes
+        spill = weight_bytes - 0.8 * V100.device_memory_bytes
+        transfer_floor = spill / V100.interconnect_bandwidth
+        assert seconds >= transfer_floor
+
+    def test_gpu_loses_to_resident_at_xc_scale(self):
+        """The motivation claim: once weights spill over PCIe, raw GPU
+        FLOPs don't help — the CPU's larger memory can win."""
+        from repro.host import XEON_8280
+
+        workload = get_workload("S1M")  # 2 GB > 80% of 32 GB? No: fits.
+        big = get_workload("S100M")
+        gpu = V100.classification_seconds(big.num_categories, big.hidden_dim)
+        cpu = XEON_8280.full_classification_seconds(
+            big.num_categories, big.hidden_dim
+        )
+        # (Both are hypothetical at 190 GB; the CPU with pooled memory
+        # streams at ~96 GB/s vs PCIe at 16 GB/s.)
+        assert gpu > cpu
+
+    def test_screened_on_gpu(self):
+        workload = get_workload("Transformer-W268K")
+        cost = cost_of_screened_classification(
+            workload.num_categories, workload.hidden_dim, 128, 1000
+        )
+        screened = V100.screened_classification_seconds(cost)
+        full = V100.classification_seconds(
+            workload.num_categories, workload.hidden_dim
+        )
+        assert screened < full
+
+    def test_resident_fraction_validation(self):
+        with pytest.raises(ValueError):
+            V100.classification_seconds(1000, 64, resident_fraction=1.5)
+
+    def test_custom_model(self):
+        a100 = GPUModel(name="A100", device_memory_bytes=80e9,
+                        hbm_bandwidth=2e12, peak_flops=19.5e12)
+        assert not a100.capacity_exceeded(10_000_000, 512)

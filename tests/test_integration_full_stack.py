@@ -1,0 +1,118 @@
+"""Capstone integration: the full stack in one scenario.
+
+A single narrative covering the paper's workflow end to end:
+
+1. build a synthetic LM task and corpus;
+2. distill a screener (Algorithm 1) and tune its budget to a recall
+   target on validation data;
+3. verify end-task quality (perplexity) is preserved;
+4. run the same inference through the compiled hardware path and check
+   bit-equivalence;
+5. simulate the paper-scale deployment (performance + energy) and check
+   the headline orderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ENMCOffload
+from repro.core import (
+    ApproximateScreeningClassifier,
+    CandidateSelector,
+    ScreeningConfig,
+    train_screener,
+    tune_budget_for_recall,
+)
+from repro.data import SequenceConfig, SyntheticCorpus, make_task
+from repro.data.registry import get_workload
+from repro.energy.model import EnergyModel
+from repro.enmc.simulator import ENMCSimulator
+from repro.host.cpu import XEON_8280
+from repro.metrics import perplexity_from_proba
+from repro.nmp import TENSORDIMM_MODEL
+
+
+@pytest.fixture(scope="module")
+def stack():
+    task = make_task(num_categories=1500, hidden_dim=64, rng=42)
+    corpus = SyntheticCorpus(task, SequenceConfig(num_clusters=25), rng=43)
+    screener, report = train_screener(
+        task.classifier, task.sample_features(640, rng=44),
+        config=ScreeningConfig.from_scale(64, 0.25),
+        solver="lstsq", rng=45, return_report=True,
+    )
+    tuning = tune_budget_for_recall(
+        task.classifier, screener,
+        task.sample_features(96, rng=46),
+        target_recall=0.99, k=5,
+    )
+    return task, corpus, screener, report, tuning
+
+
+class TestFullStack:
+    def test_distillation_converged(self, stack):
+        _, _, _, report, _ = stack
+        assert report.final_loss < np.inf
+        assert report.epochs >= 1
+
+    def test_tuned_budget_reasonable(self, stack):
+        task, _, _, _, tuning = stack
+        assert tuning.met
+        # The paper's regime: a small fraction of categories suffices.
+        assert tuning.candidate_fraction < 0.25
+
+    def test_perplexity_preserved_on_corpus(self, stack):
+        task, corpus, screener, _, tuning = stack
+        model = ApproximateScreeningClassifier(
+            task.classifier, screener,
+            num_candidates=max(tuning.num_candidates, 50),
+        )
+        features, targets = corpus.evaluation_batch(12, 10, rng=47)
+        exact_ppl = perplexity_from_proba(
+            task.classifier.predict_proba(features), targets
+        )
+        screened_ppl = perplexity_from_proba(
+            model.predict_proba(features), targets
+        )
+        assert screened_ppl <= exact_ppl * 1.25
+
+    def test_hardware_path_bit_equivalent(self, stack):
+        task, _, screener, _, tuning = stack
+        threshold = tuning.threshold
+        # Align the fixed-point grid both paths use.
+        from repro.enmc.controller import ENMCController
+
+        encoded = ENMCController.encode_threshold(threshold)
+        effective = (
+            encoded - (1 << 64) if encoded >= 1 << 63 else encoded
+        ) / 65536.0
+        software = ApproximateScreeningClassifier(
+            task.classifier, screener,
+            selector=CandidateSelector(
+                mode="threshold", num_candidates=tuning.num_candidates,
+                threshold=effective,
+            ),
+        )
+        hardware = ENMCOffload(task.classifier, screener, effective)
+        batch = task.sample_features(3, rng=48)
+        sw = software(batch)
+        hw = hardware(batch)
+        assert np.abs(sw.logits - hw.output.logits).max() < 1e-9
+
+    def test_paper_scale_deployment_orderings(self, stack):
+        """The Fig. 13/14 headline orderings from the same stack."""
+        workload = get_workload("Transformer-W268K")
+        m = workload.default_candidates
+        cpu_full = XEON_8280.full_classification_seconds(
+            workload.num_categories, workload.hidden_dim
+        )
+        enmc = ENMCSimulator().simulate(workload, candidates_per_row=m)
+        td = TENSORDIMM_MODEL.simulate(workload, candidates_per_row=m)
+        assert enmc.seconds < td.serialized_seconds < cpu_full
+
+        e_enmc = EnergyModel().energy_of(enmc)
+        td_full = TENSORDIMM_MODEL.simulate_full(workload)
+        e_td = EnergyModel(logic_watts=0.3035).energy_of(
+            td_full, seconds=td_full.serialized_seconds
+        )
+        assert e_enmc.total < e_td.total

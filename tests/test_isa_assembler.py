@@ -1,0 +1,90 @@
+import pytest
+
+from repro.isa import assemble, disassemble
+from repro.isa.assembler import AssemblerError
+from repro.isa.instruction import Compute, Init, Load, Move
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+PROGRAM_TEXT = """
+# full screening tile
+INIT vocab_size, 33278
+INIT threshold, 0x2A
+LDR feature_int4, 0x1000
+LDR weight_int4, 0x8000
+MUL_ADD_INT4 feature_int4, weight_int4
+FILTER psum_int4
+MOVE output, psum_int4
+SOFTMAX
+BARRIER
+RETURN
+CLR
+"""
+
+
+class TestAssemble:
+    def test_full_program(self):
+        instructions = assemble(PROGRAM_TEXT)
+        assert len(instructions) == 11
+
+    def test_comments_and_blanks_skipped(self):
+        instructions = assemble("# comment\n\nNOP\n")
+        assert len(instructions) == 1
+
+    def test_hex_and_decimal_operands(self):
+        instructions = assemble("INIT threshold, 0x2A")
+        assert instructions[0] == Init(RegisterId.THRESHOLD, 42)
+
+    def test_numeric_buffer_ids(self):
+        instructions = assemble("LDR 1, 0x10")
+        assert instructions[0] == Load(BufferId.WEIGHT_INT4, 0x10)
+
+    def test_case_insensitive(self):
+        instructions = assemble("move OUTPUT, Psum_Int4")
+        assert instructions[0] == Move(BufferId.OUTPUT, BufferId.PSUM_INT4)
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("NOP\nFROB x, y\n")
+        assert exc.value.line_number == 2
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 2"):
+            assemble("MOVE output")
+
+    def test_unknown_buffer(self):
+        with pytest.raises(AssemblerError, match="unknown buffer"):
+            assemble("LDR warp_buffer, 0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble("QUERY hyperdrive")
+
+    def test_all_compute_mnemonics(self):
+        text = "\n".join(
+            [
+                "ADD_INT4 psum_int4, weight_int4",
+                "MUL_INT4 feature_int4, weight_int4",
+                "ADD_FP32 psum_fp32, weight_fp32",
+                "MUL_FP32 feature_fp32, weight_fp32",
+                "MUL_ADD_INT4 feature_int4, weight_int4",
+                "MUL_ADD_FP32 feature_fp32, weight_fp32",
+            ]
+        )
+        instructions = assemble(text)
+        assert all(isinstance(i, Compute) for i in instructions)
+        assert instructions[0].opcode is Opcode.ADD_INT4
+
+
+class TestDisassemble:
+    def test_roundtrip(self):
+        instructions = assemble(PROGRAM_TEXT)
+        text = disassemble(instructions)
+        assert assemble(text) == instructions
+
+    def test_canonical_format(self):
+        text = disassemble(assemble("init threshold, 42"))
+        assert text == "INIT threshold, 42"
+
+    def test_addresses_hex(self):
+        text = disassemble(assemble("LDR weight_int4, 4096"))
+        assert "0x1000" in text

@@ -1,0 +1,152 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    Barrier,
+    Clear,
+    Compute,
+    EncodedCommand,
+    Filter,
+    Init,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+    SpecialFunction,
+    Store,
+    decode,
+    encode,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+INT_BUFFERS = [BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4, BufferId.PSUM_INT4]
+FP_BUFFERS = [BufferId.FEATURE_FP32, BufferId.WEIGHT_FP32, BufferId.PSUM_FP32]
+
+
+def all_instructions():
+    return [
+        Init(RegisterId.VOCAB_SIZE, 33278),
+        Query(RegisterId.STATUS),
+        Load(BufferId.WEIGHT_INT4, 0x1234),
+        Store(BufferId.PSUM_FP32, 0xFF00),
+        Move(BufferId.OUTPUT, BufferId.PSUM_INT4),
+        Compute(Opcode.MUL_ADD_INT4, BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4),
+        Compute(Opcode.MUL_ADD_FP32, BufferId.FEATURE_FP32, BufferId.WEIGHT_FP32),
+        Compute(Opcode.ADD_INT4, BufferId.PSUM_INT4, BufferId.WEIGHT_INT4),
+        Compute(Opcode.MUL_FP32, BufferId.PSUM_FP32, BufferId.WEIGHT_FP32),
+        Filter(BufferId.PSUM_INT4),
+        SpecialFunction(Opcode.SOFTMAX),
+        SpecialFunction(Opcode.SIGMOID),
+        Barrier(),
+        Nop(),
+        Return(),
+        Clear(),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("instruction", all_instructions(),
+                             ids=lambda i: type(i).__name__ + getattr(i, "opcode", Opcode.NOP).name)
+    def test_encode_decode_identity(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    @given(
+        register=st.sampled_from(list(RegisterId)),
+        value=st.integers(0, (1 << 64) - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_init_roundtrip_any_value(self, register, value):
+        instruction = Init(register, value)
+        assert decode(encode(instruction)) == instruction
+
+    @given(
+        buffer=st.sampled_from(list(BufferId)),
+        address=st.integers(0, (1 << 64) - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_load_roundtrip_any_address(self, buffer, address):
+        instruction = Load(buffer, address)
+        assert decode(encode(instruction)) == instruction
+
+
+class TestWireFormat:
+    def test_command_fits_13_bits(self):
+        for instruction in all_instructions():
+            assert 0 < encode(instruction).command < (1 << 13)
+
+    def test_never_encodes_to_normal_precharge(self):
+        """All-zero row bits means a normal PRECHARGE; instructions
+        must be distinguishable (non-zero)."""
+        for instruction in all_instructions():
+            assert encode(instruction).command != 0
+
+    def test_mul_add_fp32_is_opcode_2(self):
+        # Fig. 8(a) pins MUL_ADD_FP32 to opcode 2.
+        encoded = encode(
+            Compute(Opcode.MUL_ADD_FP32, BufferId.FEATURE_FP32, BufferId.WEIGHT_FP32)
+        )
+        assert encoded.command & 0b11111 == 2
+
+    def test_query_init_share_opcode_9(self):
+        # Fig. 8(b/c): QUERY and INIT share opcode 9 with an R/W bit.
+        q = encode(Query(RegisterId.STATUS))
+        i = encode(Init(RegisterId.STATUS, 0))
+        assert q.command & 0b11111 == 9
+        assert i.command & 0b11111 == 9
+        assert (q.command >> 5) & 1 == 0  # read
+        assert (i.command >> 5) & 1 == 1  # write
+
+    def test_data_carried_only_when_needed(self):
+        assert encode(Load(BufferId.WEIGHT_INT4, 5)).data == 5
+        assert encode(Barrier()).data is None
+        assert encode(Query(RegisterId.STATUS)).data is None
+
+    def test_row_address_bits_string(self):
+        encoded = encode(Nop())
+        assert len(encoded.row_address_bits) == 13
+        assert set(encoded.row_address_bits) <= {"0", "1"}
+
+    def test_decode_load_without_data_raises(self):
+        encoded = encode(Load(BufferId.WEIGHT_INT4, 5))
+        with pytest.raises(ValueError, match="LDR"):
+            decode(EncodedCommand(command=encoded.command, data=None))
+
+    def test_invalid_command_word_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedCommand(command=0)
+        with pytest.raises(ValueError):
+            EncodedCommand(command=1 << 13)
+
+
+class TestInstructionValidation:
+    def test_compute_rejects_precision_mismatch(self):
+        with pytest.raises(ValueError, match="precision"):
+            Compute(Opcode.MUL_ADD_INT4, BufferId.FEATURE_FP32, BufferId.WEIGHT_INT4)
+
+    def test_compute_rejects_index_buffer(self):
+        with pytest.raises(ValueError):
+            Compute(Opcode.ADD_FP32, BufferId.INDEX, BufferId.PSUM_FP32)
+
+    def test_compute_rejects_non_compute_opcode(self):
+        with pytest.raises(ValueError):
+            Compute(Opcode.LDR, BufferId.FEATURE_INT4, BufferId.WEIGHT_INT4)
+
+    def test_filter_requires_psum(self):
+        with pytest.raises(ValueError):
+            Filter(BufferId.OUTPUT)
+
+    def test_special_function_opcode_checked(self):
+        with pytest.raises(ValueError):
+            SpecialFunction(Opcode.ADD_FP32)
+
+    def test_init_value_range_checked(self):
+        with pytest.raises(ValueError):
+            Init(RegisterId.STATUS, 1 << 64)
+        with pytest.raises(ValueError):
+            Init(RegisterId.STATUS, -1)
+
+    def test_load_address_range_checked(self):
+        with pytest.raises(ValueError):
+            Load(BufferId.WEIGHT_INT4, -5)

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.isa import Program, assemble
+from repro.isa.opcodes import Opcode
+
+
+def make_program(text):
+    return Program(assemble(text))
+
+
+class TestProgram:
+    def test_len_iter_getitem(self):
+        program = make_program("NOP\nBARRIER\nRETURN")
+        assert len(program) == 3
+        assert [i.opcode for i in program] == [
+            Opcode.NOP, Opcode.BARRIER, Opcode.RETURN,
+        ]
+        assert program[0].opcode is Opcode.NOP
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_count(self):
+        program = make_program("NOP\nNOP\nRETURN")
+        assert program.count(Opcode.NOP) == 2
+
+    def test_encoded_length(self):
+        program = make_program("NOP\nRETURN")
+        assert len(program.encoded()) == 2
+
+    def test_command_bus_beats(self):
+        # LDR carries a DQ word: 1 + 8 beats; RETURN: 1 beat.
+        program = make_program("LDR weight_int4, 0x0\nRETURN")
+        assert program.command_bus_beats == 9 + 1
+
+    def test_dram_loads_stores(self):
+        program = make_program(
+            "LDR weight_int4, 0x0\nSTR psum_fp32, 0x40\nRETURN"
+        )
+        assert len(program.dram_loads) == 1
+        assert len(program.dram_stores) == 1
+
+
+class TestValidate:
+    def test_valid_program_passes(self):
+        make_program(
+            "LDR weight_int4, 0x0\n"
+            "MUL_ADD_INT4 feature_int4, weight_int4\n"
+            "RETURN"
+        ).validate()
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ValueError, match="RETURN"):
+            make_program("NOP").validate()
+
+    def test_dead_compute_after_return_rejected(self):
+        with pytest.raises(ValueError, match="dead"):
+            make_program(
+                "RETURN\nMUL_ADD_INT4 feature_int4, weight_int4"
+            ).validate()
+
+    def test_trailing_clr_allowed(self):
+        make_program("RETURN\nCLR").validate()

@@ -1,0 +1,133 @@
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.functional import (
+    gelu,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+    taylor_exp,
+    taylor_softmax,
+)
+
+logit_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 4), st.integers(2, 16)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([1.0, 5.0, -2.0])
+        assert np.allclose(softmax(logits), softmax(logits + 100))
+
+    def test_large_values_stable(self):
+        out = softmax(np.array([1e4, 1e4 - 1]))
+        assert np.all(np.isfinite(out))
+
+    def test_axis(self):
+        data = np.random.default_rng(0).standard_normal((3, 5))
+        assert np.allclose(softmax(data, axis=0).sum(axis=0), 1.0)
+
+    @given(logit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_always_distribution(self, logits):
+        out = softmax(logits)
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @given(logit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_log_softmax_consistent(self, logits):
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 21)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_extreme_values_finite(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_at_zero(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestTaylorExp:
+    def test_matches_exp_near_zero(self):
+        x = np.linspace(-1, 0, 50)
+        assert np.allclose(taylor_exp(x, order=4), np.exp(x), atol=1e-2)
+
+    def test_higher_order_more_accurate(self):
+        x = np.linspace(-3, 0, 50)
+        err4 = np.max(np.abs(taylor_exp(x, 4) - np.exp(x)))
+        err8 = np.max(np.abs(taylor_exp(x, 8) - np.exp(x)))
+        assert err8 < err4
+
+    def test_never_negative(self):
+        x = np.linspace(-20, 0, 200)
+        assert np.all(taylor_exp(x, order=4) >= 0)
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            taylor_exp(np.array([0.0]), order=0)
+
+    def test_exact_at_zero(self):
+        assert taylor_exp(np.array([0.0]))[0] == 1.0
+
+
+class TestTaylorSoftmax:
+    def test_is_distribution(self):
+        out = taylor_softmax(np.array([[0.5, 1.0, -3.0]]))
+        assert np.all(out >= 0)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_close_to_exact_softmax_for_peaked_logits(self):
+        logits = np.array([5.0, 1.0, 0.0])
+        exact = softmax(logits)
+        approx = taylor_softmax(logits, order=4)
+        assert np.argmax(exact) == np.argmax(approx)
+        assert abs(exact[0] - approx[0]) < 0.1
+
+    @given(logit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_argmax_preserved_with_margin(self, logits):
+        # The SFU approximation must never flip a *decisive* top-1
+        # choice (near-exact ties may legitimately resolve either way).
+        sorted_logits = np.sort(logits, axis=-1)
+        margin = sorted_logits[:, -1] - sorted_logits[:, -2]
+        assume(np.all(margin > 1e-3))
+        exact = np.argmax(logits, axis=-1)
+        approx = np.argmax(taylor_softmax(logits, order=4), axis=-1)
+        assert np.array_equal(exact, approx)
+
+
+def test_relu():
+    assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+
+def test_tanh_range():
+    out = tanh(np.array([-100.0, 0.0, 100.0]))
+    assert out[0] == pytest.approx(-1.0)
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_gelu_limits():
+    out = gelu(np.array([-10.0, 0.0, 10.0]))
+    assert out[0] == pytest.approx(0.0, abs=1e-6)
+    assert out[1] == 0.0
+    assert out[2] == pytest.approx(10.0, rel=1e-6)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.projection import SparseRandomProjection, gaussian_projection
+
+
+class TestConstruction:
+    def test_shape(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        assert p.matrix.shape == (16, 64)
+
+    def test_ternary_values(self):
+        p = SparseRandomProjection(100, 20, rng=0)
+        assert set(np.unique(p.ternary)).issubset({-1, 0, 1})
+
+    def test_density_approximately_one_third(self):
+        p = SparseRandomProjection(500, 100, rng=0)
+        density = np.mean(p.ternary != 0)
+        assert 0.28 < density < 0.39
+
+    def test_scale_matches_paper(self):
+        # sqrt(3/k) for density 1/3.
+        p = SparseRandomProjection(64, 12, rng=0)
+        nonzero = np.abs(p.matrix[p.ternary != 0])
+        assert np.allclose(nonzero, np.sqrt(3.0 / 12))
+
+    def test_nbytes_two_bit(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        assert p.nbytes == 64 * 16 * 2 / 8
+
+    def test_rejects_expansion(self):
+        with pytest.raises(ValueError, match="reduce"):
+            SparseRandomProjection(8, 16)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            SparseRandomProjection(16, 8, density=0.0)
+
+    def test_reproducible(self):
+        a = SparseRandomProjection(32, 8, rng=5)
+        b = SparseRandomProjection(32, 8, rng=5)
+        assert np.array_equal(a.ternary, b.ternary)
+
+
+class TestApplication:
+    def test_projects_batch(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        out = p(np.zeros((4, 64)))
+        assert out.shape == (4, 16)
+
+    def test_rejects_wrong_dim(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        with pytest.raises(ValueError):
+            p(np.zeros((4, 32)))
+
+    def test_linear(self):
+        p = SparseRandomProjection(32, 8, rng=1)
+        rng = np.random.default_rng(2)
+        x, y = rng.standard_normal((2, 32))
+        assert np.allclose(p(x + y), p(x) + p(y))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_norm_preservation_in_expectation(self, seed):
+        # JL property: E[||Px||²] = ||x||²; check the average over many
+        # projections is within 25%.
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(128)
+        ratios = []
+        for k in range(10):
+            p = SparseRandomProjection(128, 32, rng=1000 + seed * 10 + k)
+            ratios.append(np.sum(p(x) ** 2) / np.sum(x**2))
+        assert 0.75 < np.mean(ratios) < 1.25
+
+
+def test_gaussian_projection_shape_and_scale():
+    g = gaussian_projection(64, 16, rng=0)
+    assert g.shape == (16, 64)
+    # Row norms ≈ sqrt(d)/sqrt(k) scaled: E[||row||²] = d/k... check
+    # inner-product preservation instead.
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(64)
+    ratios = [
+        np.sum((gaussian_projection(64, 16, rng=i) @ x) ** 2) / np.sum(x**2)
+        for i in range(20)
+    ]
+    assert 0.7 < np.mean(ratios) < 1.3

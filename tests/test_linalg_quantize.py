@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.quantize import (
+    QuantizedTensor,
+    Quantizer,
+    quantization_error,
+    quantize_symmetric,
+)
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestQuantizeSymmetric:
+    def test_int4_range(self):
+        q = quantize_symmetric(np.linspace(-1, 1, 100), bits=4)
+        assert q.values.min() >= -8
+        assert q.values.max() <= 7
+
+    def test_scale_maps_max_to_qmax(self):
+        q = quantize_symmetric(np.array([-2.0, 1.0, 2.0]), bits=4)
+        assert q.values.max() == 7 or q.values.min() == -7  # |max|=2 → ±7
+
+    def test_zero_tensor(self):
+        q = quantize_symmetric(np.zeros(10), bits=4)
+        assert np.all(q.values == 0)
+        assert np.all(q.dequantize() == 0)
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        data = np.random.default_rng(0).standard_normal(100)
+        q = quantize_symmetric(data, bits=8)
+        step = float(np.asarray(q.scale))
+        assert np.max(np.abs(q.dequantize() - data)) <= step / 2 + 1e-12
+
+    def test_per_axis_scales(self):
+        data = np.array([[1.0, 1.0], [100.0, 100.0]])
+        q = quantize_symmetric(data, bits=4, axis=0)
+        # Per-row scaling keeps both rows at full resolution.
+        assert np.allclose(q.dequantize(), data, rtol=0.2)
+
+    def test_per_tensor_crushes_small_rows(self):
+        data = np.array([[0.01, 0.01], [100.0, 100.0]])
+        q = quantize_symmetric(data, bits=4, axis=None)
+        assert np.all(q.dequantize()[0] == 0.0)  # small row lost
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(4), bits=5)
+
+    def test_nbytes_int4(self):
+        q = quantize_symmetric(np.ones(16), bits=4)
+        assert q.nbytes == 8.0  # 16 values * 0.5 B
+
+    def test_int16_dtype(self):
+        q = quantize_symmetric(np.ones(4), bits=16)
+        assert q.values.dtype == np.int16
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_dequantized_never_exceeds_max_abs(self, data):
+        q = quantize_symmetric(data, bits=4)
+        limit = np.max(np.abs(data)) if data.size else 0.0
+        assert np.all(np.abs(q.dequantize()) <= limit * (1 + 1e-9) + 1e-12)
+
+    @given(finite_arrays, st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, data, bits):
+        once = quantize_symmetric(data, bits=bits).dequantize()
+        twice = quantize_symmetric(once, bits=bits).dequantize()
+        assert np.allclose(once, twice)
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_more_bits_never_worse(self, data):
+        err4 = quantization_error(data, bits=4)
+        err8 = quantization_error(data, bits=8)
+        assert err8 <= err4 + 1e-12
+
+
+class TestQuantizer:
+    def test_callable_returns_quantized_tensor(self):
+        q = Quantizer(bits=4)
+        out = q(np.ones(4))
+        assert isinstance(out, QuantizedTensor)
+        assert out.bits == 4
+
+    def test_fake_quantize_shape_preserved(self):
+        q = Quantizer(bits=4, axis=0)
+        data = np.random.default_rng(1).standard_normal((5, 3))
+        assert q.fake_quantize(data).shape == (5, 3)
+
+    def test_repr(self):
+        assert "bits=4" in repr(Quantizer(bits=4))
+
+
+def test_quantization_error_zero_for_representable():
+    # Values already on the INT4 grid: max|x| = 7 gives scale exactly 1.
+    data = np.array([-7.0, -1.0, 0.0, 3.0, 7.0])
+    assert quantization_error(data, bits=4) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_quantization_error_empty():
+    assert quantization_error(np.array([]), bits=4) == 0.0

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.linalg.sgd import SGD, Adam
+
+
+def quadratic_grad(params):
+    """Gradient of f(w) = ||w - 3||² per parameter array."""
+    return [2.0 * (p - 3.0) for p in params]
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = np.array([0.0, 10.0])
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.step(quadratic_grad([w]))
+        assert np.allclose(w, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        w = np.array([0.0])
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.step(quadratic_grad([w]))
+        assert np.allclose(w, 3.0, atol=1e-3)
+
+    def test_updates_in_place(self):
+        w = np.zeros(3)
+        ref = w
+        SGD([w], lr=1.0).step([np.ones(3)])
+        assert ref is w
+        assert np.allclose(w, -1.0)
+
+    def test_multiple_params(self):
+        a, b = np.zeros(2), np.zeros(3)
+        opt = SGD([a, b], lr=0.5)
+        opt.step([np.ones(2), 2 * np.ones(3)])
+        assert np.allclose(a, -0.5)
+        assert np.allclose(b, -1.0)
+
+    def test_rejects_grad_count_mismatch(self):
+        opt = SGD([np.zeros(2)], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+    def test_rejects_grad_shape_mismatch(self):
+        opt = SGD([np.zeros(2)], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(3)])
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], lr=0.1, momentum=1.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = np.array([0.0, 10.0, -5.0])
+        opt = Adam([w], lr=0.3)
+        for _ in range(300):
+            opt.step(quadratic_grad([w]))
+        assert np.allclose(w, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # First step magnitude ≈ lr regardless of gradient scale.
+        w = np.zeros(1)
+        opt = Adam([w], lr=0.1)
+        opt.step([np.array([1e-4])])
+        assert abs(w[0] + 0.1) < 0.01
+
+    def test_state_dict_roundtrip_shape(self):
+        w = np.zeros(4)
+        opt = Adam([w], lr=0.1)
+        opt.step([np.ones(4)])
+        state = opt.state_dict()
+        assert state["t"] == 1
+        assert state["m"][0].shape == (4,)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], beta1=1.0)
+
+
+def test_sgd_matches_lstsq_on_screener_objective(small_task):
+    """Algorithm 1's SGD converges toward the closed-form optimum."""
+    from repro.core import ScreeningConfig, train_screener
+
+    features = small_task.sample_features(256, rng=7)
+    config = ScreeningConfig(projection_dim=16, quantization_bits=None)
+    exact, exact_report = train_screener(
+        small_task.classifier, features, config=config,
+        solver="lstsq", rng=3, return_report=True,
+    )
+    sgd, sgd_report = train_screener(
+        small_task.classifier, features, config=config,
+        solver="adam", lr=0.02, epochs=60, rng=3, return_report=True,
+    )
+    assert sgd_report.losses[-1] < 2.0 * exact_report.final_loss + 1e-9

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.topk import (
+    calibrate_threshold,
+    select_above_threshold,
+    top_k_indices,
+)
+
+score_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(2, 32)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestTopK:
+    def test_sorted_descending(self):
+        scores = np.array([1.0, 9.0, 3.0, 7.0])
+        assert top_k_indices(scores, 2).tolist() == [1, 3]
+
+    def test_unsorted_same_set(self):
+        scores = np.random.default_rng(0).standard_normal(50)
+        sorted_idx = set(top_k_indices(scores, 5, sort=True).tolist())
+        unsorted_idx = set(top_k_indices(scores, 5, sort=False).tolist())
+        assert sorted_idx == unsorted_idx
+
+    def test_batched(self):
+        scores = np.array([[1.0, 2.0], [5.0, 0.0]])
+        out = top_k_indices(scores, 1)
+        assert out.tolist() == [[1], [0]]
+
+    def test_k_equals_dim(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        assert top_k_indices(scores, 3).tolist() == [0, 2, 1]
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros(3), 4)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros(3), 0)
+
+    @given(score_arrays, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_contains_max_value(self, scores, k):
+        # Value-based (ties may resolve to any index holding the max).
+        k = min(k, scores.shape[1])
+        picked = top_k_indices(scores, k, sort=False)
+        for row in range(scores.shape[0]):
+            assert scores[row].max() in scores[row, picked[row]]
+
+    @given(score_arrays, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_selected_dominate_unselected(self, scores, k):
+        k = min(k, scores.shape[1])
+        picked = top_k_indices(scores, k, sort=False)
+        for row in range(scores.shape[0]):
+            chosen = set(picked[row].tolist())
+            rest = [scores[row, j] for j in range(scores.shape[1])
+                    if j not in chosen]
+            if rest:
+                assert min(scores[row, j] for j in chosen) >= max(rest) - 1e-12
+
+
+class TestThresholdSelect:
+    def test_strict_inequality(self):
+        out = select_above_threshold(np.array([1.0, 2.0, 3.0]), 2.0)
+        assert out[0].tolist() == [2]
+
+    def test_per_row_ragged(self):
+        scores = np.array([[5.0, 0.0], [5.0, 5.0]])
+        out = select_above_threshold(scores, 1.0)
+        assert out[0].tolist() == [0]
+        assert out[1].tolist() == [0, 1]
+
+    def test_empty_selection(self):
+        out = select_above_threshold(np.array([1.0]), 10.0)
+        assert out[0].size == 0
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            select_above_threshold(np.zeros((2, 2, 2)), 0.0)
+
+
+class TestCalibrate:
+    def test_hits_target_on_uniform(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0, 1, size=(64, 1000))
+        threshold = calibrate_threshold(scores, 50)
+        counts = [row.size for row in select_above_threshold(scores, threshold)]
+        assert 35 < np.mean(counts) < 65
+
+    def test_target_exceeding_dim_selects_all(self):
+        scores = np.array([[1.0, 2.0, 3.0]])
+        threshold = calibrate_threshold(scores, 10)
+        assert all(
+            row.size == 3 for row in select_above_threshold(scores, threshold)
+        )
+
+    @given(score_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_monotone_in_budget(self, scores):
+        small = calibrate_threshold(scores, 1)
+        large = calibrate_threshold(scores, scores.shape[1] - 1)
+        assert large <= small + 1e-12

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bleu,
+    perplexity,
+    perplexity_from_proba,
+    precision_at_k,
+    recall_at_k,
+    sentence_bleu,
+)
+
+
+class TestPerplexity:
+    def test_uniform_distribution(self):
+        # Uniform over V: perplexity = V.
+        proba = np.full((10, 8), 1.0 / 8)
+        targets = np.zeros(10, dtype=int)
+        assert perplexity_from_proba(proba, targets) == pytest.approx(8.0)
+
+    def test_perfect_prediction(self):
+        proba = np.zeros((5, 4))
+        proba[:, 2] = 1.0
+        assert perplexity_from_proba(proba, np.full(5, 2)) == pytest.approx(1.0)
+
+    def test_zero_probability_floored(self):
+        proba = np.zeros((1, 4))
+        proba[0, 0] = 1.0
+        value = perplexity_from_proba(proba, np.array([3]))
+        assert np.isfinite(value)
+        assert value > 1e10
+
+    def test_from_log_probs(self):
+        assert perplexity(np.log([0.5, 0.5])) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            perplexity(np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            perplexity_from_proba(np.ones((3, 4)), np.zeros(2, dtype=int))
+
+
+class TestBleu:
+    def test_identical_is_one(self):
+        seq = [1, 2, 3, 4, 5, 6]
+        assert bleu([seq], [seq]) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert bleu([[1, 2, 3, 4, 5]], [[6, 7, 8, 9, 10]]) == 0.0
+
+    def test_partial_overlap_between(self):
+        score = bleu([[1, 2, 3, 4, 9]], [[1, 2, 3, 4, 5]], smoothing=1.0)
+        assert 0.0 < score < 1.0
+
+    def test_brevity_penalty(self):
+        reference = [1, 2, 3, 4, 5, 6, 7, 8]
+        short = bleu([[1, 2, 3, 4]], [reference], smoothing=1.0)
+        full = bleu([reference], [reference], smoothing=1.0)
+        assert short < full
+
+    def test_corpus_aggregation(self):
+        # Corpus BLEU pools n-gram counts, not sentence averages.
+        refs = [[1, 2, 3, 4], [5, 6, 7, 8]]
+        cands = [[1, 2, 3, 4], [9, 9, 9, 9]]
+        score = bleu(cands, refs, smoothing=1.0)
+        assert 0.0 < score < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bleu([[1]], [[1], [2]])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            bleu([], [])
+
+    def test_sentence_bleu_smoothed(self):
+        assert sentence_bleu([1, 2], [1, 2]) > 0.0
+
+    def test_clipping(self):
+        # Candidate repeats a reference unigram; clipping caps credit.
+        score_rep = bleu([[1, 1, 1, 1]], [[1, 2, 3, 4]], smoothing=1.0)
+        score_once = bleu([[1, 2, 3, 4]], [[1, 2, 3, 4]], smoothing=1.0)
+        assert score_rep < score_once
+
+
+class TestMultilabel:
+    def test_precision_perfect(self):
+        scores = np.array([[0.1, 0.9, 0.2]])
+        assert precision_at_k(scores, [[1]], k=1) == 1.0
+
+    def test_precision_at_5(self):
+        scores = np.zeros((1, 10))
+        scores[0, [2, 4, 6]] = 1.0
+        # top-5 includes the 3 true labels plus 2 misses
+        assert precision_at_k(scores, [[2, 4, 6]], k=5) == pytest.approx(3 / 5)
+
+    def test_recall_at_k(self):
+        scores = np.zeros((1, 10))
+        scores[0, [2, 4]] = 1.0
+        assert recall_at_k(scores, [[2, 4, 6]], k=2) == pytest.approx(2 / 3)
+
+    def test_multilabel_rows(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        labels = [[0], [0]]
+        assert precision_at_k(scores, labels, k=1) == pytest.approx(0.5)
+
+    def test_k_exceeding_categories_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.ones((1, 3)), [[0]], k=4)
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.ones((2, 3)), [[0]], k=1)
+
+    def test_no_labels_recall_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.ones((1, 3)), [[]], k=1)
+
+    def test_numpy_labels_accepted(self):
+        scores = np.array([[0.1, 0.9]])
+        assert precision_at_k(scores, np.array([[1]]), k=1) == 1.0

@@ -1,0 +1,184 @@
+import numpy as np
+import pytest
+
+from repro.data.registry import iter_workloads
+from repro.models import (
+    Embedding,
+    GNMTModel,
+    LSTMModel,
+    TransformerModel,
+    XMLCNNModel,
+    build_front_end,
+)
+from repro.models.transformer import layer_norm, sinusoidal_positions
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(100, 16, rng=0)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 16)
+
+    def test_out_of_range_rejected(self):
+        emb = Embedding(10, 4, rng=0)
+        with pytest.raises(ValueError):
+            emb(np.array([10]))
+        with pytest.raises(ValueError):
+            emb(np.array([-1]))
+
+    def test_deterministic(self):
+        a = Embedding(10, 4, rng=1)
+        b = Embedding(10, 4, rng=1)
+        assert np.array_equal(a.table, b.table)
+
+
+class TestLSTM:
+    @pytest.fixture(scope="class")
+    def lstm(self):
+        return LSTMModel(vocab_size=50, hidden_dim=32, num_layers=2, rng=0)
+
+    def test_extract_shape(self, lstm):
+        out = lstm.extract(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 32)
+
+    def test_extract_sequence_shape(self, lstm):
+        out = lstm.extract_sequence(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 32)
+
+    def test_sequence_last_matches_extract(self, lstm):
+        ids = np.array([[7, 8, 9, 1]])
+        assert np.allclose(
+            lstm.extract_sequence(ids)[:, -1], lstm.extract(ids)
+        )
+
+    def test_state_depends_on_history(self, lstm):
+        a = lstm.extract(np.array([[1, 2, 3]]))
+        b = lstm.extract(np.array([[3, 2, 3]]))
+        assert not np.allclose(a, b)
+
+    def test_outputs_bounded(self, lstm):
+        out = lstm.extract(np.array([[1] * 20]))
+        assert np.all(np.abs(out) <= 1.0)  # h = o·tanh(c) ∈ (-1, 1)
+
+    def test_report_counts(self, lstm):
+        report = lstm.report()
+        # embedding + 2 cells
+        expected_cell0 = 4 * 32 * 32 + 4 * 32 * 32 + 4 * 32
+        assert report.parameters > expected_cell0
+        assert report.flops > 0
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def transformer(self):
+        return TransformerModel(
+            vocab_size=60, hidden_dim=32, num_layers=2, num_heads=4, rng=0
+        )
+
+    def test_extract_shape(self, transformer):
+        assert transformer.extract(np.array([[1, 2, 3]])).shape == (1, 32)
+
+    def test_causality(self, transformer):
+        """Changing a later token must not affect earlier positions."""
+        a = transformer.extract_sequence(np.array([[1, 2, 3, 4]]))
+        b = transformer.extract_sequence(np.array([[1, 2, 3, 9]]))
+        assert np.allclose(a[:, :3], b[:, :3])
+        assert not np.allclose(a[:, 3], b[:, 3])
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            TransformerModel(vocab_size=10, hidden_dim=30, num_heads=4)
+
+    def test_layer_norm_statistics(self):
+        data = np.random.default_rng(0).standard_normal((4, 16)) * 7 + 3
+        normed = layer_norm(data)
+        assert np.allclose(normed.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(normed.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_sinusoidal_positions_range(self):
+        enc = sinusoidal_positions(10, 16)
+        assert enc.shape == (10, 16)
+        assert np.all(np.abs(enc) <= 1.0)
+        assert not np.allclose(enc[0], enc[5])
+
+
+class TestGNMT:
+    @pytest.fixture(scope="class")
+    def gnmt(self):
+        return GNMTModel(vocab_size=40, hidden_dim=32, rng=0)
+
+    def test_encode_shape(self, gnmt):
+        assert gnmt.encode(np.array([[1, 2, 3]])).shape == (1, 3, 32)
+
+    def test_decode_step_shape_and_state(self, gnmt):
+        memory = gnmt.encode(np.array([[1, 2, 3]]))
+        features, states = gnmt.decode_step(np.array([5]), memory)
+        assert features.shape == (1, 32)
+        features2, _ = gnmt.decode_step(np.array([5]), memory, states)
+        assert not np.allclose(features, features2)  # state advanced
+
+    def test_attention_sensitivity_to_memory(self, gnmt):
+        mem_a = gnmt.encode(np.array([[1, 2, 3]]))
+        mem_b = gnmt.encode(np.array([[7, 8, 9]]))
+        fa, _ = gnmt.decode_step(np.array([5]), mem_a)
+        fb, _ = gnmt.decode_step(np.array([5]), mem_b)
+        assert not np.allclose(fa, fb)
+
+    def test_greedy_decode_feature_stream(self, gnmt):
+        features, _ = gnmt.greedy_decode(
+            np.array([[1, 2]]), start_token=0, steps=4
+        )
+        assert features.shape == (1, 4, 32)
+
+    def test_extract_protocol(self, gnmt):
+        assert gnmt.extract(np.array([[1, 2, 3]])).shape == (1, 32)
+
+
+class TestXMLCNN:
+    @pytest.fixture(scope="class")
+    def xmlcnn(self):
+        return XMLCNNModel(vocab_size=80, hidden_dim=32, embed_dim=16, rng=0)
+
+    def test_extract_shape(self, xmlcnn):
+        out = xmlcnn.extract(np.random.default_rng(0).integers(0, 80, (3, 32)))
+        assert out.shape == (3, 32)
+
+    def test_features_non_negative(self, xmlcnn):
+        out = xmlcnn.extract(np.random.default_rng(1).integers(0, 80, (2, 32)))
+        assert np.all(out >= 0)  # final ReLU
+
+    def test_rejects_too_short_sequence(self, xmlcnn):
+        with pytest.raises(ValueError, match="shorter"):
+            xmlcnn.extract(np.array([[1, 2, 3]]))  # < max filter width 8
+
+    def test_pooling_order_invariance_within_chunk(self, xmlcnn):
+        # Max pooling inside one chunk: permuting that chunk's interior
+        # conv outputs leaves features unchanged only for identical
+        # token multisets; use a repeated-token sanity check instead.
+        ids = np.full((1, 32), 7)
+        out1 = xmlcnn.extract(ids)
+        out2 = xmlcnn.extract(ids.copy())
+        assert np.allclose(out1, out2)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("abbr_idx", range(4))
+    def test_builds_each_workload(self, abbr_idx):
+        workload = list(iter_workloads())[abbr_idx]
+        model = build_front_end(workload, vocab_cap=200, compact=True)
+        ids = np.random.default_rng(0).integers(0, 200, (2, 12))
+        features = model.extract(ids)
+        assert features.shape == (2, workload.hidden_dim)
+
+    def test_reproducible(self):
+        workload = list(iter_workloads())[0]
+        a = build_front_end(workload, vocab_cap=100)
+        b = build_front_end(workload, vocab_cap=100)
+        ids = np.array([[1, 2, 3, 4, 5, 6, 7, 8]])
+        assert np.allclose(a.extract(ids), b.extract(ids))
+
+    def test_unknown_model_rejected(self):
+        from dataclasses import replace
+
+        workload = replace(list(iter_workloads())[0], model="BERT")
+        with pytest.raises(ValueError):
+            build_front_end(workload)

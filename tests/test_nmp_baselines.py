@@ -1,0 +1,103 @@
+import pytest
+
+from repro.data.registry import get_workload
+from repro.enmc.simulator import ENMCSimulator
+from repro.nmp import (
+    CHAMELEON_MODEL,
+    NDA_MODEL,
+    NMPBaselineModel,
+    TENSORDIMM_LARGE_MODEL,
+    TENSORDIMM_MODEL,
+)
+
+ALL_BASELINES = [NDA_MODEL, CHAMELEON_MODEL, TENSORDIMM_MODEL]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("Transformer-W268K")
+
+
+class TestBaselineConfigs:
+    def test_names(self):
+        assert {m.name for m in ALL_BASELINES} == {
+            "NDA", "Chameleon", "TensorDIMM",
+        }
+
+    def test_all_homogeneous_fp32(self, workload):
+        for model in ALL_BASELINES:
+            result = model.simulate(workload, candidates_per_row=100)
+            assert result.int_macs_per_rank == 0
+            assert result.fp_macs_per_rank > 0
+
+    def test_tensordimm_large_bigger(self):
+        assert TENSORDIMM_LARGE_MODEL.fp32_lanes == 4 * TENSORDIMM_MODEL.fp32_lanes
+        assert TENSORDIMM_LARGE_MODEL.buffer_bytes > TENSORDIMM_MODEL.buffer_bytes
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            NMPBaselineModel(name="x", fp32_lanes=0, frequency_hz=1e9,
+                             buffer_bytes=1024)
+
+
+class TestScreenedSimulation:
+    def test_screening_compute_bound(self, workload):
+        """Homogeneous FP32 units cannot keep up with the INT4 stream —
+        the paper's core argument for heterogeneity."""
+        for model in ALL_BASELINES:
+            result = model.simulate(workload, candidates_per_row=1000)
+            assert result.screen.bound == "compute", model.name
+
+    def test_enmc_faster_than_all(self, workload):
+        m = workload.default_candidates
+        enmc = ENMCSimulator().simulate(workload, candidates_per_row=m).seconds
+        for model in ALL_BASELINES:
+            assert model.seconds(workload, candidates_per_row=m) > enmc
+
+    def test_paper_ordering(self, workload):
+        """Fig. 13: TensorDIMM > NDA > Chameleon in speedup order."""
+        m = workload.default_candidates
+        times = {
+            model.name: model.seconds(workload, candidates_per_row=m)
+            for model in ALL_BASELINES
+        }
+        assert times["TensorDIMM"] < times["NDA"] < times["Chameleon"]
+
+    def test_no_pipeline_overlap(self, workload):
+        result = NDA_MODEL.simulate(workload, candidates_per_row=100)
+        assert result.pipeline_tiles == 1
+        assert result.seconds == pytest.approx(
+            result.serialized_seconds, rel=0.01
+        )
+
+    def test_spill_traffic_present(self, workload):
+        """Tiny staging buffers force partial-sum spills beyond the
+        screening weight bytes themselves."""
+        result = TENSORDIMM_MODEL.simulate(workload, candidates_per_row=100)
+        k = workload.hidden_dim // 4
+        shards = TENSORDIMM_MODEL.total_ranks
+        raw_bytes = -(-workload.num_categories // shards) * k * 4 / 8
+        assert result.int_bytes_per_rank > raw_bytes
+
+    def test_larger_buffers_less_spill(self, workload):
+        small = TENSORDIMM_MODEL.simulate(workload, candidates_per_row=100)
+        large = TENSORDIMM_LARGE_MODEL.simulate(workload, candidates_per_row=100)
+        assert large.int_bytes_per_rank < small.int_bytes_per_rank
+
+
+class TestFullClassification:
+    def test_full_heavier_than_screened(self, workload):
+        screened = TENSORDIMM_MODEL.simulate(workload, candidates_per_row=100)
+        full = TENSORDIMM_MODEL.simulate_full(workload)
+        assert full.fp_bytes_per_rank > 10 * (
+            screened.int_bytes_per_rank + screened.fp_bytes_per_rank
+        )
+
+    def test_large_faster_on_full(self, workload):
+        slow = TENSORDIMM_MODEL.simulate_full(workload).serialized_seconds
+        fast = TENSORDIMM_LARGE_MODEL.simulate_full(workload).serialized_seconds
+        assert fast <= slow
+
+    def test_batch_validation(self, workload):
+        with pytest.raises(ValueError):
+            TENSORDIMM_MODEL.simulate_full(workload, batch_size=0)

@@ -1,0 +1,119 @@
+"""Integration: the hardware path reproduces the numpy pipeline.
+
+This is the repository's strongest end-to-end check: compile a screened
+classification to ENMC instructions, execute it on the functional DIMM,
+and require bit-level agreement with the pure-algorithm implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ENMCOffload
+from repro.core import (
+    ApproximateScreeningClassifier,
+    CandidateSelector,
+    ScreeningConfig,
+    train_screener,
+)
+from repro.data import make_task
+from repro.enmc.controller import ENMCController
+from repro.linalg.topk import calibrate_threshold
+
+
+@pytest.fixture(scope="module")
+def setup():
+    task = make_task(num_categories=1500, hidden_dim=64, rng=1)
+    screener = train_screener(
+        task.classifier, task.sample_features(512),
+        config=ScreeningConfig(projection_dim=16), solver="lstsq", rng=2,
+    )
+    raw = calibrate_threshold(
+        screener.approximate_logits(task.sample_features(128, rng=3)), 24
+    )
+    # Hardware applies the 16.16 fixed-point version of the threshold;
+    # both paths use the exact same effective value.
+    encoded = ENMCController.encode_threshold(raw)
+    threshold = (encoded - (1 << 64) if encoded >= 1 << 63 else encoded) / 65536.0
+    software = ApproximateScreeningClassifier(
+        task.classifier, screener,
+        selector=CandidateSelector(
+            mode="threshold", num_candidates=24, threshold=threshold
+        ),
+    )
+    hardware = ENMCOffload(task.classifier, screener, threshold)
+    return task, software, hardware
+
+
+class TestEquivalence:
+    def test_approximate_logits_bit_equal(self, setup):
+        task, software, hardware = setup
+        batch = task.sample_features(4, rng=5)
+        sw = software(batch)
+        hw = hardware(batch)
+        assert np.allclose(
+            sw.approximate_logits, hw.output.approximate_logits, atol=1e-12
+        )
+
+    def test_candidates_identical(self, setup):
+        task, software, hardware = setup
+        batch = task.sample_features(6, rng=6)
+        sw = software(batch)
+        hw = hardware(batch)
+        for a, b in zip(sw.candidates, hw.output.candidates):
+            assert np.array_equal(a, b)
+
+    def test_mixed_logits_match(self, setup):
+        task, software, hardware = setup
+        batch = task.sample_features(4, rng=7)
+        sw = software(batch)
+        hw = hardware(batch)
+        assert np.abs(sw.logits - hw.output.logits).max() < 1e-9
+
+    def test_predictions_match(self, setup):
+        task, software, hardware = setup
+        batch = task.sample_features(8, rng=8)
+        assert np.array_equal(
+            software.predict(batch), hardware.predict(batch)
+        )
+
+
+class TestHardwareAccounting:
+    def test_dram_traffic_reflects_int4(self, setup):
+        task, _, hardware = setup
+        batch = task.sample_features(1, rng=9)
+        result = hardware(batch)
+        trace = result.traces[0]
+        # Screening weight at INT4 ≈ l×(k+1)/2 bytes, plus FP32 rows.
+        screen_bytes = 1500 * 17 * 0.5
+        assert trace.dram_bytes >= screen_bytes
+        assert trace.dram_bytes < screen_bytes + 200 * 65 * 4 + 4096
+
+    def test_generated_instruction_count_tracks_candidates(self, setup):
+        task, _, hardware = setup
+        batch = task.sample_features(2, rng=10)
+        result = hardware(batch)
+        for trace, indices in zip(result.traces, result.output.candidates):
+            if indices.size:
+                assert trace.generated_instructions >= indices.size
+
+    def test_instruction_totals(self, setup):
+        task, _, hardware = setup
+        result = hardware(task.sample_features(2, rng=11))
+        assert result.total_instructions > 0
+        assert result.total_dram_bytes > 0
+
+    def test_wire_format_execution(self, setup):
+        """Full path through encode → decode → execute."""
+        from repro.compiler import compile_screened_classification
+        from repro.enmc.dimm import ENMCDimm
+
+        task, software, hardware = setup
+        feature = task.sample_features(1, rng=12)[0]
+        kernel = compile_screened_classification(
+            task.classifier, hardware.screener, feature, hardware.threshold
+        )
+        dimm = ENMCDimm(hardware.config, memory=kernel.memory)
+        trace = dimm.execute_wire(kernel.program.encoded())
+        scores = np.concatenate(trace.outputs)
+        expected = software.screener.approximate_logits(feature)[0]
+        assert np.allclose(scores, expected, atol=1e-12)

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.enmc import DualModulePipeline, TileWork
+from repro.enmc.config import ENMCConfig, DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return DualModulePipeline(DEFAULT_CONFIG)
+
+
+class TestTileWork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileWork(rows=0, projection_dim=16, candidates=0)
+        with pytest.raises(ValueError):
+            TileWork(rows=16, projection_dim=16, candidates=-1)
+
+
+class TestScheduling:
+    def test_screening_in_order(self, pipeline):
+        tiles = [TileWork(rows=512, projection_dim=128, candidates=4)] * 4
+        result = pipeline.run(tiles, hidden_dim=512)
+        starts = [t.screen_start for t in result.tiles]
+        assert starts == sorted(starts)
+        for previous, current in zip(result.tiles, result.tiles[1:]):
+            assert current.screen_start == pytest.approx(previous.screen_end)
+
+    def test_execute_waits_for_own_tile(self, pipeline):
+        tiles = [TileWork(rows=512, projection_dim=128, candidates=16)] * 3
+        result = pipeline.run(tiles, hidden_dim=512)
+        for trace in result.tiles:
+            assert trace.execute_start >= trace.screen_end - 1e-9
+
+    def test_executor_serializes(self, pipeline):
+        tiles = [TileWork(rows=64, projection_dim=128, candidates=200)] * 3
+        result = pipeline.run(tiles, hidden_dim=512)
+        for previous, current in zip(result.tiles, result.tiles[1:]):
+            assert current.execute_start >= previous.execute_end - 1e-9
+
+    def test_zero_candidate_tiles_free_executor(self, pipeline):
+        tiles = [
+            TileWork(rows=512, projection_dim=128, candidates=0),
+            TileWork(rows=512, projection_dim=128, candidates=50),
+        ]
+        result = pipeline.run(tiles, hidden_dim=512)
+        assert result.tiles[0].execute_cycles == 0.0
+        assert result.tiles[1].execute_cycles > 0.0
+
+    def test_empty_stream_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="tiles"):
+            pipeline.run([], hidden_dim=512)
+
+
+class TestSteadyState:
+    def test_overlap_beats_serialization(self, pipeline):
+        """With balanced phases the makespan is well below the sum."""
+        tiles = [TileWork(rows=512, projection_dim=128, candidates=40)] * 16
+        result = pipeline.run(tiles, hidden_dim=512)
+        serialized = result.screener_busy_cycles + result.executor_busy_cycles
+        assert result.total_cycles < 0.9 * serialized
+        assert result.overlap_efficiency > 1.1
+
+    def test_matches_analytic_steady_state(self):
+        """Balanced uniform tiles: makespan ≈ max(total screen, total
+        execute) + one-phase fill, the analytic model's assumption."""
+        pipeline = DualModulePipeline(DEFAULT_CONFIG)
+        tiles = [TileWork(rows=512, projection_dim=128, candidates=30)] * 32
+        result = pipeline.run(tiles, hidden_dim=512)
+        longer = max(result.screener_busy_cycles, result.executor_busy_cycles)
+        shorter = min(result.screener_busy_cycles, result.executor_busy_cycles)
+        fill = shorter / 32
+        assert result.total_cycles == pytest.approx(longer + fill, rel=0.15)
+
+    def test_skewed_candidates_hurt_overlap(self, pipeline):
+        """Bursty candidate arrivals (skew) reduce overlap efficiency
+        versus a uniform spread of the same total work."""
+        uniform = pipeline.run_uniform(
+            num_categories=16_384, hidden_dim=512,
+            total_candidates=2048, tile_rows=512,
+        )
+        skewed = pipeline.run_uniform(
+            num_categories=16_384, hidden_dim=512,
+            total_candidates=2048, tile_rows=512,
+            candidate_skew=2.0, rng=np.random.default_rng(0),
+        )
+        assert skewed.total_cycles >= uniform.total_cycles * 0.99
+
+    def test_uniform_builder_conserves_work(self, pipeline):
+        result = pipeline.run_uniform(
+            num_categories=10_000, hidden_dim=512,
+            total_candidates=777, tile_rows=512,
+        )
+        assert len(result.tiles) == 20
+        # Row and candidate totals conserved — probe via busy cycles > 0.
+        assert result.screener_busy_cycles > 0
+        assert result.executor_busy_cycles > 0
+
+    def test_seconds_conversion(self, pipeline):
+        tiles = [TileWork(rows=512, projection_dim=128, candidates=1)]
+        result = pipeline.run(tiles, hidden_dim=512)
+        assert result.seconds(400e6) == pytest.approx(
+            result.total_cycles / 400e6
+        )

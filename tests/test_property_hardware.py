@@ -1,0 +1,157 @@
+"""Property-based tests over the functional hardware path.
+
+Randomized programs and workloads; invariants that must hold for *any*
+input, not just the golden cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enmc.config import DEFAULT_CONFIG
+from repro.enmc.controller import ENMCController
+from repro.isa import Program, decode, encode
+from repro.isa.instruction import (
+    Barrier,
+    Compute,
+    Filter,
+    Init,
+    Load,
+    Move,
+    Nop,
+    Query,
+    Return,
+)
+from repro.isa.opcodes import BufferId, Opcode, RegisterId
+
+
+# ----------------------------------------------------------------------
+# random-but-valid screening programs
+# ----------------------------------------------------------------------
+@st.composite
+def screening_programs(draw):
+    """A random valid tiled screening program plus its memory bindings."""
+    k = draw(st.integers(2, 12))
+    num_tiles = draw(st.integers(1, 4))
+    rows_per_tile = draw(st.integers(1, 16))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+
+    bindings = {0x10: (rng.standard_normal(k), 4)}
+    instructions = [
+        Init(RegisterId.THRESHOLD, ENMCController.encode_threshold(
+            draw(st.floats(-5, 5, allow_nan=False))
+        )),
+        Load(BufferId.FEATURE_INT4, 0x10),
+    ]
+    for tile in range(num_tiles):
+        address = 0x1000 + tile * 0x100
+        bindings[address] = (rng.standard_normal((rows_per_tile, k)), 4)
+        instructions.append(Load(BufferId.WEIGHT_INT4, address))
+        instructions.append(
+            Compute(Opcode.MUL_ADD_INT4, BufferId.FEATURE_INT4,
+                    BufferId.WEIGHT_INT4)
+        )
+        if draw(st.booleans()):
+            instructions.append(Move(BufferId.OUTPUT, BufferId.PSUM_INT4))
+            instructions.append(Return())
+        instructions.append(Filter(BufferId.PSUM_INT4))
+        if draw(st.booleans()):
+            instructions.append(Barrier())
+    instructions.append(Return())
+    return instructions, bindings, num_tiles, rows_per_tile
+
+
+class TestRandomPrograms:
+    @given(screening_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_execute_never_corrupts(self, case):
+        instructions, bindings, num_tiles, rows_per_tile = case
+        controller = ENMCController(DEFAULT_CONFIG)
+        for address, (array, bits) in bindings.items():
+            controller.memory.bind(address, array, bits)
+        trace = controller.execute(Program(instructions))
+
+        # Invariants:
+        assert trace.instructions_executed == len(instructions)
+        assert trace.count(Opcode.FILTER) == num_tiles
+        # Candidate indices lie inside the screened category range.
+        total_rows = num_tiles * rows_per_tile
+        assert all(0 <= idx < total_rows for idx in trace.candidate_indices)
+        # Candidate indices are unique and increasing across tiles.
+        assert trace.candidate_indices == sorted(set(trace.candidate_indices))
+        # DRAM accounting is non-negative and matches binding sizes.
+        expected_bytes = sum(
+            a.size * b / 8.0 for a, b in bindings.values()
+        )
+        assert trace.dram_bytes <= expected_bytes + 1e-9
+        assert trace.total_cycles > 0
+
+    @given(screening_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_wire_roundtrip_execution_identical(self, case):
+        instructions, bindings, *_ = case
+        a = ENMCController(DEFAULT_CONFIG)
+        b = ENMCController(DEFAULT_CONFIG)
+        for address, (array, bits) in bindings.items():
+            a.memory.bind(address, array, bits)
+            b.memory.bind(address, array, bits)
+        direct = a.execute(Program(instructions))
+        roundtripped = Program([decode(encode(i)) for i in instructions])
+        wired = b.execute(roundtripped)
+        assert direct.candidate_indices == wired.candidate_indices
+        assert len(direct.outputs) == len(wired.outputs)
+        for x, y in zip(direct.outputs, wired.outputs):
+            assert np.array_equal(x, y)
+
+
+class TestRegisterProperties:
+    @given(st.floats(-30000, 30000, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_roundtrip_precision(self, value):
+        controller = ENMCController(DEFAULT_CONFIG)
+        controller.registers[RegisterId.THRESHOLD] = \
+            ENMCController.encode_threshold(value)
+        assert controller._threshold() == pytest.approx(value, abs=1 / 65536)
+
+    @given(st.sampled_from(list(RegisterId)),
+           st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_init_query_consistency(self, register, value):
+        controller = ENMCController(DEFAULT_CONFIG)
+        trace = controller.execute(Program([
+            Init(register, value), Query(register), Return(),
+        ]))
+        assert (register.name, value) in trace.register_reads
+
+
+class TestEndToEndProperty:
+    @given(st.integers(0, 2**16), st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_candidate_entries_always_exact(self, seed, batch_size):
+        """For any random task/batch: candidate positions of the mixed
+        output equal the exact classifier's logits."""
+        from repro.core import (
+            ApproximateScreeningClassifier,
+            ScreeningConfig,
+            train_screener,
+        )
+        from repro.data import make_task
+
+        task = make_task(num_categories=300, hidden_dim=24, rng=seed)
+        screener = train_screener(
+            task.classifier, task.sample_features(128),
+            config=ScreeningConfig(projection_dim=6), solver="lstsq",
+            rng=seed + 1,
+        )
+        model = ApproximateScreeningClassifier(
+            task.classifier, screener, num_candidates=16
+        )
+        features = task.sample_features(batch_size, rng=seed + 2)
+        output = model(features)
+        exact = task.classifier.logits(features)
+        for row, indices in enumerate(output.candidates):
+            assert np.allclose(
+                output.logits[row, indices], exact[row, indices], atol=1e-9
+            )

@@ -1,0 +1,26 @@
+from repro.experiments.runner import main
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "table5" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_runs_selected(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "0.442" in out
+        assert "table5 done" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table4", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table4" in out
+        assert "=== table5" in out

@@ -1,0 +1,48 @@
+import json
+
+from repro.experiments.runner import _jsonable, main
+
+
+class TestJsonExport:
+    def test_output_files_written(self, tmp_path, capsys):
+        assert main(["table5", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        text = (tmp_path / "table5.txt").read_text()
+        assert "0.442" in text
+        data = json.loads((tmp_path / "table5.json").read_text())
+        assert "INT4 MAC" in data
+
+    def test_fig13_json_structure(self, tmp_path, capsys):
+        assert main(["table4", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "table4.json").read_text())
+        assert set(data) == {"NDA", "Chameleon", "TensorDIMM", "ENMC"}
+
+
+class TestJsonable:
+    def test_dataclass(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            label: str
+
+        assert _jsonable(Point(1, "a")) == {"x": 1, "label": "a"}
+
+    def test_numpy_values(self):
+        import numpy as np
+
+        assert _jsonable(np.int64(3)) == 3
+        assert _jsonable(np.float64(0.5)) == 0.5
+        assert _jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested(self):
+        assert _jsonable({"a": (1, 2), "b": [None]}) == {"a": [1, 2], "b": [None]}
+
+    def test_fallback_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _jsonable(Opaque()) == "<opaque>"

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, rng_from_labels, spawn_rngs, stable_seed
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).integers(0, 1 << 30, 8)
+        b = ensure_rng(None).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(42).standard_normal(4)
+        b = ensure_rng(42).standard_normal(4)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).standard_normal(8)
+        b = ensure_rng(2).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(7)
+        a = ensure_rng(seed).standard_normal(3)
+        b = ensure_rng(7).standard_normal(3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_of_draw_order(self):
+        children_a = spawn_rngs(9, 3)
+        children_b = spawn_rngs(9, 3)
+        for a, b in zip(children_a, children_b):
+            assert np.array_equal(a.standard_normal(4), b.standard_normal(4))
+
+    def test_children_differ_from_each_other(self):
+        a, b = spawn_rngs(5, 2)
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_distinct_labels_distinct_seeds(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_in_63_bit_range(self):
+        seed = stable_seed("anything", 123, "x")
+        assert 0 <= seed < 2**63
+
+    def test_rng_from_labels_reproducible(self):
+        a = rng_from_labels("w", "x").standard_normal(4)
+        b = rng_from_labels("w", "x").standard_normal(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.utils.tables import render_table
+
+
+def test_basic_alignment():
+    out = render_table(["a", "bb"], [(1, 2), (33, 4)])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert lines[0].startswith("a ")
+    # all rows same width
+    assert len({len(line) for line in lines}) <= 2
+
+
+def test_title_prepended():
+    out = render_table(["x"], [(1,)], title="My table")
+    assert out.splitlines()[0] == "My table"
+
+
+def test_float_formatting_precision():
+    out = render_table(["v"], [(1.23456,)], precision=2)
+    assert "1.23" in out
+    assert "1.235" not in out
+
+
+def test_scientific_for_extremes():
+    out = render_table(["v"], [(1.5e-7,), (2.5e9,)])
+    assert "e-07" in out
+    assert "e+09" in out
+
+
+def test_zero_renders_plainly():
+    out = render_table(["v"], [(0.0,)])
+    assert "0" in out.splitlines()[-1]
+
+
+def test_bool_not_treated_as_float():
+    out = render_table(["v"], [(True,)])
+    assert "True" in out
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [(1,)])
+
+
+def test_empty_rows_ok():
+    out = render_table(["a"], [])
+    assert "a" in out
