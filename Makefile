@@ -2,15 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/
 
+# Hot-path microbenchmark: seed pipeline vs vectorized engine.
+# Writes BENCH_pipeline.json (the perf record future changes regress against).
 bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py BENCH_pipeline.json
+
+# Paper-figure benchmark suite (pytest-benchmark).
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Microbenchmark: vectorized screening engine vs the original pipeline.
+
+Times the screening hot path end to end — screener-only, the default
+vectorized ``forward``, the ``faithful=True`` reference mode, and
+``forward_gathered`` — against a pinned reimplementation of the
+original (pre-vectorization) dataflow: dense ``P`` rebuilt on every
+call, a fresh ``Quantizer`` per call, a two-op matmul + bias add, a
+full copy of the score plane, per-row candidate selection and a
+per-row exact loop.
+
+The seed stack is measured as it shipped, under glibc's default
+allocator; the engine paths are measured under the serving
+configuration (:func:`repro.utils.memory.configure_serving_allocator`),
+which this change introduces — at extreme ``l`` the default allocator
+re-faults the whole score plane on every batch, and removing that
+churn is part of the hot-path work being benchmarked.
+
+Run as a script (``make bench``); writes ``BENCH_pipeline.json`` with
+per-config timings and the headline ``speedup_default_vs_seed``.
+
+This is not a pytest-benchmark module — the paper-figure benchmarks in
+``benchmarks/test_*.py`` measure experiment outputs; this file measures
+the serving hot path in wall-clock terms.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.candidates import CandidateSelector, CandidateSet
+from repro.core.classifier import FullClassifier
+from repro.core.pipeline import ApproximateScreeningClassifier
+from repro.core.screener import ScreeningModule
+from repro.linalg.projection import SparseRandomProjection
+from repro.linalg.quantize import Quantizer
+from repro.linalg.topk import top_k_indices
+from repro.utils.memory import configure_serving_allocator, reset_default_allocator
+
+HIDDEN_DIM = 64
+PROJECTION_DIM = 16
+NUM_CANDIDATES = 32
+CATEGORY_COUNTS = (33_000, 100_000)
+BATCH_SIZES = (64, 256)
+SELECTORS = ("top_m", "threshold")
+REPEATS = 9
+WARMUP = 2
+
+#: The acceptance configuration: extreme-l, serving batch, the
+#: comparator's native selection mode.
+HEADLINE = {"num_categories": 100_000, "batch": 64, "selector": "threshold"}
+
+
+class SeedPipeline:
+    """Pinned reconstruction of the pre-vectorization forward pass.
+
+    Mirrors the original implementation operation for operation so the
+    speedup baseline stays stable even as the library evolves:
+
+    * ``SparseRandomProjection.matrix`` was a property that rebuilt the
+      dense float64 matrix from the ternary codes on every projection;
+    * ``approximate_logits`` constructed a fresh :class:`Quantizer` per
+      call and computed ``projected @ W.T + bias`` as two passes over
+      the (batch, l) plane;
+    * selection cast scores to float64 and, in top-m mode, sorted each
+      row in a Python list comprehension; threshold mode scanned row by
+      row;
+    * ``forward`` copied the full score plane, then looped over batch
+      rows gathering and mixing one row's candidates at a time.
+    """
+
+    def __init__(
+        self,
+        classifier: FullClassifier,
+        screener: ScreeningModule,
+        selector: CandidateSelector,
+    ):
+        self.classifier = classifier
+        self.screener = screener
+        self.selector = selector
+
+    def approximate_logits(self, batch: np.ndarray) -> np.ndarray:
+        projection = self.screener.projection
+        matrix = projection.ternary.astype(np.float64) * projection.scale
+        projected = np.asarray(batch, dtype=np.float64) @ matrix.T
+        if self.screener.quantization_bits is not None:
+            quantizer = Quantizer(bits=self.screener.quantization_bits, axis=0)
+            projected = quantizer.fake_quantize(projected)
+        return projected @ self.screener._weight_deq.T + self.screener.bias
+
+    def select(self, scores: np.ndarray) -> CandidateSet:
+        array = np.asarray(scores, dtype=np.float64)
+        if self.selector.mode == "top_m":
+            m = min(self.selector.num_candidates, array.shape[1])
+            picked = top_k_indices(array, m, sort=False)
+            return CandidateSet(indices=[np.sort(row) for row in picked])
+        threshold = self.selector.threshold
+        return CandidateSet(
+            indices=[np.flatnonzero(row > threshold) for row in array]
+        )
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        approx = self.approximate_logits(batch)
+        candidates = self.select(approx)
+        mixed = approx.copy()
+        for row, indices in enumerate(candidates):
+            if indices.size == 0:
+                continue
+            exact = self.classifier.logits_for(indices, batch[row])
+            mixed[row, indices] = exact[0]
+        return mixed
+
+
+def build_models(num_categories: int, rng: np.random.Generator):
+    weight = rng.standard_normal((num_categories, HIDDEN_DIM)) / np.sqrt(HIDDEN_DIM)
+    bias = rng.standard_normal(num_categories) * 0.01
+    classifier = FullClassifier(weight, bias)
+    projection = SparseRandomProjection(HIDDEN_DIM, PROJECTION_DIM, rng=rng)
+    screener_weight = rng.standard_normal(
+        (num_categories, PROJECTION_DIM)
+    ) / np.sqrt(PROJECTION_DIM)
+    screener = ScreeningModule(
+        projection, screener_weight, np.zeros(num_categories), quantization_bits=4
+    )
+    return classifier, screener
+
+
+def build_cases() -> List[dict]:
+    cases = []
+    for num_categories in CATEGORY_COUNTS:
+        rng = np.random.default_rng(7)
+        classifier, screener = build_models(num_categories, rng)
+        screener_f32 = ScreeningModule(
+            screener.projection,
+            screener.weight,
+            screener.bias,
+            quantization_bits=4,
+            compute_dtype=np.float32,
+        )
+        calibration = rng.standard_normal((64, HIDDEN_DIM))
+        for selector_mode in SELECTORS:
+            selector = CandidateSelector(
+                mode=selector_mode, num_candidates=NUM_CANDIDATES
+            )
+            if selector_mode == "threshold":
+                selector.calibrate(screener.approximate_logits(calibration))
+            engine = ApproximateScreeningClassifier(classifier, screener, selector)
+            engine_f32 = ApproximateScreeningClassifier(
+                classifier, screener_f32, selector
+            )
+            seed = SeedPipeline(classifier, screener, selector)
+            for batch_size in BATCH_SIZES:
+                cases.append(
+                    {
+                        "num_categories": num_categories,
+                        "selector": selector_mode,
+                        "batch": batch_size,
+                        "features": rng.standard_normal((batch_size, HIDDEN_DIM)),
+                        "screener": screener,
+                        "engine": engine,
+                        "engine_f32": engine_f32,
+                        "seed": seed,
+                    }
+                )
+    return cases
+
+
+def time_ms(fn: Callable[[], object]) -> float:
+    """Best-of-``REPEATS`` wall time in milliseconds."""
+    for _ in range(WARMUP):
+        fn()
+    samples: List[float] = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return min(samples)
+
+
+def run() -> dict:
+    cases = build_cases()
+
+    # The seed stack never tuned the allocator; time it as shipped.
+    reset_default_allocator()
+    for case in cases:
+        seed, batch = case["seed"], case["features"]
+        case["seed_ms"] = time_ms(lambda: seed.forward(batch))
+
+    serving_allocator = configure_serving_allocator()
+    results = []
+    for case in cases:
+        screener = case["screener"]
+        engine = case["engine"]
+        engine_f32 = case["engine_f32"]
+        batch = case["features"]
+        timings = {
+            "seed_forward": case["seed_ms"],
+            "screener_only": time_ms(lambda: screener.approximate_logits(batch)),
+            "forward_default": time_ms(lambda: engine.forward(batch)),
+            "forward_default_f32": time_ms(lambda: engine_f32.forward(batch)),
+            "forward_faithful": time_ms(
+                lambda: engine.forward(batch, faithful=True)
+            ),
+            "forward_gathered": time_ms(lambda: engine.forward_gathered(batch)),
+        }
+        entry = {
+            "num_categories": case["num_categories"],
+            "hidden_dim": HIDDEN_DIM,
+            "projection_dim": PROJECTION_DIM,
+            "num_candidates": NUM_CANDIDATES,
+            "selector": case["selector"],
+            "batch": case["batch"],
+            "timings_ms": {k: round(v, 3) for k, v in timings.items()},
+            "speedup_default_vs_seed": round(
+                timings["seed_forward"] / timings["forward_default"], 2
+            ),
+            "speedup_f32_vs_seed": round(
+                timings["seed_forward"] / timings["forward_default_f32"], 2
+            ),
+        }
+        results.append(entry)
+        print(
+            f"l={case['num_categories']} {case['selector']:>9} "
+            f"b={case['batch']:<3} "
+            f"seed={timings['seed_forward']:8.2f}ms "
+            f"default={timings['forward_default']:8.2f}ms "
+            f"({entry['speedup_default_vs_seed']:5.2f}x) "
+            f"f32={timings['forward_default_f32']:8.2f}ms "
+            f"({entry['speedup_f32_vs_seed']:5.2f}x)",
+            flush=True,
+        )
+
+    headline_entry = next(
+        r
+        for r in results
+        if all(r[key] == value for key, value in HEADLINE.items())
+    )
+    return {
+        "benchmark": "screening pipeline hot path",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "repeats": REPEATS,
+        "allocator": {
+            "seed_forward": "glibc default (pre-change stack, as shipped)",
+            "engine_paths": "configure_serving_allocator"
+            if serving_allocator
+            else "glibc default (tuning unavailable on this platform)",
+        },
+        "headline": {
+            **HEADLINE,
+            "speedup_default_vs_seed": headline_entry["speedup_default_vs_seed"],
+        },
+        "results": results,
+    }
+
+
+def main() -> int:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
+    report = run()
+    with open(output_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    headline = report["headline"]
+    print(
+        f"\nheadline: l={headline['num_categories']} batch={headline['batch']} "
+        f"{headline['selector']}: default forward is "
+        f"{headline['speedup_default_vs_seed']}x the seed loop "
+        f"-> {output_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,8 @@ Screener's comparator array writing indices to the index buffer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,9 +25,22 @@ class CandidateSet:
 
     ``indices`` is a ragged list (threshold mode selects variable
     counts); ``rows`` pairs each index array with its batch row.
+
+    The derived views (``counts``, ``union``, ``flat``) are cached —
+    the vectorized pipeline asks for them repeatedly on the hot path.
+    Treat a ``CandidateSet`` as immutable once constructed.
     """
 
     indices: List[np.ndarray]
+    _counts: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _union: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _flat: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def batch_size(self) -> int:
@@ -36,7 +49,9 @@ class CandidateSet:
     @property
     def counts(self) -> np.ndarray:
         """Number of candidates per batch row."""
-        return np.array([idx.size for idx in self.indices])
+        if self._counts is None:
+            self._counts = np.array([idx.size for idx in self.indices])
+        return self._counts
 
     @property
     def total(self) -> int:
@@ -49,9 +64,29 @@ class CandidateSet:
         Batched hardware execution gathers the union of rows once per
         batch tile, so this is the weight traffic the Executor sees.
         """
-        if not self.indices:
-            return np.array([], dtype=np.intp)
-        return np.unique(np.concatenate(self.indices))
+        if self._union is None:
+            if not self.indices:
+                self._union = np.array([], dtype=np.intp)
+            else:
+                self._union = np.unique(np.concatenate(self.indices))
+        return self._union
+
+    def flat(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, cols)`` of every candidate as flat aligned arrays.
+
+        This is the scatter layout the vectorized exact phase consumes:
+        ``mixed[rows, cols] = exact_values`` touches every candidate in
+        one fancy-indexed assignment instead of a per-row Python loop.
+        """
+        if self._flat is None:
+            if not self.indices:
+                empty = np.array([], dtype=np.intp)
+                self._flat = (empty, empty.copy())
+            else:
+                rows = np.repeat(np.arange(len(self.indices)), self.counts)
+                cols = np.concatenate(self.indices).astype(np.intp, copy=False)
+                self._flat = (rows, cols)
+        return self._flat
 
     def __iter__(self):
         return iter(self.indices)
@@ -97,7 +132,9 @@ class CandidateSelector:
 
     def select(self, scores: np.ndarray) -> CandidateSet:
         """Apply the selection rule to a batch of screening scores."""
-        array = np.asarray(scores, dtype=np.float64)
+        array = np.asarray(scores)
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float64)
         if array.ndim == 1:
             array = array[None, :]
         if array.ndim != 2:
@@ -106,7 +143,8 @@ class CandidateSelector:
         if self.mode == "top_m":
             m = min(self.num_candidates, array.shape[1])
             picked = top_k_indices(array, m, sort=False)
-            return CandidateSet(indices=[np.sort(row) for row in picked])
+            picked = np.sort(picked, axis=1)
+            return CandidateSet(indices=list(picked))
 
         if self.threshold is None:
             raise ValueError(

@@ -16,12 +16,20 @@ L2, but INT4 quantization introduces a per-batch scale drift between
 approximate and exact entries.  Mixing raw values is exactly what the
 hardware does, so we do the same; the candidate set is what protects
 top-K quality.
+
+Execution modes: :meth:`ApproximateScreeningClassifier.forward`
+defaults to the fully vectorized engine — the exact phase runs as one
+gathered computation over the batch's candidate union (or a flat
+row-wise gather when candidates barely overlap) and scatters results
+with a single fancy-indexed assignment.  ``faithful=True`` keeps the
+original per-row reference loop; the two are numerically identical
+(tested) because they share the screening and selection stages and
+differ only in how the exact values are computed and written.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +40,6 @@ from repro.linalg.functional import sigmoid, softmax, taylor_softmax
 from repro.utils.validation import check_batch_features
 
 
-@dataclass
 class ScreenedOutput:
     """Everything produced by one screened inference pass.
 
@@ -40,11 +47,41 @@ class ScreenedOutput:
     ``candidates`` records which entries are accurate.  ``exact_count``
     is the number of exact weight rows gathered (the quantity that
     drives computation and DRAM-traffic savings).
+
+    The vectorized engine mixes in place and hands this object a small
+    ``restore`` record (the overwritten approximate values) instead of
+    a full copy of the score plane; ``approximate_logits`` is then
+    materialized lazily on first access.  Constructing with an explicit
+    ``approximate_logits`` array behaves exactly as before.
     """
 
-    logits: np.ndarray
-    approximate_logits: np.ndarray
-    candidates: CandidateSet
+    def __init__(
+        self,
+        logits: np.ndarray,
+        approximate_logits: Optional[np.ndarray] = None,
+        candidates: Optional[CandidateSet] = None,
+        restore: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ):
+        if candidates is None:
+            raise ValueError("ScreenedOutput requires a candidate set")
+        if approximate_logits is None and restore is None:
+            raise ValueError(
+                "ScreenedOutput needs approximate_logits or a restore record"
+            )
+        self.logits = logits
+        self.candidates = candidates
+        self._approximate_logits = approximate_logits
+        self._restore = restore
+
+    @property
+    def approximate_logits(self) -> np.ndarray:
+        """The pure screener scores ``z̃`` (materialized lazily)."""
+        if self._approximate_logits is None:
+            rows, cols, values = self._restore
+            approx = self.logits.copy()
+            approx[rows, cols] = values
+            self._approximate_logits = approx
+        return self._approximate_logits
 
     @property
     def batch_size(self) -> int:
@@ -62,6 +99,12 @@ class ScreenedOutput:
     def exact_fraction(self) -> float:
         """Fraction of (batch × category) outputs computed exactly."""
         return self.exact_count / self.logits.size
+
+    def __repr__(self) -> str:
+        return (
+            f"ScreenedOutput(batch={self.batch_size}, "
+            f"l={self.num_categories}, exact={self.exact_count})"
+        )
 
 
 class ApproximateScreeningClassifier:
@@ -104,18 +147,31 @@ class ApproximateScreeningClassifier:
         return self.classifier.hidden_dim
 
     # ------------------------------------------------------------------
-    def forward(self, features: np.ndarray) -> ScreenedOutput:
+    def forward(self, features: np.ndarray, faithful: bool = False) -> ScreenedOutput:
         """Run the full screened pipeline on a feature batch.
 
-        Exact recomputation is per-row (the faithful dataflow); see
-        :meth:`forward_gathered` for the vectorized union-gather
-        variant, which is numerically identical but faster in numpy for
-        large batches.
+        The default path is the vectorized gathered engine; pass
+        ``faithful=True`` for the per-row reference dataflow (the exact
+        phase loops over batch rows exactly as the original
+        implementation did).  Both share the screening and selection
+        stages and produce numerically identical outputs.
         """
         batch = check_batch_features(features, self.hidden_dim)
         approx = self.screener.approximate_logits(batch)
         candidates = self.selector.select(approx)
+        if faithful:
+            return self._mix_per_row(batch, approx, candidates)
+        return self._mix_vectorized(batch, approx, candidates)
 
+    __call__ = forward
+
+    def _mix_per_row(
+        self,
+        batch: np.ndarray,
+        approx: np.ndarray,
+        candidates: CandidateSet,
+    ) -> ScreenedOutput:
+        """Reference exact phase: one gather + matmul per batch row."""
         mixed = approx.copy()
         for row, indices in enumerate(candidates):
             if indices.size == 0:
@@ -126,7 +182,46 @@ class ApproximateScreeningClassifier:
             logits=mixed, approximate_logits=approx, candidates=candidates
         )
 
-    __call__ = forward
+    def _mix_vectorized(
+        self,
+        batch: np.ndarray,
+        approx: np.ndarray,
+        candidates: CandidateSet,
+    ) -> ScreenedOutput:
+        """Vectorized exact phase: mix all candidates in one scatter.
+
+        The approximate plane is mixed in place (the overwritten values
+        are kept so ``approximate_logits`` can be rebuilt lazily); the
+        exact values come from either a gathered union matmul — the
+        batched hardware dataflow, efficient when rows share candidates
+        — or a flat per-candidate gather when the union would force the
+        matmul to compute mostly unwanted (row, category) pairs.
+        """
+        rows, cols = candidates.flat()
+        if rows.size == 0:
+            return ScreenedOutput(
+                logits=approx, approximate_logits=approx, candidates=candidates
+            )
+        saved = approx[rows, cols].copy()
+
+        union = candidates.union()
+        # The union matmul computes batch×union exact entries to use
+        # only ``rows.size`` of them; prefer it only when candidate
+        # overlap keeps that overcompute within a small factor.
+        if candidates.batch_size * union.size <= 2 * rows.size:
+            exact = self.classifier.logits_for(union, batch)
+            approx[rows, cols] = exact[rows, np.searchsorted(union, cols)]
+        else:
+            values = (
+                np.einsum(
+                    "nd,nd->n", self.classifier.weight[cols], batch[rows]
+                )
+                + self.classifier.bias[cols]
+            )
+            approx[rows, cols] = values
+        return ScreenedOutput(
+            logits=approx, candidates=candidates, restore=(rows, cols, saved)
+        )
 
     def forward_gathered(self, features: np.ndarray) -> ScreenedOutput:
         """Batched exact phase over the *union* of candidate rows.
@@ -134,7 +229,9 @@ class ApproximateScreeningClassifier:
         Gathers each candidate weight row once per batch (how batched
         hardware executes) and computes all rows' exact scores in one
         matmul; each row's mixed output still only takes its own
-        candidates.  Numerically identical to :meth:`forward`.
+        candidates, remapped with a ``searchsorted`` scatter instead of
+        a per-row dictionary walk.  Numerically identical to
+        :meth:`forward`.
         """
         batch = check_batch_features(features, self.hidden_dim)
         approx = self.screener.approximate_logits(batch)
@@ -145,18 +242,15 @@ class ApproximateScreeningClassifier:
         if union.size:
             # (batch, union) exact scores in one gathered matmul.
             exact = self.classifier.logits_for(union, batch)
-            position = {int(idx): pos for pos, idx in enumerate(union)}
-            for row, indices in enumerate(candidates):
-                if indices.size == 0:
-                    continue
-                cols = [position[int(idx)] for idx in indices]
-                mixed[row, indices] = exact[row, cols]
+            rows, cols = candidates.flat()
+            mixed[rows, cols] = exact[rows, np.searchsorted(union, cols)]
         return ScreenedOutput(
             logits=mixed, approximate_logits=approx, candidates=candidates
         )
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        """Normalized probabilities from the mixed score vector."""
+        """Normalized probabilities from the mixed score vector
+        (vectorized default path)."""
         output = self.forward(features)
         if self.classifier.normalization == "sigmoid":
             return sigmoid(output.logits)
@@ -167,12 +261,13 @@ class ApproximateScreeningClassifier:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Argmax category per row (always inside the candidate set by
         construction when the screener is reasonable, but taken over
-        the mixed vector exactly as the hardware would)."""
+        the mixed vector exactly as the hardware would).  Runs the
+        vectorized default path."""
         return np.argmax(self.forward(features).logits, axis=-1)
 
     def top_k(self, features: np.ndarray, k: int) -> np.ndarray:
         """Top-k categories per row from the mixed scores (beam search /
-        P@k consumers)."""
+        P@k consumers).  Runs the vectorized default path."""
         from repro.linalg.topk import top_k_indices
 
         return top_k_indices(self.forward(features).logits, k, sort=True)

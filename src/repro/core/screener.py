@@ -5,12 +5,24 @@ projection ``P`` (k×d, ternary) followed by a learned low-dimensional
 weight ``W̃ ∈ R^{l×k}`` and bias ``b̃``.  At inference the screener runs
 quantized (INT4 by default) to model the ENMC Screener's fixed-point
 MAC array.
+
+Inference-path engineering: all per-call derived state (the fake-
+quantized weight view, the bias-fused transposed weight, the input
+quantizer) is built once and cached on the module, and the hot matmul
+folds ``b̃`` into one extra weight column — the same trick the compiler
+uses when tiling for the hardware — so one GEMM writes the full score
+matrix.  ``compute_dtype`` selects the arithmetic width of that GEMM:
+``float64`` (default) preserves the repository's bit-level agreement
+with the functional DIMM simulator, ``float32`` halves the memory
+traffic of the score plane for serving workloads (the INT4 grid values
+are exactly representable either way; only accumulation rounding
+differs, far below the quantization error being modeled).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -18,6 +30,20 @@ from repro.linalg.projection import SparseRandomProjection
 from repro.linalg.quantize import Quantizer
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_batch_features, check_positive
+
+#: Arithmetic widths supported for the screening GEMM.
+COMPUTE_DTYPES = (np.float32, np.float64)
+
+DtypeLike = Union[str, type, np.dtype]
+
+
+def _resolve_compute_dtype(dtype: DtypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in [np.dtype(d) for d in COMPUTE_DTYPES]:
+        raise ValueError(
+            f"compute_dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -28,17 +54,20 @@ class ScreeningConfig:
     chosen operating point is a parameter-reduction scale of 0.25
     (Fig. 12a), i.e. ``k = d / 4``, with 4-bit quantization (Fig. 12b).
     ``quantization_bits=None`` runs the screener in floating point
-    (the FP32 point of the Fig. 12b sweep).
+    (the FP32 point of the Fig. 12b sweep).  ``compute_dtype`` picks
+    the arithmetic width of the screening GEMM (see module docstring).
     """
 
     projection_dim: int
     quantization_bits: Optional[int] = 4
     projection_density: float = 1.0 / 3.0
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         check_positive("projection_dim", self.projection_dim)
         if self.quantization_bits is not None:
             check_positive("quantization_bits", self.quantization_bits)
+        _resolve_compute_dtype(self.compute_dtype)
 
     @classmethod
     def from_scale(
@@ -69,6 +98,7 @@ class ScreeningModule:
         weight: np.ndarray,
         bias: np.ndarray,
         quantization_bits: Optional[int] = 4,
+        compute_dtype: DtypeLike = np.float64,
     ):
         weight = np.asarray(weight, dtype=np.float64)
         bias = np.asarray(bias, dtype=np.float64)
@@ -86,15 +116,29 @@ class ScreeningModule:
         self.weight = weight
         self.bias = bias
         self.quantization_bits = quantization_bits
+        self._compute_dtype = _resolve_compute_dtype(compute_dtype)
         self._refresh_quantized_weight()
 
     def _refresh_quantized_weight(self) -> None:
-        """Re-derive the fixed-point weight view after a weight update."""
+        """Re-derive all cached inference state after a weight update."""
         if self.quantization_bits is None:
             self._weight_deq = self.weight
-            return
-        quantizer = Quantizer(bits=self.quantization_bits, axis=0)
-        self._weight_deq = quantizer.fake_quantize(self.weight)
+            self._input_quantizer: Optional[Quantizer] = None
+        else:
+            quantizer = Quantizer(bits=self.quantization_bits, axis=0)
+            self._weight_deq = quantizer.fake_quantize(self.weight)
+            # One scale per batch row: each inference quantizes its own
+            # feature vector independently, as the hardware does.
+            self._input_quantizer = Quantizer(bits=self.quantization_bits, axis=0)
+        # Bias folded in as one extra column (trailing 1 in the feature)
+        # so the hot path is a single GEMM, mirroring the compiler's tile
+        # layout.  Stored pre-transposed and contiguous.
+        fused = np.empty(
+            (self.projection_dim + 1, self.num_categories), dtype=self._compute_dtype
+        )
+        fused[:-1] = self._weight_deq.T
+        fused[-1] = self.bias
+        self._fused_weight_t = fused
 
     # ------------------------------------------------------------------
     # shapes / cost
@@ -112,6 +156,17 @@ class ScreeningModule:
     def projection_dim(self) -> int:
         """Reduced dimensionality ``k``."""
         return self.projection.output_dim
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Arithmetic width of the screening GEMM (float32 or float64)."""
+        return self._compute_dtype
+
+    def set_compute_dtype(self, dtype: DtypeLike) -> "ScreeningModule":
+        """Switch the screening GEMM width and rebuild cached state."""
+        self._compute_dtype = _resolve_compute_dtype(dtype)
+        self._refresh_quantized_weight()
+        return self
 
     @property
     def nbytes(self) -> float:
@@ -137,15 +192,18 @@ class ScreeningModule:
 
         When ``quantization_bits`` is set, both the projected features
         and the screener weights pass through fake quantization,
-        modeling the INT4 datapath of the hardware Screener.
+        modeling the INT4 datapath of the hardware Screener.  The
+        result dtype is :attr:`compute_dtype`.
         """
         projected = self.project(features)
-        if self.quantization_bits is not None:
-            # One scale per batch row: each inference quantizes its own
-            # feature vector independently, as the hardware does.
-            quantizer = Quantizer(bits=self.quantization_bits, axis=0)
-            projected = quantizer.fake_quantize(projected)
-        return projected @ self._weight_deq.T + self.bias
+        if self._input_quantizer is not None:
+            projected = self._input_quantizer.fake_quantize(projected)
+        augmented = np.empty(
+            (projected.shape[0], self.projection_dim + 1), dtype=self._compute_dtype
+        )
+        augmented[:, :-1] = projected
+        augmented[:, -1] = 1.0
+        return augmented @ self._fused_weight_t
 
     def __call__(self, features: np.ndarray) -> np.ndarray:
         return self.approximate_logits(features)
@@ -153,7 +211,8 @@ class ScreeningModule:
     def __repr__(self) -> str:
         return (
             f"ScreeningModule(l={self.num_categories}, d={self.hidden_dim}, "
-            f"k={self.projection_dim}, bits={self.quantization_bits})"
+            f"k={self.projection_dim}, bits={self.quantization_bits}, "
+            f"compute={self._compute_dtype.name})"
         )
 
 
@@ -179,5 +238,9 @@ def initialize_screener(
     weight *= 1.0 / np.sqrt(config.projection_dim)
     bias = np.zeros(num_categories)
     return ScreeningModule(
-        projection, weight, bias, quantization_bits=config.quantization_bits
+        projection,
+        weight,
+        bias,
+        quantization_bits=config.quantization_bits,
+        compute_dtype=config.compute_dtype,
     )

@@ -42,14 +42,8 @@ def load_screener(path: PathLike) -> ScreeningModule:
     """Load a screening module saved by :func:`save_screener`."""
     with np.load(path, allow_pickle=False) as data:
         _check_format(data, "screener", path)
-        ternary = data["projection_ternary"]
-        projection = SparseRandomProjection.__new__(SparseRandomProjection)
-        projection.input_dim = ternary.shape[1]
-        projection.output_dim = ternary.shape[0]
-        projection.density = float(data["projection_density"])
-        projection._ternary = ternary.astype(np.int8)
-        projection._scale = np.sqrt(
-            1.0 / (projection.density * projection.output_dim)
+        projection = SparseRandomProjection.from_ternary(
+            data["projection_ternary"], float(data["projection_density"])
         )
         bits = int(data["quantization_bits"])
         return ScreeningModule(

@@ -14,6 +14,8 @@ with adds/subtracts only.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
@@ -35,6 +37,11 @@ class SparseRandomProjection:
     rng:
         Seed or generator; the projection is fixed once constructed and
         never trained (paper Section 4.3).
+
+    The dense floating-point matrix is materialized lazily and cached:
+    the projection is immutable, so re-deriving it on every call (as
+    earlier revisions did) only burned memory bandwidth on the hottest
+    path in the repository.
     """
 
     def __init__(
@@ -67,6 +74,40 @@ class SparseRandomProjection:
         self._ternary = signs
         # Scaling keeps inner products unbiased: E[(Px)·(Py)] = x·y.
         self._scale = np.sqrt(1.0 / (density * output_dim))
+        self._matrix: Optional[np.ndarray] = None
+        self._matrix_t: Optional[np.ndarray] = None
+        self._ternary_t_int32: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_ternary(
+        cls, ternary: np.ndarray, density: float
+    ) -> "SparseRandomProjection":
+        """Rebuild a projection from its stored ``{-1, 0, +1}`` matrix.
+
+        This is the deserialization entry point: the 2-bit ternary
+        matrix plus the density fully determine the projection (the
+        scale is ``sqrt(1 / (density * k))``), so a loaded instance is
+        indistinguishable from the originally constructed one —
+        including the cached dense matrix derived from it.
+        """
+        array = np.asarray(ternary)
+        if array.ndim != 2:
+            raise ValueError(f"ternary must be 2-D (k, d), got shape {array.shape}")
+        if not np.isin(array, (-1, 0, 1)).all():
+            raise ValueError("ternary entries must all be in {-1, 0, +1}")
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+
+        projection = cls.__new__(cls)
+        projection.input_dim = int(array.shape[1])
+        projection.output_dim = int(array.shape[0])
+        projection.density = float(density)
+        projection._ternary = array.astype(np.int8)
+        projection._scale = np.sqrt(1.0 / (projection.density * projection.output_dim))
+        projection._matrix = None
+        projection._matrix_t = None
+        projection._ternary_t_int32 = None
+        return projection
 
     @property
     def ternary(self) -> np.ndarray:
@@ -74,9 +115,16 @@ class SparseRandomProjection:
         return self._ternary
 
     @property
+    def scale(self) -> float:
+        """The uniform magnitude of non-zero entries, ``sqrt(1/(density·k))``."""
+        return float(self._scale)
+
+    @property
     def matrix(self) -> np.ndarray:
-        """The dense floating-point projection matrix ``P``."""
-        return self._ternary.astype(np.float64) * self._scale
+        """The dense floating-point projection matrix ``P`` (cached)."""
+        if self._matrix is None:
+            self._matrix = self._ternary.astype(np.float64) * self._scale
+        return self._matrix
 
     @property
     def nbytes(self) -> float:
@@ -90,7 +138,37 @@ class SparseRandomProjection:
             raise ValueError(
                 f"features last dim {array.shape[-1]} != input_dim {self.input_dim}"
             )
-        return array @ self.matrix.T
+        if self._matrix_t is None:
+            # Cache P.T contiguously so the hot matmul never re-packs it.
+            self._matrix_t = np.ascontiguousarray(self.matrix.T)
+        return array @ self._matrix_t
+
+    def apply_ternary(self, values: np.ndarray) -> np.ndarray:
+        """Integer-domain projection: apply ``P`` to quantized features.
+
+        ``values`` must be an integer array of shape ``(..., d)`` (e.g.
+        the INT codes of a :class:`~repro.linalg.quantize.QuantizedTensor`).
+        The ternary matrix is applied as a pure integer matmul with
+        int32 accumulation — adds/subtracts only, exactly what the
+        hardware's 2-bit datapath does — and the floating-point scale is
+        deferred: multiplying the result by ``input_scale * self.scale``
+        reproduces ``projection(dequantized_input)`` with a single
+        scalar per output instead of a dense float matrix.
+        """
+        array = np.asarray(values)
+        if not np.issubdtype(array.dtype, np.integer):
+            raise TypeError(
+                f"apply_ternary expects integer codes, got dtype {array.dtype}"
+            )
+        if array.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"features last dim {array.shape[-1]} != input_dim {self.input_dim}"
+            )
+        if self._ternary_t_int32 is None:
+            self._ternary_t_int32 = np.ascontiguousarray(
+                self._ternary.T.astype(np.int32)
+            )
+        return array.astype(np.int32) @ self._ternary_t_int32
 
     def __repr__(self) -> str:
         return (

@@ -75,15 +75,7 @@ def quantize_symmetric(
     """
     array = np.asarray(tensor, dtype=np.float64)
     qmin, qmax = _qrange(bits)
-
-    if axis is None:
-        max_abs = np.max(np.abs(array)) if array.size else 0.0
-        scale = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
-    else:
-        reduce_axes = tuple(i for i in range(array.ndim) if i != axis % array.ndim)
-        max_abs = np.max(np.abs(array), axis=reduce_axes, keepdims=True)
-        scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
-
+    scale = _symmetric_scale(array, qmax, axis)
     q = np.clip(np.round(array / scale), qmin, qmax)
     dtype = np.int8 if bits <= 8 else np.int16
     return QuantizedTensor(values=q.astype(dtype), scale=np.asarray(scale), bits=bits)
@@ -103,16 +95,30 @@ def quantization_error(tensor: np.ndarray, bits: int, axis: Optional[int] = None
     return float(np.sqrt(np.mean((array - reconstructed) ** 2)))
 
 
+def _symmetric_scale(
+    array: np.ndarray, qmax: int, axis: Optional[int]
+) -> np.ndarray:
+    """The max-abs symmetric scale, per tensor or per slice of ``axis``."""
+    if axis is None:
+        max_abs = np.max(np.abs(array)) if array.size else 0.0
+        return np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+    reduce_axes = tuple(i for i in range(array.ndim) if i != axis % array.ndim)
+    max_abs = np.max(np.abs(array), axis=reduce_axes, keepdims=True)
+    return np.where(max_abs > 0, max_abs / qmax, 1.0)
+
+
 class Quantizer:
     """A reusable quantization policy (bit width + axis).
 
     Hardware units hold a ``Quantizer`` describing their datapath; the
     algorithm-level pipeline uses it to emulate fixed-point inference.
+    The bit range is resolved once at construction so per-call overhead
+    stays off the inference hot path.
     """
 
     def __init__(self, bits: int = 4, axis: Optional[int] = None):
-        _qrange(bits)  # validates
         check_positive("bits", bits)
+        self.qmin, self.qmax = _qrange(bits)
         self.bits = bits
         self.axis = axis
 
@@ -120,8 +126,16 @@ class Quantizer:
         return quantize_symmetric(tensor, bits=self.bits, axis=self.axis)
 
     def fake_quantize(self, tensor: np.ndarray) -> np.ndarray:
-        """Quantize then immediately dequantize (simulated fixed point)."""
-        return self(tensor).dequantize()
+        """Quantize then immediately dequantize (simulated fixed point).
+
+        This stays in the float domain — ``clip(round(x/s)) * s`` —
+        producing values bit-identical to an int round-trip without
+        materializing the integer tensor, which matters on the per-call
+        inference path.
+        """
+        array = np.asarray(tensor, dtype=np.float64)
+        scale = _symmetric_scale(array, self.qmax, self.axis)
+        return np.clip(np.round(array / scale), self.qmin, self.qmax) * scale
 
     def __repr__(self) -> str:
         return f"Quantizer(bits={self.bits}, axis={self.axis})"

@@ -46,14 +46,20 @@ def select_above_threshold(scores: np.ndarray, threshold: float) -> List[np.ndar
 
     This models the Screener's comparator array; rows may select
     different counts, so the result is a ragged list (one index array
-    per batch row).
+    per batch row).  Implemented as one flat scan plus a split — a 2-D
+    ``np.nonzero`` pays an index-unraveling pass over the whole score
+    plane, which dominates at extreme ``l``.
     """
     array = np.asarray(scores)
     if array.ndim == 1:
         array = array[None, :]
     if array.ndim != 2:
         raise ValueError(f"scores must be 1-D or 2-D, got shape {array.shape}")
-    return [np.flatnonzero(row > threshold) for row in array]
+    rows, cols = array.shape
+    flat = np.flatnonzero(array.ravel() > threshold)
+    row_of = flat // cols
+    boundaries = np.searchsorted(row_of, np.arange(1, rows))
+    return np.split(flat - row_of * cols, boundaries)
 
 
 def calibrate_threshold(scores: np.ndarray, target_candidates: float) -> float:

@@ -32,6 +32,22 @@ class TestCandidateSet:
         cs = CandidateSet(indices=arrays_)
         assert [a.tolist() for a in cs] == [[0], [1]]
 
+    def test_flat_scatter_layout(self):
+        cs = CandidateSet(indices=[np.array([3, 7]), np.array([]), np.array([2])])
+        rows, cols = cs.flat()
+        assert rows.tolist() == [0, 0, 2]
+        assert cols.tolist() == [3, 7, 2]
+
+    def test_flat_empty(self):
+        rows, cols = CandidateSet(indices=[]).flat()
+        assert rows.size == 0 and cols.size == 0
+
+    def test_derived_views_cached(self):
+        cs = CandidateSet(indices=[np.array([1, 2])])
+        assert cs.union() is cs.union()
+        assert cs.flat() is cs.flat()
+        assert cs.counts is cs.counts
+
 
 class TestTopMSelector:
     def test_selects_m_per_row(self):

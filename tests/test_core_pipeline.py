@@ -1,5 +1,7 @@
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     ApproximateScreeningClassifier,
@@ -7,6 +9,7 @@ from repro.core import (
     FullClassifier,
 )
 from repro.core.metrics import candidate_recall
+from repro.core.pipeline import ScreenedOutput
 
 
 @pytest.fixture()
@@ -103,6 +106,115 @@ class TestForward:
         out = model(small_task.sample_features(2))
         assert out.exact_count == 0
         assert np.array_equal(out.logits, out.approximate_logits)
+
+
+class TestFaithfulVsVectorized:
+    """The vectorized default and the per-row reference mode must be
+    numerically identical — same candidates, same mixed logits, and
+    bit-identical approximate scores (the screening and selection
+    stages are shared; only the exact-phase arithmetic differs)."""
+
+    def _assert_identical(self, model, features):
+        faithful = model.forward(features, faithful=True)
+        default = model.forward(features)
+        assert default.logits.dtype == faithful.logits.dtype
+        assert np.allclose(faithful.logits, default.logits, rtol=0, atol=1e-12)
+        assert np.array_equal(
+            faithful.approximate_logits, default.approximate_logits
+        )
+        for a, b in zip(faithful.candidates, default.candidates):
+            assert np.array_equal(a, b)
+
+    def test_top_m(self, pipeline, small_task):
+        self._assert_identical(pipeline, small_task.sample_features(7))
+
+    def test_threshold(self, small_task, small_screener):
+        selector = CandidateSelector(mode="threshold", num_candidates=32)
+        calibration = small_screener.approximate_logits(
+            small_task.sample_features(64)
+        )
+        selector.calibrate(calibration)
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        self._assert_identical(model, small_task.sample_features(7))
+
+    def test_threshold_with_empty_rows(self, small_task, small_screener):
+        # Pick a cutoff between the per-row maxima so some rows select
+        # candidates and others select none.
+        features = small_task.sample_features(8)
+        row_max = small_screener.approximate_logits(features).max(axis=1)
+        cutoff = float(np.median(row_max))
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=1, threshold=cutoff
+        )
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        counts = model.forward(features).candidates.counts
+        assert (counts == 0).any() and (counts > 0).any()
+        self._assert_identical(model, features)
+
+    def test_all_rows_empty(self, small_task, small_screener):
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=1, threshold=1e12
+        )
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        self._assert_identical(model, small_task.sample_features(3))
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        mode=st.sampled_from(["top_m", "threshold"]),
+        batch=st.integers(1, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identity_property(
+        self, small_task, small_screener, seed, mode, batch
+    ):
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((batch, small_task.hidden_dim))
+        if mode == "top_m":
+            selector = CandidateSelector(mode="top_m", num_candidates=16)
+        else:
+            scores = small_screener.approximate_logits(features)
+            # Spread thresholds around the score range so examples hit
+            # empty, partial, and full selections.
+            cutoff = float(np.quantile(scores, rng.uniform(0.5, 1.0)))
+            selector = CandidateSelector(
+                mode="threshold", num_candidates=1, threshold=cutoff
+            )
+        model = ApproximateScreeningClassifier(
+            small_task.classifier, small_screener, selector=selector
+        )
+        self._assert_identical(model, features)
+
+
+class TestScreenedOutput:
+    def test_lazy_approximate_logits_reconstruction(
+        self, pipeline, small_task, small_screener
+    ):
+        features = small_task.sample_features(5)
+        out = pipeline.forward(features)
+        # The vectorized path mixes in place and rebuilds the pure
+        # screener scores on demand; they must match exactly.
+        assert np.array_equal(
+            out.approximate_logits, small_screener.approximate_logits(features)
+        )
+        # Stable across repeated access and not the mixed plane.
+        assert out.approximate_logits is out.approximate_logits
+        if out.exact_count:
+            assert not np.array_equal(out.logits, out.approximate_logits)
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError, match="candidate"):
+            ScreenedOutput(logits=np.zeros((1, 4)), approximate_logits=np.zeros((1, 4)))
+
+    def test_requires_approx_or_restore(self, pipeline, small_task):
+        candidates = pipeline.forward(small_task.sample_features(1)).candidates
+        with pytest.raises(ValueError, match="restore"):
+            ScreenedOutput(logits=np.zeros((1, 2000)), candidates=candidates)
 
 
 class TestProbabilities:

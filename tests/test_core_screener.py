@@ -97,6 +97,61 @@ class TestScreeningModule:
         assert np.allclose(batch_out[0], single_out[0])
 
 
+class TestComputeDtype:
+    def _module(self, compute_dtype=np.float64):
+        projection = SparseRandomProjection(32, 8, rng=0)
+        rng = np.random.default_rng(1)
+        return ScreeningModule(
+            projection,
+            rng.standard_normal((50, 8)),
+            rng.standard_normal(50),
+            quantization_bits=4,
+            compute_dtype=compute_dtype,
+        )
+
+    def test_default_is_float64(self):
+        module = self._module()
+        features = np.random.default_rng(2).standard_normal((3, 32))
+        assert module.compute_dtype == np.float64
+        assert module.approximate_logits(features).dtype == np.float64
+
+    def test_float32_output_dtype(self):
+        module = self._module(compute_dtype=np.float32)
+        features = np.random.default_rng(2).standard_normal((3, 32))
+        assert module.approximate_logits(features).dtype == np.float32
+
+    def test_float32_close_to_float64(self):
+        features = np.random.default_rng(2).standard_normal((4, 32))
+        wide = self._module().approximate_logits(features)
+        narrow = self._module(compute_dtype=np.float32).approximate_logits(features)
+        assert np.allclose(wide, narrow, rtol=1e-5, atol=1e-5)
+
+    def test_set_compute_dtype_rebuilds_state(self):
+        module = self._module()
+        features = np.random.default_rng(2).standard_normal((2, 32))
+        module.set_compute_dtype(np.float32)
+        assert module.approximate_logits(features).dtype == np.float32
+        module.set_compute_dtype(np.float64)
+        assert module.approximate_logits(features).dtype == np.float64
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            self._module(compute_dtype=np.int32)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            ScreeningConfig(projection_dim=8, compute_dtype="int8")
+
+    def test_dequantized_weight_stays_float64(self):
+        # The compiler's tile lowering consumes _weight_deq directly and
+        # must keep bit-level agreement with the DIMM simulator.
+        module = self._module(compute_dtype=np.float32)
+        assert module._weight_deq.dtype == np.float64
+
+    def test_config_carries_compute_dtype(self):
+        config = ScreeningConfig(projection_dim=8, compute_dtype="float32")
+        module = initialize_screener(50, 32, config, rng=0)
+        assert module.compute_dtype == np.float32
+
+
 class TestInitializeScreener:
     def test_shapes_from_config(self):
         module = initialize_screener(

@@ -21,6 +21,18 @@ class TestScreenerRoundTrip:
             loaded.approximate_logits(features),
         )
 
+    def test_loaded_projection_state_matches(self, small_screener, tmp_path):
+        # load_screener rebuilds the projection via from_ternary; the
+        # cached dense matrix and scale must match the original so the
+        # INT4 grid (derived from stored weights) reproduces exactly.
+        path = tmp_path / "screener.npz"
+        save_screener(path, small_screener)
+        loaded = load_screener(path)
+        assert loaded.projection.scale == small_screener.projection.scale
+        assert np.array_equal(
+            loaded.projection.matrix, small_screener.projection.matrix
+        )
+
     def test_fields_preserved(self, small_screener, tmp_path):
         path = tmp_path / "screener.npz"
         save_screener(path, small_screener)

@@ -44,6 +44,62 @@ class TestConstruction:
         assert np.array_equal(a.ternary, b.ternary)
 
 
+class TestFromTernary:
+    def test_round_trip_bit_identical(self):
+        original = SparseRandomProjection(64, 16, rng=3)
+        rebuilt = SparseRandomProjection.from_ternary(
+            original.ternary, original.density
+        )
+        assert rebuilt.input_dim == 64
+        assert rebuilt.output_dim == 16
+        assert rebuilt.scale == original.scale
+        features = np.random.default_rng(4).standard_normal((5, 64))
+        assert np.array_equal(original(features), rebuilt(features))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SparseRandomProjection.from_ternary(np.zeros(8), 1 / 3)
+
+    def test_rejects_non_ternary_entries(self):
+        with pytest.raises(ValueError, match="ternary"):
+            SparseRandomProjection.from_ternary(np.full((2, 4), 2), 1 / 3)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError, match="density"):
+            SparseRandomProjection.from_ternary(np.zeros((2, 4)), 0.0)
+
+
+class TestCachedState:
+    def test_matrix_is_cached(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        assert p.matrix is p.matrix
+
+    def test_from_ternary_matrix_matches(self):
+        p = SparseRandomProjection(64, 16, rng=0)
+        rebuilt = SparseRandomProjection.from_ternary(p.ternary, p.density)
+        assert np.array_equal(p.matrix, rebuilt.matrix)
+
+
+class TestApplyTernary:
+    def test_matches_float_projection_after_scaling(self):
+        p = SparseRandomProjection(32, 8, rng=1)
+        codes = np.random.default_rng(2).integers(-8, 8, size=(4, 32))
+        integer = p.apply_ternary(codes)
+        assert np.issubdtype(integer.dtype, np.integer)
+        # Deferred scale: input_scale (here 1) times the projection scale.
+        assert np.allclose(integer * p.scale, p(codes.astype(np.float64)))
+
+    def test_rejects_float_input(self):
+        p = SparseRandomProjection(32, 8, rng=1)
+        with pytest.raises(TypeError, match="integer"):
+            p.apply_ternary(np.zeros((2, 32)))
+
+    def test_rejects_wrong_dim(self):
+        p = SparseRandomProjection(32, 8, rng=1)
+        with pytest.raises(ValueError):
+            p.apply_ternary(np.zeros((2, 16), dtype=np.int8))
+
+
 class TestApplication:
     def test_projects_batch(self):
         p = SparseRandomProjection(64, 16, rng=0)
