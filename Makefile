@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-suite experiments examples clean
+.PHONY: install test bench bench-parallel bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,11 @@ test:
 # Writes BENCH_pipeline.json (the perf record future changes regress against).
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py BENCH_pipeline.json
+
+# Process-parallel sharded serving vs the sequential backend.
+# Writes BENCH_parallel.json (records host cpu count; speedup needs cores).
+bench-parallel:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_parallel.py BENCH_parallel.json
 
 # Paper-figure benchmark suite (pytest-benchmark).
 bench-suite:

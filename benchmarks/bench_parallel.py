@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Benchmark: process-parallel sharded serving vs the sequential backend.
+
+Times ``ShardedClassifier.forward`` / ``top_k`` against the same model
+served through :class:`ParallelShardedEngine` (one worker process per
+shard, parameters in shared memory), at extreme ``l`` and the serving
+batch size.  Also times the engine's one-off costs (fleet startup,
+first-request page-faulting) since a serving deployment pays them once.
+
+Honesty note: process parallelism buys wall-clock only when shards run
+on distinct cores.  The report records ``cpus`` (``os.cpu_count()``)
+and, when the host has fewer cores than shards, the measured "speedup"
+is really scatter/IPC overhead — the numbers are recorded as measured,
+not as hoped.  On a multi-core host the expected headline at 4 workers
+is the near-linear shard scaling the paper's Section 8 model predicts.
+
+Run as a script (``make bench-parallel``); writes
+``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core import ScreeningConfig
+from repro.data import make_task
+from repro.distributed import ShardedClassifier
+
+NUM_CATEGORIES = 100_000
+HIDDEN_DIM = 64
+PROJECTION_DIM = 16
+CANDIDATES_PER_SHARD = 32
+BATCH = 64
+TOP_K = 16
+SHARD_COUNTS = (2, 4)
+REPEATS = 9
+WARMUP = 2
+
+#: The acceptance configuration from the issue: 4 workers at l≈100K.
+HEADLINE_SHARDS = 4
+
+
+def time_ms(fn: Callable[[], object]) -> float:
+    """Best-of-``REPEATS`` wall time in milliseconds."""
+    for _ in range(WARMUP):
+        fn()
+    samples: List[float] = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return min(samples)
+
+
+def run() -> dict:
+    task = make_task(
+        num_categories=NUM_CATEGORIES, hidden_dim=HIDDEN_DIM, rng=7
+    )
+    features = task.sample_features(BATCH, rng=8)
+    train_features = task.sample_features(512, rng=9)
+
+    results = []
+    for shards in SHARD_COUNTS:
+        model = ShardedClassifier(
+            task.classifier,
+            num_shards=shards,
+            config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        )
+        model.train(
+            train_features,
+            candidates_per_shard=CANDIDATES_PER_SHARD,
+            rng=10,
+        )
+
+        sequential_forward = time_ms(lambda: model.forward(features))
+        sequential_top_k = time_ms(lambda: model.top_k(features, k=TOP_K))
+
+        start = time.perf_counter()
+        engine = model.parallel(max_batch=BATCH)
+        startup_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        first = engine.forward(features)
+        first_request_ms = (time.perf_counter() - start) * 1e3
+        # Sanity anchor: the two backends agree bit for bit (the full
+        # differential harness lives in tests/test_distributed_parallel.py).
+        assert np.array_equal(first.logits, model.forward(features).logits)
+
+        try:
+            parallel_forward = time_ms(lambda: engine.forward(features))
+            parallel_top_k = time_ms(lambda: engine.top_k(features, k=TOP_K))
+        finally:
+            engine.close()
+
+        entry = {
+            "num_shards": shards,
+            "timings_ms": {
+                "sequential_forward": round(sequential_forward, 3),
+                "parallel_forward": round(parallel_forward, 3),
+                "sequential_top_k": round(sequential_top_k, 3),
+                "parallel_top_k": round(parallel_top_k, 3),
+                "engine_startup": round(startup_ms, 3),
+                "first_request": round(first_request_ms, 3),
+            },
+            "speedup_forward": round(sequential_forward / parallel_forward, 2),
+            "speedup_top_k": round(sequential_top_k / parallel_top_k, 2),
+        }
+        results.append(entry)
+        print(
+            f"shards={shards} "
+            f"seq={sequential_forward:8.2f}ms "
+            f"par={parallel_forward:8.2f}ms "
+            f"({entry['speedup_forward']:5.2f}x fwd, "
+            f"{entry['speedup_top_k']:5.2f}x top-k) "
+            f"startup={startup_ms:7.1f}ms",
+            flush=True,
+        )
+
+    cpus = os.cpu_count() or 1
+    headline = next(r for r in results if r["num_shards"] == HEADLINE_SHARDS)
+    return {
+        "benchmark": "process-parallel sharded serving",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": cpus,
+        },
+        "config": {
+            "num_categories": NUM_CATEGORIES,
+            "hidden_dim": HIDDEN_DIM,
+            "projection_dim": PROJECTION_DIM,
+            "candidates_per_shard": CANDIDATES_PER_SHARD,
+            "batch": BATCH,
+            "top_k": TOP_K,
+        },
+        "repeats": REPEATS,
+        "core_bound": cpus < HEADLINE_SHARDS,
+        "note": (
+            f"host has {cpus} cpu(s) for {HEADLINE_SHARDS} workers; "
+            "speedups above 1x require one core per shard"
+            if cpus < HEADLINE_SHARDS
+            else f"host has {cpus} cpus; shards run on distinct cores"
+        ),
+        "headline": {
+            "num_shards": HEADLINE_SHARDS,
+            "speedup_forward": headline["speedup_forward"],
+            "speedup_top_k": headline["speedup_top_k"],
+        },
+        "results": results,
+    }
+
+
+def main() -> int:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_parallel.json"
+    report = run()
+    with open(output_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    headline = report["headline"]
+    print(
+        f"\nheadline: l={NUM_CATEGORIES} batch={BATCH} "
+        f"{headline['num_shards']} workers: parallel forward is "
+        f"{headline['speedup_forward']}x sequential "
+        f"({report['note']}) -> {output_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

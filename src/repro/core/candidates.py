@@ -42,6 +42,28 @@ class CandidateSet:
         default=None, init=False, repr=False, compare=False
     )
 
+    @classmethod
+    def from_flat(cls, counts: np.ndarray, cols: np.ndarray) -> "CandidateSet":
+        """Rebuild per-row index lists from the :meth:`flat` layout.
+
+        ``counts[i]`` is row ``i``'s candidate count and ``cols`` holds
+        all candidate columns concatenated in row order — the compact
+        form a serving worker ships back to the host.  Round-trips
+        exactly: ``CandidateSet.from_flat(cs.counts, cs.flat()[1])``
+        equals ``cs`` row for row.
+        """
+        counts = np.asarray(counts, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        if int(counts.sum()) != cols.size:
+            raise ValueError(
+                f"counts sum to {int(counts.sum())} but {cols.size} columns given"
+            )
+        candidate_set = cls(
+            indices=np.split(cols, np.cumsum(counts)[:-1]) if counts.size else []
+        )
+        candidate_set._counts = counts
+        return candidate_set
+
     @property
     def batch_size(self) -> int:
         return len(self.indices)

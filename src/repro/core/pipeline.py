@@ -29,7 +29,7 @@ differ only in how the exact values are computed and written.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -82,6 +82,19 @@ class ScreenedOutput:
             approx[rows, cols] = values
             self._approximate_logits = approx
         return self._approximate_logits
+
+    def candidate_restore(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, cols, approximate values)`` for every candidate.
+
+        This is the compact complement of ``logits``: scattering
+        ``values`` back over ``(rows, cols)`` recovers the pure
+        screener plane.  The sharded reducers merge these records
+        instead of materializing every shard's approximate plane.
+        """
+        if self._restore is not None:
+            return self._restore
+        rows, cols = self.candidates.flat()
+        return rows, cols, self.approximate_logits[rows, cols]
 
     @property
     def batch_size(self) -> int:
@@ -145,6 +158,84 @@ class ApproximateScreeningClassifier:
     @property
     def hidden_dim(self) -> int:
         return self.classifier.hidden_dim
+
+    # ------------------------------------------------------------------
+    # array-level (de)construction — the parallel engine's wire format
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Split the pipeline into raw parameter arrays + scalar metadata.
+
+        The arrays are exactly the planes a serving host places in
+        shared memory (classifier ``W``/``b``, screener ``W̃``/``b̃``,
+        the 2-bit ternary projection); the metadata dict is small plain
+        data.  :meth:`from_arrays` inverts this without pickling a
+        single numpy array, so workers can be built zero-copy from
+        shared buffers.
+        """
+        screener = self.screener
+        arrays = {
+            "weight": self.classifier.weight,
+            "bias": self.classifier.bias,
+            "screener_weight": screener.weight,
+            "screener_bias": screener.bias,
+            "projection_ternary": screener.projection.ternary,
+        }
+        meta = {
+            "normalization": self.classifier.normalization,
+            "quantization_bits": screener.quantization_bits,
+            "compute_dtype": screener.compute_dtype.name,
+            "projection_density": screener.projection.density,
+            "selector_mode": self.selector.mode,
+            "selector_num_candidates": self.selector.num_candidates,
+            "selector_threshold": self.selector.threshold,
+            "softmax_taylor_order": self.softmax_taylor_order,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Dict[str, np.ndarray],
+        meta: Dict[str, object],
+    ) -> "ApproximateScreeningClassifier":
+        """Rebuild a pipeline from :meth:`export_arrays` output.
+
+        Float64/int8 inputs (e.g. shared-memory views) pass straight
+        through as the live parameter planes — no copies, no pickle.
+        The reconstructed pipeline computes bit-identically to the
+        exported one: all derived state (quantized weight view, fused
+        GEMM plane) is re-derived by the constructors from the same
+        parameters.
+        """
+        classifier = FullClassifier(
+            arrays["weight"],
+            arrays["bias"],
+            normalization=str(meta["normalization"]),
+        )
+        from repro.linalg.projection import SparseRandomProjection
+
+        projection = SparseRandomProjection.from_ternary(
+            arrays["projection_ternary"],
+            density=float(meta["projection_density"]),  # type: ignore[arg-type]
+        )
+        screener = ScreeningModule(
+            projection,
+            arrays["screener_weight"],
+            arrays["screener_bias"],
+            quantization_bits=meta["quantization_bits"],  # type: ignore[arg-type]
+            compute_dtype=str(meta["compute_dtype"]),
+        )
+        selector = CandidateSelector(
+            mode=str(meta["selector_mode"]),
+            num_candidates=int(meta["selector_num_candidates"]),  # type: ignore[arg-type]
+            threshold=meta["selector_threshold"],  # type: ignore[arg-type]
+        )
+        return cls(
+            classifier,
+            screener,
+            selector=selector,
+            softmax_taylor_order=meta.get("softmax_taylor_order"),  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     def forward(self, features: np.ndarray, faithful: bool = False) -> ScreenedOutput:

@@ -6,14 +6,45 @@ screener."  This package implements that extension: the category space
 is sharded across nodes, every node runs screening + candidates-only
 classification over its shard, and a reducer merges the per-shard
 top-k/mixed outputs.
+
+Two serving backends share one shard-plan/reduce code path:
+
+* :class:`ShardedClassifier` — sequential, in-process (also the
+  training entry point);
+* :class:`ParallelShardedEngine` — one persistent worker process per
+  shard with zero-copy shared-memory parameters, bit-identical to the
+  sequential backend (differentially tested).
+
+:class:`ClusterModel` is the analytic multi-node performance model.
 """
 
-from repro.distributed.sharding import ShardedClassifier, shard_ranges
+from repro.distributed.sharding import (
+    ShardedClassifier,
+    merge_candidates,
+    merge_candidates_per_row,
+    merge_shard_outputs,
+    reduce_top_k,
+    shard_ranges,
+    shard_top_k,
+)
 from repro.distributed.cluster import ClusterModel, DistributedResult
+from repro.distributed.parallel import (
+    ParallelShardedEngine,
+    WorkerDied,
+    WorkerError,
+)
 
 __all__ = [
     "ShardedClassifier",
+    "ParallelShardedEngine",
+    "WorkerDied",
+    "WorkerError",
     "shard_ranges",
+    "merge_candidates",
+    "merge_candidates_per_row",
+    "merge_shard_outputs",
+    "shard_top_k",
+    "reduce_top_k",
     "ClusterModel",
     "DistributedResult",
 ]

@@ -1,0 +1,440 @@
+"""Process-parallel sharded serving engine.
+
+:class:`ParallelShardedEngine` turns a trained
+:class:`~repro.distributed.sharding.ShardedClassifier` into a fleet of
+persistent worker processes — one per category shard, mirroring the
+paper's Section 8 deployment where every node keeps an approximate
+screener for its shard.  The data plane is built for zero-copy:
+
+* **parameters** — each shard's ``(W, b)`` and screener planes live in
+  one shared-memory segment (:class:`~repro.utils.shm.SharedArrayPack`);
+  workers attach numpy views and rebuild the pipeline with
+  :meth:`ApproximateScreeningClassifier.from_arrays`, so model weights
+  are mapped, not pickled, and exist once in physical memory no matter
+  how many workers serve them;
+* **scatter** — the host writes the feature batch into a shared input
+  segment once; every worker reads the same pages;
+* **gather** — each worker writes its shard's mixed logits plane into
+  its slot of a shared output segment and ships only the tiny candidate
+  record (counts, columns, pre-mix approximate values) over the pipe;
+* **reduce** — the host reconstructs per-shard
+  :class:`~repro.core.pipeline.ScreenedOutput` objects and merges them
+  through the *same* :func:`~repro.distributed.sharding.merge_shard_outputs`
+  / :func:`~repro.distributed.sharding.reduce_top_k` code path the
+  sequential backend uses.
+
+Because workers execute the identical numpy pipeline on the identical
+bytes, the engine is bit-identical to the sequential
+``ShardedClassifier`` — the differential harness in
+``tests/test_distributed_parallel.py`` asserts exactly that, across
+selectors, compute dtypes and shard counts.
+
+Failure handling: a worker that dies mid-request surfaces as
+:class:`~repro.utils.workers.WorkerDied` (never a hang — see
+:meth:`WorkerHandle.recv`), after which the engine shuts the remaining
+fleet down and unlinks every shared segment.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.candidates import CandidateSet
+from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.distributed.sharding import (
+    ShardedClassifier,
+    merge_shard_outputs,
+    reduce_top_k,
+    shard_top_k,
+)
+from repro.utils.shm import PackLayout, SharedArrayPack
+from repro.utils.validation import check_batch_features, check_positive
+from repro.utils.workers import (
+    WorkerDied,
+    WorkerHandle,
+    WorkerTimeout,
+    default_context,
+)
+
+import multiprocessing
+
+__all__ = ["ParallelShardedEngine", "WorkerDied", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """A worker hit an exception while serving a request.
+
+    The worker survives (its state is untouched by a failed request);
+    the remote traceback is carried in the message.
+    """
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_main(
+    connection,
+    shard_id: int,
+    param_layout: PackLayout,
+    meta: Dict[str, object],
+    shard_start: int,
+) -> None:
+    """Entry point of one shard worker (module-level for spawn)."""
+    params: Optional[SharedArrayPack] = None
+    io_packs: Dict[str, SharedArrayPack] = {}
+    try:
+        try:
+            params = SharedArrayPack.attach(param_layout)
+            engine = ApproximateScreeningClassifier.from_arrays(
+                params.arrays, meta
+            )
+            shard_range = range(
+                shard_start, shard_start + engine.num_categories
+            )
+        except Exception:
+            connection.send(("fatal", traceback.format_exc()))
+            return
+        connection.send(("ready", shard_id))
+
+        while True:
+            try:
+                op, payload = connection.recv()
+            except (EOFError, OSError):
+                break
+            if op == "shutdown":
+                break
+            if op == "detach-io":
+                for pack in io_packs.values():
+                    pack.close()
+                io_packs.clear()
+                connection.send(("ok", None))
+                continue
+            if op == "die":  # test hook: crash without replying
+                os._exit(int(payload or 1))
+            try:
+                if op in ("forward", "top_k"):
+                    reply = _serve_request(
+                        engine, shard_id, shard_range, io_packs, op, payload
+                    )
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+                connection.send(("ok", reply))
+            except Exception:
+                connection.send(("error", traceback.format_exc()))
+    finally:
+        for pack in io_packs.values():
+            pack.close()
+        if params is not None:
+            params.close()
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+def _attach_cached(
+    io_packs: Dict[str, SharedArrayPack], layout: PackLayout
+) -> SharedArrayPack:
+    pack = io_packs.get(layout.segment)
+    if pack is None:
+        pack = SharedArrayPack.attach(layout)
+        io_packs[layout.segment] = pack
+    return pack
+
+
+def _serve_request(
+    engine: ApproximateScreeningClassifier,
+    shard_id: int,
+    shard_range: range,
+    io_packs: Dict[str, SharedArrayPack],
+    op: str,
+    payload: Dict[str, object],
+):
+    input_pack = _attach_cached(io_packs, payload["input"])
+    rows = int(payload["rows"])
+    batch = input_pack["features"][:rows]
+
+    output = engine.forward(batch)
+    if op == "top_k":
+        indices, scores = shard_top_k(output, shard_range, int(payload["k"]))
+        return {"indices": indices, "scores": scores}
+
+    output_pack = _attach_cached(io_packs, payload["output"])
+    np.copyto(output_pack[f"logits{shard_id}"][:rows], output.logits)
+    restore_rows, restore_cols, saved = output.candidate_restore()
+    return {
+        "counts": output.candidates.counts,
+        "cols": restore_cols,
+        "rows": restore_rows,
+        "saved": saved,
+    }
+
+
+# ----------------------------------------------------------------------
+# host side
+# ----------------------------------------------------------------------
+class ParallelShardedEngine:
+    """Serve a trained :class:`ShardedClassifier` with one process per shard.
+
+    Parameters
+    ----------
+    sharded:
+        A trained sequential sharded classifier; its shard plan and
+        parameters define the fleet.
+    start_method:
+        ``"fork"`` (default where available; millisecond startup) or
+        ``"spawn"`` (fresh interpreters, required on Windows).
+    max_batch:
+        Initial capacity of the shared input/output planes in batch
+        rows.  Larger batches are accepted — the engine reallocates the
+        I/O segments transparently.
+    request_timeout:
+        Seconds to wait for a *live* worker's reply before raising
+        ``WorkerTimeout``; ``None`` waits indefinitely (worker death is
+        always detected regardless).
+
+    The engine is a context manager; ``close()`` shuts workers down and
+    unlinks every shared segment.  After a :class:`WorkerDied` the
+    engine closes itself — a serving fleet with a missing shard cannot
+    answer correctly, so it fails fast and releases its memory.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedClassifier,
+        start_method: Optional[str] = None,
+        max_batch: int = 64,
+        request_timeout: Optional[float] = None,
+    ):
+        if not sharded.trained:
+            raise RuntimeError("train the ShardedClassifier before serving it")
+        check_positive("max_batch", max_batch)
+        self.ranges = list(sharded.ranges)
+        self.hidden_dim = sharded.classifier.hidden_dim
+        self.num_categories = sharded.classifier.num_categories
+        self.request_timeout = request_timeout
+        self.closed = False
+        self._max_batch = int(max_batch)
+        self._io_input: Optional[SharedArrayPack] = None
+        self._io_output: Optional[SharedArrayPack] = None
+        self._segment_names: List[str] = []
+
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else default_context()
+        )
+
+        self._compute_dtypes: List[np.dtype] = [
+            shard.screener.compute_dtype for shard in sharded.shards
+        ]
+        self._param_packs: List[SharedArrayPack] = []
+        self.workers: List[WorkerHandle] = []
+        try:
+            for shard_id, (shard, shard_range) in enumerate(
+                zip(sharded.shards, self.ranges)
+            ):
+                arrays, meta = shard.export_arrays()
+                pack = SharedArrayPack.create(arrays)
+                self._param_packs.append(pack)
+                self._segment_names.append(pack.name)
+                self.workers.append(
+                    WorkerHandle(
+                        context,
+                        _worker_main,
+                        args=(shard_id, pack.layout, meta, shard_range.start),
+                        name=f"enmc-shard-{shard_id}",
+                    )
+                )
+            for worker in self.workers:
+                kind, payload = worker.recv(timeout=60.0)
+                if kind == "fatal":
+                    raise RuntimeError(
+                        f"worker {worker.name} failed to start:\n{payload}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.ranges)
+
+    def segment_names(self) -> List[str]:
+        """Names of every shared-memory segment this engine created."""
+        return list(self._segment_names)
+
+    # ------------------------------------------------------------------
+    # shared I/O planes
+    # ------------------------------------------------------------------
+    def _ensure_io(self, rows: int) -> None:
+        if (
+            self._io_input is not None
+            and rows <= self._io_input["features"].shape[0]
+        ):
+            return
+        capacity = max(self._max_batch, rows)
+        if self._io_input is not None:
+            # Workers hold mappings of the old planes; have them detach
+            # before the segments are unlinked and replaced.
+            self._scatter_gather("detach-io", None)
+            self._release_io()
+        self._io_input = SharedArrayPack.zeros(
+            {"features": ((capacity, self.hidden_dim), np.float64)}
+        )
+        self._io_output = SharedArrayPack.zeros(
+            {
+                f"logits{shard_id}": (
+                    (capacity, len(shard_range)),
+                    dtype,
+                )
+                for shard_id, (shard_range, dtype) in enumerate(
+                    zip(self.ranges, self._compute_dtypes)
+                )
+            }
+        )
+        self._segment_names.extend(
+            [self._io_input.name, self._io_output.name]
+        )
+
+    def _release_io(self) -> None:
+        for pack in (self._io_input, self._io_output):
+            if pack is not None:
+                pack.destroy()
+        self._io_input = None
+        self._io_output = None
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _scatter_gather(self, op: str, request) -> List[dict]:
+        """Send one request to every worker, then collect every reply.
+
+        Every worker's reply is drained even when one of them reports
+        an error, so the pipes stay request/reply aligned; a dead or
+        unresponsive worker instead shuts the whole engine down (a
+        fleet with a missing shard cannot answer correctly).
+        """
+        try:
+            for worker in self.workers:
+                worker.send((op, request))
+            replies: List[dict] = []
+            errors: List[str] = []
+            for worker in self.workers:
+                kind, payload = worker.recv(timeout=self.request_timeout)
+                if kind == "ok":
+                    replies.append(payload)
+                else:
+                    errors.append(f"worker {worker.name}: {kind}\n{payload}")
+            if errors:
+                raise WorkerError(
+                    "request failed on "
+                    f"{len(errors)}/{self.num_shards} workers:\n"
+                    + "\n".join(errors)
+                )
+            return replies
+        except (WorkerDied, WorkerTimeout):
+            # A shard is gone or wedged; release every process and
+            # segment before surfacing the failure.
+            self.close()
+            raise
+
+    def _prepare(self, features: np.ndarray) -> Tuple[np.ndarray, int]:
+        if self.closed:
+            raise RuntimeError("engine is closed")
+        batch = check_batch_features(features, self.hidden_dim)
+        rows = batch.shape[0]
+        self._ensure_io(rows)
+        np.copyto(self._io_input["features"][:rows], batch)
+        return batch, rows
+
+    # ------------------------------------------------------------------
+    # serving API — mirrors the sequential backend
+    # ------------------------------------------------------------------
+    def forward(self, features: np.ndarray) -> ScreenedOutput:
+        """All-shard screened inference, merged to global order.
+
+        Bit-identical to ``ShardedClassifier.forward`` on the same
+        shards (differentially tested).
+        """
+        _, rows = self._prepare(features)
+        request = {
+            "rows": rows,
+            "input": self._io_input.layout,
+            "output": self._io_output.layout,
+        }
+        replies = self._scatter_gather("forward", request)
+        outputs = []
+        for shard_id, reply in enumerate(replies):
+            logits = self._io_output[f"logits{shard_id}"][:rows]
+            candidates = CandidateSet.from_flat(reply["counts"], reply["cols"])
+            outputs.append(
+                ScreenedOutput(
+                    logits=logits,
+                    candidates=candidates,
+                    restore=(reply["rows"], reply["cols"], reply["saved"]),
+                )
+            )
+        # merge_shard_outputs concatenates the logits planes, so the
+        # merged output owns its memory and survives buffer reuse.
+        return merge_shard_outputs(outputs, self.ranges)
+
+    __call__ = forward
+
+    def top_k(self, features: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Global top-k via per-shard top-k + host reduce."""
+        check_positive("k", k)
+        _, rows = self._prepare(features)
+        request = {
+            "rows": rows,
+            "input": self._io_input.layout,
+            "k": int(k),
+        }
+        replies = self._scatter_gather("top_k", request)
+        return reduce_top_k(
+            [reply["indices"] for reply in replies],
+            [reply["scores"] for reply in replies],
+            k,
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(features).logits, axis=-1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop all workers and unlink every shared segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self.workers:
+            worker.stop(goodbye=("shutdown", None))
+        self._release_io()
+        for pack in self._param_packs:
+            pack.destroy()
+        self._param_packs = []
+
+    def __enter__(self) -> "ParallelShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{self.num_shards} workers"
+        return (
+            f"ParallelShardedEngine(l={self.num_categories}, "
+            f"d={self.hidden_dim}, {state})"
+        )

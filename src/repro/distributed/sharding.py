@@ -1,8 +1,18 @@
-"""Category-space sharding for multi-node screened classification."""
+"""Category-space sharding for multi-node screened classification.
+
+This module owns the *shard plan* (how the category space splits) and
+the *reduce* step (how per-shard outputs merge back to global order).
+Both serving backends route through the same functions —
+:class:`ShardedClassifier` runs shards sequentially in-process, while
+:class:`repro.distributed.parallel.ParallelShardedEngine` scatters the
+batch to one process per shard — so their outputs are identical by
+construction, and the differential tests in
+``tests/test_distributed_parallel.py`` hold them to it bit for bit.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -11,6 +21,7 @@ from repro.core.classifier import FullClassifier
 from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
 from repro.core.screener import ScreeningConfig
 from repro.core.training import train_screener
+from repro.linalg.topk import top_k_indices
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_batch_features, check_positive
 
@@ -33,6 +44,120 @@ def shard_ranges(num_categories: int, num_shards: int) -> List[range]:
     return ranges
 
 
+# ----------------------------------------------------------------------
+# reduce: per-shard outputs -> global order
+# ----------------------------------------------------------------------
+def merge_candidates(
+    candidate_sets: Sequence[CandidateSet],
+    ranges: Sequence[range],
+    batch_size: int,
+) -> CandidateSet:
+    """Merge per-shard candidate sets into global category order.
+
+    Vectorized over the whole batch with the flat-scatter machinery:
+    each shard contributes its ``(rows, cols)`` pairs (columns offset
+    to global ids), a stable sort groups them by row while preserving
+    shard order within a row, and one split yields the per-row lists.
+    Identical to :func:`merge_candidates_per_row` (tested).
+    """
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    for candidate_set, shard_range in zip(candidate_sets, ranges):
+        rows, cols = candidate_set.flat()
+        rows_parts.append(rows)
+        cols_parts.append(cols + shard_range.start)
+    all_rows = np.concatenate(rows_parts)
+    all_cols = np.concatenate(cols_parts)
+    order = np.argsort(all_rows, kind="stable")
+    counts = np.bincount(all_rows, minlength=batch_size).astype(np.intp)
+    return CandidateSet.from_flat(counts, all_cols[order])
+
+
+def merge_candidates_per_row(
+    candidate_sets: Sequence[CandidateSet],
+    ranges: Sequence[range],
+    batch_size: int,
+) -> CandidateSet:
+    """Reference merge: one concatenation per batch row.
+
+    This is the original (pre-vectorization) dataflow, kept as the
+    semantic anchor for the identity test guarding
+    :func:`merge_candidates`.
+    """
+    merged: List[np.ndarray] = []
+    for row in range(batch_size):
+        parts = [
+            candidate_set.indices[row] + shard_range.start
+            for candidate_set, shard_range in zip(candidate_sets, ranges)
+        ]
+        merged.append(np.concatenate(parts))
+    return CandidateSet(indices=merged)
+
+
+def merge_shard_outputs(
+    outputs: Sequence[ScreenedOutput],
+    ranges: Sequence[range],
+) -> ScreenedOutput:
+    """Concatenate per-shard mixed outputs back into global order.
+
+    The logits planes concatenate along the category axis; candidate
+    indices merge via :func:`merge_candidates`; and instead of
+    materializing every shard's approximate plane, the per-shard
+    restore records (candidate positions + their pre-mix approximate
+    values) concatenate into one global record, so the merged output's
+    ``approximate_logits`` stays lazy exactly like a single-node
+    output's.
+    """
+    if not outputs:
+        raise ValueError("merge_shard_outputs needs at least one shard output")
+    batch_size = outputs[0].batch_size
+    logits = np.concatenate([output.logits for output in outputs], axis=1)
+    candidates = merge_candidates(
+        [output.candidates for output in outputs], ranges, batch_size
+    )
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    saved_parts: List[np.ndarray] = []
+    for output, shard_range in zip(outputs, ranges):
+        rows, cols, saved = output.candidate_restore()
+        rows_parts.append(rows)
+        cols_parts.append(cols + shard_range.start)
+        saved_parts.append(saved)
+    restore = (
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(saved_parts),
+    )
+    return ScreenedOutput(logits=logits, candidates=candidates, restore=restore)
+
+
+def shard_top_k(
+    output: ScreenedOutput, shard_range: range, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One node's contribution to a global top-k: ``min(k, |shard|)``
+    (global index, score) pairs per row — the scale-out wire format."""
+    local_k = min(k, output.num_categories)
+    local = top_k_indices(output.logits, local_k, sort=True)
+    rows = np.arange(output.batch_size)[:, None]
+    return local + shard_range.start, output.logits[rows, local]
+
+
+def reduce_top_k(
+    indices_parts: Sequence[np.ndarray],
+    scores_parts: Sequence[np.ndarray],
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Host-side reduce of per-shard top-k pairs to the global top-k."""
+    all_indices = np.concatenate(indices_parts, axis=1)
+    all_scores = np.concatenate(scores_parts, axis=1)
+    order = np.argsort(-all_scores, axis=1)[:, :k]
+    rows = np.arange(all_scores.shape[0])[:, None]
+    return all_indices[rows, order], all_scores[rows, order]
+
+
+# ----------------------------------------------------------------------
+# the sequential (in-process) backend
+# ----------------------------------------------------------------------
 class ShardedClassifier:
     """A full classifier split across nodes, each with its own screener.
 
@@ -40,6 +165,10 @@ class ShardedClassifier:
     outputs concatenate back into the global category order (tested).
     The difference is deployment — each node trains a screener for its
     shard only, so no node materializes global state.
+
+    This class runs shards sequentially in one process; call
+    :meth:`parallel` for the process-parallel engine over the same
+    shards (same shard plan, same reduce path, bit-identical outputs).
     """
 
     def __init__(
@@ -100,21 +229,7 @@ class ShardedClassifier:
             raise RuntimeError("call train() before forward()")
         batch = check_batch_features(features, self.classifier.hidden_dim)
         outputs = [shard.forward(batch) for shard in self.shards]
-
-        logits = np.concatenate([o.logits for o in outputs], axis=1)
-        approx = np.concatenate([o.approximate_logits for o in outputs], axis=1)
-        merged: List[np.ndarray] = []
-        for row in range(batch.shape[0]):
-            parts = [
-                output.candidates.indices[row] + shard_range.start
-                for output, shard_range in zip(outputs, self.ranges)
-            ]
-            merged.append(np.concatenate(parts))
-        return ScreenedOutput(
-            logits=logits,
-            approximate_logits=approx,
-            candidates=CandidateSet(indices=merged),
-        )
+        return merge_shard_outputs(outputs, self.ranges)
 
     __call__ = forward
 
@@ -125,21 +240,26 @@ class ShardedClassifier:
         """Global top-k via per-shard top-k + reduce (the scale-out
         communication pattern): each node ships only ``k`` (index,
         score) pairs, not its whole shard."""
+        if not self.trained:
+            raise RuntimeError("call train() before top_k()")
         check_positive("k", k)
         batch = check_batch_features(features, self.classifier.hidden_dim)
         shard_indices = []
         shard_scores = []
-        from repro.linalg.topk import top_k_indices
-
         for shard, shard_range in zip(self.shards, self.ranges):
-            local_k = min(k, shard.num_categories)
-            output = shard.forward(batch)
-            local = top_k_indices(output.logits, local_k, sort=True)
-            rows = np.arange(batch.shape[0])[:, None]
-            shard_indices.append(local + shard_range.start)
-            shard_scores.append(output.logits[rows, local])
-        all_indices = np.concatenate(shard_indices, axis=1)
-        all_scores = np.concatenate(shard_scores, axis=1)
-        order = np.argsort(-all_scores, axis=1)[:, :k]
-        rows = np.arange(batch.shape[0])[:, None]
-        return all_indices[rows, order], all_scores[rows, order]
+            indices, scores = shard_top_k(shard.forward(batch), shard_range, k)
+            shard_indices.append(indices)
+            shard_scores.append(scores)
+        return reduce_top_k(shard_indices, shard_scores, k)
+
+    # ------------------------------------------------------------------
+    def parallel(self, **kwargs):
+        """A process-parallel serving engine over these trained shards.
+
+        Returns a :class:`repro.distributed.parallel.ParallelShardedEngine`
+        (one worker process per shard, parameters shared zero-copy).
+        Use as a context manager or call ``close()`` when done.
+        """
+        from repro.distributed.parallel import ParallelShardedEngine
+
+        return ParallelShardedEngine(self, **kwargs)

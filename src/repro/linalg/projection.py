@@ -102,7 +102,9 @@ class SparseRandomProjection:
         projection.input_dim = int(array.shape[1])
         projection.output_dim = int(array.shape[0])
         projection.density = float(density)
-        projection._ternary = array.astype(np.int8)
+        # copy=False keeps an int8 input (e.g. a shared-memory view
+        # attached by a serving worker) as the live backing store.
+        projection._ternary = array.astype(np.int8, copy=False)
         projection._scale = np.sqrt(1.0 / (projection.density * projection.output_dim))
         projection._matrix = None
         projection._matrix_t = None

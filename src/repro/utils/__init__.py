@@ -1,6 +1,14 @@
-"""Shared utilities: deterministic RNG handling, units, table rendering."""
+"""Shared utilities: deterministic RNG handling, units, table rendering,
+shared-memory array packs and supervised worker processes."""
 
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.shm import PackLayout, SharedArrayPack
+from repro.utils.workers import (
+    WorkerDied,
+    WorkerHandle,
+    WorkerTimeout,
+    default_context,
+)
 from repro.utils.units import (
     GIB,
     KIB,
@@ -20,6 +28,12 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "PackLayout",
+    "SharedArrayPack",
+    "WorkerDied",
+    "WorkerHandle",
+    "WorkerTimeout",
+    "default_context",
     "KIB",
     "MIB",
     "GIB",

@@ -1,0 +1,199 @@
+"""Zero-copy shared-memory array packs for the parallel serving engine.
+
+A :class:`SharedArrayPack` lays several named numpy arrays out in one
+``multiprocessing.shared_memory`` segment.  The host creates a pack from
+in-process arrays (one copy, at pack time); workers attach by segment
+name and get numpy *views* into the same physical pages — the shard's
+``(W, b)`` and screener planes are never pickled and never duplicated
+per process.
+
+Only the :class:`PackLayout` (segment name + per-array shape/dtype/
+offset) crosses the process boundary; it is a few hundred bytes of
+plain-data metadata, so it can ride in the worker spawn arguments or a
+request message.
+
+Lifecycle protocol (Python 3.11 semantics — attaching registers the
+segment with the shared ``resource_tracker``, so discipline matters):
+
+* the **creating** process owns the segment and is the only one that
+  calls :meth:`unlink`;
+* **attaching** processes call :meth:`close` when done (worker exit);
+* :meth:`close` drops the numpy views before closing the mapping, and
+  tolerates stray exported buffers (``BufferError``) because
+  :meth:`unlink` frees the pages regardless once every mapping is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Per-array alignment inside a segment; 64 bytes keeps every array on
+#: its own cache line and satisfies any SIMD load the BLAS may issue.
+_ALIGN = 64
+
+#: Segments whose mapping could not be closed because a view escaped;
+#: kept alive so SharedMemory.__del__ doesn't raise at GC time.
+_UNCLOSEABLE: list = []
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class PackLayout:
+    """Everything a process needs to attach a pack: picklable metadata."""
+
+    segment: str
+    specs: Tuple[ArraySpec, ...]
+    size: int
+
+    def spec(self, name: str) -> ArraySpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no array {name!r} in segment {self.segment}")
+
+
+def plan_layout(arrays: Mapping[str, np.ndarray]) -> Tuple[Tuple[ArraySpec, ...], int]:
+    """Assign aligned offsets for ``arrays``; returns specs + total bytes."""
+    specs = []
+    offset = 0
+    for name, array in arrays.items():
+        offset = _aligned(offset)
+        specs.append(
+            ArraySpec(
+                name=name,
+                shape=tuple(int(s) for s in array.shape),
+                dtype=np.dtype(array.dtype).str,
+                offset=offset,
+            )
+        )
+        offset += array.nbytes
+    return tuple(specs), max(offset, 1)
+
+
+class SharedArrayPack:
+    """Named numpy arrays backed by one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: PackLayout,
+        owner: bool,
+    ):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.layout = layout
+        self.owner = owner
+        self._unlinked = False
+        self.arrays: Dict[str, np.ndarray] = {
+            spec.name: np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=shm.buf,
+                offset=spec.offset,
+            )
+            for spec in layout.specs
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+        """Allocate a segment and copy ``arrays`` into it (the only copy)."""
+        specs, size = plan_layout(arrays)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        layout = PackLayout(segment=shm.name, specs=specs, size=size)
+        pack = cls(shm, layout, owner=True)
+        for name, array in arrays.items():
+            np.copyto(pack.arrays[name], array)
+        return pack
+
+    @classmethod
+    def zeros(cls, arrays: Mapping[str, Tuple[Tuple[int, ...], object]]) -> "SharedArrayPack":
+        """Allocate a zero-filled segment from ``{name: (shape, dtype)}``."""
+        templates = {
+            name: np.empty(shape, dtype=dtype)
+            for name, (shape, dtype) in arrays.items()
+        }
+        specs, size = plan_layout(templates)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        layout = PackLayout(segment=shm.name, specs=specs, size=size)
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def attach(cls, layout: PackLayout) -> "SharedArrayPack":
+        """Map an existing segment; arrays become zero-copy views."""
+        shm = shared_memory.SharedMemory(name=layout.segment)
+        if shm.size < layout.size:
+            shm.close()
+            raise ValueError(
+                f"segment {layout.segment} holds {shm.size} bytes, layout "
+                f"needs {layout.size}"
+            )
+        return cls(shm, layout, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.layout.segment
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only); idempotent.
+
+        Existing mappings — ours and any worker's — stay valid until
+        they are closed; the kernel frees the pages when the last one
+        goes away.  Call before or after :meth:`close`, it works either
+        way.
+        """
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        if self._shm is not None:
+            self._shm.unlink()
+        else:
+            try:
+                handle = shared_memory.SharedMemory(name=self.layout.segment)
+            except FileNotFoundError:
+                return
+            handle.unlink()
+            handle.close()
+
+    def close(self) -> None:
+        """Drop views and unmap.  Safe to call repeatedly."""
+        self.arrays = {}
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # A view escaped (e.g. user kept a logits slice).  Park
+                # the handle so its __del__ doesn't re-raise; the
+                # mapping lives until process exit, and unlink() still
+                # frees the segment once every mapping is gone.
+                _UNCLOSEABLE.append(self._shm)
+            self._shm = None
+
+    def destroy(self) -> None:
+        """unlink() + close() — the owner's teardown."""
+        self.unlink()
+        self.close()

@@ -1,0 +1,146 @@
+"""Persistent worker processes with liveness supervision.
+
+The parallel serving engine keeps one long-lived process per shard and
+talks to it over a duplex pipe.  The failure mode that matters in
+serving is a worker dying mid-request (OOM kill, segfault, operator
+error): a bare ``Connection.recv()`` would block forever, because with
+``fork`` sibling workers inherit each other's pipe write-ends and the
+EOF never arrives.  :meth:`WorkerHandle.recv` therefore polls the pipe
+*and* the process, so a dead worker surfaces as :class:`WorkerDied`
+within one poll interval instead of a hang.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+import multiprocessing
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited while the host still needed it.
+
+    Carries the worker's name and exit code (negative = killed by that
+    signal number, ``None`` = still shutting down when observed).
+    """
+
+    def __init__(self, name: str, exitcode: Optional[int]):
+        self.worker = name
+        self.exitcode = exitcode
+        super().__init__(
+            f"worker {name!r} died with exit code {exitcode}; "
+            "the serving engine has been shut down"
+        )
+
+
+class WorkerTimeout(RuntimeError):
+    """A live worker failed to answer within the request timeout."""
+
+
+class WorkerHandle:
+    """One supervised worker process plus its command pipe."""
+
+    def __init__(
+        self,
+        ctx,
+        target,
+        args: tuple,
+        name: str,
+        poll_interval: float = 0.02,
+    ):
+        self.name = name
+        self.poll_interval = poll_interval
+        host_conn, worker_conn = ctx.Pipe(duplex=True)
+        self.connection = host_conn
+        self.process = ctx.Process(
+            target=target,
+            args=(worker_conn, *args),
+            name=name,
+            daemon=True,
+        )
+        self.process.start()
+        # Drop the host's copy of the worker end; the worker holds the
+        # only live reference now.
+        worker_conn.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, message: Any) -> None:
+        """Ship a request; a broken pipe means the worker is gone."""
+        try:
+            self.connection.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerDied(self.name, self.process.exitcode) from error
+
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Wait for a reply, watching the process the whole time.
+
+        Raises :class:`WorkerDied` if the process exits first (after
+        draining any reply that raced with the death) and
+        :class:`WorkerTimeout` if a live worker exceeds ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.connection.poll(self.poll_interval):
+                try:
+                    return self.connection.recv()
+                except (EOFError, OSError) as error:
+                    raise WorkerDied(self.name, self.process.exitcode) from error
+            if not self.process.is_alive():
+                # One last drain: the reply may have landed between the
+                # poll above and the liveness check.
+                if self.connection.poll(0):
+                    try:
+                        return self.connection.recv()
+                    except (EOFError, OSError):
+                        pass
+                raise WorkerDied(self.name, self.process.exitcode)
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerTimeout(
+                    f"worker {self.name!r} gave no reply within {timeout}s"
+                )
+
+    def request(self, message: Any, timeout: Optional[float] = None) -> Any:
+        self.send(message)
+        return self.recv(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def stop(self, goodbye: Any = None, timeout: float = 2.0) -> None:
+        """Shut the worker down: polite message first, SIGTERM after.
+
+        Idempotent; never raises on an already-dead worker.
+        """
+        if self.process.is_alive() and goodbye is not None:
+            try:
+                self.connection.send(goodbye)
+            except (BrokenPipeError, OSError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+        # Release the process bookkeeping (Python >= 3.7).
+        try:
+            self.process.close()
+        except ValueError:
+            pass
+
+
+def default_context() -> "multiprocessing.context.BaseContext":
+    """The preferred start method for serving workers.
+
+    ``fork`` starts in milliseconds and inherits ``sys.path``, which is
+    what a serving host wants for per-model worker fleets; platforms
+    without it (Windows, macOS defaults notwithstanding) fall back to
+    ``spawn``.  Engines accept an explicit ``start_method`` to override.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")

@@ -1,8 +1,15 @@
 import numpy as np
 import pytest
 
+from repro.core.candidates import CandidateSet
 from repro.data.registry import get_workload
-from repro.distributed import ClusterModel, ShardedClassifier, shard_ranges
+from repro.distributed import (
+    ClusterModel,
+    ShardedClassifier,
+    merge_candidates,
+    merge_candidates_per_row,
+    shard_ranges,
+)
 from repro.distributed.cluster import NetworkModel
 
 
@@ -22,6 +29,87 @@ class TestShardRanges:
     def test_more_shards_than_categories_rejected(self):
         with pytest.raises(ValueError):
             shard_ranges(3, 5)
+
+    def test_properties_hold_for_random_inputs(self):
+        """Property test: for any valid (l, shards), the plan is a
+        contiguous, disjoint, balanced cover of [0, l)."""
+        rng = np.random.default_rng(1234)
+        cases = [
+            (int(l), int(rng.integers(1, l + 1)))
+            for l in rng.integers(1, 5000, size=200)
+        ]
+        cases += [(1, 1), (2, 2), (5000, 5000), (17, 16)]  # shards == l edges
+        for num_categories, num_shards in cases:
+            ranges = shard_ranges(num_categories, num_shards)
+            assert len(ranges) == num_shards
+            # Contiguous and disjoint: each range starts where the
+            # previous one stopped, starting from zero.
+            assert ranges[0].start == 0
+            for prev, cur in zip(ranges, ranges[1:]):
+                assert cur.start == prev.stop
+            # Full cover of [0, l).
+            assert ranges[-1].stop == num_categories
+            # Balanced within one, and never empty.
+            sizes = [len(r) for r in ranges]
+            assert min(sizes) >= 1
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestMergeCandidates:
+    """The vectorized merge is the per-row reference merge (satellite
+    guard for the flat-scatter rewrite of the reduce path)."""
+
+    @staticmethod
+    def random_shard_sets(rng, batch_size, ranges, max_per_row):
+        """Ragged per-shard candidate sets, including empty rows."""
+        sets = []
+        for shard_range in ranges:
+            rows = []
+            for _ in range(batch_size):
+                count = int(rng.integers(0, max_per_row + 1))
+                rows.append(
+                    rng.choice(len(shard_range), size=count, replace=False)
+                    .astype(np.intp)
+                )
+            sets.append(CandidateSet(indices=rows))
+        return sets
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_per_row_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        batch_size = int(rng.integers(1, 12))
+        ranges = shard_ranges(60, int(rng.integers(1, 5)))
+        sets = self.random_shard_sets(rng, batch_size, ranges, max_per_row=7)
+        fast = merge_candidates(sets, ranges, batch_size)
+        reference = merge_candidates_per_row(sets, ranges, batch_size)
+        assert fast.batch_size == reference.batch_size
+        for fast_row, ref_row in zip(fast, reference):
+            assert fast_row.dtype == ref_row.dtype
+            assert np.array_equal(fast_row, ref_row)
+
+    def test_all_rows_empty(self):
+        ranges = shard_ranges(10, 2)
+        sets = [
+            CandidateSet(indices=[np.array([], dtype=np.intp)] * 3)
+            for _ in ranges
+        ]
+        merged = merge_candidates(sets, ranges, 3)
+        reference = merge_candidates_per_row(sets, ranges, 3)
+        assert merged.batch_size == 3
+        for merged_row, ref_row in zip(merged, reference):
+            assert merged_row.size == 0
+            assert np.array_equal(merged_row, ref_row)
+
+    def test_preserves_shard_order_within_row(self):
+        """Within a row, shard 0's candidates come before shard 1's —
+        the order the sequential backend produces."""
+        ranges = shard_ranges(8, 2)
+        sets = [
+            CandidateSet(indices=[np.array([3, 1], dtype=np.intp)]),
+            CandidateSet(indices=[np.array([2, 0], dtype=np.intp)]),
+        ]
+        merged = merge_candidates(sets, ranges, 1)
+        assert np.array_equal(merged.indices[0], [3, 1, 6, 4])
 
 
 class TestShardedClassifier:
