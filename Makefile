@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-parallel bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-parallel bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,6 +14,11 @@ test:
 # Writes BENCH_pipeline.json (the perf record future changes regress against).
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py BENCH_pipeline.json
+
+# Blocked streaming forward vs the dense engine at extreme l (670K).
+# Writes BENCH_streaming.json (wall-clock + peak incremental memory).
+bench-streaming:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py --streaming BENCH_streaming.json
 
 # Process-parallel sharded serving vs the sequential backend.
 # Writes BENCH_parallel.json (records host cpu count; speedup needs cores).

@@ -19,6 +19,17 @@ churn is part of the hot-path work being benchmarked.
 Run as a script (``make bench``); writes ``BENCH_pipeline.json`` with
 per-config timings and the headline ``speedup_default_vs_seed``.
 
+``--streaming`` (``make bench-streaming``) instead measures the blocked
+streaming forward against the dense vectorized engine at extreme
+``l`` — wall-clock untraced, then peak *incremental* memory twice over:
+tracemalloc traced-allocation peaks (the primary metric; numpy routes
+data allocations through the tracked domain) and ``ru_maxrss``
+high-water deltas as corroborating context (streaming runs first, since
+the process high-water mark never decreases).  Writes
+``BENCH_streaming.json``.
+
+``--smoke`` shrinks either mode to seconds for CI.
+
 This is not a pytest-benchmark module — the paper-figure benchmarks in
 ``benchmarks/test_*.py`` measure experiment outputs; this file measures
 the serving hot path in wall-clock terms.
@@ -26,10 +37,13 @@ the serving hot path in wall-clock terms.
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
+import resource
 import sys
 import time
+import tracemalloc
 from typing import Callable, List
 
 import numpy as np
@@ -55,6 +69,16 @@ WARMUP = 2
 #: The acceptance configuration: extreme-l, serving batch, the
 #: comparator's native selection mode.
 HEADLINE = {"num_categories": 100_000, "batch": 64, "selector": "threshold"}
+
+#: Streaming-mode acceptance configuration (the paper's Wikipedia-670K
+#: scale): the dense engine must materialize a batch × l float64 plane
+#: (~1.4 GB), the streaming engine must not.
+STREAM_CATEGORIES = 670_000
+STREAM_BATCH = 256
+STREAM_HEADLINE_SELECTOR = "top_m"
+STREAM_REPEATS = 3
+SMOKE_STREAM_CATEGORIES = 20_000
+SMOKE_STREAM_BATCH = 16
 
 
 class SeedPipeline:
@@ -131,9 +155,9 @@ def build_models(num_categories: int, rng: np.random.Generator):
     return classifier, screener
 
 
-def build_cases() -> List[dict]:
+def build_cases(category_counts=CATEGORY_COUNTS, batch_sizes=BATCH_SIZES) -> List[dict]:
     cases = []
-    for num_categories in CATEGORY_COUNTS:
+    for num_categories in category_counts:
         rng = np.random.default_rng(7)
         classifier, screener = build_models(num_categories, rng)
         screener_f32 = ScreeningModule(
@@ -155,7 +179,7 @@ def build_cases() -> List[dict]:
                 classifier, screener_f32, selector
             )
             seed = SeedPipeline(classifier, screener, selector)
-            for batch_size in BATCH_SIZES:
+            for batch_size in batch_sizes:
                 cases.append(
                     {
                         "num_categories": num_categories,
@@ -171,26 +195,36 @@ def build_cases() -> List[dict]:
     return cases
 
 
-def time_ms(fn: Callable[[], object]) -> float:
-    """Best-of-``REPEATS`` wall time in milliseconds."""
-    for _ in range(WARMUP):
+def time_ms(
+    fn: Callable[[], object], repeats: int = REPEATS, warmup: int = WARMUP
+) -> float:
+    """Best-of-``repeats`` wall time in milliseconds."""
+    for _ in range(warmup):
         fn()
     samples: List[float] = []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         start = time.perf_counter()
         fn()
         samples.append((time.perf_counter() - start) * 1e3)
     return min(samples)
 
 
-def run() -> dict:
-    cases = build_cases()
+def run(smoke: bool = False) -> dict:
+    if smoke:
+        cases = build_cases(category_counts=(5_000,), batch_sizes=(16,))
+        repeats, warmup = 2, 1
+        headline_config = {"num_categories": 5_000, "batch": 16,
+                           "selector": "threshold"}
+    else:
+        cases = build_cases()
+        repeats, warmup = REPEATS, WARMUP
+        headline_config = HEADLINE
 
     # The seed stack never tuned the allocator; time it as shipped.
     reset_default_allocator()
     for case in cases:
         seed, batch = case["seed"], case["features"]
-        case["seed_ms"] = time_ms(lambda: seed.forward(batch))
+        case["seed_ms"] = time_ms(lambda: seed.forward(batch), repeats, warmup)
 
     serving_allocator = configure_serving_allocator()
     results = []
@@ -201,13 +235,21 @@ def run() -> dict:
         batch = case["features"]
         timings = {
             "seed_forward": case["seed_ms"],
-            "screener_only": time_ms(lambda: screener.approximate_logits(batch)),
-            "forward_default": time_ms(lambda: engine.forward(batch)),
-            "forward_default_f32": time_ms(lambda: engine_f32.forward(batch)),
-            "forward_faithful": time_ms(
-                lambda: engine.forward(batch, faithful=True)
+            "screener_only": time_ms(
+                lambda: screener.approximate_logits(batch), repeats, warmup
             ),
-            "forward_gathered": time_ms(lambda: engine.forward_gathered(batch)),
+            "forward_default": time_ms(
+                lambda: engine.forward(batch), repeats, warmup
+            ),
+            "forward_default_f32": time_ms(
+                lambda: engine_f32.forward(batch), repeats, warmup
+            ),
+            "forward_faithful": time_ms(
+                lambda: engine.forward(batch, faithful=True), repeats, warmup
+            ),
+            "forward_gathered": time_ms(
+                lambda: engine.forward_gathered(batch), repeats, warmup
+            ),
         }
         entry = {
             "num_categories": case["num_categories"],
@@ -239,16 +281,12 @@ def run() -> dict:
     headline_entry = next(
         r
         for r in results
-        if all(r[key] == value for key, value in HEADLINE.items())
+        if all(r[key] == value for key, value in headline_config.items())
     )
     return {
         "benchmark": "screening pipeline hot path",
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "repeats": REPEATS,
+        "machine": machine_metadata(),
+        "repeats": repeats,
         "allocator": {
             "seed_forward": "glibc default (pre-change stack, as shipped)",
             "engine_paths": "configure_serving_allocator"
@@ -256,26 +294,213 @@ def run() -> dict:
             else "glibc default (tuning unavailable on this platform)",
         },
         "headline": {
-            **HEADLINE,
+            **headline_config,
             "speedup_default_vs_seed": headline_entry["speedup_default_vs_seed"],
         },
         "results": results,
     }
 
 
+# ----------------------------------------------------------------------
+# streaming mode: blocked forward vs the dense engine at extreme l
+# ----------------------------------------------------------------------
+def machine_metadata() -> dict:
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def rss_kb() -> int:
+    """Process high-water RSS in kB (Linux ``ru_maxrss`` units)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def traced_peak_bytes(fn: Callable[[], object]) -> int:
+    """Peak incremental traced allocation of one warm call.
+
+    One untraced warm call first (so workspaces and caches are settled),
+    then the peak is measured relative to the live footprint at the
+    start of the traced call — exactly the transient memory the call
+    itself adds.
+    """
+    fn()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        baseline = tracemalloc.get_traced_memory()[0]
+        fn()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return max(0, peak - baseline)
+
+
+def build_streaming_cases(num_categories: int, batch_size: int) -> List[dict]:
+    rng = np.random.default_rng(7)
+    classifier, screener = build_models(num_categories, rng)
+    calibration = rng.standard_normal((64, HIDDEN_DIM))
+    features = rng.standard_normal((batch_size, HIDDEN_DIM))
+    cases = []
+    for selector_mode in SELECTORS:
+        selector = CandidateSelector(
+            mode=selector_mode, num_candidates=NUM_CANDIDATES
+        )
+        if selector_mode == "threshold":
+            selector.calibrate(screener.approximate_logits(calibration))
+        cases.append(
+            {
+                "selector": selector_mode,
+                "engine": ApproximateScreeningClassifier(
+                    classifier, screener, selector
+                ),
+                "features": features,
+            }
+        )
+    return cases
+
+
+def run_streaming(smoke: bool = False) -> dict:
+    num_categories = SMOKE_STREAM_CATEGORIES if smoke else STREAM_CATEGORIES
+    batch_size = SMOKE_STREAM_BATCH if smoke else STREAM_BATCH
+    repeats = 2 if smoke else STREAM_REPEATS
+    cases = build_streaming_cases(num_categories, batch_size)
+    serving_allocator = configure_serving_allocator()
+
+    results = []
+    rss_start = rss_kb()
+    # Streaming is measured before ANY dense call: ru_maxrss is a
+    # process-lifetime high-water mark, so once the dense plane exists
+    # the streaming delta would read as zero regardless of its true
+    # footprint.
+    for case in cases:
+        engine, batch = case["engine"], case["features"]
+        case["streaming_ms"] = time_ms(
+            lambda: engine.forward_streaming(batch), repeats, warmup=1
+        )
+        case["streaming_peak"] = traced_peak_bytes(
+            lambda: engine.forward_streaming(batch)
+        )
+    rss_after_streaming = rss_kb()
+    for case in cases:
+        engine, batch = case["engine"], case["features"]
+        case["dense_ms"] = time_ms(
+            lambda: engine.forward(batch), repeats, warmup=1
+        )
+        case["dense_peak"] = traced_peak_bytes(lambda: engine.forward(batch))
+    rss_after_dense = rss_kb()
+
+    rss_record = {
+        "streaming_increment_kb": rss_after_streaming - rss_start,
+        "dense_additional_increment_kb": rss_after_dense - rss_after_streaming,
+        "note": "high-water deltas; streaming measured first (context "
+        "metric — tracemalloc peaks are the primary comparison)",
+    }
+    for case in cases:
+        entry = {
+            "num_categories": num_categories,
+            "hidden_dim": HIDDEN_DIM,
+            "projection_dim": PROJECTION_DIM,
+            "num_candidates": NUM_CANDIDATES,
+            "selector": case["selector"],
+            "batch": batch_size,
+            "timings_ms": {
+                "forward_default": round(case["dense_ms"], 3),
+                "forward_streaming": round(case["streaming_ms"], 3),
+            },
+            "peak_incremental_bytes": {
+                "forward_default": case["dense_peak"],
+                "forward_streaming": case["streaming_peak"],
+            },
+            "speedup_streaming_vs_default": round(
+                case["dense_ms"] / case["streaming_ms"], 2
+            ),
+            "peak_memory_reduction": round(
+                case["dense_peak"] / max(case["streaming_peak"], 1), 1
+            ),
+        }
+        results.append(entry)
+        print(
+            f"l={num_categories} {case['selector']:>9} b={batch_size:<3} "
+            f"dense={case['dense_ms']:9.2f}ms "
+            f"streaming={case['streaming_ms']:9.2f}ms "
+            f"({entry['speedup_streaming_vs_default']:5.2f}x)  "
+            f"peak {case['dense_peak'] / 1e6:9.1f}MB -> "
+            f"{case['streaming_peak'] / 1e6:7.1f}MB "
+            f"({entry['peak_memory_reduction']:6.1f}x less)",
+            flush=True,
+        )
+
+    headline_entry = next(
+        r for r in results if r["selector"] == STREAM_HEADLINE_SELECTOR
+    )
+    return {
+        "benchmark": "blocked streaming forward vs dense engine",
+        "machine": machine_metadata(),
+        "repeats": repeats,
+        "allocator": (
+            "configure_serving_allocator"
+            if serving_allocator
+            else "glibc default (tuning unavailable on this platform)"
+        ),
+        "ru_maxrss": rss_record,
+        "headline": {
+            "num_categories": num_categories,
+            "batch": batch_size,
+            "selector": STREAM_HEADLINE_SELECTOR,
+            "speedup_streaming_vs_default": headline_entry[
+                "speedup_streaming_vs_default"
+            ],
+            "peak_memory_reduction": headline_entry["peak_memory_reduction"],
+        },
+        "results": results,
+    }
+
+
 def main() -> int:
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
-    report = run()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default=None)
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="benchmark the blocked streaming forward instead of the "
+        "seed-vs-vectorized comparison",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI (seconds, not minutes)",
+    )
+    args = parser.parse_args()
+    if args.streaming:
+        output_path = args.output or "BENCH_streaming.json"
+        report = run_streaming(smoke=args.smoke)
+        summary = report["headline"]
+        closing = (
+            f"\nheadline: l={summary['num_categories']} "
+            f"batch={summary['batch']} {summary['selector']}: streaming is "
+            f"{summary['speedup_streaming_vs_default']}x dense wall-clock at "
+            f"{summary['peak_memory_reduction']}x lower peak memory "
+            f"-> {output_path}"
+        )
+    else:
+        output_path = args.output or "BENCH_pipeline.json"
+        report = run(smoke=args.smoke)
+        summary = report["headline"]
+        closing = (
+            f"\nheadline: l={summary['num_categories']} batch={summary['batch']} "
+            f"{summary['selector']}: default forward is "
+            f"{summary['speedup_default_vs_seed']}x the seed loop "
+            f"-> {output_path}"
+        )
     with open(output_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    headline = report["headline"]
-    print(
-        f"\nheadline: l={headline['num_categories']} batch={headline['batch']} "
-        f"{headline['selector']}: default forward is "
-        f"{headline['speedup_default_vs_seed']}x the seed loop "
-        f"-> {output_path}"
-    )
+    print(closing)
     return 0
 
 

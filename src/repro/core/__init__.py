@@ -16,7 +16,11 @@ from repro.core.classifier import FullClassifier
 from repro.core.screener import ScreeningConfig, ScreeningModule
 from repro.core.training import TrainingReport, train_screener
 from repro.core.candidates import CandidateSelector, CandidateSet
-from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.core.pipeline import (
+    ApproximateScreeningClassifier,
+    ScreenedOutput,
+    StreamedOutput,
+)
 from repro.core.metrics import (
     ClassificationCost,
     approximation_error,
@@ -43,6 +47,7 @@ __all__ = [
     "CandidateSet",
     "ApproximateScreeningClassifier",
     "ScreenedOutput",
+    "StreamedOutput",
     "ClassificationCost",
     "candidate_recall",
     "approximation_error",

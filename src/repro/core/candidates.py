@@ -13,7 +13,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.linalg.topk import calibrate_threshold, select_above_threshold, top_k_indices
+from repro.linalg.topk import (
+    BlockwiseThreshold,
+    BlockwiseTopM,
+    calibrate_threshold,
+    select_above_threshold,
+    stable_top_m_indices,
+)
 from repro.utils.validation import check_positive
 
 SELECTION_MODES = ("top_m", "threshold")
@@ -164,8 +170,11 @@ class CandidateSelector:
 
         if self.mode == "top_m":
             m = min(self.num_candidates, array.shape[1])
-            picked = top_k_indices(array, m, sort=False)
-            picked = np.sort(picked, axis=1)
+            # Deterministic tie-break (score desc, index asc): the same
+            # total order the blocked streaming reducer maintains, so
+            # dense and streaming selections agree bit for bit even on
+            # tied INT4 scores.
+            picked = stable_top_m_indices(array, m)
             return CandidateSet(indices=list(picked))
 
         if self.threshold is None:
@@ -173,6 +182,24 @@ class CandidateSelector:
                 "threshold mode requires a threshold; call calibrate() first"
             )
         return CandidateSet(indices=select_above_threshold(array, self.threshold))
+
+    def make_block_reducer(self, batch: int, num_categories: int, workspace=None, dtype=np.float64):
+        """A blockwise reducer equivalent to :meth:`select`.
+
+        Streaming the score plane through the reducer block by block
+        (any partition) and finalizing yields the same candidates, in
+        the same order, as :meth:`select` on the dense plane.
+        """
+        if self.mode == "top_m":
+            m = min(self.num_candidates, num_categories)
+            return BlockwiseTopM(batch, m, workspace=workspace, dtype=dtype)
+        if self.threshold is None:
+            raise ValueError(
+                "threshold mode requires a threshold; call calibrate() first"
+            )
+        return BlockwiseThreshold(
+            batch, self.threshold, workspace=workspace, dtype=dtype
+        )
 
     def __repr__(self) -> str:
         return (

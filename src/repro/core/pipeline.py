@@ -37,6 +37,7 @@ from repro.core.candidates import CandidateSelector, CandidateSet
 from repro.core.classifier import FullClassifier
 from repro.core.screener import ScreeningModule
 from repro.linalg.functional import sigmoid, softmax, taylor_softmax
+from repro.utils.memory import Workspace
 from repro.utils.validation import check_batch_features
 
 
@@ -120,6 +121,64 @@ class ScreenedOutput:
         )
 
 
+class StreamedOutput:
+    """The candidates-only result of a blocked streaming forward pass.
+
+    Mirrors the hardware dataflow: the Screener's threshold filter
+    consumes score tiles as they stream past and only candidate
+    entries ever leave the pipeline, so no ``batch × l`` plane exists.
+
+    ``exact_values`` are the recomputed full-classifier scores and
+    ``approximate_values`` the screener scores, both aligned with
+    ``candidates.flat()`` (row-major, columns ascending within a row)
+    and stored in the screener's compute dtype — exactly the entries a
+    dense :class:`ScreenedOutput` would carry at the candidate
+    positions (bit-identical in float64, differentially tested).
+    """
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        exact_values: np.ndarray,
+        approximate_values: np.ndarray,
+        num_categories: int,
+    ):
+        self.candidates = candidates
+        self.exact_values = exact_values
+        self.approximate_values = approximate_values
+        self.num_categories = num_categories
+
+    @property
+    def batch_size(self) -> int:
+        return self.candidates.batch_size
+
+    @property
+    def exact_count(self) -> int:
+        return self.candidates.total
+
+    @property
+    def exact_fraction(self) -> float:
+        return self.exact_count / (self.batch_size * self.num_categories)
+
+    def predict(self) -> np.ndarray:
+        """Argmax category per row over the candidate entries (the
+        screened serving decision); ``-1`` for rows with no candidates."""
+        best = np.full(self.batch_size, -1, dtype=np.intp)
+        offset = 0
+        for row, indices in enumerate(self.candidates):
+            if indices.size:
+                values = self.exact_values[offset : offset + indices.size]
+                best[row] = indices[int(np.argmax(values))]
+            offset += indices.size
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamedOutput(batch={self.batch_size}, "
+            f"l={self.num_categories}, exact={self.exact_count})"
+        )
+
+
 class ApproximateScreeningClassifier:
     """The paper's candidates-only classifier (screen → filter → exact → mix)."""
 
@@ -149,6 +208,7 @@ class ApproximateScreeningClassifier:
         #: When set, softmax uses the Executor SFU's Taylor-approximated
         #: exponential of this order instead of exact exp.
         self.softmax_taylor_order = softmax_taylor_order
+        self._workspace: Optional[Workspace] = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +218,17 @@ class ApproximateScreeningClassifier:
     @property
     def hidden_dim(self) -> int:
         return self.classifier.hidden_dim
+
+    @property
+    def workspace(self) -> Workspace:
+        """The scratch arena backing :meth:`forward_streaming`.
+
+        Created lazily and reused across calls; after the first call at
+        a given batch shape its ``allocations`` counter stays flat
+        (the zero-allocation steady-state contract, tested)."""
+        if self._workspace is None:
+            self._workspace = Workspace()
+        return self._workspace
 
     # ------------------------------------------------------------------
     # array-level (de)construction — the parallel engine's wire format
@@ -294,24 +365,129 @@ class ApproximateScreeningClassifier:
                 logits=approx, approximate_logits=approx, candidates=candidates
             )
         saved = approx[rows, cols].copy()
+        approx[rows, cols] = self._exact_candidate_values(batch, candidates)
+        return ScreenedOutput(
+            logits=approx, candidates=candidates, restore=(rows, cols, saved)
+        )
 
+    def _exact_candidate_values(
+        self, batch: np.ndarray, candidates: CandidateSet
+    ) -> np.ndarray:
+        """Exact classifier scores for every candidate, flat-aligned.
+
+        The single exact-phase kernel both the dense mix and the
+        streaming path call, so their candidate entries are identical
+        bits by construction.  The values come from either a gathered
+        union matmul — the batched hardware dataflow, efficient when
+        rows share candidates — or a flat per-candidate gather when the
+        union would force the matmul to compute mostly unwanted
+        ``(row, category)`` pairs.
+        """
+        rows, cols = candidates.flat()
+        if rows.size == 0:
+            return np.empty(0, dtype=np.float64)
         union = candidates.union()
         # The union matmul computes batch×union exact entries to use
         # only ``rows.size`` of them; prefer it only when candidate
         # overlap keeps that overcompute within a small factor.
         if candidates.batch_size * union.size <= 2 * rows.size:
             exact = self.classifier.logits_for(union, batch)
-            approx[rows, cols] = exact[rows, np.searchsorted(union, cols)]
-        else:
-            values = (
-                np.einsum(
-                    "nd,nd->n", self.classifier.weight[cols], batch[rows]
-                )
-                + self.classifier.bias[cols]
+            return exact[rows, np.searchsorted(union, cols)]
+        return (
+            np.einsum("nd,nd->n", self.classifier.weight[cols], batch[rows])
+            + self.classifier.bias[cols]
+        )
+
+    def forward_streaming(
+        self,
+        features: np.ndarray,
+        block_categories: Optional[int] = None,
+        dense: bool = False,
+        workspace: Optional[Workspace] = None,
+    ):
+        """Blocked streaming forward: screen, select and mix per block.
+
+        The software analogue of the hardware dataflow (paper Sections
+        5.1–5.2): the compiler tiles the category space and the
+        Screener's filter consumes each tile's scores as they stream
+        past, so the full ``batch × l`` score plane never exists.  The
+        screener GEMM runs per canonical column tile
+        (:data:`repro.core.screener.TILE_CATEGORIES` — identical calls
+        to the dense path, hence identical bits); a running per-row
+        reducer folds each ``block_categories``-wide segment into the
+        candidate set; the exact phase then recomputes only the final
+        candidates through the same kernel the dense mix uses.
+
+        ``block_categories`` sets the selection granularity (defaults
+        to one update per tile).  Results are independent of it — the
+        reducer maintains a total order, so any partition yields the
+        dense selection — and bit-identical to :meth:`forward` in
+        float64 (float32 differs from float64 in score rounding exactly
+        as the dense engine does; candidates and exact values still
+        match the float32 dense engine bit for bit).
+
+        Returns a :class:`StreamedOutput` (candidates + their exact and
+        approximate values only).  ``dense=True`` materializes the
+        score plane and returns a full :class:`ScreenedOutput` — the
+        caller asked for ``approximate_logits``, so the memory saving
+        is forfeited but every plane is still bit-identical to
+        :meth:`forward`.
+
+        All recurring scratch comes from ``workspace`` (default: the
+        pipeline-owned arena), so steady-state calls perform zero new
+        workspace allocations after warm-up.
+        """
+        batch = check_batch_features(features, self.hidden_dim)
+        if block_categories is not None and block_categories < 1:
+            raise ValueError(
+                f"block_categories must be positive, got {block_categories}"
             )
-            approx[rows, cols] = values
-        return ScreenedOutput(
-            logits=approx, candidates=candidates, restore=(rows, cols, saved)
+        ws = workspace if workspace is not None else self.workspace
+        rows = batch.shape[0]
+        l = self.num_categories
+        compute = self.screener.compute_dtype
+        block = block_categories if block_categories is not None else l
+
+        augmented = self.screener.prepare_augmented(
+            batch,
+            out=ws.buffer(
+                "augmented", (rows, self.screener.projection_dim + 1), compute
+            ),
+        )
+        reducer = self.selector.make_block_reducer(
+            rows, l, workspace=ws, dtype=compute
+        )
+        plane = np.empty((rows, l), dtype=compute) if dense else None
+        for t0, t1 in self.screener.tile_bounds():
+            if dense:
+                tile = self.screener.score_tile(
+                    augmented, t0, t1, out=plane[:, t0:t1]
+                )
+            else:
+                tile = self.screener.score_tile(
+                    augmented, t0, t1, out=ws.buffer("tile", (rows, t1 - t0), compute)
+                )
+            # Selection updates at block_categories granularity; block
+            # boundaries are absolute, so a tile may span several
+            # blocks and vice versa.
+            start = t0
+            while start < t1:
+                stop = min(t1, (start // block + 1) * block)
+                reducer.update(start, tile[:, start - t0 : stop - t0])
+                start = stop
+
+        counts, cols, approx_values = reducer.finalize()
+        candidates = CandidateSet.from_flat(counts, cols)
+        if dense:
+            return self._mix_vectorized(batch, plane, candidates)
+        exact_values = self._exact_candidate_values(batch, candidates).astype(
+            compute, copy=False
+        )
+        return StreamedOutput(
+            candidates=candidates,
+            exact_values=exact_values,
+            approximate_values=approx_values,
+            num_categories=l,
         )
 
     def forward_gathered(self, features: np.ndarray) -> ScreenedOutput:

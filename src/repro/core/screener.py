@@ -34,6 +34,17 @@ from repro.utils.validation import check_batch_features, check_positive
 #: Arithmetic widths supported for the screening GEMM.
 COMPUTE_DTYPES = (np.float32, np.float64)
 
+#: Canonical column-tile width of the screening GEMM.  Both the dense
+#: plane and the blocked streaming path compute scores one fixed,
+#: absolute-aligned tile at a time through the *same* ``np.matmul``
+#: call, so their results are bit-identical by construction for every
+#: streaming block size — BLAS GEMMs are only deterministic for
+#: identical call shapes, not across different column slicings (edge
+#: kernels and panel splits depend on the operand geometry).  8192
+#: float64 columns at batch 256 is a 16 MB tile: L3-sized, wide enough
+#: that per-call overhead is negligible against the MACs.
+TILE_CATEGORIES = 8192
+
 DtypeLike = Union[str, type, np.dtype]
 
 
@@ -187,23 +198,70 @@ class ScreeningModule:
         batch = check_batch_features(features, self.hidden_dim)
         return self.projection(batch)
 
+    def prepare_augmented(self, features: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Quantized, bias-augmented GEMM input ``[q(Ph) | 1]``.
+
+        This is the left operand of every screening GEMM — computed
+        once per batch and reused across all column tiles.  ``out``
+        lets the streaming engine supply a workspace buffer.
+        """
+        projected = self.project(features)
+        if self._input_quantizer is not None:
+            projected = self._input_quantizer.fake_quantize(projected)
+        if out is None:
+            out = np.empty(
+                (projected.shape[0], self.projection_dim + 1),
+                dtype=self._compute_dtype,
+            )
+        out[:, :-1] = projected
+        out[:, -1] = 1.0
+        return out
+
+    def tile_bounds(self):
+        """The canonical ``[start, stop)`` column tiles of this screener.
+
+        Fixed and absolute-aligned (see :data:`TILE_CATEGORIES`): every
+        scoring path must enumerate exactly these tiles so the per-tile
+        GEMM calls — and therefore the score bits — are identical
+        between the dense plane and any blocked traversal.
+        """
+        l = self.num_categories
+        return [
+            (start, min(start + TILE_CATEGORIES, l))
+            for start in range(0, l, TILE_CATEGORIES)
+        ]
+
+    def score_tile(
+        self, augmented: np.ndarray, start: int, stop: int, out: np.ndarray
+    ) -> np.ndarray:
+        """Scores for canonical tile ``[start, stop)`` into ``out``.
+
+        ``(start, stop)`` must be a tile from :meth:`tile_bounds`;
+        ``augmented`` comes from :meth:`prepare_augmented`.  Writing
+        through ``out`` (contiguous scratch or a dense-plane slice)
+        does not change the computed bits.
+        """
+        np.matmul(augmented, self._fused_weight_t[:, start:stop], out=out)
+        return out
+
     def approximate_logits(self, features: np.ndarray) -> np.ndarray:
         """The screener's approximate scores ``z̃`` for a feature batch.
 
         When ``quantization_bits`` is set, both the projected features
         and the screener weights pass through fake quantization,
         modeling the INT4 datapath of the hardware Screener.  The
-        result dtype is :attr:`compute_dtype`.
+        result dtype is :attr:`compute_dtype`.  Computed per canonical
+        column tile (see :data:`TILE_CATEGORIES`) — the same GEMM calls
+        the blocked streaming path issues, which is what makes the two
+        modes bit-identical.
         """
-        projected = self.project(features)
-        if self._input_quantizer is not None:
-            projected = self._input_quantizer.fake_quantize(projected)
-        augmented = np.empty(
-            (projected.shape[0], self.projection_dim + 1), dtype=self._compute_dtype
+        augmented = self.prepare_augmented(features)
+        scores = np.empty(
+            (augmented.shape[0], self.num_categories), dtype=self._compute_dtype
         )
-        augmented[:, :-1] = projected
-        augmented[:, -1] = 1.0
-        return augmented @ self._fused_weight_t
+        for start, stop in self.tile_bounds():
+            self.score_tile(augmented, start, stop, out=scores[:, start:stop])
+        return scores
 
     def __call__(self, features: np.ndarray) -> np.ndarray:
         return self.approximate_logits(features)

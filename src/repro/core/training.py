@@ -163,14 +163,26 @@ def train_screener(
         else:
             optimizer = Adam([screener.weight, screener.bias], lr=lr)
         num_samples = batch.shape[0]
+        # One shuffled gather per epoch into reused buffers; every
+        # mini-batch is then a contiguous row-slice view.  The per-step
+        # fancy-index copies (two per step) this replaces produced the
+        # same rows in the same order, so the mini-batch operands — and
+        # hence the whole loss/weight trajectory — are unchanged bits
+        # (tested in tests/test_core_training.py).
+        projected_shuffled = np.empty_like(projected)
+        targets_shuffled = np.empty_like(targets)
         for _ in range(epochs):
             order = generator.permutation(num_samples)
+            np.take(projected, order, axis=0, out=projected_shuffled)
+            np.take(targets, order, axis=0, out=targets_shuffled)
             epoch_loss = 0.0
             num_batches = 0
             for start in range(0, num_samples, batch_size):
-                take = order[start : start + batch_size]
+                stop = start + batch_size
                 loss, grad_w, grad_b = _mse_and_grads(
-                    screener, projected[take], targets[take],
+                    screener,
+                    projected_shuffled[start:stop],
+                    targets_shuffled[start:stop],
                     quantization_aware=quantization_aware,
                 )
                 optimizer.step([grad_w, grad_b])

@@ -23,6 +23,7 @@ from repro.distributed.sharding import (
     merge_candidates,
     merge_candidates_per_row,
     merge_shard_outputs,
+    merge_streamed_outputs,
     reduce_top_k,
     shard_ranges,
     shard_top_k,
@@ -43,6 +44,7 @@ __all__ = [
     "merge_candidates",
     "merge_candidates_per_row",
     "merge_shard_outputs",
+    "merge_streamed_outputs",
     "shard_top_k",
     "reduce_top_k",
     "ClusterModel",

@@ -44,10 +44,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.candidates import CandidateSet
-from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.core.pipeline import (
+    ApproximateScreeningClassifier,
+    ScreenedOutput,
+    StreamedOutput,
+)
 from repro.distributed.sharding import (
     ShardedClassifier,
     merge_shard_outputs,
+    merge_streamed_outputs,
     reduce_top_k,
     shard_top_k,
 )
@@ -116,7 +121,7 @@ def _worker_main(
             if op == "die":  # test hook: crash without replying
                 os._exit(int(payload or 1))
             try:
-                if op in ("forward", "top_k"):
+                if op in ("forward", "top_k", "forward_streaming"):
                     reply = _serve_request(
                         engine, shard_id, shard_range, io_packs, op, payload
                     )
@@ -157,6 +162,23 @@ def _serve_request(
     input_pack = _attach_cached(io_packs, payload["input"])
     rows = int(payload["rows"])
     batch = input_pack["features"][:rows]
+
+    if op == "forward_streaming":
+        # Candidates-only: no shared output plane is touched — the
+        # whole shard result is the small flat record on the pipe.
+        # The worker's pipeline-owned workspace persists across
+        # requests, so steady-state serving allocates no new scratch.
+        streamed = engine.forward_streaming(
+            batch, block_categories=payload["block"]
+        )
+        flat_rows, flat_cols = streamed.candidates.flat()
+        return {
+            "counts": streamed.candidates.counts,
+            "cols": flat_cols,
+            "rows": flat_rows,
+            "exact": streamed.exact_values,
+            "approx": streamed.approximate_values,
+        }
 
     output = engine.forward(batch)
     if op == "top_k":
@@ -272,35 +294,44 @@ class ParallelShardedEngine:
     # ------------------------------------------------------------------
     # shared I/O planes
     # ------------------------------------------------------------------
-    def _ensure_io(self, rows: int) -> None:
-        if (
-            self._io_input is not None
-            and rows <= self._io_input["features"].shape[0]
-        ):
-            return
-        capacity = max(self._max_batch, rows)
-        if self._io_input is not None:
-            # Workers hold mappings of the old planes; have them detach
-            # before the segments are unlinked and replaced.
-            self._scatter_gather("detach-io", None)
-            self._release_io()
-        self._io_input = SharedArrayPack.zeros(
-            {"features": ((capacity, self.hidden_dim), np.float64)}
+    def _ensure_io(self, rows: int, need_output: bool = True) -> None:
+        """Size the shared I/O planes for a ``rows``-row batch.
+
+        The output planes (per-shard dense logits) are only allocated
+        when a dense ``forward`` asks for them — streaming and top-k
+        requests ship candidates-only records over the pipe, so a
+        streaming-only engine never materializes ``batch × l`` shared
+        memory at all.
+        """
+        input_capacity = (
+            self._io_input["features"].shape[0]
+            if self._io_input is not None
+            else 0
         )
-        self._io_output = SharedArrayPack.zeros(
-            {
-                f"logits{shard_id}": (
-                    (capacity, len(shard_range)),
-                    dtype,
-                )
-                for shard_id, (shard_range, dtype) in enumerate(
-                    zip(self.ranges, self._compute_dtypes)
-                )
-            }
-        )
-        self._segment_names.extend(
-            [self._io_input.name, self._io_output.name]
-        )
+        if rows > input_capacity:
+            input_capacity = max(self._max_batch, rows)
+            if self._io_input is not None:
+                # Workers hold mappings of the old planes; have them
+                # detach before the segments are unlinked and replaced.
+                self._scatter_gather("detach-io", None)
+                self._release_io()
+            self._io_input = SharedArrayPack.zeros(
+                {"features": ((input_capacity, self.hidden_dim), np.float64)}
+            )
+            self._segment_names.append(self._io_input.name)
+        if need_output and self._io_output is None:
+            self._io_output = SharedArrayPack.zeros(
+                {
+                    f"logits{shard_id}": (
+                        (input_capacity, len(shard_range)),
+                        dtype,
+                    )
+                    for shard_id, (shard_range, dtype) in enumerate(
+                        zip(self.ranges, self._compute_dtypes)
+                    )
+                }
+            )
+            self._segment_names.append(self._io_output.name)
 
     def _release_io(self) -> None:
         for pack in (self._io_input, self._io_output):
@@ -344,12 +375,14 @@ class ParallelShardedEngine:
             self.close()
             raise
 
-    def _prepare(self, features: np.ndarray) -> Tuple[np.ndarray, int]:
+    def _prepare(
+        self, features: np.ndarray, need_output: bool = True
+    ) -> Tuple[np.ndarray, int]:
         if self.closed:
             raise RuntimeError("engine is closed")
         batch = check_batch_features(features, self.hidden_dim)
         rows = batch.shape[0]
-        self._ensure_io(rows)
+        self._ensure_io(rows, need_output=need_output)
         np.copyto(self._io_input["features"][:rows], batch)
         return batch, rows
 
@@ -386,10 +419,41 @@ class ParallelShardedEngine:
 
     __call__ = forward
 
+    def forward_streaming(
+        self,
+        features: np.ndarray,
+        block_categories: Optional[int] = None,
+    ) -> StreamedOutput:
+        """All-shard blocked streaming inference, merged to global order.
+
+        Every worker streams its category stripe block by block and
+        ships back only its candidate record — no shared output plane
+        exists, so the engine's shared memory stays O(batch × d)
+        regardless of ``l``.  Candidates and values are bit-identical
+        to ``ShardedClassifier.forward_streaming`` on the same shards.
+        """
+        _, rows = self._prepare(features, need_output=False)
+        request = {
+            "rows": rows,
+            "input": self._io_input.layout,
+            "block": block_categories,
+        }
+        replies = self._scatter_gather("forward_streaming", request)
+        outputs = [
+            StreamedOutput(
+                candidates=CandidateSet.from_flat(reply["counts"], reply["cols"]),
+                exact_values=reply["exact"],
+                approximate_values=reply["approx"],
+                num_categories=len(shard_range),
+            )
+            for reply, shard_range in zip(replies, self.ranges)
+        ]
+        return merge_streamed_outputs(outputs, self.ranges)
+
     def top_k(self, features: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Global top-k via per-shard top-k + host reduce."""
         check_positive("k", k)
-        _, rows = self._prepare(features)
+        _, rows = self._prepare(features, need_output=False)
         request = {
             "rows": rows,
             "input": self._io_input.layout,

@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.core.candidates import CandidateSet
 from repro.core.classifier import FullClassifier
-from repro.core.pipeline import ApproximateScreeningClassifier, ScreenedOutput
+from repro.core.pipeline import (
+    ApproximateScreeningClassifier,
+    ScreenedOutput,
+    StreamedOutput,
+)
 from repro.core.screener import ScreeningConfig
 from repro.core.training import train_screener
 from repro.linalg.topk import top_k_indices
@@ -131,6 +135,45 @@ def merge_shard_outputs(
     return ScreenedOutput(logits=logits, candidates=candidates, restore=restore)
 
 
+def merge_streamed_outputs(
+    outputs: Sequence[StreamedOutput],
+    ranges: Sequence[range],
+) -> StreamedOutput:
+    """Merge per-shard streamed (candidates-only) outputs to global order.
+
+    The streaming analogue of :func:`merge_shard_outputs`: there are no
+    logits planes to concatenate — each shard contributes its flat
+    candidate record (rows, globally-offset columns, exact and
+    approximate values), and one stable row sort interleaves them while
+    preserving shard order within a row, exactly as the dense merge
+    orders its candidate lists.
+    """
+    if not outputs:
+        raise ValueError("merge_streamed_outputs needs at least one shard output")
+    batch_size = outputs[0].batch_size
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    exact_parts: List[np.ndarray] = []
+    approx_parts: List[np.ndarray] = []
+    for output, shard_range in zip(outputs, ranges):
+        rows, cols = output.candidates.flat()
+        rows_parts.append(rows)
+        cols_parts.append(cols + shard_range.start)
+        exact_parts.append(output.exact_values)
+        approx_parts.append(output.approximate_values)
+    all_rows = np.concatenate(rows_parts)
+    order = np.argsort(all_rows, kind="stable")
+    counts = np.bincount(all_rows, minlength=batch_size).astype(np.intp)
+    return StreamedOutput(
+        candidates=CandidateSet.from_flat(
+            counts, np.concatenate(cols_parts)[order]
+        ),
+        exact_values=np.concatenate(exact_parts)[order],
+        approximate_values=np.concatenate(approx_parts)[order],
+        num_categories=sum(len(shard_range) for shard_range in ranges),
+    )
+
+
 def shard_top_k(
     output: ScreenedOutput, shard_range: range, k: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -232,6 +275,28 @@ class ShardedClassifier:
         return merge_shard_outputs(outputs, self.ranges)
 
     __call__ = forward
+
+    def forward_streaming(
+        self,
+        features: np.ndarray,
+        block_categories: Optional[int] = None,
+    ) -> StreamedOutput:
+        """All-shard blocked streaming inference, merged to global order.
+
+        Each shard is a category stripe: it streams its stripe block by
+        block through its own workspace and ships back only its
+        candidate record.  Candidate sets and exact values match
+        :meth:`forward` bit for bit (the selection and exact kernels
+        are shared with the dense path).
+        """
+        if not self.trained:
+            raise RuntimeError("call train() before forward_streaming()")
+        batch = check_batch_features(features, self.classifier.hidden_dim)
+        outputs = [
+            shard.forward_streaming(batch, block_categories=block_categories)
+            for shard in self.shards
+        ]
+        return merge_streamed_outputs(outputs, self.ranges)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         return np.argmax(self.forward(features).logits, axis=-1)

@@ -15,7 +15,13 @@ from repro.linalg.functional import (
     taylor_softmax,
 )
 from repro.linalg.sgd import SGD, Adam
-from repro.linalg.topk import select_above_threshold, top_k_indices
+from repro.linalg.topk import (
+    BlockwiseThreshold,
+    BlockwiseTopM,
+    select_above_threshold,
+    stable_top_m_indices,
+    top_k_indices,
+)
 
 __all__ = [
     "Quantizer",
@@ -33,4 +39,7 @@ __all__ = [
     "Adam",
     "top_k_indices",
     "select_above_threshold",
+    "stable_top_m_indices",
+    "BlockwiseTopM",
+    "BlockwiseThreshold",
 ]

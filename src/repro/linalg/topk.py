@@ -41,6 +41,173 @@ def top_k_indices(scores: np.ndarray, k: int, sort: bool = True) -> np.ndarray:
     return indices
 
 
+def stable_top_m_indices(scores: np.ndarray, m: int) -> np.ndarray:
+    """Deterministic batched top-``m``: ties broken by lowest index.
+
+    Returns a ``(batch, m)`` index array, ascending within each row.
+    The selection rule is the lexicographic maximum under
+    ``(score descending, index ascending)`` — a *total* order, so the
+    selected set is unique and independent of how the score plane is
+    partitioned.  That property is what lets the blocked streaming
+    reducer (:class:`BlockwiseTopM`) reproduce the dense selection bit
+    for bit for every block size, even on degenerate inputs where the
+    INT4 screener produces exact score ties.
+    """
+    array = np.asarray(scores)
+    if array.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {array.shape}")
+    batch, n = array.shape
+    check_positive("m", m)
+    if m >= n:
+        return np.broadcast_to(np.arange(n), (batch, n)).copy()
+
+    kth = np.partition(array, n - m, axis=1)[:, n - m : n - m + 1]
+    ge = array >= kth
+    counts = ge.sum(axis=1)
+    if np.all(counts == m):
+        # No ties straddle the cut: the mask alone is the selection.
+        mask = ge
+    else:
+        gt = array > kth
+        eq = ge & ~gt
+        need = m - gt.sum(axis=1, keepdims=True)
+        mask = gt | (eq & (np.cumsum(eq, axis=1) <= need))
+    return np.nonzero(mask)[1].reshape(batch, m)
+
+
+class BlockwiseTopM:
+    """Running per-row top-``m`` over column blocks of a score plane.
+
+    Feed score blocks left to right via :meth:`update`; the reducer
+    keeps each row's current ``m`` best ``(score, global column)``
+    pairs under the same ``(score desc, index asc)`` total order as
+    :func:`stable_top_m_indices`, so the finalized selection equals the
+    dense selection for any block partition: an entry is evicted only
+    when ``m`` entries beat it under the total order, and "beats" is
+    transitive, so exactly the ``m`` global maxima survive.
+
+    The kept columns stay ascending within each row (they are gathered
+    in position order and every new block lies to the right of all kept
+    columns), which makes position order equal global-index order in
+    the merge — the tie-break therefore needs no explicit index sort.
+
+    Scratch state lives in a :class:`repro.utils.memory.Workspace` when
+    one is supplied, so steady-state updates allocate nothing new.
+    """
+
+    def __init__(
+        self, batch: int, m: int, workspace=None, key: str = "topm", dtype=np.float64
+    ):
+        check_positive("m", m)
+        from repro.utils.memory import Workspace
+
+        self._ws = workspace if workspace is not None else Workspace()
+        self._key = key
+        self.batch = batch
+        self.m = m
+        self.dtype = np.dtype(dtype)
+        self._scores = self._ws.buffer((key, "scores"), (batch, m), self.dtype)
+        self._cols = self._ws.buffer((key, "cols"), (batch, m), np.intp)
+        self._filled = 0
+
+    def update(self, start: int, block: np.ndarray) -> None:
+        """Fold in scores for global columns ``[start, start+width)``."""
+        width = block.shape[1]
+        if width == 0:
+            return
+        merged = self._filled + width
+        cand_scores = self._ws.buffer(
+            (self._key, "merge"), (self.batch, merged), self.dtype
+        )
+        cand_scores[:, : self._filled] = self._scores[:, : self._filled]
+        cand_scores[:, self._filled :] = block
+        if merged <= self.m:
+            self._scores[:, self._filled : merged] = block
+            self._cols[:, self._filled : merged] = start + np.arange(width)
+            self._filled = merged
+            return
+        keep = stable_top_m_indices(cand_scores, self.m)
+        cand_cols = self._ws.buffer(
+            (self._key, "merge_cols"), (self.batch, merged), np.intp
+        )
+        cand_cols[:, : self._filled] = self._cols[:, : self._filled]
+        cand_cols[:, self._filled :] = start + np.arange(width)
+        self._scores[...] = np.take_along_axis(cand_scores, keep, axis=1)
+        self._cols[...] = np.take_along_axis(cand_cols, keep, axis=1)
+        self._filled = self.m
+
+    def finalize(self):
+        """``(counts, cols, values)`` in the flat candidate layout:
+        per-row counts, then all kept columns (ascending within each
+        row) and their scores, concatenated in row order."""
+        filled = self._filled
+        counts = np.full(self.batch, filled, dtype=np.intp)
+        cols = self._cols[:, :filled].reshape(-1).copy()
+        values = self._scores[:, :filled].reshape(-1).copy()
+        return counts, cols, values
+
+
+class BlockwiseThreshold:
+    """Running threshold filter over column blocks of a score plane.
+
+    Selection is final the moment a block streams past (``score >
+    threshold`` needs no global context), so the reducer just appends
+    hits to growable workspace buffers.  Finalize groups them by row
+    with a stable sort; within a row, appended columns are already
+    ascending (blocks arrive left to right), so the result matches the
+    dense flat-scan selection exactly.
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        threshold: float,
+        workspace=None,
+        key: str = "thr",
+        dtype=np.float64,
+    ):
+        if threshold is None:
+            raise ValueError("threshold mode requires a calibrated threshold")
+        from repro.utils.memory import Workspace
+
+        self._ws = workspace if workspace is not None else Workspace()
+        self._key = key
+        self.batch = batch
+        self.threshold = float(threshold)
+        self.dtype = np.dtype(dtype)
+        self._count = 0
+
+    def update(self, start: int, block: np.ndarray) -> None:
+        width = block.shape[1]
+        if width == 0:
+            return
+        hit_mask = self._ws.buffer((self._key, "mask"), block.shape, bool)
+        np.greater(block, self.threshold, out=hit_mask)
+        flat = np.flatnonzero(hit_mask)
+        if flat.size == 0:
+            return
+        local_rows = flat // width
+        local_cols = flat - local_rows * width
+        total = self._count + flat.size
+        rows = self._ws.growable((self._key, "rows"), total, np.intp)
+        cols = self._ws.growable((self._key, "cols"), total, np.intp)
+        values = self._ws.growable((self._key, "values"), total, self.dtype)
+        rows[self._count : total] = local_rows
+        cols[self._count : total] = start + local_cols
+        values[self._count : total] = block[local_rows, local_cols]
+        self._count = total
+
+    def finalize(self):
+        """``(counts, cols, values)`` in the flat candidate layout."""
+        total = self._count
+        rows = self._ws.growable((self._key, "rows"), max(total, 1), np.intp)[:total]
+        cols = self._ws.growable((self._key, "cols"), max(total, 1), np.intp)[:total]
+        values = self._ws.growable((self._key, "values"), max(total, 1), self.dtype)[:total]
+        order = np.argsort(rows, kind="stable")
+        counts = np.bincount(rows, minlength=self.batch).astype(np.intp)
+        return counts, cols[order].copy(), values[order].copy()
+
+
 def select_above_threshold(scores: np.ndarray, threshold: float) -> List[np.ndarray]:
     """Per-row indices whose score strictly exceeds ``threshold``.
 

@@ -1,6 +1,7 @@
 """Shared utilities: deterministic RNG handling, units, table rendering,
 shared-memory array packs and supervised worker processes."""
 
+from repro.utils.memory import Workspace
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.shm import PackLayout, SharedArrayPack
 from repro.utils.workers import (
@@ -26,6 +27,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "Workspace",
     "ensure_rng",
     "spawn_rngs",
     "PackLayout",

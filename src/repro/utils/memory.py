@@ -1,13 +1,21 @@
-"""Process-level memory tuning for the serving hot path.
+"""Process-level memory management for the serving hot path.
 
-Screened inference materializes a ``(batch, l)`` score plane per batch
-— 51 MB at ``l = 100K``, ``batch = 64`` in float64.  glibc's default
-malloc serves blocks that large through ``mmap`` and returns them to
-the OS the moment they are freed, so every batch re-faults (and the
-kernel re-zeroes) the entire plane before a single MAC runs.  On the
-reference machine that page-fault churn is ~3× the cost of the
-screening GEMM itself.
+Two tools live here:
 
+* :func:`configure_serving_allocator` / :func:`reset_default_allocator`
+  — glibc allocator tuning so large freed planes are recycled instead
+  of re-faulted (see below);
+* :class:`Workspace` — a reusable scratch-buffer arena for the blocked
+  streaming engine, so steady-state ``forward_streaming()`` performs
+  zero new workspace allocations after warm-up.
+
+Allocator tuning: screened inference materializes a ``(batch, l)``
+score plane per batch — 51 MB at ``l = 100K``, ``batch = 64`` in
+float64.  glibc's default malloc serves blocks that large through
+``mmap`` and returns them to the OS the moment they are freed, so
+every batch re-faults (and the kernel re-zeroes) the entire plane
+before a single MAC runs.  On the reference machine that page-fault
+churn is ~3× the cost of the screening GEMM itself.
 :func:`configure_serving_allocator` raises glibc's mmap and trim
 thresholds so freed planes stay in the process heap and are recycled
 by the next batch.  This is the standard HPC/numerics tuning usually
@@ -19,6 +27,9 @@ self-contained.
 from __future__ import annotations
 
 import ctypes
+from typing import Dict, Tuple
+
+import numpy as np
 
 # glibc mallopt parameter numbers (malloc.h).
 _M_TRIM_THRESHOLD = -1
@@ -43,6 +54,79 @@ def configure_serving_allocator(threshold_bytes: int = 1 << 30) -> bool:
     except OSError:
         return False
     return bool(accepted_mmap) and bool(accepted_trim)
+
+
+class Workspace:
+    """A keyed arena of reusable scratch buffers.
+
+    The blocked streaming engine requests every recurring scratch array
+    through a workspace instead of allocating fresh: each distinct
+    ``(key, dtype)`` pair owns one flat slab that is grown to the
+    largest size ever requested and then handed out as shaped views.
+    After the first forward pass at a given batch shape (warm-up), no
+    request grows a slab, so the steady-state hot path performs zero
+    new workspace allocations — asserted in tests via the
+    :attr:`allocations` counter.
+
+    Contract
+    --------
+    * :meth:`buffer` returns an *uninitialized* view — the caller must
+      fully overwrite it.  The view is only valid until the next
+      :meth:`buffer`/:meth:`growable` call with the same key; callers
+      must not hold two live views of one key.
+    * :meth:`growable` returns the whole slab (capacity ≥ the request)
+      and **preserves existing contents** across growth — it backs
+      append-style accumulation where the caller tracks the fill count.
+    * Growth never shrinks: slab capacity is the high-water mark of all
+      requests, so a workspace's footprint is bounded by the largest
+      batch shape it has served.
+    * :attr:`allocations` counts slab (re)allocations and
+      :attr:`requests` counts served requests; ``allocations`` staying
+      flat while ``requests`` climbs is the steady-state guarantee.
+    """
+
+    def __init__(self) -> None:
+        self._slabs: Dict[Tuple[object, np.dtype], np.ndarray] = {}
+        self.allocations = 0
+        self.requests = 0
+
+    def _slab(self, key: object, size: int, dtype: np.dtype, preserve: bool) -> np.ndarray:
+        slab_key = (key, np.dtype(dtype))
+        slab = self._slabs.get(slab_key)
+        if slab is None or slab.size < size:
+            # Growable slabs double so append-style use amortizes; exact
+            # sizing for plain buffers keeps shaped reuse tight.
+            capacity = max(size, 2 * slab.size) if (slab is not None and preserve) else size
+            grown = np.empty(capacity, dtype=dtype)
+            if slab is not None and preserve:
+                grown[: slab.size] = slab
+            self._slabs[slab_key] = grown
+            self.allocations += 1
+            slab = grown
+        return slab
+
+    def buffer(self, key: object, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """An uninitialized C-contiguous array of ``shape`` under ``key``."""
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        self.requests += 1
+        return self._slab(key, size, np.dtype(dtype), preserve=False)[:size].reshape(shape)
+
+    def growable(self, key: object, capacity: int, dtype=np.float64) -> np.ndarray:
+        """The full slab for ``key``, grown (contents preserved) to at
+        least ``capacity`` elements."""
+        self.requests += 1
+        return self._slab(key, int(capacity), np.dtype(dtype), preserve=True)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(slab.nbytes for slab in self._slabs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Workspace(slabs={len(self._slabs)}, nbytes={self.nbytes}, "
+            f"allocations={self.allocations}, requests={self.requests})"
+        )
 
 
 def reset_default_allocator() -> bool:

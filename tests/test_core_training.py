@@ -110,6 +110,68 @@ class TestTrainScreener:
         assert correlation > 0.8
 
 
+class TestShuffleVectorization:
+    """The per-epoch gather + contiguous-slice mini-batching must not
+    change a single bit of the training trajectory relative to the
+    original per-step fancy-indexed slicing."""
+
+    def reference_train(self, classifier, features, solver, epochs, batch_size, lr, rng):
+        """The pre-vectorization SGD loop: fancy-index every step."""
+        from repro.core.screener import initialize_screener
+        from repro.core.training import TrainingReport, _mse_and_grads
+        from repro.linalg.sgd import SGD, Adam
+        from repro.utils.rng import ensure_rng
+
+        config = ScreeningConfig(projection_dim=8)
+        generator = ensure_rng(rng)
+        screener = initialize_screener(
+            classifier.num_categories, classifier.hidden_dim, config,
+            rng=generator,
+        )
+        targets = classifier.logits(features)
+        projected = screener.project(features)
+        if solver == "sgd":
+            optimizer = SGD([screener.weight, screener.bias], lr=lr, momentum=0.9)
+        else:
+            optimizer = Adam([screener.weight, screener.bias], lr=lr)
+        report = TrainingReport(solver=solver)
+        num_samples = features.shape[0]
+        for _ in range(epochs):
+            order = generator.permutation(num_samples)
+            epoch_loss, num_batches = 0.0, 0
+            for start in range(0, num_samples, batch_size):
+                take = order[start : start + batch_size]
+                loss, grad_w, grad_b = _mse_and_grads(
+                    screener, projected[take], targets[take]
+                )
+                optimizer.step([grad_w, grad_b])
+                epoch_loss += loss
+                num_batches += 1
+            report.losses.append(epoch_loss / max(num_batches, 1))
+            if report.converged:
+                break
+        screener._refresh_quantized_weight()
+        return screener, report
+
+    @pytest.mark.parametrize("solver", ["sgd", "adam"])
+    @pytest.mark.parametrize("batch_size", [64, 100])  # 100 leaves a ragged tail
+    def test_trajectory_bit_identical(self, setup, solver, batch_size):
+        classifier, features = setup
+        screener, report = train_screener(
+            classifier, features,
+            config=ScreeningConfig(projection_dim=8),
+            solver=solver, lr=0.001, epochs=5, batch_size=batch_size,
+            rng=3, return_report=True,
+        )
+        expected_screener, expected_report = self.reference_train(
+            classifier, features, solver, epochs=5, batch_size=batch_size,
+            lr=0.001, rng=3,
+        )
+        assert report.losses == expected_report.losses
+        assert np.array_equal(screener.weight, expected_screener.weight)
+        assert np.array_equal(screener.bias, expected_screener.bias)
+
+
 class TestTrainingReport:
     def test_final_loss_empty_raises(self):
         with pytest.raises(ValueError):

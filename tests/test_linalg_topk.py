@@ -5,10 +5,14 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.linalg.topk import (
+    BlockwiseThreshold,
+    BlockwiseTopM,
     calibrate_threshold,
     select_above_threshold,
+    stable_top_m_indices,
     top_k_indices,
 )
+from repro.utils.memory import Workspace
 
 score_arrays = arrays(
     dtype=np.float64,
@@ -85,6 +89,157 @@ class TestThresholdSelect:
     def test_rejects_3d(self):
         with pytest.raises(ValueError):
             select_above_threshold(np.zeros((2, 2, 2)), 0.0)
+
+
+def reference_stable_top_m(scores, m):
+    """Oracle: full lexicographic sort by (score desc, index asc)."""
+    out = []
+    for row in scores:
+        order = np.lexsort((np.arange(row.size), -row))
+        out.append(np.sort(order[: min(m, row.size)]))
+    return np.array(out)
+
+
+class TestStableTopM:
+    def test_basic(self):
+        scores = np.array([[1.0, 9.0, 3.0, 7.0]])
+        assert stable_top_m_indices(scores, 2).tolist() == [[1, 3]]
+
+    def test_ties_break_to_lowest_index(self):
+        scores = np.array([[5.0, 5.0, 5.0, 5.0]])
+        assert stable_top_m_indices(scores, 2).tolist() == [[0, 1]]
+
+    def test_ties_straddling_the_cut(self):
+        scores = np.array([[3.0, 7.0, 7.0, 7.0, 1.0]])
+        assert stable_top_m_indices(scores, 2).tolist() == [[1, 2]]
+
+    def test_m_at_least_n_selects_everything(self):
+        scores = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert stable_top_m_indices(scores, 5).tolist() == [[0, 1], [0, 1]]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            stable_top_m_indices(np.zeros(4), 2)
+
+    @given(score_arrays, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_lexsort_oracle(self, scores, m):
+        m = min(m, scores.shape[1])
+        assert np.array_equal(
+            stable_top_m_indices(scores, m), reference_stable_top_m(scores, m)
+        )
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(2, 24)),
+            elements=st.floats(-3, 3, allow_nan=False).map(round),
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle_under_heavy_ties(self, scores, m):
+        """Integer-valued scores force massive ties — the regime the
+        deterministic tie-break exists for."""
+        m = min(m, scores.shape[1])
+        assert np.array_equal(
+            stable_top_m_indices(scores, m), reference_stable_top_m(scores, m)
+        )
+
+
+class TestBlockwiseReducers:
+    def run_blocked(self, reducer, scores, boundaries):
+        start = 0
+        for stop in list(boundaries) + [scores.shape[1]]:
+            reducer.update(start, scores[:, start:stop])
+            start = stop
+        return reducer.finalize()
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(2, 24)),
+            elements=st.floats(-100, 100, allow_nan=False).map(
+                lambda value: round(value, 1)
+            ),
+        ),
+        st.integers(1, 6),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_top_m_partition_invariant(self, scores, m, data):
+        """Any block partition reproduces the dense stable selection."""
+        batch, n = scores.shape
+        m = min(m, n)
+        boundaries = sorted(
+            data.draw(
+                st.lists(st.integers(1, n - 1), max_size=4, unique=True)
+            )
+        )
+        reducer = BlockwiseTopM(batch, m)
+        counts, cols, values = self.run_blocked(reducer, scores, boundaries)
+        expected = stable_top_m_indices(scores, m)
+        assert np.array_equal(counts, np.full(batch, m))
+        assert np.array_equal(cols.reshape(batch, m), expected)
+        assert np.array_equal(
+            values.reshape(batch, m),
+            np.take_along_axis(scores, expected, axis=1),
+        )
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(2, 24)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        st.floats(-50, 50, allow_nan=False),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_partition_invariant(self, scores, threshold, data):
+        batch, n = scores.shape
+        boundaries = sorted(
+            data.draw(
+                st.lists(st.integers(1, n - 1), max_size=4, unique=True)
+            )
+        )
+        reducer = BlockwiseThreshold(batch, threshold)
+        counts, cols, values = self.run_blocked(reducer, scores, boundaries)
+        expected = select_above_threshold(scores, threshold)
+        assert np.array_equal(counts, [row.size for row in expected])
+        assert np.array_equal(cols, np.concatenate(expected))
+        rows = np.repeat(np.arange(batch), counts)
+        assert np.array_equal(values, scores[rows, cols])
+
+    def test_top_m_reuses_workspace(self):
+        workspace = Workspace()
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((4, 40))
+        for round_index in range(4):
+            reducer = BlockwiseTopM(4, 5, workspace=workspace)
+            self.run_blocked(reducer, scores, [10, 20, 30])
+            if round_index == 0:
+                settled = workspace.allocations
+        assert workspace.allocations == settled
+
+    def test_threshold_requires_threshold(self):
+        with pytest.raises(ValueError):
+            BlockwiseThreshold(2, None)
+
+    def test_float32_values_stay_float32(self):
+        scores = np.random.default_rng(1).standard_normal((2, 16)).astype(
+            np.float32
+        )
+        reducer = BlockwiseTopM(2, 3, dtype=np.float32)
+        reducer.update(0, scores)
+        _, cols, values = reducer.finalize()
+        assert values.dtype == np.float32
+        assert np.array_equal(
+            values.reshape(2, 3),
+            np.take_along_axis(
+                scores, stable_top_m_indices(scores, 3), axis=1
+            ),
+        )
 
 
 class TestCalibrate:

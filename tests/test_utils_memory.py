@@ -1,7 +1,11 @@
 import numpy as np
 import pytest
 
-from repro.utils.memory import configure_serving_allocator, reset_default_allocator
+from repro.utils.memory import (
+    Workspace,
+    configure_serving_allocator,
+    reset_default_allocator,
+)
 
 
 def test_configure_and_reset_return_bool():
@@ -33,3 +37,82 @@ def test_rejects_non_positive_threshold():
 def test_rejects_threshold_exceeding_c_int():
     with pytest.raises(ValueError, match="C int"):
         configure_serving_allocator(2**31)
+
+
+class TestWorkspace:
+    def test_buffer_shape_and_dtype(self):
+        workspace = Workspace()
+        view = workspace.buffer("a", (3, 4), np.float32)
+        assert view.shape == (3, 4)
+        assert view.dtype == np.float32
+        assert workspace.allocations == 1
+        assert workspace.requests == 1
+
+    def test_same_key_reuses_slab(self):
+        workspace = Workspace()
+        first = workspace.buffer("a", (8,))
+        second = workspace.buffer("a", (8,))
+        assert workspace.allocations == 1
+        assert workspace.requests == 2
+        assert np.shares_memory(first, second)
+
+    def test_smaller_request_reuses_slab(self):
+        workspace = Workspace()
+        workspace.buffer("a", (100,))
+        small = workspace.buffer("a", (10,))
+        assert small.shape == (10,)
+        assert workspace.allocations == 1
+
+    def test_larger_request_reallocates(self):
+        workspace = Workspace()
+        workspace.buffer("a", (10,))
+        workspace.buffer("a", (100,))
+        assert workspace.allocations == 2
+
+    def test_distinct_keys_get_distinct_slabs(self):
+        workspace = Workspace()
+        a = workspace.buffer("a", (4,))
+        b = workspace.buffer("b", (4,))
+        assert not np.shares_memory(a, b)
+        assert workspace.allocations == 2
+
+    def test_same_key_different_dtype_gets_own_slab(self):
+        workspace = Workspace()
+        workspace.buffer("a", (4,), np.float64)
+        workspace.buffer("a", (4,), np.intp)
+        assert workspace.allocations == 2
+
+    def test_buffer_contents_are_uninitialized_scratch(self):
+        # buffer() makes no content promise — only shape/dtype/identity.
+        workspace = Workspace()
+        view = workspace.buffer("a", (4,))
+        view[:] = 7.0
+        again = workspace.buffer("a", (4,))
+        assert np.shares_memory(view, again)
+
+    def test_growable_preserves_contents(self):
+        workspace = Workspace()
+        buf = workspace.growable("g", 4)
+        buf[:4] = [1.0, 2.0, 3.0, 4.0]
+        grown = workspace.growable("g", 8)
+        assert grown.size >= 8
+        assert np.array_equal(grown[:4], [1.0, 2.0, 3.0, 4.0])
+
+    def test_growable_doubles_to_amortize(self):
+        workspace = Workspace()
+        workspace.growable("g", 100)
+        workspace.growable("g", 101)  # grows to >= 200
+        assert workspace.allocations == 2
+        workspace.growable("g", 200)  # already covered
+        assert workspace.allocations == 2
+
+    def test_zero_size_buffer(self):
+        workspace = Workspace()
+        view = workspace.buffer("a", (0,))
+        assert view.shape == (0,)
+
+    def test_nbytes_totals_slabs(self):
+        workspace = Workspace()
+        workspace.buffer("a", (10,), np.float64)
+        workspace.buffer("b", (10,), np.float32)
+        assert workspace.nbytes == 10 * 8 + 10 * 4
