@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-parallel bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-parallel bench-parallel-faults bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,12 @@ bench-streaming:
 # Writes BENCH_parallel.json (records host cpu count; speedup needs cores).
 bench-parallel:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_parallel.py BENCH_parallel.json
+
+# Availability and latency under a deterministic fault schedule (kill,
+# delay, raise, wedge) against a degraded-mode fleet.  Merges a "faults"
+# section into BENCH_parallel.json, keeping existing throughput numbers.
+bench-parallel-faults:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_parallel.py --faults BENCH_parallel.json
 
 # Paper-figure benchmark suite (pytest-benchmark).
 bench-suite:

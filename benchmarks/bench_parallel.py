@@ -15,7 +15,11 @@ not as hoped.  On a multi-core host the expected headline at 4 workers
 is the near-linear shard scaling the paper's Section 8 model predicts.
 
 Run as a script (``make bench-parallel``); writes
-``BENCH_parallel.json``.
+``BENCH_parallel.json``.  ``--faults`` (``make bench-parallel-faults``)
+instead drives a deterministic fault schedule (kill, delay past the
+deadline, wedge, raise) through a degraded-mode fleet and records
+availability and latency-under-faults into the same JSON under a
+``"faults"`` key; ``--smoke`` shrinks the scenario for CI.
 """
 
 from __future__ import annotations
@@ -30,8 +34,10 @@ from typing import Callable, List
 import numpy as np
 
 from repro.core import ScreeningConfig
+from repro.core.pipeline import DegradedOutput
 from repro.data import make_task
 from repro.distributed import ShardedClassifier
+from repro.utils.faults import FaultSpec
 
 NUM_CATEGORIES = 100_000
 HIDDEN_DIM = 64
@@ -158,9 +164,182 @@ def run() -> dict:
     }
 
 
+# --- availability / latency under faults ------------------------------
+
+#: Per-request deadline for the fault scenario.  Generous relative to a
+#: clean request so only injected faults trip it.
+FAULT_DEADLINE_S = 1.0
+FAULT_SHARDS = 2
+FAULT_REQUESTS = 16
+
+#: Deterministic schedule against shard 1 (request counts, not clocks):
+#: a crash, a slow reply recovered by retry, a deterministic exception
+#: (reported, never retried), and a wedge escalated to kill+respawn.
+#: Request counts are per worker incarnation and only ``persistent``
+#: specs survive a respawn, so the kill comes first (and is dropped
+#: afterwards — no crash loop) while the later faults are persistent:
+#: they fire at local requests 6/9/12 of the *post-kill* incarnation,
+#: i.e. global requests 8/11/14 of the run.
+FAULT_SCHEDULE = {
+    1: (
+        FaultSpec(kind="kill", at_request=3),
+        FaultSpec(
+            kind="delay",
+            at_request=6,
+            seconds=FAULT_DEADLINE_S * 1.5,
+            persistent=True,
+        ),
+        FaultSpec(kind="raise", at_request=9, persistent=True),
+        FaultSpec(kind="wedge", at_request=12, persistent=True),
+    )
+}
+
+
+def run_faults(smoke: bool = False) -> dict:
+    num_categories = 2_000 if smoke else 20_000
+    task = make_task(num_categories=num_categories, hidden_dim=HIDDEN_DIM, rng=7)
+    features = task.sample_features(BATCH, rng=8)
+    train_features = task.sample_features(256 if smoke else 512, rng=9)
+
+    model = ShardedClassifier(
+        task.classifier,
+        num_shards=FAULT_SHARDS,
+        config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+    )
+    model.train(
+        train_features, candidates_per_shard=CANDIDATES_PER_SHARD, rng=10
+    )
+    expected = model.forward(features)
+
+    # The delay fault must land inside the retry window, so the retried
+    # request observes (and discards) the stale late reply.
+    deadline = FAULT_DEADLINE_S
+    engine = model.parallel(
+        max_batch=BATCH,
+        degraded=True,
+        request_timeout=deadline,
+        request_retries=1,
+        max_restarts=4,
+        restart_backoff=0.01,
+        restart_backoff_cap=0.05,
+        faults=FAULT_SCHEDULE,
+    )
+
+    latencies_ms: List[float] = []
+    clean_ms: List[float] = []
+    statuses: List[str] = []
+    category_availability: List[float] = []
+    mismatches = 0
+    # `WorkerHandle.stale_replies` is per incarnation; accumulate across
+    # respawns (a replacement handle restarts the counter at zero).
+    stale_seen = [0] * FAULT_SHARDS
+    stale = 0
+    try:
+        for _ in range(FAULT_REQUESTS):
+            start = time.perf_counter()
+            result = engine.forward(features)
+            elapsed = (time.perf_counter() - start) * 1e3
+            latencies_ms.append(elapsed)
+            for shard, worker in enumerate(engine.workers):
+                current = worker.stale_replies
+                if current < stale_seen[shard]:
+                    stale_seen[shard] = 0
+                stale += current - stale_seen[shard]
+                stale_seen[shard] = current
+            if isinstance(result, DegradedOutput):
+                statuses.append("degraded")
+                category_availability.append(result.available_fraction)
+            else:
+                statuses.append("full")
+                category_availability.append(1.0)
+                clean_ms.append(elapsed)
+                if not np.array_equal(result.logits, expected.logits):
+                    mismatches += 1
+        respawns = list(engine.restarts)
+        dead = list(engine.dead_shards)
+    finally:
+        engine.close()
+
+    full = statuses.count("full")
+    degraded = statuses.count("degraded")
+    report = {
+        "config": {
+            "num_categories": num_categories,
+            "num_shards": FAULT_SHARDS,
+            "batch": BATCH,
+            "requests": FAULT_REQUESTS,
+            "request_timeout_s": deadline,
+            "request_retries": 1,
+            "max_restarts": 4,
+            "smoke": smoke,
+            "schedule": [
+                {"shard": shard, "kind": s.kind, "at_request": s.at_request}
+                for shard, specs in sorted(FAULT_SCHEDULE.items())
+                for s in specs
+            ],
+        },
+        "availability": {
+            "full_results": full,
+            "degraded_results": degraded,
+            "full_fraction": round(full / FAULT_REQUESTS, 4),
+            "answered_fraction": round((full + degraded) / FAULT_REQUESTS, 4),
+            "mean_category_availability": round(
+                float(np.mean(category_availability)), 4
+            ),
+        },
+        "latency_ms": {
+            "clean_p50": round(float(np.median(clean_ms)), 3),
+            "clean_max": round(max(clean_ms), 3),
+            "overall_max": round(max(latencies_ms), 3),
+            "per_request": [round(v, 3) for v in latencies_ms],
+        },
+        "recovery": {
+            "respawns_per_shard": respawns,
+            "stale_replies_discarded": stale,
+            "dead_shards": dead,
+            "full_result_mismatches": mismatches,
+        },
+        "statuses": statuses,
+    }
+    print(
+        f"faults: {full}/{FAULT_REQUESTS} full, {degraded} degraded, "
+        f"respawns={respawns} stale={stale} "
+        f"clean p50={report['latency_ms']['clean_p50']}ms "
+        f"worst={report['latency_ms']['overall_max']}ms",
+        flush=True,
+    )
+    if mismatches:
+        raise SystemExit(
+            f"{mismatches} full results diverged from the sequential backend"
+        )
+    if full + degraded != FAULT_REQUESTS:
+        raise SystemExit("degraded-mode engine failed to answer every request")
+    return report
+
+
 def main() -> int:
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_parallel.json"
+    argv = sys.argv[1:]
+    faults = "--faults" in argv
+    smoke = "--smoke" in argv
+    positional = [a for a in argv if not a.startswith("--")]
+    output_path = positional[0] if positional else "BENCH_parallel.json"
+
+    if faults:
+        # Read-modify-write: keep the throughput numbers if they exist.
+        try:
+            with open(output_path) as handle:
+                report = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            report = {"benchmark": "process-parallel sharded serving"}
+        report["faults"] = run_faults(smoke=smoke)
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"fault-tolerance report -> {output_path}")
+        return 0
+
     report = run()
+    report["faults"] = run_faults(smoke=smoke)
     with open(output_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -11,6 +11,12 @@ the host merges the per-shard results through the same reduce path the
 sequential backend uses.  The two backends are bit-identical, which
 this example checks on every output it prints.
 
+The second half demonstrates the supervision layer: a worker is killed
+mid-service and transparently respawned from the still-live shared
+segments (bit-identical afterwards), then a degraded-mode fleet keeps
+answering with the surviving shards plus a structured report of the
+missing category ranges.
+
 Run:  python examples/parallel_serving.py
 """
 
@@ -19,8 +25,10 @@ import time
 import numpy as np
 
 from repro.core import ScreeningConfig
+from repro.core.pipeline import DegradedOutput
 from repro.data import make_task
 from repro.distributed import ShardedClassifier
+from repro.utils.faults import FaultSpec
 
 
 def main() -> None:
@@ -78,6 +86,48 @@ def main() -> None:
               f"(speedup tracks available cores; see BENCH_parallel.json)")
 
     print(f"after close: {engine!r}, segments unlinked")
+
+    # --- fault tolerance: respawn ------------------------------------
+    print("\n-- supervision: kill a worker mid-service --")
+    with sharded.parallel(restart_backoff=0.01) as engine:
+        engine.forward(features)
+        engine.workers[2].process.kill()
+        start = time.perf_counter()
+        recovered = engine.forward(features)
+        recovery_ms = 1e3 * (time.perf_counter() - start)
+        print(f"shard 2 killed; next request answered in {recovery_ms:.1f} ms "
+              f"(restarts per shard: {engine.restarts})")
+        print(f"post-respawn output bit-identical to sequential: "
+              f"{np.array_equal(recovered.logits, sequential.logits)}")
+
+    # --- fault tolerance: graceful degradation -----------------------
+    print("\n-- degraded mode: serve with a shard permanently down --")
+    # Deterministic injection: shard 1 crashes on every incarnation's
+    # first request, so the restart budget drains and the shard is
+    # declared dead instead of raising.
+    faults = {1: [FaultSpec(kind="kill", at_request=1, persistent=True)]}
+    with sharded.parallel(
+        degraded=True, max_restarts=1, restart_backoff=0.01, faults=faults
+    ) as engine:
+        result = engine.forward(features)
+        assert isinstance(result, DegradedOutput)
+        ranges = [f"[{r.start}, {r.stop})" for r in result.missing_ranges]
+        print(f"degraded result: {result.available_fraction:.0%} of "
+              f"categories served, missing {', '.join(ranges)}")
+        for failure in result.failures:
+            print(f"  shard {failure.shard_id}: {failure.kind} "
+                  f"(categories [{failure.categories.start}, "
+                  f"{failure.categories.stop}))")
+        surviving = np.concatenate([
+            result.result.logits[:, : 2000], result.result.logits[:, 4000:]
+        ], axis=1)
+        reference = np.concatenate([
+            sequential.logits[:, : 2000], sequential.logits[:, 4000:]
+        ], axis=1)
+        print(f"surviving columns bit-identical to sequential: "
+              f"{np.array_equal(surviving, reference)}; "
+              f"missing columns are NaN: "
+              f"{bool(np.isnan(result.result.logits[:, 2000:4000]).all())}")
 
 
 if __name__ == "__main__":

@@ -179,6 +179,84 @@ class StreamedOutput:
         )
 
 
+class ShardFailure:
+    """One shard's unrecoverable failure during a degraded request.
+
+    ``kind`` is the failure class the supervisor observed — ``"died"``
+    (process gone, restart budget exhausted), ``"timeout"`` (live but
+    unresponsive past every retry) or ``"error"`` (request-scoped
+    exception; the worker survives).  ``categories`` is the global
+    category range the shard owned, i.e. the columns the result is
+    missing.
+    """
+
+    def __init__(self, shard_id: int, categories: range, kind: str, detail: str = ""):
+        self.shard_id = shard_id
+        self.categories = categories
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardFailure(shard={self.shard_id}, "
+            f"categories=[{self.categories.start}, {self.categories.stop}), "
+            f"kind={self.kind!r})"
+        )
+
+
+class DegradedOutput:
+    """A partial serving result plus a structured report of what is missing.
+
+    Returned (instead of raising) by a fleet running in graceful-
+    degradation mode when one or more shards could not answer:
+    ``result`` is the merge of the *surviving* shards — a
+    :class:`ScreenedOutput` whose missing columns are NaN, a
+    :class:`StreamedOutput` with no candidates from the missing ranges,
+    or a ``(indices, scores)`` top-k pair reduced over survivors only —
+    and ``failures`` records exactly which category ranges are absent
+    and why.  Callers that can tolerate partial answers (the Amazon-
+    scale XC deployments this models) read ``result`` and log the
+    report; callers that cannot should check ``missing_ranges`` and
+    fall back.
+    """
+
+    def __init__(
+        self,
+        result,
+        failures,
+        num_categories: int,
+    ):
+        self.result = result
+        self.failures = tuple(failures)
+        self.num_categories = int(num_categories)
+
+    @property
+    def missing_ranges(self) -> Tuple[range, ...]:
+        """Global category ranges with no answer, ascending."""
+        return tuple(
+            sorted(
+                (failure.categories for failure in self.failures),
+                key=lambda r: r.start,
+            )
+        )
+
+    @property
+    def missing_categories(self) -> int:
+        return sum(len(r) for r in self.missing_ranges)
+
+    @property
+    def available_fraction(self) -> float:
+        """Fraction of the category space the result covers."""
+        return 1.0 - self.missing_categories / self.num_categories
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedOutput({len(self.failures)} shard failure(s), "
+            f"{self.available_fraction:.1%} of {self.num_categories} "
+            "categories available)"
+        )
+
+
 class ApproximateScreeningClassifier:
     """The paper's candidates-only classifier (screen → filter → exact → mix)."""
 

@@ -22,15 +22,21 @@ from repro.distributed.sharding import (
     ShardedClassifier,
     merge_candidates,
     merge_candidates_per_row,
+    merge_partial_shard_outputs,
+    merge_partial_streamed_outputs,
     merge_shard_outputs,
     merge_streamed_outputs,
+    placeholder_screened_output,
+    placeholder_streamed_output,
     reduce_top_k,
     shard_ranges,
     shard_top_k,
 )
 from repro.distributed.cluster import ClusterModel, DistributedResult
 from repro.distributed.parallel import (
+    DegradedOutput,
     ParallelShardedEngine,
+    ShardFailure,
     WorkerDied,
     WorkerError,
 )
@@ -40,11 +46,17 @@ __all__ = [
     "ParallelShardedEngine",
     "WorkerDied",
     "WorkerError",
+    "DegradedOutput",
+    "ShardFailure",
     "shard_ranges",
     "merge_candidates",
     "merge_candidates_per_row",
     "merge_shard_outputs",
     "merge_streamed_outputs",
+    "merge_partial_shard_outputs",
+    "merge_partial_streamed_outputs",
+    "placeholder_screened_output",
+    "placeholder_streamed_output",
     "shard_top_k",
     "reduce_top_k",
     "ClusterModel",

@@ -1,4 +1,4 @@
-"""Process-parallel sharded serving engine.
+"""Process-parallel sharded serving engine with fleet supervision.
 
 :class:`ParallelShardedEngine` turns a trained
 :class:`~repro.distributed.sharding.ShardedClassifier` into a fleet of
@@ -29,33 +29,63 @@ bytes, the engine is bit-identical to the sequential
 ``tests/test_distributed_parallel.py`` asserts exactly that, across
 selectors, compute dtypes and shard counts.
 
-Failure handling: a worker that dies mid-request surfaces as
-:class:`~repro.utils.workers.WorkerDied` (never a hang — see
-:meth:`WorkerHandle.recv`), after which the engine shuts the remaining
-fleet down and unlinks every shared segment.
+Fault tolerance (the supervision layer)
+---------------------------------------
+Every pipe message carries a request id (see
+:mod:`repro.utils.workers`), so a request the host gave up on can never
+poison the next one — late replies are discarded by id.  On that
+protocol the engine builds serving-grade supervision:
+
+* **respawn** — a worker that dies is replaced from the *same* shared
+  parameter segments (nothing is re-exported or re-pickled), with
+  exponential backoff and a bounded per-worker restart budget
+  (``max_restarts``); a respawned fleet keeps answering bit-identically
+  to the sequential backend.
+* **deadlines + retries** — ``request_timeout`` bounds every reply
+  wait; ``request_retries`` re-issues the request to the same live
+  worker (safe, because its late first answer is discarded by id)
+  before the worker is declared wedged, killed, and replaced.
+* **graceful degradation** — with ``degraded=True`` an irrecoverable
+  shard no longer takes down the engine: ``forward`` /
+  ``forward_streaming`` / ``top_k`` return a
+  :class:`~repro.core.pipeline.DegradedOutput` wrapping the merge of
+  the surviving shards plus :class:`~repro.core.pipeline.ShardFailure`
+  records naming the missing category ranges.  With ``degraded=False``
+  (default) the engine preserves the fail-fast contract: it closes
+  itself and raises.
+
+Every failure path is exercised deterministically through
+:mod:`repro.utils.faults` (kill / delay / wedge / raise on the nth
+request), wired through the worker entry point.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.candidates import CandidateSet
 from repro.core.pipeline import (
     ApproximateScreeningClassifier,
+    DegradedOutput,
     ScreenedOutput,
+    ShardFailure,
     StreamedOutput,
 )
 from repro.distributed.sharding import (
     ShardedClassifier,
+    merge_partial_shard_outputs,
+    merge_partial_streamed_outputs,
     merge_shard_outputs,
     merge_streamed_outputs,
     reduce_top_k,
     shard_top_k,
 )
+from repro.utils.faults import FaultInjector, FaultSpec, surviving_specs
 from repro.utils.shm import PackLayout, SharedArrayPack
 from repro.utils.validation import check_batch_features, check_positive
 from repro.utils.workers import (
@@ -67,7 +97,17 @@ from repro.utils.workers import (
 
 import multiprocessing
 
-__all__ = ["ParallelShardedEngine", "WorkerDied", "WorkerError"]
+__all__ = [
+    "ParallelShardedEngine",
+    "WorkerDied",
+    "WorkerError",
+    "DegradedOutput",
+    "ShardFailure",
+]
+
+#: Ops that do real inference work; only these advance the fault
+#: injector's request counter (control traffic stays deterministic).
+_SERVING_OPS = ("forward", "top_k", "forward_streaming")
 
 
 class WorkerError(RuntimeError):
@@ -87,10 +127,19 @@ def _worker_main(
     param_layout: PackLayout,
     meta: Dict[str, object],
     shard_start: int,
+    fault_specs: Optional[Sequence[FaultSpec]] = None,
 ) -> None:
-    """Entry point of one shard worker (module-level for spawn)."""
+    """Entry point of one shard worker (module-level for spawn).
+
+    Protocol: receives ``(request_id, op, payload)``, replies
+    ``(request_id, kind, payload)`` echoing the id; the startup
+    handshake is the only unsolicited message (id 0).
+    """
+    from repro.utils.workers import HANDSHAKE_ID
+
     params: Optional[SharedArrayPack] = None
     io_packs: Dict[str, SharedArrayPack] = {}
+    injector = FaultInjector(fault_specs)
     try:
         try:
             params = SharedArrayPack.attach(param_layout)
@@ -101,13 +150,13 @@ def _worker_main(
                 shard_start, shard_start + engine.num_categories
             )
         except Exception:
-            connection.send(("fatal", traceback.format_exc()))
+            connection.send((HANDSHAKE_ID, "fatal", traceback.format_exc()))
             return
-        connection.send(("ready", shard_id))
+        connection.send((HANDSHAKE_ID, "ready", shard_id))
 
         while True:
             try:
-                op, payload = connection.recv()
+                request_id, op, payload = connection.recv()
             except (EOFError, OSError):
                 break
             if op == "shutdown":
@@ -116,20 +165,24 @@ def _worker_main(
                 for pack in io_packs.values():
                     pack.close()
                 io_packs.clear()
-                connection.send(("ok", None))
+                connection.send((request_id, "ok", None))
                 continue
             if op == "die":  # test hook: crash without replying
                 os._exit(int(payload or 1))
             try:
-                if op in ("forward", "top_k", "forward_streaming"):
+                if op in _SERVING_OPS:
+                    # Faults fire before the handler, so a kill never
+                    # replies and a delay delays the reply — the
+                    # externally observable failure shapes.
+                    injector.on_request()
                     reply = _serve_request(
                         engine, shard_id, shard_range, io_packs, op, payload
                     )
                 else:
                     raise ValueError(f"unknown op {op!r}")
-                connection.send(("ok", reply))
+                connection.send((request_id, "ok", reply))
             except Exception:
-                connection.send(("error", traceback.format_exc()))
+                connection.send((request_id, "error", traceback.format_exc()))
     finally:
         for pack in io_packs.values():
             pack.close()
@@ -200,7 +253,8 @@ def _serve_request(
 # host side
 # ----------------------------------------------------------------------
 class ParallelShardedEngine:
-    """Serve a trained :class:`ShardedClassifier` with one process per shard.
+    """Serve a trained :class:`ShardedClassifier` with one supervised
+    process per shard.
 
     Parameters
     ----------
@@ -215,14 +269,36 @@ class ParallelShardedEngine:
         rows.  Larger batches are accepted — the engine reallocates the
         I/O segments transparently.
     request_timeout:
-        Seconds to wait for a *live* worker's reply before raising
-        ``WorkerTimeout``; ``None`` waits indefinitely (worker death is
-        always detected regardless).
+        Seconds to wait for a *live* worker's reply before the retry /
+        respawn policy kicks in; ``None`` waits indefinitely (worker
+        death is always detected regardless).
+    request_retries:
+        How many times a timed-out request is re-issued to the same
+        live worker before it is declared wedged.  Safe at any value:
+        the request-id protocol discards the late replies of abandoned
+        attempts.
+    max_restarts:
+        Per-worker respawn budget.  A dead (or wedged-and-killed)
+        worker is replaced from the existing shared parameter segments
+        up to this many times; ``0`` disables supervision and restores
+        pure fail-fast behaviour.
+    restart_backoff / restart_backoff_cap:
+        Exponential backoff before respawn attempt *n*:
+        ``min(cap, backoff * 2**n)`` seconds.
+    degraded:
+        ``False`` (default): an irrecoverable shard closes the engine
+        and raises (a fleet with a missing shard cannot answer
+        *exactly*).  ``True``: serving calls return a
+        :class:`~repro.core.pipeline.DegradedOutput` — the merge of the
+        surviving shards plus a structured report of the missing
+        category ranges — and the fleet keeps serving what it has.
+    faults:
+        Optional ``{shard_id: [FaultSpec, ...]}`` mapping injected into
+        the workers (tests / ``bench_parallel.py --faults`` only).
+        Respawned workers inherit only ``persistent`` specs.
 
     The engine is a context manager; ``close()`` shuts workers down and
-    unlinks every shared segment.  After a :class:`WorkerDied` the
-    engine closes itself — a serving fleet with a missing shard cannot
-    answer correctly, so it fails fast and releases its memory.
+    unlinks every shared segment.
     """
 
     def __init__(
@@ -231,21 +307,38 @@ class ParallelShardedEngine:
         start_method: Optional[str] = None,
         max_batch: int = 64,
         request_timeout: Optional[float] = None,
+        request_retries: int = 1,
+        max_restarts: int = 2,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        degraded: bool = False,
+        faults: Optional[Dict[int, Sequence[FaultSpec]]] = None,
+        spawn_timeout: float = 60.0,
     ):
         if not sharded.trained:
             raise RuntimeError("train the ShardedClassifier before serving it")
         check_positive("max_batch", max_batch)
+        if request_retries < 0:
+            raise ValueError(f"request_retries must be >= 0, got {request_retries}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.ranges = list(sharded.ranges)
         self.hidden_dim = sharded.classifier.hidden_dim
         self.num_categories = sharded.classifier.num_categories
         self.request_timeout = request_timeout
+        self.request_retries = int(request_retries)
+        self.max_restarts = int(max_restarts)
+        self.restart_backoff = float(restart_backoff)
+        self.restart_backoff_cap = float(restart_backoff_cap)
+        self.degraded = bool(degraded)
+        self.spawn_timeout = float(spawn_timeout)
         self.closed = False
         self._max_batch = int(max_batch)
         self._io_input: Optional[SharedArrayPack] = None
         self._io_output: Optional[SharedArrayPack] = None
         self._segment_names: List[str] = []
 
-        context = (
+        self._context = (
             multiprocessing.get_context(start_method)
             if start_method is not None
             else default_context()
@@ -255,6 +348,13 @@ class ParallelShardedEngine:
             shard.screener.compute_dtype for shard in sharded.shards
         ]
         self._param_packs: List[SharedArrayPack] = []
+        self._worker_args: List[tuple] = []
+        self._fault_specs: List[List[FaultSpec]] = [
+            list((faults or {}).get(shard_id, ())) for shard_id in range(len(self.ranges))
+        ]
+        #: Respawns performed so far, per shard (observable supervision state).
+        self.restarts: List[int] = [0] * len(self.ranges)
+        self._dead: List[bool] = [False] * len(self.ranges)
         self.workers: List[WorkerHandle] = []
         try:
             for shard_id, (shard, shard_range) in enumerate(
@@ -264,16 +364,14 @@ class ParallelShardedEngine:
                 pack = SharedArrayPack.create(arrays)
                 self._param_packs.append(pack)
                 self._segment_names.append(pack.name)
+                self._worker_args.append(
+                    (shard_id, pack.layout, meta, shard_range.start)
+                )
                 self.workers.append(
-                    WorkerHandle(
-                        context,
-                        _worker_main,
-                        args=(shard_id, pack.layout, meta, shard_range.start),
-                        name=f"enmc-shard-{shard_id}",
-                    )
+                    self._spawn_worker(shard_id, self._fault_specs[shard_id])
                 )
             for worker in self.workers:
-                kind, payload = worker.recv(timeout=60.0)
+                kind, payload = worker.handshake(timeout=self.spawn_timeout)
                 if kind == "fatal":
                     raise RuntimeError(
                         f"worker {worker.name} failed to start:\n{payload}"
@@ -287,9 +385,183 @@ class ParallelShardedEngine:
     def num_shards(self) -> int:
         return len(self.ranges)
 
+    @property
+    def dead_shards(self) -> List[int]:
+        """Shards whose restart budget is exhausted (degraded mode)."""
+        return [sid for sid, dead in enumerate(self._dead) if dead]
+
     def segment_names(self) -> List[str]:
         """Names of every shared-memory segment this engine created."""
         return list(self._segment_names)
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _spawn_worker(
+        self, shard_id: int, fault_specs: Sequence[FaultSpec]
+    ) -> WorkerHandle:
+        return WorkerHandle(
+            self._context,
+            _worker_main,
+            args=(*self._worker_args[shard_id], list(fault_specs)),
+            name=f"enmc-shard-{shard_id}",
+        )
+
+    def _respawn(self, shard_id: int) -> bool:
+        """Replace shard ``shard_id``'s worker from the shared segments.
+
+        Bounded by ``max_restarts`` with exponential backoff; returns
+        ``True`` once a replacement worker completes its handshake.  On
+        a spent budget the shard is marked dead and ``False`` returns.
+        The dead or wedged incumbent is terminated first either way.
+        """
+        self.workers[shard_id].stop(timeout=0.1)
+        if not SharedArrayPack.exists(self._worker_args[shard_id][1]):
+            # The parameter segment is gone — the engine was torn down
+            # concurrently; no replacement worker could ever attach.
+            self._dead[shard_id] = True
+            return False
+        specs = surviving_specs(self._fault_specs[shard_id])
+        while self.restarts[shard_id] < self.max_restarts:
+            attempt = self.restarts[shard_id]
+            self.restarts[shard_id] += 1
+            time.sleep(
+                min(self.restart_backoff_cap, self.restart_backoff * (2 ** attempt))
+            )
+            worker = self._spawn_worker(shard_id, specs)
+            try:
+                kind, _ = worker.handshake(timeout=self.spawn_timeout)
+            except (WorkerDied, WorkerTimeout):
+                worker.stop(timeout=0.1)
+                continue
+            if kind != "ready":
+                worker.stop(timeout=0.1)
+                continue
+            self.workers[shard_id] = worker
+            return True
+        self._dead[shard_id] = True
+        return False
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _scatter_gather(
+        self, op: str, request
+    ) -> Tuple[List[Optional[dict]], Dict[int, ShardFailure]]:
+        """Send one request to every live worker, collect every reply.
+
+        Returns per-shard payloads (``None`` where a shard failed) plus
+        the failure records.  Recovery — retry on timeout, respawn on
+        death — happens per shard during collection.  In fail-fast mode
+        (``degraded=False``) an irrecoverable shard closes the engine
+        and re-raises the original ``WorkerDied``/``WorkerTimeout``.
+        """
+        pending: List[Optional[int]] = []
+        failures: Dict[int, ShardFailure] = {}
+        for shard_id, worker in enumerate(self.workers):
+            if self._dead[shard_id]:
+                failures[shard_id] = ShardFailure(
+                    shard_id,
+                    self.ranges[shard_id],
+                    "died",
+                    "restart budget exhausted on an earlier request",
+                )
+                pending.append(None)
+                continue
+            try:
+                pending.append(worker.post(op, request))
+            except WorkerDied:
+                # Send failed; the collect phase respawns and re-issues.
+                pending.append(None)
+        replies: List[Optional[dict]] = []
+        for shard_id in range(self.num_shards):
+            if shard_id in failures:
+                replies.append(None)
+                continue
+            replies.append(
+                self._collect_shard(shard_id, pending[shard_id], op, request, failures)
+            )
+        error_failures = [f for f in failures.values() if f.kind == "error"]
+        if error_failures and not self.degraded:
+            raise WorkerError(
+                f"request failed on {len(error_failures)}/{self.num_shards} "
+                "workers:\n"
+                + "\n".join(
+                    f"shard {f.shard_id}: {f.detail}" for f in error_failures
+                )
+            )
+        return replies, failures
+
+    def _collect_shard(
+        self,
+        shard_id: int,
+        request_id: Optional[int],
+        op: str,
+        request,
+        failures: Dict[int, ShardFailure],
+    ) -> Optional[dict]:
+        """Await one shard's reply, applying the recovery policy.
+
+        ``request_id is None`` means the request still needs (re)issuing
+        — the initial send failed or a replacement worker came up.
+        """
+        retries_left = self.request_retries
+        while True:
+            worker = self.workers[shard_id]
+            try:
+                if request_id is None:
+                    request_id = worker.post(op, request)
+                kind, payload = worker.recv_tagged(
+                    request_id, timeout=self.request_timeout
+                )
+            except WorkerTimeout as error:
+                if retries_left > 0:
+                    # Re-issue to the same live worker; its late answer
+                    # to the abandoned id is discarded on arrival.
+                    retries_left -= 1
+                    try:
+                        request_id = worker.post(op, request)
+                    except WorkerDied:
+                        request_id = None
+                    continue
+                # Live but unresponsive past every retry: wedged.
+                # Replace it (heals future requests); this request can
+                # still complete on the replacement if the budget allows.
+                if self._respawn(shard_id):
+                    request_id = None
+                    continue
+                return self._shard_failed(shard_id, "timeout", str(error), error, failures)
+            except WorkerDied as error:
+                if self._respawn(shard_id):
+                    request_id = None
+                    continue
+                return self._shard_failed(shard_id, "died", str(error), error, failures)
+            if kind == "ok":
+                return payload
+            # Remote exception: the worker survives; record and move on
+            # (fail-fast mode raises an aggregated WorkerError after
+            # every shard is collected).
+            failures[shard_id] = ShardFailure(
+                shard_id, self.ranges[shard_id], "error", str(payload)
+            )
+            return None
+
+    def _shard_failed(
+        self,
+        shard_id: int,
+        kind: str,
+        detail: str,
+        error: Exception,
+        failures: Dict[int, ShardFailure],
+    ) -> None:
+        """Record an irrecoverable shard; fail-fast mode closes + raises."""
+        if not self.degraded:
+            self.close()
+            raise error
+        failures[shard_id] = ShardFailure(
+            shard_id, self.ranges[shard_id], kind, detail
+        )
+        return None
 
     # ------------------------------------------------------------------
     # shared I/O planes
@@ -313,6 +585,9 @@ class ParallelShardedEngine:
             if self._io_input is not None:
                 # Workers hold mappings of the old planes; have them
                 # detach before the segments are unlinked and replaced.
+                # Failures are tolerable here: a dead worker's mapping
+                # dies with its process, and the replacement attaches
+                # the new layout lazily on its next request.
                 self._scatter_gather("detach-io", None)
                 self._release_io()
             self._io_input = SharedArrayPack.zeros(
@@ -340,41 +615,6 @@ class ParallelShardedEngine:
         self._io_input = None
         self._io_output = None
 
-    # ------------------------------------------------------------------
-    # request plumbing
-    # ------------------------------------------------------------------
-    def _scatter_gather(self, op: str, request) -> List[dict]:
-        """Send one request to every worker, then collect every reply.
-
-        Every worker's reply is drained even when one of them reports
-        an error, so the pipes stay request/reply aligned; a dead or
-        unresponsive worker instead shuts the whole engine down (a
-        fleet with a missing shard cannot answer correctly).
-        """
-        try:
-            for worker in self.workers:
-                worker.send((op, request))
-            replies: List[dict] = []
-            errors: List[str] = []
-            for worker in self.workers:
-                kind, payload = worker.recv(timeout=self.request_timeout)
-                if kind == "ok":
-                    replies.append(payload)
-                else:
-                    errors.append(f"worker {worker.name}: {kind}\n{payload}")
-            if errors:
-                raise WorkerError(
-                    "request failed on "
-                    f"{len(errors)}/{self.num_shards} workers:\n"
-                    + "\n".join(errors)
-                )
-            return replies
-        except (WorkerDied, WorkerTimeout):
-            # A shard is gone or wedged; release every process and
-            # segment before surfacing the failure.
-            self.close()
-            raise
-
     def _prepare(
         self, features: np.ndarray, need_output: bool = True
     ) -> Tuple[np.ndarray, int]:
@@ -389,11 +629,17 @@ class ParallelShardedEngine:
     # ------------------------------------------------------------------
     # serving API — mirrors the sequential backend
     # ------------------------------------------------------------------
-    def forward(self, features: np.ndarray) -> ScreenedOutput:
+    def forward(
+        self, features: np.ndarray
+    ) -> Union[ScreenedOutput, DegradedOutput]:
         """All-shard screened inference, merged to global order.
 
         Bit-identical to ``ShardedClassifier.forward`` on the same
-        shards (differentially tested).
+        shards (differentially tested) — including across worker
+        respawns, because replacement workers rebuild from the same
+        shared parameter bytes.  In degraded mode a request with failed
+        shards returns a :class:`DegradedOutput` whose missing columns
+        are NaN.
         """
         _, rows = self._prepare(features)
         request = {
@@ -401,9 +647,12 @@ class ParallelShardedEngine:
             "input": self._io_input.layout,
             "output": self._io_output.layout,
         }
-        replies = self._scatter_gather("forward", request)
-        outputs = []
+        replies, failures = self._scatter_gather("forward", request)
+        outputs: List[Optional[ScreenedOutput]] = []
         for shard_id, reply in enumerate(replies):
+            if reply is None:
+                outputs.append(None)
+                continue
             logits = self._io_output[f"logits{shard_id}"][:rows]
             candidates = CandidateSet.from_flat(reply["counts"], reply["cols"])
             outputs.append(
@@ -415,6 +664,11 @@ class ParallelShardedEngine:
             )
         # merge_shard_outputs concatenates the logits planes, so the
         # merged output owns its memory and survives buffer reuse.
+        if failures:
+            merged = merge_partial_shard_outputs(
+                outputs, self.ranges, rows, self._compute_dtypes
+            )
+            return DegradedOutput(merged, failures.values(), self.num_categories)
         return merge_shard_outputs(outputs, self.ranges)
 
     __call__ = forward
@@ -423,7 +677,7 @@ class ParallelShardedEngine:
         self,
         features: np.ndarray,
         block_categories: Optional[int] = None,
-    ) -> StreamedOutput:
+    ) -> Union[StreamedOutput, DegradedOutput]:
         """All-shard blocked streaming inference, merged to global order.
 
         Every worker streams its category stripe block by block and
@@ -431,6 +685,9 @@ class ParallelShardedEngine:
         exists, so the engine's shared memory stays O(batch × d)
         regardless of ``l``.  Candidates and values are bit-identical
         to ``ShardedClassifier.forward_streaming`` on the same shards.
+        In degraded mode a request with failed shards returns a
+        :class:`DegradedOutput` whose result simply has no candidates
+        from the missing ranges.
         """
         _, rows = self._prepare(features, need_output=False)
         request = {
@@ -438,20 +695,38 @@ class ParallelShardedEngine:
             "input": self._io_input.layout,
             "block": block_categories,
         }
-        replies = self._scatter_gather("forward_streaming", request)
-        outputs = [
-            StreamedOutput(
-                candidates=CandidateSet.from_flat(reply["counts"], reply["cols"]),
-                exact_values=reply["exact"],
-                approximate_values=reply["approx"],
-                num_categories=len(shard_range),
+        replies, failures = self._scatter_gather("forward_streaming", request)
+        outputs: List[Optional[StreamedOutput]] = []
+        for reply, shard_range in zip(replies, self.ranges):
+            if reply is None:
+                outputs.append(None)
+                continue
+            outputs.append(
+                StreamedOutput(
+                    candidates=CandidateSet.from_flat(
+                        reply["counts"], reply["cols"]
+                    ),
+                    exact_values=reply["exact"],
+                    approximate_values=reply["approx"],
+                    num_categories=len(shard_range),
+                )
             )
-            for reply, shard_range in zip(replies, self.ranges)
-        ]
+        if failures:
+            merged = merge_partial_streamed_outputs(
+                outputs, self.ranges, rows, self._compute_dtypes
+            )
+            return DegradedOutput(merged, failures.values(), self.num_categories)
         return merge_streamed_outputs(outputs, self.ranges)
 
-    def top_k(self, features: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Global top-k via per-shard top-k + host reduce."""
+    def top_k(
+        self, features: np.ndarray, k: int
+    ) -> Union[Tuple[np.ndarray, np.ndarray], DegradedOutput]:
+        """Global top-k via per-shard top-k + host reduce.
+
+        In degraded mode a request with failed shards reduces over the
+        surviving shards only and wraps the ``(indices, scores)`` pair
+        in a :class:`DegradedOutput`.
+        """
         check_positive("k", k)
         _, rows = self._prepare(features, need_output=False)
         request = {
@@ -459,15 +734,35 @@ class ParallelShardedEngine:
             "input": self._io_input.layout,
             "k": int(k),
         }
-        replies = self._scatter_gather("top_k", request)
-        return reduce_top_k(
-            [reply["indices"] for reply in replies],
-            [reply["scores"] for reply in replies],
-            k,
-        )
+        replies, failures = self._scatter_gather("top_k", request)
+        surviving = [reply for reply in replies if reply is not None]
+        if surviving:
+            reduced = reduce_top_k(
+                [reply["indices"] for reply in surviving],
+                [reply["scores"] for reply in surviving],
+                k,
+            )
+        else:
+            reduced = (
+                np.empty((rows, 0), dtype=np.intp),
+                np.empty((rows, 0), dtype=np.float64),
+            )
+        if failures:
+            return DegradedOutput(reduced, failures.values(), self.num_categories)
+        return reduced
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        return np.argmax(self.forward(features).logits, axis=-1)
+        """Argmax category per row; ``-1`` for rows with no surviving
+        scores under degraded operation."""
+        output = self.forward(features)
+        if isinstance(output, DegradedOutput):
+            logits = output.result.logits
+            best = np.full(logits.shape[0], -1, dtype=np.intp)
+            valid = ~np.all(np.isnan(logits), axis=1)
+            if np.any(valid):
+                best[valid] = np.nanargmax(logits[valid], axis=1)
+            return best
+        return np.argmax(output.logits, axis=-1)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -478,7 +773,7 @@ class ParallelShardedEngine:
             return
         self.closed = True
         for worker in self.workers:
-            worker.stop(goodbye=("shutdown", None))
+            worker.stop(goodbye="shutdown")
         self._release_io()
         for pack in self._param_packs:
             pack.destroy()

@@ -174,6 +174,84 @@ def merge_streamed_outputs(
     )
 
 
+def _empty_candidates(batch_size: int) -> CandidateSet:
+    return CandidateSet.from_flat(
+        np.zeros(batch_size, dtype=np.intp), np.empty(0, dtype=np.intp)
+    )
+
+
+def placeholder_screened_output(
+    batch_size: int, shard_range: range, dtype
+) -> ScreenedOutput:
+    """A dead shard's stand-in for the dense partial merge.
+
+    NaN logits (the honest "no answer" value — downstream argmax/top-k
+    must treat these columns as unavailable), zero candidates, an empty
+    restore record.  Shaped exactly like a live shard's output so the
+    regular :func:`merge_shard_outputs` concatenation keeps global
+    column numbering intact.
+    """
+    logits = np.full((batch_size, len(shard_range)), np.nan, dtype=dtype)
+    empty_idx = np.empty(0, dtype=np.intp)
+    return ScreenedOutput(
+        logits=logits,
+        candidates=_empty_candidates(batch_size),
+        restore=(empty_idx, empty_idx.copy(), np.empty(0, dtype=dtype)),
+    )
+
+
+def placeholder_streamed_output(
+    batch_size: int, shard_range: range, dtype
+) -> StreamedOutput:
+    """A dead shard's stand-in for the streaming partial merge: it
+    simply contributes no candidates (the streamed result is sparse, so
+    absence needs no NaN plane)."""
+    return StreamedOutput(
+        candidates=_empty_candidates(batch_size),
+        exact_values=np.empty(0, dtype=dtype),
+        approximate_values=np.empty(0, dtype=dtype),
+        num_categories=len(shard_range),
+    )
+
+
+def merge_partial_shard_outputs(
+    outputs: Sequence[Optional[ScreenedOutput]],
+    ranges: Sequence[range],
+    batch_size: int,
+    dtypes: Sequence,
+) -> ScreenedOutput:
+    """Merge per-shard dense outputs where some shards are missing.
+
+    ``outputs[i] is None`` marks shard ``i`` as failed; its category
+    stripe merges as a NaN placeholder so surviving columns keep their
+    global indices.  With no ``None`` entries this is exactly
+    :func:`merge_shard_outputs`.
+    """
+    filled = [
+        output
+        if output is not None
+        else placeholder_screened_output(batch_size, shard_range, dtype)
+        for output, shard_range, dtype in zip(outputs, ranges, dtypes)
+    ]
+    return merge_shard_outputs(filled, ranges)
+
+
+def merge_partial_streamed_outputs(
+    outputs: Sequence[Optional[StreamedOutput]],
+    ranges: Sequence[range],
+    batch_size: int,
+    dtypes: Sequence,
+) -> StreamedOutput:
+    """Streaming analogue of :func:`merge_partial_shard_outputs`."""
+    filled = [
+        output
+        if output is not None
+        else placeholder_streamed_output(batch_size, shard_range, dtype)
+        for output, shard_range, dtype in zip(outputs, ranges, dtypes)
+    ]
+    return merge_streamed_outputs(filled, ranges)
+
+
 def shard_top_k(
     output: ScreenedOutput, shard_range: range, k: int
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -45,18 +45,24 @@ def precision_at_k(
 
 
 def recall_at_k(scores: np.ndarray, true_labels: Sequence, k: int = 1) -> float:
-    """R@k: fraction of true labels recovered in the top-k predictions."""
+    """R@k: fraction of true labels recovered in the top-k predictions.
+
+    ``k`` beyond the category count is rejected, matching
+    :func:`precision_at_k` — silently clamping would report a different
+    metric (R@categories) under the requested name.
+    """
     check_positive("k", k)
     array = np.asarray(scores)
     if array.ndim != 2:
         raise ValueError(f"scores must be 2-D, got shape {array.shape}")
+    if k > array.shape[1]:
+        raise ValueError(f"k={k} exceeds category count {array.shape[1]}")
     label_sets = _as_label_sets(true_labels)
     if len(label_sets) != array.shape[0]:
         raise ValueError(
             f"{len(label_sets)} label rows vs {array.shape[0]} score rows"
         )
 
-    k = min(k, array.shape[1])
     top = np.argpartition(array, -k, axis=1)[:, -k:]
     hits = 0
     total = 0

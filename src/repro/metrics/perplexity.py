@@ -35,5 +35,16 @@ def perplexity_from_proba(probabilities: np.ndarray, targets: np.ndarray) -> flo
             f"{proba.shape[0]} rows"
         )
     check_positive("num tokens", proba.shape[0])
+    vocab = proba.shape[1]
+    # Fancy indexing would silently wrap negative indices (and raise a
+    # shape-obscuring IndexError past the end) — either way scoring the
+    # wrong token; reject out-of-vocabulary targets explicitly.
+    bad = (target_idx < 0) | (target_idx >= vocab)
+    if np.any(bad):
+        first = int(np.flatnonzero(bad)[0])
+        raise ValueError(
+            f"targets must be in [0, {vocab}); targets[{first}] = "
+            f"{int(target_idx[first])}"
+        )
     picked = proba[np.arange(proba.shape[0]), target_idx]
     return perplexity(np.log(np.maximum(picked, _PROBA_FLOOR)))

@@ -1,6 +1,7 @@
 """Shared utilities: deterministic RNG handling, units, table rendering,
 shared-memory array packs and supervised worker processes."""
 
+from repro.utils.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.utils.memory import Workspace
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.shm import PackLayout, SharedArrayPack
@@ -27,6 +28,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
     "Workspace",
     "ensure_rng",
     "spawn_rngs",

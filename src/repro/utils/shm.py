@@ -141,7 +141,17 @@ class SharedArrayPack:
     @classmethod
     def attach(cls, layout: PackLayout) -> "SharedArrayPack":
         """Map an existing segment; arrays become zero-copy views."""
-        shm = shared_memory.SharedMemory(name=layout.segment)
+        try:
+            shm = shared_memory.SharedMemory(name=layout.segment)
+        except FileNotFoundError as error:
+            # Keep the exception type (callers distinguish missing from
+            # malformed) but say which pack vanished — the symptom of
+            # attaching after the owner unlinked, e.g. a worker
+            # respawned against a closed engine.
+            raise FileNotFoundError(
+                f"shared segment {layout.segment!r} no longer exists "
+                "(owner unlinked it?)"
+            ) from error
         if shm.size < layout.size:
             shm.close()
             raise ValueError(
@@ -149,6 +159,21 @@ class SharedArrayPack:
                 f"needs {layout.size}"
             )
         return cls(shm, layout, owner=False)
+
+    @classmethod
+    def exists(cls, layout: "PackLayout") -> bool:
+        """Whether the segment behind ``layout`` is still linked.
+
+        The supervision path probes this before respawning a worker: a
+        vanished parameter segment means the engine was torn down
+        concurrently and the shard is unrecoverable by construction.
+        """
+        try:
+            handle = shared_memory.SharedMemory(name=layout.segment)
+        except FileNotFoundError:
+            return False
+        handle.close()
+        return True
 
     # ------------------------------------------------------------------
     @property
@@ -197,3 +222,9 @@ class SharedArrayPack:
         """unlink() + close() — the owner's teardown."""
         self.unlink()
         self.close()
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy() if self.owner else self.close()

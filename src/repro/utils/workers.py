@@ -1,21 +1,38 @@
 """Persistent worker processes with liveness supervision.
 
 The parallel serving engine keeps one long-lived process per shard and
-talks to it over a duplex pipe.  The failure mode that matters in
-serving is a worker dying mid-request (OOM kill, segfault, operator
-error): a bare ``Connection.recv()`` would block forever, because with
-``fork`` sibling workers inherit each other's pipe write-ends and the
-EOF never arrives.  :meth:`WorkerHandle.recv` therefore polls the pipe
-*and* the process, so a dead worker surfaces as :class:`WorkerDied`
-within one poll interval instead of a hang.
+talks to it over a duplex pipe.  Two failure modes matter in serving:
+
+* a worker dying mid-request (OOM kill, segfault, operator error): a
+  bare ``Connection.recv()`` would block forever, because with ``fork``
+  sibling workers inherit each other's pipe write-ends and the EOF
+  never arrives.  :meth:`WorkerHandle.recv_tagged` therefore polls the
+  pipe *and* the process, so a dead worker surfaces as
+  :class:`WorkerDied` within one poll interval instead of a hang;
+* a worker answering *late*: if the host gives up on a request
+  (:class:`WorkerTimeout`) the reply is still coming, and with an
+  untagged pipe the next request on the same handle would receive the
+  *previous* request's answer — a silent desync that poisons every
+  reply after it.  Every message therefore carries a monotonically
+  increasing request id; :meth:`WorkerHandle.recv_tagged` discards
+  replies whose id predates the one it is waiting for, so a handle
+  stays usable (and correct) after a timeout.
+
+The wire protocol is ``(request_id, op, payload)`` host → worker and
+``(request_id, kind, payload)`` worker → host.  Unsolicited messages
+(the startup handshake) use :data:`HANDSHAKE_ID`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 import multiprocessing
+
+#: Request id of unsolicited worker → host messages (the startup
+#: ready/fatal handshake).  Real requests count up from 1.
+HANDSHAKE_ID = 0
 
 
 class WorkerDied(RuntimeError):
@@ -23,6 +40,9 @@ class WorkerDied(RuntimeError):
 
     Carries the worker's name and exit code (negative = killed by that
     signal number, ``None`` = still shutting down when observed).
+    Also raised for any operation on a handle that was closed by
+    :meth:`WorkerHandle.stop` — a stopped worker is indistinguishable
+    from a dead one to callers, and must never surface as ``OSError``.
     """
 
     def __init__(self, name: str, exitcode: Optional[int]):
@@ -30,12 +50,21 @@ class WorkerDied(RuntimeError):
         self.exitcode = exitcode
         super().__init__(
             f"worker {name!r} died with exit code {exitcode}; "
-            "the serving engine has been shut down"
+            "the request cannot be answered by this handle"
         )
 
 
 class WorkerTimeout(RuntimeError):
-    """A live worker failed to answer within the request timeout."""
+    """A live worker failed to answer within the request timeout.
+
+    The handle remains usable: the late reply, if it ever arrives, is
+    discarded by id on the next :meth:`WorkerHandle.recv_tagged`.
+    """
+
+
+class ProtocolError(RuntimeError):
+    """The worker sent a reply from the future (id ahead of the host's
+    counter) — only possible if host and worker code disagree."""
 
 
 class WorkerHandle:
@@ -51,6 +80,12 @@ class WorkerHandle:
     ):
         self.name = name
         self.poll_interval = poll_interval
+        #: Replies discarded because their id predated the awaited one
+        #: (observable evidence that a late reply arrived and was *not*
+        #: misdelivered; the desync regression test asserts on it).
+        self.stale_replies = 0
+        self._closed = False
+        self._request_id = HANDSHAKE_ID
         host_conn, worker_conn = ctx.Pipe(duplex=True)
         self.connection = host_conn
         self.process = ctx.Process(
@@ -67,62 +102,128 @@ class WorkerHandle:
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
-        return self.process.is_alive()
+        return not self._closed and self.process.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _died(self) -> WorkerDied:
+        try:
+            exitcode = self.process.exitcode
+        except ValueError:  # process object already released by stop()
+            exitcode = None
+        return WorkerDied(self.name, exitcode)
 
     def send(self, message: Any) -> None:
-        """Ship a request; a broken pipe means the worker is gone."""
+        """Ship a raw message; a closed handle or broken pipe means the
+        worker is unreachable and raises :class:`WorkerDied`."""
+        if self._closed:
+            raise self._died()
         try:
             self.connection.send(message)
         except (BrokenPipeError, OSError) as error:
-            raise WorkerDied(self.name, self.process.exitcode) from error
+            raise self._died() from error
 
-    def recv(self, timeout: Optional[float] = None) -> Any:
-        """Wait for a reply, watching the process the whole time.
+    def post(self, op: str, payload: Any = None) -> int:
+        """Send one tagged request; returns its id for :meth:`recv_tagged`."""
+        self._request_id += 1
+        request_id = self._request_id
+        self.send((request_id, op, payload))
+        return request_id
 
-        Raises :class:`WorkerDied` if the process exits first (after
-        draining any reply that raced with the death) and
-        :class:`WorkerTimeout` if a live worker exceeds ``timeout``.
+    def recv_tagged(
+        self, expect_id: int, timeout: Optional[float] = None
+    ) -> Tuple[str, Any]:
+        """Wait for the reply tagged ``expect_id``, discarding stale ones.
+
+        Watches the process the whole time: raises :class:`WorkerDied`
+        if the process exits first (after draining any reply that raced
+        with the death), :class:`WorkerTimeout` if a live worker
+        exceeds ``timeout``, and :class:`WorkerDied` (never ``OSError``)
+        if the handle is concurrently closed by :meth:`stop`.
+        Replies with an id *older* than ``expect_id`` are late answers
+        to requests the host already gave up on — they are counted in
+        :attr:`stale_replies` and dropped, which is exactly what makes
+        a post-timeout handle retry-safe.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            if self.connection.poll(self.poll_interval):
-                try:
-                    return self.connection.recv()
-                except (EOFError, OSError) as error:
-                    raise WorkerDied(self.name, self.process.exitcode) from error
+            if self._closed:
+                raise self._died()
+            try:
+                if self.connection.poll(self.poll_interval):
+                    reply_id, kind, payload = self.connection.recv()
+                    if reply_id == expect_id:
+                        return kind, payload
+                    if reply_id < expect_id:
+                        self.stale_replies += 1
+                        continue
+                    raise ProtocolError(
+                        f"worker {self.name!r} answered request "
+                        f"{reply_id} before it was issued (awaiting "
+                        f"{expect_id})"
+                    )
+            except (EOFError, BrokenPipeError) as error:
+                raise self._died() from error
+            except OSError as error:
+                # The connection vanished under the poll loop — either
+                # stop() closed it from another thread or the pipe
+                # broke; both mean "this worker is gone", never OSError.
+                raise self._died() from error
             if not self.process.is_alive():
                 # One last drain: the reply may have landed between the
                 # poll above and the liveness check.
-                if self.connection.poll(0):
-                    try:
-                        return self.connection.recv()
-                    except (EOFError, OSError):
-                        pass
-                raise WorkerDied(self.name, self.process.exitcode)
+                try:
+                    while self.connection.poll(0):
+                        reply_id, kind, payload = self.connection.recv()
+                        if reply_id == expect_id:
+                            return kind, payload
+                        self.stale_replies += 1
+                except (EOFError, OSError):
+                    pass
+                raise self._died()
             if deadline is not None and time.monotonic() > deadline:
                 raise WorkerTimeout(
-                    f"worker {self.name!r} gave no reply within {timeout}s"
+                    f"worker {self.name!r} gave no reply to request "
+                    f"{expect_id} within {timeout}s"
                 )
 
-    def request(self, message: Any, timeout: Optional[float] = None) -> Any:
-        self.send(message)
-        return self.recv(timeout=timeout)
+    def request(
+        self, op: str, payload: Any = None, timeout: Optional[float] = None
+    ) -> Tuple[str, Any]:
+        """Tagged round trip: post the request, await exactly its reply."""
+        return self.recv_tagged(self.post(op, payload), timeout=timeout)
+
+    def handshake(self, timeout: Optional[float] = None) -> Tuple[str, Any]:
+        """Await the worker's unsolicited startup message (ready/fatal)."""
+        return self.recv_tagged(HANDSHAKE_ID, timeout=timeout)
 
     # ------------------------------------------------------------------
     def stop(self, goodbye: Any = None, timeout: float = 2.0) -> None:
         """Shut the worker down: polite message first, SIGTERM after.
 
-        Idempotent; never raises on an already-dead worker.
+        Idempotent; never raises on an already-dead worker.  Marks the
+        handle closed *before* touching the connection, so a concurrent
+        :meth:`recv_tagged` on another thread surfaces
+        :class:`WorkerDied` instead of an ``OSError`` from the closed
+        pipe.
         """
-        if self.process.is_alive() and goodbye is not None:
+        already_closed = self._closed
+        self._closed = True
+        if not already_closed and goodbye is not None:
             try:
-                self.connection.send(goodbye)
-            except (BrokenPipeError, OSError):
+                if self.process.is_alive():
+                    self.connection.send((HANDSHAKE_ID, goodbye, None))
+            except (BrokenPipeError, OSError, ValueError):
                 pass
-        self.process.join(timeout)
-        if self.process.is_alive():
-            self.process.terminate()
+        try:
             self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout)
+        except ValueError:
+            pass  # process object already released
         try:
             self.connection.close()
         except OSError:

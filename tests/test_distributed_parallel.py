@@ -27,6 +27,10 @@ from repro.data import make_task
 from repro.distributed import ShardedClassifier, WorkerDied
 from repro.utils.rng import spawn_rngs
 
+# A reintroduced protocol hang must fail fast, not stall the suite
+# (enforced when pytest-timeout is installed, as in CI).
+pytestmark = pytest.mark.timeout(600)
+
 NUM_CATEGORIES = 600
 HIDDEN_DIM = 32
 PROJECTION_DIM = 8
@@ -225,9 +229,15 @@ class TestSingleNodeEquivalence:
 
 
 class TestWorkerFailure:
+    """Fail-fast mode (``max_restarts=0``): the pre-supervision contract.
+
+    The supervised recovery paths (respawn, retry, degraded results)
+    are covered by ``tests/test_fault_tolerance.py``.
+    """
+
     def test_killed_worker_raises_not_hangs(self, model_zoo, features):
         model = model_zoo[(2, "float64", "top_m")]
-        engine = model.parallel()
+        engine = model.parallel(max_restarts=0)
         try:
             engine.forward(features)
             engine.workers[1].process.kill()
@@ -241,16 +251,28 @@ class TestWorkerFailure:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
 
+    def test_killed_worker_respawns_by_default(self, model_zoo, features):
+        """With the default restart budget the same kill is absorbed:
+        the replacement worker rebuilds from the shared segments and
+        the fleet keeps answering bit-identically."""
+        model = model_zoo[(2, "float64", "top_m")]
+        sequential = model.forward(features)
+        with model.parallel() as engine:
+            engine.workers[1].process.kill()
+            assert_outputs_identical(engine.forward(features), sequential)
+            assert engine.restarts[1] == 1
+            assert not engine.closed
+
     def test_death_mid_request_raises(self, model_zoo, features):
         """A worker that dies after the batch was scattered (request in
         flight, no reply coming) must surface as WorkerDied."""
         model = model_zoo[(2, "float64", "top_m")]
-        engine = model.parallel()
+        engine = model.parallel(max_restarts=0)
         try:
             engine.forward(features)
             # Test hook: the worker exits without replying, exactly as a
             # crash between recv() and send() would.
-            engine.workers[0].send(("die", 17))
+            engine.workers[0].post("die", 17)
             with pytest.raises(WorkerDied):
                 engine.forward(features)
             assert engine.closed
@@ -298,8 +320,8 @@ class TestWorkerFailure:
                     with model.parallel() as engine:
                         engine.forward(features)
 
-                    # Kill-mid-service lifecycle.
-                    engine = model.parallel()
+                    # Kill-mid-service lifecycle (fail-fast mode).
+                    engine = model.parallel(max_restarts=0)
                     engine.forward(features)
                     engine.workers[0].process.kill()
                     try:

@@ -1,0 +1,329 @@
+"""Fault-injection matrix for the supervised parallel serving fleet.
+
+Every injected fault kind (kill, delay-past-deadline, wedge, raise) is
+driven through both serving backends (dense ``forward`` and
+``forward_streaming``) and must end in one of exactly two states:
+
+* **bit-identical recovery** — the respawned/retried fleet answers the
+  same bits as the sequential ``ShardedClassifier``, or
+* **a well-formed degraded result** — a ``DegradedOutput`` whose
+  missing-range report is accurate and whose surviving entries equal
+  the sequential backend's.
+
+Faults come from :mod:`repro.utils.faults` and trigger on exact request
+counts, so every scenario here is deterministic (no real OOM kills, no
+races on "did the signal land in time").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ScreeningConfig
+from repro.core.pipeline import DegradedOutput
+from repro.data import make_task
+from repro.distributed import (
+    ShardedClassifier,
+    WorkerDied,
+    WorkerError,
+    merge_partial_shard_outputs,
+    merge_partial_streamed_outputs,
+)
+from repro.utils.faults import FaultSpec
+
+pytestmark = pytest.mark.timeout(300)
+
+NUM_CATEGORIES = 300
+HIDDEN_DIM = 32
+BATCH = 8
+BACKENDS = ("forward", "forward_streaming")
+
+#: Supervision knobs tuned for test speed: near-instant backoff, and a
+#: deadline/delay pair with wide margins on both sides (the late reply
+#: must overshoot the first deadline and land inside the retry's).
+FAST = dict(restart_backoff=0.01, restart_backoff_cap=0.05)
+DEADLINE = 0.5
+LATE = 1.0
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_task(num_categories=NUM_CATEGORIES, hidden_dim=HIDDEN_DIM, rng=40)
+
+
+@pytest.fixture(scope="module")
+def model(task):
+    sharded = ShardedClassifier(
+        task.classifier, num_shards=2, config=ScreeningConfig(projection_dim=8)
+    )
+    sharded.train(task.sample_features(128, rng=41), candidates_per_shard=8, rng=42)
+    return sharded
+
+
+@pytest.fixture(scope="module")
+def features(task):
+    return task.sample_features(BATCH, rng=43)
+
+
+@pytest.fixture(scope="module")
+def expected(model, features):
+    return {
+        "forward": model.forward(features),
+        "forward_streaming": model.forward_streaming(features),
+    }
+
+
+def run_backend(engine_or_model, backend, features):
+    return getattr(engine_or_model, backend)(features)
+
+
+def assert_backend_identical(backend, actual, reference):
+    """Bitwise equality of a full (non-degraded) backend result."""
+    assert not isinstance(actual, DegradedOutput)
+    if backend == "forward":
+        assert np.array_equal(actual.logits, reference.logits)
+        assert np.array_equal(
+            actual.approximate_logits, reference.approximate_logits
+        )
+    else:
+        assert np.array_equal(actual.exact_values, reference.exact_values)
+        assert np.array_equal(
+            actual.approximate_values, reference.approximate_values
+        )
+    for mine, theirs in zip(actual.candidates, reference.candidates):
+        assert np.array_equal(mine, theirs)
+
+
+def expected_degraded(model, features, backend, failed_shard):
+    """What the degraded merge must equal: the sequential shards'
+    outputs with the failed shard replaced by its placeholder."""
+    dtypes = [shard.screener.compute_dtype for shard in model.shards]
+    outputs = [
+        None
+        if shard_id == failed_shard
+        else run_backend(shard, backend, features)
+        for shard_id, shard in enumerate(model.shards)
+    ]
+    merge = (
+        merge_partial_shard_outputs
+        if backend == "forward"
+        else merge_partial_streamed_outputs
+    )
+    return merge(outputs, model.ranges, features.shape[0], dtypes)
+
+
+def assert_degraded_result(model, backend, actual, reference, failed_shard):
+    """The degraded contract: accurate missing-range report + surviving
+    entries identical to the sequential backend."""
+    assert isinstance(actual, DegradedOutput)
+    assert actual.missing_ranges == (model.ranges[failed_shard],)
+    assert actual.missing_categories == len(model.ranges[failed_shard])
+    assert 0.0 < actual.available_fraction < 1.0
+    assert {f.shard_id for f in actual.failures} == {failed_shard}
+    if backend == "forward":
+        assert np.array_equal(
+            actual.result.logits, reference.logits, equal_nan=True
+        )
+        missing = model.ranges[failed_shard]
+        assert np.all(
+            np.isnan(actual.result.logits[:, missing.start : missing.stop])
+        )
+    else:
+        assert np.array_equal(actual.result.exact_values, reference.exact_values)
+        missing = model.ranges[failed_shard]
+        flat_cols = actual.result.candidates.flat()[1]
+        assert not np.any(
+            (flat_cols >= missing.start) & (flat_cols < missing.stop)
+        )
+    for mine, theirs in zip(actual.result.candidates, reference.candidates):
+        assert np.array_equal(mine, theirs)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestFaultMatrix:
+    def test_kill_respawns_bit_identical(self, model, features, expected, backend):
+        """Kill on the 2nd request: the supervisor respawns the worker
+        from the shared segments and the request completes with the
+        sequential backend's exact bits."""
+        faults = {1: [FaultSpec(kind="kill", at_request=2)]}
+        with model.parallel(faults=faults, **FAST) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            # The fault fires here; recovery is invisible to the caller.
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.restarts[1] == 1
+            assert not engine.closed
+            # Bit-identity reasserted on the respawned fleet.
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+
+    def test_delay_past_deadline_recovers_via_retry(
+        self, model, features, expected, backend
+    ):
+        """Delay beyond the request deadline: the first wait times out,
+        the re-issued request is answered, and the late reply to the
+        abandoned id is discarded instead of poisoning the pipe."""
+        faults = {0: [FaultSpec(kind="delay", at_request=1, seconds=LATE)]}
+        with model.parallel(
+            request_timeout=DEADLINE, request_retries=1, faults=faults, **FAST
+        ) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.workers[0].stale_replies == 1
+            assert engine.restarts[0] == 0  # retry sufficed; no respawn
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+
+    def test_wedge_recovers_when_budget_allows(
+        self, model, features, expected, backend
+    ):
+        """A one-off wedge: every retry times out, the worker is killed
+        and replaced, and the request still completes bit-identically
+        on the replacement."""
+        faults = {1: [FaultSpec(kind="wedge", at_request=1)]}
+        with model.parallel(
+            request_timeout=DEADLINE, request_retries=0, faults=faults, **FAST
+        ) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.restarts[1] == 1
+
+    def test_wedge_exhausting_budget_degrades(self, model, features, backend):
+        """A persistent wedge burns the restart budget; in degraded mode
+        the fleet answers from the surviving shard with an accurate
+        missing-range report — and keeps doing so on later requests."""
+        faults = {1: [FaultSpec(kind="wedge", at_request=1, persistent=True)]}
+        reference = expected_degraded(model, features, backend, failed_shard=1)
+        with model.parallel(
+            request_timeout=DEADLINE,
+            request_retries=0,
+            max_restarts=1,
+            degraded=True,
+            faults=faults,
+            **FAST,
+        ) as engine:
+            actual = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, actual, reference, failed_shard=1)
+            assert engine.dead_shards == [1]
+            # Subsequent requests skip the dead shard immediately.
+            again = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, again, reference, failed_shard=1)
+            assert not engine.closed
+
+    def test_raise_failfast_then_serves(self, model, features, expected, backend):
+        """A request-scoped exception raises WorkerError (fail-fast
+        mode); the worker survives and the next request is exact."""
+        faults = {0: [FaultSpec(kind="raise", at_request=1)]}
+        with model.parallel(faults=faults, **FAST) as engine:
+            with pytest.raises(WorkerError, match="InjectedFault"):
+                run_backend(engine, backend, features)
+            assert not engine.closed
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+
+    def test_raise_degrades_with_error_report(self, model, features, backend):
+        faults = {0: [FaultSpec(kind="raise", at_request=1)]}
+        reference = expected_degraded(model, features, backend, failed_shard=0)
+        with model.parallel(degraded=True, faults=faults, **FAST) as engine:
+            actual = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, actual, reference, failed_shard=0)
+            assert actual.failures[0].kind == "error"
+            assert "InjectedFault" in actual.failures[0].detail
+
+    def test_kill_degrades_when_budget_exhausted(self, model, features, backend):
+        """A worker that dies on every incarnation's first request:
+        bounded restarts stop the crash loop, degraded mode reports the
+        missing range instead of raising."""
+        faults = {0: [FaultSpec(kind="kill", at_request=1, persistent=True)]}
+        reference = expected_degraded(model, features, backend, failed_shard=0)
+        with model.parallel(
+            max_restarts=1, degraded=True, faults=faults, **FAST
+        ) as engine:
+            actual = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, actual, reference, failed_shard=0)
+            assert actual.failures[0].kind == "died"
+            assert engine.restarts[0] == 1
+
+
+class TestSupervisionPolicy:
+    def test_crash_loop_exhausts_budget_and_raises_failfast(self, model, features):
+        """Fail-fast mode preserves the original contract once the
+        restart budget is spent: close everything, raise WorkerDied."""
+        faults = {0: [FaultSpec(kind="kill", at_request=1, persistent=True)]}
+        engine = model.parallel(max_restarts=2, faults=faults, **FAST)
+        try:
+            with pytest.raises(WorkerDied):
+                engine.forward(features)
+            assert engine.restarts[0] == 2
+            assert engine.closed
+        finally:
+            engine.close()
+
+    def test_zero_restarts_is_failfast(self, model, features):
+        faults = {0: [FaultSpec(kind="kill", at_request=1)]}
+        engine = model.parallel(max_restarts=0, faults=faults)
+        try:
+            with pytest.raises(WorkerDied):
+                engine.forward(features)
+            assert engine.closed
+        finally:
+            engine.close()
+
+    def test_top_k_degrades_over_survivors(self, model, features):
+        faults = {0: [FaultSpec(kind="kill", at_request=1, persistent=True)]}
+        with model.parallel(
+            max_restarts=0, degraded=True, faults=faults, **FAST
+        ) as engine:
+            result = engine.top_k(features, k=5)
+            assert isinstance(result, DegradedOutput)
+            indices, scores = result.result
+            assert indices.shape == (BATCH, 5)
+            surviving = model.ranges[1]
+            assert np.all((indices >= surviving.start) & (indices < surviving.stop))
+            # Survivor scores are the sequential shard's exact bits.
+            shard_out = model.shards[1].forward(features)
+            rows = np.arange(BATCH)[:, None]
+            assert np.array_equal(
+                scores, np.sort(shard_out.logits, axis=1)[:, ::-1][:, :5]
+            )
+
+    def test_predict_marks_unscored_rows(self, model, features):
+        """With every shard down, predict returns -1 (no surviving
+        scores) instead of crashing on an all-NaN argmax."""
+        faults = {
+            0: [FaultSpec(kind="kill", at_request=1, persistent=True)],
+            1: [FaultSpec(kind="kill", at_request=1, persistent=True)],
+        }
+        with model.parallel(
+            max_restarts=0, degraded=True, faults=faults, **FAST
+        ) as engine:
+            assert np.array_equal(
+                engine.predict(features), np.full(BATCH, -1, dtype=np.intp)
+            )
+
+    def test_respawn_preserves_io_regrowth(self, model, task):
+        """A respawned worker attaches the *current* I/O layout lazily,
+        including planes regrown after its predecessor died."""
+        small = task.sample_features(3, rng=44)
+        large = task.sample_features(20, rng=45)
+        with model.parallel(max_batch=4, **FAST) as engine:
+            engine.forward(small)
+            engine.workers[0].process.kill()
+            actual = engine.forward(large)  # respawn + regrow in one request
+            assert engine.restarts[0] == 1
+            assert np.array_equal(actual.logits, model.forward(large).logits)
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="explode", at_request=1)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(kind="kill", at_request=0)
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(kind="delay", at_request=1, seconds=-1.0)

@@ -41,6 +41,22 @@ class TestPerplexity:
         with pytest.raises(ValueError):
             perplexity_from_proba(np.ones((3, 4)), np.zeros(2, dtype=int))
 
+    def test_negative_target_rejected(self):
+        # Regression: -1 used to wrap to the last vocab entry via fancy
+        # indexing and silently score the wrong token.
+        proba = np.full((3, 4), 0.25)
+        with pytest.raises(ValueError, match=r"targets\[1\] = -1"):
+            perplexity_from_proba(proba, np.array([0, -1, 2]))
+
+    def test_target_at_vocab_rejected(self):
+        proba = np.full((3, 4), 0.25)
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            perplexity_from_proba(proba, np.array([0, 1, 4]))
+
+    def test_boundary_targets_accepted(self):
+        proba = np.full((2, 4), 0.25)
+        assert perplexity_from_proba(proba, np.array([0, 3])) == pytest.approx(4.0)
+
 
 class TestBleu:
     def test_identical_is_one(self):
@@ -117,6 +133,24 @@ class TestMultilabel:
     def test_no_labels_recall_rejected(self):
         with pytest.raises(ValueError):
             recall_at_k(np.ones((1, 3)), [[]], k=1)
+
+    def test_recall_k_exceeding_categories_rejected(self):
+        # Regression: recall_at_k used to clamp k = min(k, categories)
+        # and silently report R@categories under the requested name,
+        # while precision_at_k raised for the same input.
+        with pytest.raises(ValueError, match="exceeds category count"):
+            recall_at_k(np.ones((1, 3)), [[0]], k=4)
+
+    def test_recall_k_equal_categories_accepted(self):
+        scores = np.array([[0.3, 0.2, 0.1]])
+        assert recall_at_k(scores, [[0, 2]], k=3) == 1.0
+
+    def test_recall_skips_empty_label_rows(self):
+        # A row with no positives contributes neither hits nor total;
+        # only the labelled row's recall is reported.
+        scores = np.array([[0.9, 0.1, 0.0], [0.9, 0.1, 0.0]])
+        assert recall_at_k(scores, [[0], []], k=1) == 1.0
+        assert recall_at_k(scores, [[], [1, 2]], k=1) == 0.0
 
     def test_numpy_labels_accepted(self):
         scores = np.array([[0.1, 0.9]])

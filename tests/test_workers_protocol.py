@@ -1,0 +1,167 @@
+"""Regression tests for the tagged worker-pipe protocol.
+
+The bug under test (pre-fix): ``WorkerHandle.recv`` raising
+``WorkerTimeout`` left the worker's late reply queued in the pipe, so
+the *next* request on the same handle received the **previous**
+request's answer — a silent desync that poisoned every reply after it.
+The fix tags every message with a monotonically increasing request id
+and discards stale replies on receipt; these tests demonstrate the
+desync deterministically on the raw pipe and prove the tagged protocol
+is immune to it.
+
+Also covered: the stop/recv interaction contract — any operation on a
+handle closed by ``stop()`` (including a ``recv`` poll loop already in
+flight on another thread) surfaces as ``WorkerDied``, never ``OSError``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.workers import (
+    WorkerDied,
+    WorkerHandle,
+    WorkerTimeout,
+    default_context,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+#: Long enough that the host's short deadline always expires first,
+#: short enough that the late reply lands inside the next wait.
+LATE = 0.5
+#: Host-side deadline that the LATE reply always overshoots.
+DEADLINE = 0.1
+
+
+def _echo_main(connection):
+    """Echo worker: replies with the request's tag, after optional sleep."""
+    while True:
+        try:
+            request_id, op, payload = connection.recv()
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            break
+        if payload and payload.get("sleep"):
+            time.sleep(payload["sleep"])
+        connection.send((request_id, "ok", payload.get("tag")))
+    connection.close()
+
+
+def _sink_main(connection):
+    """Worker that accepts requests but never answers (wedged forever)."""
+    while True:
+        try:
+            connection.recv()
+        except (EOFError, OSError):
+            break
+
+
+@pytest.fixture()
+def echo():
+    handle = WorkerHandle(default_context(), _echo_main, args=(), name="echo")
+    yield handle
+    handle.stop(goodbye="shutdown")
+
+
+@pytest.fixture()
+def sink():
+    handle = WorkerHandle(default_context(), _sink_main, args=(), name="sink")
+    yield handle
+    handle.stop()
+
+
+class TestReplyDesync:
+    def test_pre_fix_desync_is_real(self, echo):
+        """The raw pipe really does hold the *previous* request's answer
+        after a timeout — exactly what the untagged protocol would have
+        handed to the next caller."""
+        rid_a = echo.post("echo", {"sleep": LATE, "tag": "A"})
+        with pytest.raises(WorkerTimeout):
+            echo.recv_tagged(rid_a, timeout=DEADLINE)
+        rid_b = echo.post("echo", {"tag": "B"})
+        # Old protocol simulation: take the next frame off the pipe,
+        # id-blind.  It is A's late reply — request B's caller would
+        # have been given request A's answer.
+        stale_id, kind, payload = echo.connection.recv()
+        assert (stale_id, kind, payload) == (rid_a, "ok", "A")
+        # The tagged receive still pairs B with B.
+        kind, payload = echo.recv_tagged(rid_b, timeout=5.0)
+        assert (kind, payload) == ("ok", "B")
+
+    def test_timeout_then_next_request_gets_its_own_reply(self, echo):
+        """The fixed protocol end to end: after a timeout, the late
+        reply is discarded by id and the next request's answer is its
+        own."""
+        rid_a = echo.post("echo", {"sleep": LATE, "tag": "A"})
+        with pytest.raises(WorkerTimeout):
+            echo.recv_tagged(rid_a, timeout=DEADLINE)
+        kind, payload = echo.request("echo", {"tag": "B"}, timeout=5.0)
+        assert (kind, payload) == ("ok", "B")
+        # Observable proof the stale reply arrived and was dropped
+        # rather than misdelivered.
+        assert echo.stale_replies == 1
+
+    def test_repeated_timeouts_stay_aligned(self, echo):
+        """Several abandoned requests in a row must all be discarded."""
+        for _ in range(3):
+            rid = echo.post("echo", {"sleep": LATE, "tag": "late"})
+            with pytest.raises(WorkerTimeout):
+                echo.recv_tagged(rid, timeout=DEADLINE)
+            # Space the attempts out so each late reply is queued before
+            # the final request, making the discard count deterministic.
+            time.sleep(LATE)
+        kind, payload = echo.request("echo", {"tag": "fresh"}, timeout=5.0)
+        assert payload == "fresh"
+        assert echo.stale_replies == 3
+
+    def test_request_ids_are_monotonic(self, echo):
+        first = echo.post("echo", {"tag": "x"})
+        second = echo.post("echo", {"tag": "y"})
+        assert second == first + 1
+        assert echo.recv_tagged(first, timeout=5.0) == ("ok", "x")
+        assert echo.recv_tagged(second, timeout=5.0) == ("ok", "y")
+
+
+class TestStopRecvInteraction:
+    def test_recv_after_stop_raises_worker_died(self, echo):
+        echo.stop(goodbye="shutdown")
+        with pytest.raises(WorkerDied):
+            echo.recv_tagged(1, timeout=1.0)
+
+    def test_send_after_stop_raises_worker_died(self, echo):
+        echo.stop(goodbye="shutdown")
+        with pytest.raises(WorkerDied):
+            echo.post("echo", {"tag": "late"})
+
+    def test_stop_during_inflight_recv_raises_worker_died(self, sink):
+        """A recv poll loop racing ``stop()`` on another thread must
+        observe the closed-handle state as WorkerDied, never an OSError
+        from the concurrently closed pipe."""
+        rid = sink.post("noop")
+        outcomes = []
+
+        def waiter():
+            try:
+                sink.recv_tagged(rid, timeout=30.0)
+                outcomes.append("replied")
+            except WorkerDied:
+                outcomes.append("died")
+            except BaseException as error:  # noqa: BLE001 - recording for assert
+                outcomes.append(repr(error))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.15)  # let the waiter enter its poll loop
+        sink.stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcomes == ["died"]
+
+    def test_stop_is_idempotent(self, echo):
+        echo.stop(goodbye="shutdown")
+        echo.stop(goodbye="shutdown")
+        assert echo.closed
+        assert not echo.alive
