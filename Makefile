@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-parallel bench-parallel-faults bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,13 @@ bench:
 # Writes BENCH_streaming.json (wall-clock + peak incremental memory).
 bench-streaming:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py --streaming BENCH_streaming.json
+
+# Observability overhead (recorder off / metrics / metrics+trace) on the
+# streaming forward.  Merges a "telemetry" block into BENCH_pipeline.json
+# (keeping existing timings) and writes a schema-validated Chrome trace
+# to BENCH_trace.json (open in chrome://tracing or Perfetto).
+bench-trace:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py --trace BENCH_pipeline.json
 
 # Process-parallel sharded serving vs the sequential backend.
 # Writes BENCH_parallel.json (records host cpu count; speedup needs cores).

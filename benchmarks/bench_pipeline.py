@@ -28,7 +28,16 @@ high-water deltas as corroborating context (streaming runs first, since
 the process high-water mark never decreases).  Writes
 ``BENCH_streaming.json``.
 
-``--smoke`` shrinks either mode to seconds for CI.
+``--trace`` (``make bench-trace``) measures the observability layer
+itself: the blocked streaming forward timed with the default no-op
+recorder, with metrics recording on, and with metrics + span tracing
+on.  It merges a ``"telemetry"`` block (overhead percentages, the
+metrics snapshot) into the existing ``BENCH_pipeline.json`` —
+read-modify-write, like ``bench_parallel.py --faults`` — and writes one
+clean single-request Chrome trace to ``BENCH_trace.json``, validated
+against the minimal trace-event schema before it lands.
+
+``--smoke`` shrinks any mode to seconds for CI.
 
 This is not a pytest-benchmark module — the paper-figure benchmarks in
 ``benchmarks/test_*.py`` measure experiment outputs; this file measures
@@ -55,6 +64,7 @@ from repro.core.screener import ScreeningModule
 from repro.linalg.projection import SparseRandomProjection
 from repro.linalg.quantize import Quantizer
 from repro.linalg.topk import top_k_indices
+from repro.obs import NULL_RECORDER, Recorder, validate_chrome_events
 from repro.utils.memory import configure_serving_allocator, reset_default_allocator
 
 HIDDEN_DIM = 64
@@ -461,6 +471,99 @@ def run_streaming(smoke: bool = False) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# trace mode: the cost of watching, plus an exportable serving trace
+# ----------------------------------------------------------------------
+#: Trace-mode scale: big enough for several canonical column tiles
+#: (8192 categories each), small enough to run in seconds.
+TRACE_CATEGORIES = 33_000
+TRACE_BATCH = 64
+
+
+def run_trace(smoke: bool = False, trace_path: str = "BENCH_trace.json") -> dict:
+    """Observability overhead on the streaming hot path + trace export.
+
+    Three timings of the identical call: recorder off (the shipped
+    default), metrics recording on, metrics + span tracing on.  Then
+    one clean instrumented request is exported as Chrome trace-event
+    JSON and schema-validated before being written.
+    """
+    num_categories = SMOKE_STREAM_CATEGORIES if smoke else TRACE_CATEGORIES
+    batch_size = SMOKE_STREAM_BATCH if smoke else TRACE_BATCH
+    repeats = 2 if smoke else REPEATS
+    configure_serving_allocator()
+
+    rng = np.random.default_rng(7)
+    classifier, screener = build_models(num_categories, rng)
+    selector = CandidateSelector(mode="top_m", num_candidates=NUM_CANDIDATES)
+    engine = ApproximateScreeningClassifier(classifier, screener, selector)
+    features = rng.standard_normal((batch_size, HIDDEN_DIM))
+
+    def streaming():
+        return engine.forward_streaming(features)
+
+    engine.set_recorder(NULL_RECORDER)
+    off_ms = time_ms(streaming, repeats, WARMUP)
+    metrics_recorder = Recorder()
+    engine.set_recorder(metrics_recorder)
+    metrics_ms = time_ms(streaming, repeats, WARMUP)
+    traced_recorder = Recorder(trace=True)
+    engine.set_recorder(traced_recorder)
+    traced_ms = time_ms(streaming, repeats, WARMUP)
+
+    # One clean request for the exported trace (the timing loops above
+    # left their spans behind; the artifact should be one request).
+    traced_recorder.tracer.clear()
+    streaming()
+    events = validate_chrome_events(traced_recorder.tracer.chrome_events())
+    assert traced_recorder.tracer.open_spans() == 0
+    with open(trace_path, "w") as handle:
+        json.dump(events, handle)
+        handle.write("\n")
+    engine.set_recorder(NULL_RECORDER)
+
+    def overhead_pct(on_ms: float) -> float:
+        return round((on_ms / off_ms - 1.0) * 100.0, 2)
+
+    telemetry = {
+        "benchmark": "observability overhead on the streaming forward",
+        "machine": machine_metadata(),
+        "config": {
+            "num_categories": num_categories,
+            "hidden_dim": HIDDEN_DIM,
+            "projection_dim": PROJECTION_DIM,
+            "num_candidates": NUM_CANDIDATES,
+            "batch": batch_size,
+            "repeats": repeats,
+        },
+        "timings_ms": {
+            "observability_off": round(off_ms, 3),
+            "metrics_on": round(metrics_ms, 3),
+            "metrics_and_trace_on": round(traced_ms, 3),
+        },
+        "overhead_pct": {
+            "metrics_on": overhead_pct(metrics_ms),
+            "metrics_and_trace_on": overhead_pct(traced_ms),
+        },
+        "trace": {
+            "path": trace_path,
+            "events": len(events),
+            "span_names": sorted({str(event["name"]) for event in events}),
+        },
+        "metrics_snapshot": traced_recorder.snapshot(),
+    }
+    print(
+        f"l={num_categories} b={batch_size} streaming: "
+        f"off={off_ms:8.2f}ms metrics={metrics_ms:8.2f}ms "
+        f"(+{telemetry['overhead_pct']['metrics_on']}%) "
+        f"trace={traced_ms:8.2f}ms "
+        f"(+{telemetry['overhead_pct']['metrics_and_trace_on']}%)  "
+        f"{len(events)} events -> {trace_path}",
+        flush=True,
+    )
+    return telemetry
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", default=None)
@@ -471,11 +574,44 @@ def main() -> int:
         "seed-vs-vectorized comparison",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="measure observability overhead, merge a telemetry block "
+        "into the pipeline report and export a Chrome trace",
+    )
+    parser.add_argument(
+        "--trace-output",
+        default="BENCH_trace.json",
+        help="where --trace writes the Chrome trace-event JSON",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny configuration for CI (seconds, not minutes)",
     )
     args = parser.parse_args()
+    if args.trace:
+        output_path = args.output or "BENCH_pipeline.json"
+        # Read-modify-write: the telemetry block joins the existing
+        # timing report rather than replacing it.
+        try:
+            with open(output_path) as handle:
+                report = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            report = {"benchmark": "screening pipeline hot path"}
+        report["telemetry"] = run_trace(
+            smoke=args.smoke, trace_path=args.trace_output
+        )
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        overhead = report["telemetry"]["overhead_pct"]
+        print(
+            f"\ntelemetry: metrics +{overhead['metrics_on']}%, "
+            f"metrics+trace +{overhead['metrics_and_trace_on']}% over the "
+            f"no-op recorder -> {output_path} (trace: {args.trace_output})"
+        )
+        return 0
     if args.streaming:
         output_path = args.output or "BENCH_streaming.json"
         report = run_streaming(smoke=args.smoke)

@@ -37,6 +37,7 @@ from repro.core.candidates import CandidateSelector, CandidateSet
 from repro.core.classifier import FullClassifier
 from repro.core.screener import ScreeningModule
 from repro.linalg.functional import sigmoid, softmax, taylor_softmax
+from repro.obs.recorder import NULL_RECORDER
 from repro.utils.memory import Workspace
 from repro.utils.validation import check_batch_features
 
@@ -267,6 +268,7 @@ class ApproximateScreeningClassifier:
         selector: Optional[CandidateSelector] = None,
         num_candidates: int = 32,
         softmax_taylor_order: Optional[int] = None,
+        recorder=None,
     ):
         if screener.num_categories != classifier.num_categories:
             raise ValueError(
@@ -287,6 +289,24 @@ class ApproximateScreeningClassifier:
         #: exponential of this order instead of exact exp.
         self.softmax_taylor_order = softmax_taylor_order
         self._workspace: Optional[Workspace] = None
+        #: Observability sink (phase spans + counters); the no-op
+        #: :data:`~repro.obs.recorder.NULL_RECORDER` unless a recorder
+        #: is supplied — with the default, outputs are bit-identical to
+        #: an uninstrumented pipeline and no metrics state exists.
+        self.recorder = NULL_RECORDER
+        if recorder is not None:
+            self.set_recorder(recorder)
+
+    def set_recorder(self, recorder) -> "ApproximateScreeningClassifier":
+        """Attach (or detach, with :data:`NULL_RECORDER`) a recorder.
+
+        The screener shares the pipeline's recorder so its
+        project/quantize and GEMM spans nest under the pipeline's
+        request spans in one trace.
+        """
+        self.recorder = recorder
+        self.screener.recorder = recorder
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -396,12 +416,19 @@ class ApproximateScreeningClassifier:
         implementation did).  Both share the screening and selection
         stages and produce numerically identical outputs.
         """
-        batch = check_batch_features(features, self.hidden_dim)
-        approx = self.screener.approximate_logits(batch)
-        candidates = self.selector.select(approx)
-        if faithful:
-            return self._mix_per_row(batch, approx, candidates)
-        return self._mix_vectorized(batch, approx, candidates)
+        recorder = self.recorder
+        with recorder.span("forward"):
+            batch = check_batch_features(features, self.hidden_dim)
+            with recorder.span("screen"):
+                approx = self.screener.approximate_logits(batch)
+            with recorder.span("select"):
+                candidates = self.selector.select(approx)
+            recorder.increment("pipeline.forward_requests")
+            recorder.increment("pipeline.rows", batch.shape[0])
+            recorder.increment("pipeline.exact_candidates", candidates.total)
+            if faithful:
+                return self._mix_per_row(batch, approx, candidates)
+            return self._mix_vectorized(batch, approx, candidates)
 
     __call__ = forward
 
@@ -442,8 +469,11 @@ class ApproximateScreeningClassifier:
             return ScreenedOutput(
                 logits=approx, approximate_logits=approx, candidates=candidates
             )
-        saved = approx[rows, cols].copy()
-        approx[rows, cols] = self._exact_candidate_values(batch, candidates)
+        with self.recorder.span("exact"):
+            exact = self._exact_candidate_values(batch, candidates)
+        with self.recorder.span("merge"):
+            saved = approx[rows, cols].copy()
+            approx[rows, cols] = exact
         return ScreenedOutput(
             logits=approx, candidates=candidates, restore=(rows, cols, saved)
         )
@@ -515,58 +545,73 @@ class ApproximateScreeningClassifier:
         pipeline-owned arena), so steady-state calls perform zero new
         workspace allocations after warm-up.
         """
-        batch = check_batch_features(features, self.hidden_dim)
-        if block_categories is not None and block_categories < 1:
-            raise ValueError(
-                f"block_categories must be positive, got {block_categories}"
+        recorder = self.recorder
+        with recorder.span("forward_streaming"):
+            batch = check_batch_features(features, self.hidden_dim)
+            if block_categories is not None and block_categories < 1:
+                raise ValueError(
+                    f"block_categories must be positive, got {block_categories}"
+                )
+            ws = workspace if workspace is not None else self.workspace
+            rows = batch.shape[0]
+            l = self.num_categories
+            compute = self.screener.compute_dtype
+            block = block_categories if block_categories is not None else l
+
+            augmented = self.screener.prepare_augmented(
+                batch,
+                out=ws.buffer(
+                    "augmented", (rows, self.screener.projection_dim + 1), compute
+                ),
             )
-        ws = workspace if workspace is not None else self.workspace
-        rows = batch.shape[0]
-        l = self.num_categories
-        compute = self.screener.compute_dtype
-        block = block_categories if block_categories is not None else l
+            reducer = self.selector.make_block_reducer(
+                rows, l, workspace=ws, dtype=compute
+            )
+            plane = np.empty((rows, l), dtype=compute) if dense else None
+            for t0, t1 in self.screener.tile_bounds():
+                with recorder.span("streaming.screen_tile"):
+                    if dense:
+                        tile = self.screener.score_tile(
+                            augmented, t0, t1, out=plane[:, t0:t1]
+                        )
+                    else:
+                        tile = self.screener.score_tile(
+                            augmented,
+                            t0,
+                            t1,
+                            out=ws.buffer("tile", (rows, t1 - t0), compute),
+                        )
+                # Selection updates at block_categories granularity; block
+                # boundaries are absolute, so a tile may span several
+                # blocks and vice versa.
+                with recorder.span("streaming.select_tile"):
+                    start = t0
+                    while start < t1:
+                        stop = min(t1, (start // block + 1) * block)
+                        reducer.update(start, tile[:, start - t0 : stop - t0])
+                        start = stop
 
-        augmented = self.screener.prepare_augmented(
-            batch,
-            out=ws.buffer(
-                "augmented", (rows, self.screener.projection_dim + 1), compute
-            ),
-        )
-        reducer = self.selector.make_block_reducer(
-            rows, l, workspace=ws, dtype=compute
-        )
-        plane = np.empty((rows, l), dtype=compute) if dense else None
-        for t0, t1 in self.screener.tile_bounds():
+            with recorder.span("streaming.select_finalize"):
+                counts, cols, approx_values = reducer.finalize()
+                candidates = CandidateSet.from_flat(counts, cols)
+            recorder.increment("pipeline.streaming_requests")
+            recorder.increment("pipeline.rows", rows)
+            recorder.increment("pipeline.exact_candidates", candidates.total)
+            if recorder.enabled:
+                recorder.set_gauge("pipeline.workspace_bytes", ws.nbytes)
+                recorder.set_gauge("pipeline.workspace_allocations", ws.allocations)
             if dense:
-                tile = self.screener.score_tile(
-                    augmented, t0, t1, out=plane[:, t0:t1]
+                return self._mix_vectorized(batch, plane, candidates)
+            with recorder.span("streaming.exact"):
+                exact_values = self._exact_candidate_values(batch, candidates).astype(
+                    compute, copy=False
                 )
-            else:
-                tile = self.screener.score_tile(
-                    augmented, t0, t1, out=ws.buffer("tile", (rows, t1 - t0), compute)
-                )
-            # Selection updates at block_categories granularity; block
-            # boundaries are absolute, so a tile may span several
-            # blocks and vice versa.
-            start = t0
-            while start < t1:
-                stop = min(t1, (start // block + 1) * block)
-                reducer.update(start, tile[:, start - t0 : stop - t0])
-                start = stop
-
-        counts, cols, approx_values = reducer.finalize()
-        candidates = CandidateSet.from_flat(counts, cols)
-        if dense:
-            return self._mix_vectorized(batch, plane, candidates)
-        exact_values = self._exact_candidate_values(batch, candidates).astype(
-            compute, copy=False
-        )
-        return StreamedOutput(
-            candidates=candidates,
-            exact_values=exact_values,
-            approximate_values=approx_values,
-            num_categories=l,
-        )
+            return StreamedOutput(
+                candidates=candidates,
+                exact_values=exact_values,
+                approximate_values=approx_values,
+                num_categories=l,
+            )
 
     def forward_gathered(self, features: np.ndarray) -> ScreenedOutput:
         """Batched exact phase over the *union* of candidate rows.

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.linalg.projection import SparseRandomProjection
 from repro.linalg.quantize import Quantizer
+from repro.obs.recorder import NULL_RECORDER
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_batch_features, check_positive
 
@@ -128,6 +129,9 @@ class ScreeningModule:
         self.bias = bias
         self.quantization_bits = quantization_bits
         self._compute_dtype = _resolve_compute_dtype(compute_dtype)
+        #: Observability sink for the screening phases (no-op default;
+        #: the pipeline propagates its recorder here).
+        self.recorder = NULL_RECORDER
         self._refresh_quantized_weight()
 
     def _refresh_quantized_weight(self) -> None:
@@ -205,9 +209,10 @@ class ScreeningModule:
         once per batch and reused across all column tiles.  ``out``
         lets the streaming engine supply a workspace buffer.
         """
-        projected = self.project(features)
-        if self._input_quantizer is not None:
-            projected = self._input_quantizer.fake_quantize(projected)
+        with self.recorder.span("screen.project_quantize"):
+            projected = self.project(features)
+            if self._input_quantizer is not None:
+                projected = self._input_quantizer.fake_quantize(projected)
         if out is None:
             out = np.empty(
                 (projected.shape[0], self.projection_dim + 1),
@@ -259,8 +264,9 @@ class ScreeningModule:
         scores = np.empty(
             (augmented.shape[0], self.num_categories), dtype=self._compute_dtype
         )
-        for start, stop in self.tile_bounds():
-            self.score_tile(augmented, start, stop, out=scores[:, start:stop])
+        with self.recorder.span("screen.gemm"):
+            for start, stop in self.tile_bounds():
+                self.score_tile(augmented, start, stop, out=scores[:, start:stop])
         return scores
 
     def __call__(self, features: np.ndarray) -> np.ndarray:

@@ -84,9 +84,12 @@ def tune_budget_for_recall(
     low = k  # can't catch top-k with fewer than k candidates
     high = max(low, int(classifier.num_categories * max_fraction))
 
-    if _recall_at_budget(classifier, screener, features, exact, high, k) < target_recall:
-        achieved = _recall_at_budget(classifier, screener, features, exact, high, k)
-        return _result(screener, features, high, achieved, target_recall, k,
+    # One probe at the cap decides feasibility; reuse it for the report
+    # rather than paying a second full screening pass at the most
+    # expensive budget in the search.
+    recall_at_cap = _recall_at_budget(classifier, screener, features, exact, high, k)
+    if recall_at_cap < target_recall:
+        return _result(screener, features, high, recall_at_cap, target_recall, k,
                        classifier.num_categories)
 
     while low < high:

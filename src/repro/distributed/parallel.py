@@ -85,6 +85,9 @@ from repro.distributed.sharding import (
     reduce_top_k,
     shard_top_k,
 )
+from repro.obs.metrics import latency_buckets
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.trace import Tracer
 from repro.utils.faults import FaultInjector, FaultSpec, surviving_specs
 from repro.utils.shm import PackLayout, SharedArrayPack
 from repro.utils.validation import check_batch_features, check_positive
@@ -296,6 +299,18 @@ class ParallelShardedEngine:
         Optional ``{shard_id: [FaultSpec, ...]}`` mapping injected into
         the workers (tests / ``bench_parallel.py --faults`` only).
         Respawned workers inherit only ``persistent`` specs.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  Default: the no-op
+        recorder — zero observability overhead, outputs bit-identical.
+        With a live recorder the engine records per-shard request
+        latency histograms, retry/respawn/stale/degraded/overrun
+        counters and (if the recorder has a tracer) request spans;
+        everything is readable through :meth:`stats`.
+    trace:
+        ``True`` attaches a span tracer: creates a live recorder if
+        ``recorder`` was not given, or adds a
+        :class:`~repro.obs.Tracer` to the given one.  Export with
+        :meth:`write_trace`.
 
     The engine is a context manager; ``close()`` shuts workers down and
     unlinks every shared segment.
@@ -314,6 +329,8 @@ class ParallelShardedEngine:
         degraded: bool = False,
         faults: Optional[Dict[int, Sequence[FaultSpec]]] = None,
         spawn_timeout: float = 60.0,
+        recorder=None,
+        trace: bool = False,
     ):
         if not sharded.trained:
             raise RuntimeError("train the ShardedClassifier before serving it")
@@ -332,6 +349,17 @@ class ParallelShardedEngine:
         self.restart_backoff_cap = float(restart_backoff_cap)
         self.degraded = bool(degraded)
         self.spawn_timeout = float(spawn_timeout)
+        if recorder is None:
+            recorder = Recorder(trace=True) if trace else NULL_RECORDER
+        elif trace and recorder.enabled and recorder.tracer is None:
+            recorder.tracer = Tracer()
+        self.recorder = recorder
+        # Supervision counters kept as plain ints so they are readable
+        # through stats() even with the no-op recorder installed.
+        self.requests_served = 0
+        self.degraded_requests = 0
+        self.retries = 0
+        self.deadline_overruns = 0
         self.closed = False
         self._max_batch = int(max_batch)
         self._io_input: Optional[SharedArrayPack] = None
@@ -405,6 +433,7 @@ class ParallelShardedEngine:
             _worker_main,
             args=(*self._worker_args[shard_id], list(fault_specs)),
             name=f"enmc-shard-{shard_id}",
+            recorder=self.recorder,
         )
 
     def _respawn(self, shard_id: int) -> bool:
@@ -425,6 +454,8 @@ class ParallelShardedEngine:
         while self.restarts[shard_id] < self.max_restarts:
             attempt = self.restarts[shard_id]
             self.restarts[shard_id] += 1
+            self.recorder.increment("parallel.respawns")
+            self.recorder.increment(f"parallel.shard.{shard_id}.respawns")
             time.sleep(
                 min(self.restart_backoff_cap, self.restart_backoff * (2 ** attempt))
             )
@@ -504,7 +535,13 @@ class ParallelShardedEngine:
 
         ``request_id is None`` means the request still needs (re)issuing
         — the initial send failed or a replacement worker came up.
+
+        The per-shard latency histogram covers the whole collect —
+        retries and respawns included — because that is the latency the
+        merge actually waits on.
         """
+        recording = self.recorder.enabled
+        started = time.perf_counter() if recording else 0.0
         retries_left = self.request_retries
         while True:
             worker = self.workers[shard_id]
@@ -515,10 +552,14 @@ class ParallelShardedEngine:
                     request_id, timeout=self.request_timeout
                 )
             except WorkerTimeout as error:
+                self.deadline_overruns += 1
+                self.recorder.increment("parallel.deadline_overruns")
                 if retries_left > 0:
                     # Re-issue to the same live worker; its late answer
                     # to the abandoned id is discarded on arrival.
                     retries_left -= 1
+                    self.retries += 1
+                    self.recorder.increment("parallel.retries")
                     try:
                         request_id = worker.post(op, request)
                     except WorkerDied:
@@ -536,6 +577,13 @@ class ParallelShardedEngine:
                     request_id = None
                     continue
                 return self._shard_failed(shard_id, "died", str(error), error, failures)
+            if recording:
+                self.recorder.increment(f"parallel.shard.{shard_id}.requests")
+                self.recorder.observe(
+                    f"parallel.shard.{shard_id}.latency_s",
+                    time.perf_counter() - started,
+                    bounds=latency_buckets(),
+                )
             if kind == "ok":
                 return payload
             # Remote exception: the worker survives; record and move on
@@ -641,35 +689,47 @@ class ParallelShardedEngine:
         shards returns a :class:`DegradedOutput` whose missing columns
         are NaN.
         """
-        _, rows = self._prepare(features)
-        request = {
-            "rows": rows,
-            "input": self._io_input.layout,
-            "output": self._io_output.layout,
-        }
-        replies, failures = self._scatter_gather("forward", request)
-        outputs: List[Optional[ScreenedOutput]] = []
-        for shard_id, reply in enumerate(replies):
-            if reply is None:
-                outputs.append(None)
-                continue
-            logits = self._io_output[f"logits{shard_id}"][:rows]
-            candidates = CandidateSet.from_flat(reply["counts"], reply["cols"])
-            outputs.append(
-                ScreenedOutput(
-                    logits=logits,
-                    candidates=candidates,
-                    restore=(reply["rows"], reply["cols"], reply["saved"]),
-                )
-            )
-        # merge_shard_outputs concatenates the logits planes, so the
-        # merged output owns its memory and survives buffer reuse.
-        if failures:
-            merged = merge_partial_shard_outputs(
-                outputs, self.ranges, rows, self._compute_dtypes
-            )
-            return DegradedOutput(merged, failures.values(), self.num_categories)
-        return merge_shard_outputs(outputs, self.ranges)
+        with self.recorder.span("engine.forward"):
+            self.requests_served += 1
+            self.recorder.increment("parallel.requests")
+            _, rows = self._prepare(features)
+            request = {
+                "rows": rows,
+                "input": self._io_input.layout,
+                "output": self._io_output.layout,
+            }
+            with self.recorder.span("engine.scatter_gather"):
+                replies, failures = self._scatter_gather("forward", request)
+            with self.recorder.span("engine.merge"):
+                outputs: List[Optional[ScreenedOutput]] = []
+                for shard_id, reply in enumerate(replies):
+                    if reply is None:
+                        outputs.append(None)
+                        continue
+                    logits = self._io_output[f"logits{shard_id}"][:rows]
+                    candidates = CandidateSet.from_flat(
+                        reply["counts"], reply["cols"]
+                    )
+                    outputs.append(
+                        ScreenedOutput(
+                            logits=logits,
+                            candidates=candidates,
+                            restore=(reply["rows"], reply["cols"], reply["saved"]),
+                        )
+                    )
+                # merge_shard_outputs concatenates the logits planes, so
+                # the merged output owns its memory and survives buffer
+                # reuse.
+                if failures:
+                    self.degraded_requests += 1
+                    self.recorder.increment("parallel.degraded_requests")
+                    merged = merge_partial_shard_outputs(
+                        outputs, self.ranges, rows, self._compute_dtypes
+                    )
+                    return DegradedOutput(
+                        merged, failures.values(), self.num_categories
+                    )
+                return merge_shard_outputs(outputs, self.ranges)
 
     __call__ = forward
 
@@ -689,34 +749,45 @@ class ParallelShardedEngine:
         :class:`DegradedOutput` whose result simply has no candidates
         from the missing ranges.
         """
-        _, rows = self._prepare(features, need_output=False)
-        request = {
-            "rows": rows,
-            "input": self._io_input.layout,
-            "block": block_categories,
-        }
-        replies, failures = self._scatter_gather("forward_streaming", request)
-        outputs: List[Optional[StreamedOutput]] = []
-        for reply, shard_range in zip(replies, self.ranges):
-            if reply is None:
-                outputs.append(None)
-                continue
-            outputs.append(
-                StreamedOutput(
-                    candidates=CandidateSet.from_flat(
-                        reply["counts"], reply["cols"]
-                    ),
-                    exact_values=reply["exact"],
-                    approximate_values=reply["approx"],
-                    num_categories=len(shard_range),
+        with self.recorder.span("engine.forward_streaming"):
+            self.requests_served += 1
+            self.recorder.increment("parallel.requests")
+            _, rows = self._prepare(features, need_output=False)
+            request = {
+                "rows": rows,
+                "input": self._io_input.layout,
+                "block": block_categories,
+            }
+            with self.recorder.span("engine.scatter_gather"):
+                replies, failures = self._scatter_gather(
+                    "forward_streaming", request
                 )
-            )
-        if failures:
-            merged = merge_partial_streamed_outputs(
-                outputs, self.ranges, rows, self._compute_dtypes
-            )
-            return DegradedOutput(merged, failures.values(), self.num_categories)
-        return merge_streamed_outputs(outputs, self.ranges)
+            with self.recorder.span("engine.merge"):
+                outputs: List[Optional[StreamedOutput]] = []
+                for reply, shard_range in zip(replies, self.ranges):
+                    if reply is None:
+                        outputs.append(None)
+                        continue
+                    outputs.append(
+                        StreamedOutput(
+                            candidates=CandidateSet.from_flat(
+                                reply["counts"], reply["cols"]
+                            ),
+                            exact_values=reply["exact"],
+                            approximate_values=reply["approx"],
+                            num_categories=len(shard_range),
+                        )
+                    )
+                if failures:
+                    self.degraded_requests += 1
+                    self.recorder.increment("parallel.degraded_requests")
+                    merged = merge_partial_streamed_outputs(
+                        outputs, self.ranges, rows, self._compute_dtypes
+                    )
+                    return DegradedOutput(
+                        merged, failures.values(), self.num_categories
+                    )
+                return merge_streamed_outputs(outputs, self.ranges)
 
     def top_k(
         self, features: np.ndarray, k: int
@@ -728,28 +799,37 @@ class ParallelShardedEngine:
         in a :class:`DegradedOutput`.
         """
         check_positive("k", k)
-        _, rows = self._prepare(features, need_output=False)
-        request = {
-            "rows": rows,
-            "input": self._io_input.layout,
-            "k": int(k),
-        }
-        replies, failures = self._scatter_gather("top_k", request)
-        surviving = [reply for reply in replies if reply is not None]
-        if surviving:
-            reduced = reduce_top_k(
-                [reply["indices"] for reply in surviving],
-                [reply["scores"] for reply in surviving],
-                k,
-            )
-        else:
-            reduced = (
-                np.empty((rows, 0), dtype=np.intp),
-                np.empty((rows, 0), dtype=np.float64),
-            )
-        if failures:
-            return DegradedOutput(reduced, failures.values(), self.num_categories)
-        return reduced
+        with self.recorder.span("engine.top_k"):
+            self.requests_served += 1
+            self.recorder.increment("parallel.requests")
+            _, rows = self._prepare(features, need_output=False)
+            request = {
+                "rows": rows,
+                "input": self._io_input.layout,
+                "k": int(k),
+            }
+            with self.recorder.span("engine.scatter_gather"):
+                replies, failures = self._scatter_gather("top_k", request)
+            with self.recorder.span("engine.merge"):
+                surviving = [reply for reply in replies if reply is not None]
+                if surviving:
+                    reduced = reduce_top_k(
+                        [reply["indices"] for reply in surviving],
+                        [reply["scores"] for reply in surviving],
+                        k,
+                    )
+                else:
+                    reduced = (
+                        np.empty((rows, 0), dtype=np.intp),
+                        np.empty((rows, 0), dtype=np.float64),
+                    )
+                if failures:
+                    self.degraded_requests += 1
+                    self.recorder.increment("parallel.degraded_requests")
+                    return DegradedOutput(
+                        reduced, failures.values(), self.num_categories
+                    )
+                return reduced
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Argmax category per row; ``-1`` for rows with no surviving
@@ -763,6 +843,79 @@ class ParallelShardedEngine:
                 best[valid] = np.nanargmax(logits[valid], axis=1)
             return best
         return np.argmax(output.logits, axis=-1)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Supervision and latency statistics for the whole fleet.
+
+        Always available: the plain supervision counters (requests,
+        retries, respawns, deadline overruns, degraded requests, stale
+        replies, dead shards).  With a live recorder installed the
+        per-shard blocks additionally carry a latency summary
+        (count/mean/p50/p95/p99 seconds) from the recorder's
+        histograms, and the full metrics snapshot rides along under
+        ``"metrics"``.
+        """
+        recording = self.recorder.enabled
+        snapshot = self.recorder.snapshot() if recording else {}
+        histograms = snapshot.get("histograms", {})
+        counters = snapshot.get("counters", {})
+        shards = []
+        for shard_id in range(self.num_shards):
+            worker = self.workers[shard_id]
+            shard = {
+                "shard_id": shard_id,
+                "categories": [
+                    self.ranges[shard_id].start,
+                    self.ranges[shard_id].stop,
+                ],
+                "respawns": self.restarts[shard_id],
+                "stale_replies": worker.stale_replies,
+                "dead": self._dead[shard_id],
+            }
+            if recording:
+                shard["requests"] = counters.get(
+                    f"parallel.shard.{shard_id}.requests", 0
+                )
+                shard["latency_s"] = histograms.get(
+                    f"parallel.shard.{shard_id}.latency_s", {"count": 0}
+                )
+            shards.append(shard)
+        stats: Dict[str, object] = {
+            "requests": self.requests_served,
+            "degraded_requests": self.degraded_requests,
+            "retries": self.retries,
+            "deadline_overruns": self.deadline_overruns,
+            "respawns": sum(self.restarts),
+            "stale_replies": sum(w.stale_replies for w in self.workers),
+            "dead_shards": self.dead_shards,
+            "recording": recording,
+            "shards": shards,
+        }
+        if recording:
+            stats["metrics"] = snapshot
+        return stats
+
+    def trace_events(self) -> List[Dict[str, object]]:
+        """Chrome trace events recorded so far (empty without a tracer)."""
+        tracer = self.recorder.tracer
+        return tracer.chrome_events() if tracer is not None else []
+
+    def write_trace(self, path) -> int:
+        """Write the recorded trace as Chrome trace-event JSON.
+
+        Returns the number of events written; raises if the engine has
+        no tracer (construct with ``trace=True``).
+        """
+        tracer = self.recorder.tracer
+        if tracer is None:
+            raise RuntimeError(
+                "engine has no tracer; construct with trace=True or pass "
+                "a recorder whose tracer is set"
+            )
+        return tracer.write(path)
 
     # ------------------------------------------------------------------
     # lifecycle

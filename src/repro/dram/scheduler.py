@@ -38,6 +38,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.dram.rank import Rank
 from repro.dram.request import Request, RequestType
 from repro.dram.timing import DDR4Timing
+from repro.obs.metrics import power_of_two_buckets
+from repro.obs.recorder import NULL_RECORDER
 
 
 @dataclass
@@ -57,8 +59,13 @@ class ChannelScheduler:
         ranks: int,
         queue_depth: int = 64,
         use_candidate_cache: bool = True,
+        recorder=NULL_RECORDER,
     ):
         self.timing = timing
+        #: Observability sink: per-command issue counters
+        #: (``dram.cmd.*``) and the queue-depth distribution
+        #: (``dram.queue_depth``); the no-op recorder by default.
+        self.recorder = recorder
         self.ranks: List[Rank] = [Rank(timing) for _ in range(ranks)]
         #: The scheduler's visible window (the real controller's
         #: ``queue_depth``-entry command queue); requests beyond it wait
@@ -234,6 +241,12 @@ class ChannelScheduler:
         choice = self._pick()
         if choice is None:
             return None
+        if self.recorder.enabled:
+            self.recorder.observe(
+                "dram.queue_depth",
+                len(self.queue),
+                bounds=power_of_two_buckets(),
+            )
 
         issue = max(choice.issue_cycle, self._cmd_bus_free, self.cycle)
         addr = choice.request.address
@@ -246,6 +259,7 @@ class ChannelScheduler:
             self.cycle = max(self.cycle, issue)
             self._cmd_bus_free = max(self._cmd_bus_free, issue + 1)
             self._invalidate_rank(addr.rank)
+            self.recorder.increment("dram.refresh_delays")
             return None
 
         bank = rank.banks[addr.flat_bank]
@@ -253,6 +267,7 @@ class ChannelScheduler:
         self.cycle = issue
 
         if choice.command == "ACT":
+            self.recorder.increment("dram.cmd.act")
             bank.row_misses += 1
             rank.activate(issue, addr.flat_bank, addr.row)
             # The ACT changed this bank's state (requests to it may now
@@ -262,12 +277,14 @@ class ChannelScheduler:
             self._invalidate_rank_command(addr.rank, "ACT")
             return None
         if choice.command == "PRE":
+            self.recorder.increment("dram.cmd.pre")
             bank.precharge(issue)
             # Only this bank's state changed (its requests become ACTs).
             self._invalidate_bank(addr.rank, addr.flat_bank)
             return None
 
         # Column command: completes the request.
+        self.recorder.increment("dram.cmd.col")
         if choice.request.type is RequestType.WRITE:
             done = bank.write(issue, addr.row)
             self.writes += 1

@@ -59,6 +59,7 @@ def bleu(
         raise ValueError("empty corpus")
 
     log_precision_sum = 0.0
+    effective_orders = 0
     for order in range(1, max_order + 1):
         matches = 0
         total = 0
@@ -66,12 +67,23 @@ def bleu(
             m, t = _clipped_matches(cand, ref, order)
             matches += m
             total += t
+        if total == 0:
+            # No candidate has any n-gram of this order (every sentence
+            # is shorter than ``order``): the precision is undefined,
+            # not perfect.  With smoothing the old code scored it as
+            # smoothing/smoothing = 1.0, inflating one-token candidates
+            # to near-full BLEU-4.  Skip the order instead and average
+            # over the orders that exist (effective-order BLEU, as in
+            # sacrebleu/NLTK method).
+            continue
         numerator = matches + smoothing
-        denominator = total + smoothing
-        if numerator == 0 or denominator == 0:
+        if numerator == 0:
             return 0.0
-        log_precision_sum += math.log(numerator / denominator)
+        effective_orders += 1
+        log_precision_sum += math.log(numerator / (total + smoothing))
 
+    if effective_orders == 0:
+        return 0.0
     candidate_len = sum(len(c) for c in candidates)
     reference_len = sum(len(r) for r in references)
     if candidate_len == 0:
@@ -81,4 +93,4 @@ def bleu(
         if candidate_len >= reference_len
         else math.exp(1.0 - reference_len / candidate_len)
     )
-    return brevity * math.exp(log_precision_sum / max_order)
+    return brevity * math.exp(log_precision_sum / effective_orders)

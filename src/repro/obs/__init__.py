@@ -1,0 +1,51 @@
+"""Observability for the serving stack: metrics, spans, traces.
+
+Three layers, smallest import surface first:
+
+* :mod:`repro.obs.metrics` — :class:`Counter`, :class:`Gauge`,
+  bounded-bucket :class:`Histogram` (log-spaced latency buckets,
+  p50/p95/p99 summaries) behind a :class:`MetricsRegistry` with a
+  ``snapshot()`` dict API and Prometheus text exposition;
+* :mod:`repro.obs.trace` — :class:`Tracer` recording nested
+  monotonic-clock spans, exported as Chrome trace-event JSON
+  (loadable in ``chrome://tracing``);
+* :mod:`repro.obs.recorder` — the contract hot paths program against:
+  :data:`NULL_RECORDER` (the no-op default; bit-identical outputs,
+  zero steady-state allocations) and :class:`Recorder` (registry +
+  optional tracer).
+
+Enable by handing a :class:`Recorder` to the component::
+
+    from repro.obs import Recorder
+
+    recorder = Recorder(trace=True)
+    model = ApproximateScreeningClassifier(..., recorder=recorder)
+    model.forward_streaming(batch)
+    recorder.snapshot()["histograms"]["span.streaming.screen_tile"]
+    recorder.tracer.write("trace.json")       # -> chrome://tracing
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+    power_of_two_buckets,
+)
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.trace import Tracer, validate_chrome_events
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "latency_buckets",
+    "power_of_two_buckets",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Tracer",
+    "validate_chrome_events",
+]

@@ -1,0 +1,293 @@
+"""Counters, gauges and bounded-bucket histograms for the serving stack.
+
+The paper's whole argument is a latency/traffic breakdown (Fig. 4,
+Fig. 13); a serving deployment of the same pipeline needs the software
+equivalent — per-phase timing and per-shard tail latency — as a
+first-class subsystem (DeepRecSys and the MLPerf serving harnesses
+treat it that way).  This module is the storage layer: plain-Python
+instruments registered in a :class:`MetricsRegistry`, cheap enough to
+live on hot paths and exportable two ways:
+
+* :meth:`MetricsRegistry.snapshot` — a plain nested dict (counters,
+  gauges, histogram summaries with p50/p95/p99), the programmatic API
+  behind ``engine.stats()`` and the benchmark telemetry block;
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (``# TYPE``-annotated, cumulative ``_bucket{le=...}``
+  lines), so a scraper can be pointed at a serving host untranslated.
+
+Histograms use a *fixed* set of bucket bounds chosen at construction
+(log-spaced latency decades by default), so memory is bounded no matter
+how many observations arrive and percentile queries are O(buckets).
+All timing flowing in here comes from monotonic clocks (see
+:mod:`repro.obs.trace`); wall-clock timestamps are deliberately absent.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "latency_buckets",
+    "power_of_two_buckets",
+]
+
+
+def latency_buckets(
+    start: float = 1e-6, stop: float = 100.0, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Log-spaced bucket upper bounds covering ``[start, stop]`` seconds.
+
+    The default grid (1 µs … 100 s, 4 buckets per decade) spans every
+    latency this repository can produce — a single screening tile to a
+    respawn-with-backoff worst case — in 33 buckets.
+    """
+    if not 0 < start < stop:
+        raise ValueError(f"need 0 < start < stop, got {start}, {stop}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    decades = math.log10(stop / start)
+    count = int(round(decades * per_decade))
+    bounds = [start * 10 ** (i / per_decade) for i in range(count + 1)]
+    return tuple(bounds)
+
+
+def power_of_two_buckets(limit: int = 4096) -> Tuple[float, ...]:
+    """``1, 2, 4, …`` bucket bounds for small-integer distributions
+    (queue depths, candidate counts)."""
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    bounds: List[float] = []
+    value = 1
+    while value <= limit:
+        bounds.append(float(value))
+        value *= 2
+    return tuple(bounds)
+
+
+class Counter:
+    """A monotonically increasing count (requests, retries, commands)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, workspace bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile summaries.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge, so
+    an observation can never be lost.  ``count``/``total``/``minimum``/
+    ``maximum`` are tracked exactly; percentiles are estimated by linear
+    interpolation inside the covering bucket (clamped to the exact
+    observed min/max at the ends), which is the standard
+    bounded-memory trade — error is bounded by the bucket width.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        chosen = tuple(bounds) if bounds is not None else latency_buckets()
+        if not chosen:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(chosen, chosen[1:])):
+            raise ValueError(f"bounds must be strictly increasing: {chosen}")
+        self.bounds = chosen
+        self.bucket_counts = [0] * (len(chosen) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            upper = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else self.maximum
+            )
+            if bucket_count:
+                next_cumulative = cumulative + bucket_count
+                if rank <= next_cumulative:
+                    fraction = (rank - cumulative) / bucket_count
+                    estimate = lower + fraction * (upper - lower)
+                    return min(max(estimate, self.minimum), self.maximum)
+                cumulative = next_cumulative
+            lower = upper if index < len(self.bounds) else lower
+        return self.maximum
+
+    def summary(self) -> Dict[str, float]:
+        """The snapshot record: count/sum/min/max/mean + p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+def _prometheus_name(name: str) -> str:
+    """Dotted internal names → legal Prometheus metric names."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Names are dotted paths (``parallel.shard.0.latency_s``); a name is
+    bound to one instrument kind for the registry's lifetime — asking
+    for an existing name as a different kind raises, which catches
+    instrumentation typos early.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, want: Dict[str, object]) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not want and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._counters)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._gauges)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything, as a plain nested dict (JSON-serializable)."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(
+                histogram.bounds, histogram.bucket_counts
+            ):
+                cumulative += bucket_count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n"

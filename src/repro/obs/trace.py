@@ -1,0 +1,153 @@
+"""Nested-span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records *spans* — named, nested intervals measured on
+the monotonic clock (``time.perf_counter_ns``); wall-clock timestamps
+never enter a recorded span, so traces are immune to NTP steps and can
+be diffed across runs.  Timestamps are microseconds relative to the
+tracer's construction instant.
+
+Export is the Chrome trace-event JSON array format — each completed
+span becomes one complete event (``"ph": "X"``) with ``name``, ``ts``,
+``dur``, ``pid`` and ``tid`` — so a serving trace drops straight into
+``chrome://tracing`` / Perfetto, nesting rendered from the timing
+containment the spans already have.
+
+Memory is bounded: past ``max_events`` completed spans the tracer keeps
+counting (``dropped``) but stops storing, so a tracer left attached to
+a long-lived engine cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Tracer", "validate_chrome_events"]
+
+#: The keys every exported trace event carries (the minimal schema the
+#: benchmark smoke check validates against).
+CHROME_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class Tracer:
+    """Records nested spans; exports ``chrome://tracing`` JSON.
+
+    Spans are driven by :meth:`begin`/:meth:`end` pairs (the
+    :class:`repro.obs.recorder.Recorder` span context manager calls
+    them); nesting is per-thread, tracked with an explicit stack, and
+    each thread gets its own ``tid`` in the export.
+    """
+
+    def __init__(self, max_events: int = 200_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = int(max_events)
+        self._origin_ns = time.perf_counter_ns()
+        self._events: List[Dict[str, object]] = []
+        self._stacks: Dict[int, List[tuple]] = {}
+        self._lock = threading.Lock()
+        #: Completed spans discarded because ``max_events`` was reached.
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str) -> None:
+        """Open a span; must be balanced by :meth:`end` on this thread."""
+        tid = threading.get_ident()
+        stack = self._stacks.setdefault(tid, [])
+        stack.append((name, time.perf_counter_ns()))
+
+    def end(self) -> None:
+        """Close the innermost open span on this thread."""
+        stop_ns = time.perf_counter_ns()
+        tid = threading.get_ident()
+        stack = self._stacks.get(tid)
+        if not stack:
+            raise RuntimeError("Tracer.end() with no open span on this thread")
+        name, start_ns = stack.pop()
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
+            self._events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": (start_ns - self._origin_ns) / 1e3,
+                    "dur": (stop_ns - start_ns) / 1e3,
+                    "pid": os.getpid(),
+                    "tid": tid,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (should be 0 at export time)."""
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def chrome_events(self) -> List[Dict[str, object]]:
+        """Completed spans as Chrome trace-event dicts (a copy)."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def span_names(self) -> List[str]:
+        with self._lock:
+            return [str(event["name"]) for event in self._events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def write(self, path: str) -> int:
+        """Write the trace-event JSON array; returns the event count.
+
+        The file loads directly in ``chrome://tracing`` (the JSON array
+        form of the trace-event format).
+        """
+        events = self.chrome_events()
+        with open(path, "w") as handle:
+            json.dump(events, handle)
+            handle.write("\n")
+        return len(events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(events={self.num_events}, open={self.open_spans()}, "
+            f"dropped={self.dropped})"
+        )
+
+
+def validate_chrome_events(events: object) -> List[Dict[str, object]]:
+    """Check ``events`` against the minimal trace-event schema.
+
+    The contract the benchmark smoke test enforces: a list of dicts,
+    each carrying ``name``/``ph``/``ts``/``dur``/``pid``/``tid`` with
+    ``ph == "X"`` and non-negative numeric timing.  Returns the events
+    on success, raises ``ValueError`` with the first offence otherwise.
+    """
+    if not isinstance(events, list):
+        raise ValueError(f"trace must be a JSON array, got {type(events).__name__}")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        missing = [key for key in CHROME_EVENT_KEYS if key not in event]
+        if missing:
+            raise ValueError(f"event {index} missing keys {missing}")
+        if event["ph"] != "X":
+            raise ValueError(
+                f"event {index}: ph must be 'X' (complete), got {event['ph']!r}"
+            )
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"event {index}: {key} must be >= 0, got {value!r}")
+        if not str(event["name"]):
+            raise ValueError(f"event {index}: empty span name")
+    return events

@@ -30,6 +30,8 @@ from typing import Any, Optional, Tuple
 
 import multiprocessing
 
+from repro.obs.recorder import NULL_RECORDER
+
 #: Request id of unsolicited worker → host messages (the startup
 #: ready/fatal handshake).  Real requests count up from 1.
 HANDSHAKE_ID = 0
@@ -77,9 +79,13 @@ class WorkerHandle:
         args: tuple,
         name: str,
         poll_interval: float = 0.02,
+        recorder=NULL_RECORDER,
     ):
         self.name = name
         self.poll_interval = poll_interval
+        #: Observability sink for protocol events (``workers.*``
+        #: counters); the no-op :data:`NULL_RECORDER` by default.
+        self.recorder = recorder
         #: Replies discarded because their id predated the awaited one
         #: (observable evidence that a late reply arrived and was *not*
         #: misdelivered; the desync regression test asserts on it).
@@ -130,6 +136,7 @@ class WorkerHandle:
         self._request_id += 1
         request_id = self._request_id
         self.send((request_id, op, payload))
+        self.recorder.increment("workers.posted")
         return request_id
 
     def recv_tagged(
@@ -146,6 +153,15 @@ class WorkerHandle:
         to requests the host already gave up on — they are counted in
         :attr:`stale_replies` and dropped, which is exactly what makes
         a post-timeout handle retry-safe.
+
+        Liveness and the deadline are checked on **every** loop
+        iteration, no matter how the poll branch exits.  (The earlier
+        shape ``continue``-d straight back to the poll after draining a
+        stale reply, so a worker streaming stale replies faster than
+        ``poll_interval`` starved the timeout forever and a
+        dead-but-draining pipe was never detected — the flood
+        regression test in ``tests/test_workers_protocol.py`` pins
+        this.)
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -156,20 +172,25 @@ class WorkerHandle:
                     reply_id, kind, payload = self.connection.recv()
                     if reply_id == expect_id:
                         return kind, payload
-                    if reply_id < expect_id:
-                        self.stale_replies += 1
-                        continue
-                    raise ProtocolError(
-                        f"worker {self.name!r} answered request "
-                        f"{reply_id} before it was issued (awaiting "
-                        f"{expect_id})"
-                    )
+                    if reply_id > expect_id:
+                        raise ProtocolError(
+                            f"worker {self.name!r} answered request "
+                            f"{reply_id} before it was issued (awaiting "
+                            f"{expect_id})"
+                        )
+                    # Stale reply: drop it and *fall through* — the
+                    # liveness and deadline checks below must run even
+                    # when stale replies arrive back to back.
+                    self.stale_replies += 1
+                    self.recorder.increment("workers.stale_replies")
             except (EOFError, BrokenPipeError) as error:
+                self.recorder.increment("workers.deaths_observed")
                 raise self._died() from error
             except OSError as error:
                 # The connection vanished under the poll loop — either
                 # stop() closed it from another thread or the pipe
                 # broke; both mean "this worker is gone", never OSError.
+                self.recorder.increment("workers.deaths_observed")
                 raise self._died() from error
             if not self.process.is_alive():
                 # One last drain: the reply may have landed between the
@@ -179,11 +200,15 @@ class WorkerHandle:
                         reply_id, kind, payload = self.connection.recv()
                         if reply_id == expect_id:
                             return kind, payload
-                        self.stale_replies += 1
+                        if reply_id < expect_id:
+                            self.stale_replies += 1
+                            self.recorder.increment("workers.stale_replies")
                 except (EOFError, OSError):
                     pass
+                self.recorder.increment("workers.deaths_observed")
                 raise self._died()
             if deadline is not None and time.monotonic() > deadline:
+                self.recorder.increment("workers.timeouts")
                 raise WorkerTimeout(
                     f"worker {self.name!r} gave no reply to request "
                     f"{expect_id} within {timeout}s"

@@ -96,6 +96,30 @@ class TestTuneBudget:
                 task.classifier, screener, features, target_recall=1.5
             )
 
+    def test_infeasible_cap_probed_once(self, validation, monkeypatch):
+        """The feasibility probe at the budget cap is the single most
+        expensive evaluation of the whole search (a full screening pass
+        at the largest budget); the infeasible path used to evaluate it
+        twice back to back."""
+        import repro.core.tuning as tuning
+
+        task, screener, features = validation
+        probes = []
+
+        def never_enough(classifier, screener, features, exact, budget, k):
+            probes.append(budget)
+            return 0.0
+
+        monkeypatch.setattr(tuning, "_recall_at_budget", never_enough)
+        result = tune_budget_for_recall(
+            task.classifier, screener, features, target_recall=0.99, k=1
+        )
+        assert not result.met
+        assert result.achieved_recall == 0.0
+        # Exactly one probe, at the cap budget, decides infeasibility
+        # and supplies the reported recall.
+        assert probes == [max(1, int(2000 * 0.5))]
+
 
 class TestQuantizationAwareTraining:
     def test_qat_not_worse_than_ptq(self):

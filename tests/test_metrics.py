@@ -94,6 +94,19 @@ class TestBleu:
     def test_sentence_bleu_smoothed(self):
         assert sentence_bleu([1, 2], [1, 2]) > 0.0
 
+    def test_one_token_candidates_not_inflated(self):
+        """Orders with zero candidate n-grams are undefined, not
+        perfect: with smoothing the old code scored each empty order as
+        smoothing/smoothing = 1.0, lifting a wrong one-token candidate
+        to 0.5**(1/4) ≈ 0.84 at max_order=4.  Effective-order BLEU
+        averages over the orders that exist, so the score is the plain
+        unigram precision."""
+        score = bleu([[1]], [[2]], max_order=4, smoothing=1.0)
+        assert score == pytest.approx(0.5)  # (0+1)/(1+1), orders 2-4 skipped
+
+    def test_one_token_exact_match_is_one(self):
+        assert bleu([[7]], [[7]], max_order=4, smoothing=1.0) == pytest.approx(1.0)
+
     def test_clipping(self):
         # Candidate repeats a reference unigram; clipping caps credit.
         score_rep = bleu([[1, 1, 1, 1]], [[1, 2, 3, 4]], smoothing=1.0)

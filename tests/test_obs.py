@@ -1,0 +1,295 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Instruments (counter/gauge/bounded-bucket histogram), the registry and
+its two exports (snapshot dict, Prometheus text), the nested-span
+tracer with Chrome trace-event export, and the recorder contract that
+hot paths program against.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    Tracer,
+    latency_buckets,
+    power_of_two_buckets,
+    validate_chrome_events,
+)
+
+
+class TestBuckets:
+    def test_latency_buckets_cover_the_requested_span(self):
+        bounds = latency_buckets()
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(100.0)
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+
+    def test_latency_buckets_density(self):
+        # 8 decades at 4 per decade -> 33 edges.
+        assert len(latency_buckets()) == 33
+
+    def test_latency_buckets_validation(self):
+        with pytest.raises(ValueError):
+            latency_buckets(start=1.0, stop=0.5)
+        with pytest.raises(ValueError):
+            latency_buckets(per_decade=0)
+
+    def test_power_of_two_buckets(self):
+        assert power_of_two_buckets(8) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            power_of_two_buckets(0)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_histogram_exact_aggregates(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(105.0)
+        assert hist.minimum == 0.5
+        assert hist.maximum == 100.0
+        # One observation per finite bucket plus one overflow.
+        assert hist.bucket_counts == [1, 1, 1, 1]
+
+    def test_histogram_percentiles_clamped_to_observed_range(self):
+        hist = Histogram(bounds=latency_buckets())
+        for _ in range(100):
+            hist.observe(0.010)
+        # Every observation sits in one bucket; interpolation must not
+        # escape the observed min/max.
+        assert hist.percentile(50) == pytest.approx(0.010)
+        assert hist.percentile(99) == pytest.approx(0.010)
+        assert hist.percentile(0) == pytest.approx(0.010)
+
+    def test_histogram_percentile_ordering(self):
+        hist = Histogram(bounds=latency_buckets())
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)  # 1ms .. 100ms
+        p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+        assert 0.001 <= p50 <= p95 <= p99 <= 0.1
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["p50"] == pytest.approx(0.5)
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("dram.cmd.act").inc(3)
+        registry.gauge("queue").set(5)
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)  # overflow
+        text = registry.render_prometheus()
+        assert "# TYPE dram_cmd_act counter" in text
+        assert "dram_cmd_act 3" in text
+        assert "# TYPE queue gauge" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 11" in text
+        assert "lat_count 3" in text
+
+
+class TestTracer:
+    def test_nested_spans_contained(self):
+        tracer = Tracer()
+        tracer.begin("outer")
+        tracer.begin("inner")
+        tracer.end()
+        tracer.end()
+        events = {event["name"]: event for event in tracer.chrome_events()}
+        inner, outer = events["inner"], events["outer"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+        validate_chrome_events(tracer.chrome_events())
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end()
+
+    def test_open_spans_accounting(self):
+        tracer = Tracer()
+        tracer.begin("a")
+        assert tracer.open_spans() == 1
+        tracer.end()
+        assert tracer.open_spans() == 0
+
+    def test_bounded_memory(self):
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            tracer.begin(f"s{index}")
+            tracer.end()
+        assert tracer.num_events == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer(max_events=1)
+        tracer.begin("a")
+        tracer.end()
+        tracer.begin("b")
+        tracer.end()
+        tracer.clear()
+        assert tracer.num_events == 0
+        assert tracer.dropped == 0
+
+    def test_write_round_trips_valid_chrome_json(self, tmp_path):
+        tracer = Tracer()
+        tracer.begin("phase")
+        tracer.end()
+        path = tmp_path / "trace.json"
+        assert tracer.write(path) == 1
+        events = json.loads(path.read_text())
+        validate_chrome_events(events)
+        assert events[0]["name"] == "phase"
+        assert events[0]["ph"] == "X"
+
+    def test_per_thread_tids(self):
+        tracer = Tracer()
+
+        def worker():
+            tracer.begin("threaded")
+            tracer.end()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.begin("main")
+        tracer.end()
+        tids = {event["tid"] for event in tracer.chrome_events()}
+        assert len(tids) == 2
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError, match="JSON array"):
+            validate_chrome_events({"not": "a list"})
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_chrome_events([{"name": "x", "ph": "X"}])
+        good = {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+        with pytest.raises(ValueError, match="ph must be"):
+            validate_chrome_events([dict(good, ph="B")])
+        with pytest.raises(ValueError, match="ts must be"):
+            validate_chrome_events([dict(good, ts=-1)])
+        with pytest.raises(ValueError, match="empty span name"):
+            validate_chrome_events([dict(good, name="")])
+        assert validate_chrome_events([good]) == [good]
+
+
+class TestRecorderContract:
+    def test_null_recorder_is_inert(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.registry is None
+        assert NULL_RECORDER.tracer is None
+        # One shared span object: no per-call allocation on hot paths.
+        assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+        with NULL_RECORDER.span("x"):
+            NULL_RECORDER.increment("c")
+            NULL_RECORDER.observe("h", 1.0)
+            NULL_RECORDER.set_gauge("g", 1.0)
+        assert NULL_RECORDER.snapshot() == {}
+
+    def test_live_recorder_records_all_verbs(self):
+        recorder = Recorder()
+        assert recorder.enabled is True
+        recorder.increment("c", 2)
+        recorder.observe("h", 0.25, bounds=(1.0,))
+        recorder.set_gauge("g", 9)
+        with recorder.span("phase"):
+            pass
+        snap = recorder.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["gauges"]["g"] == 9
+        assert snap["histograms"]["span.phase"]["count"] == 1
+        assert snap["histograms"]["span.phase"]["min"] >= 0.0
+
+    def test_span_durations_use_monotonic_time(self):
+        recorder = Recorder()
+        with recorder.span("timed"):
+            pass
+        summary = recorder.snapshot()["histograms"]["span.timed"]
+        assert math.isfinite(summary["max"])
+        assert summary["min"] >= 0.0
+
+    def test_trace_flag_attaches_tracer(self):
+        recorder = Recorder(trace=True)
+        assert recorder.tracer is not None
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        names = recorder.tracer.span_names()
+        assert names == ["inner", "outer"]  # completion order
+        validate_chrome_events(recorder.tracer.chrome_events())
+
+    def test_recorder_without_trace_has_no_tracer(self):
+        assert Recorder().tracer is None
+
+    def test_null_recorder_subclass_relationship(self):
+        # Components type against the null recorder's surface; the live
+        # recorder must be substitutable everywhere.
+        assert isinstance(Recorder(), NullRecorder)
+
+    def test_prometheus_passthrough(self):
+        recorder = Recorder()
+        recorder.increment("hits")
+        assert "# TYPE hits counter" in recorder.render_prometheus()

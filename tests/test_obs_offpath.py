@@ -1,0 +1,229 @@
+"""Observability must be free when off and honest when on.
+
+The off-path contract: with the default :data:`NULL_RECORDER` — and
+equally with a live recorder attached — instrumentation changes **no
+output bit** of the screening pipeline or the parallel engine, and the
+streaming workspace's steady-state zero-allocation contract still
+holds.  The on-path contract: the counters a recording engine reports
+reconcile exactly with the requests it served, per shard and in total,
+and the trace contains the nested per-tile streaming spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproximateScreeningClassifier, ScreeningConfig, train_screener
+from repro.data import make_task
+from repro.distributed import ShardedClassifier
+from repro.obs import NULL_RECORDER, Recorder, validate_chrome_events
+
+pytestmark = pytest.mark.timeout(600)
+
+NUM_CATEGORIES = 600
+HIDDEN_DIM = 32
+PROJECTION_DIM = 8
+NUM_CANDIDATES = 12
+BLOCK = 100
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_task(num_categories=NUM_CATEGORIES, hidden_dim=HIDDEN_DIM, rng=4)
+
+
+@pytest.fixture(scope="module")
+def features(task):
+    return task.sample_features(16, rng=6)
+
+
+@pytest.fixture(scope="module")
+def screener(task):
+    return train_screener(
+        task.classifier,
+        task.sample_features(256, rng=7),
+        config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        rng=5,
+    )
+
+
+def build_pipeline(task, screener, recorder=None):
+    return ApproximateScreeningClassifier(
+        task.classifier,
+        screener,
+        num_candidates=NUM_CANDIDATES,
+        recorder=recorder,
+    )
+
+
+def assert_streamed_identical(actual, expected):
+    assert actual.candidates.counts.tolist() == expected.candidates.counts.tolist()
+    for mine, theirs in zip(actual.candidates, expected.candidates):
+        assert np.array_equal(mine, theirs)
+    assert np.array_equal(actual.exact_values, expected.exact_values)
+    assert np.array_equal(actual.approximate_values, expected.approximate_values)
+
+
+class TestBitIdentityOffAndOn:
+    def test_default_recorder_is_null(self, task, screener):
+        model = build_pipeline(task, screener)
+        assert model.recorder is NULL_RECORDER
+        assert model.screener.recorder is NULL_RECORDER
+
+    def test_forward_bits_unchanged_by_recording(self, task, screener, features):
+        silent = build_pipeline(task, screener).forward(features)
+        recorded_model = build_pipeline(
+            task, screener, recorder=Recorder(trace=True)
+        )
+        recorded = recorded_model.forward(features)
+        assert recorded.logits.dtype == silent.logits.dtype
+        assert np.array_equal(recorded.logits, silent.logits)
+        assert np.array_equal(
+            recorded.approximate_logits, silent.approximate_logits
+        )
+        for mine, theirs in zip(recorded.candidates, silent.candidates):
+            assert np.array_equal(mine, theirs)
+        # Restore the shared screener's recorder for sibling tests.
+        recorded_model.set_recorder(NULL_RECORDER)
+
+    def test_streaming_bits_unchanged_by_recording(self, task, screener, features):
+        silent = build_pipeline(task, screener).forward_streaming(
+            features, block_categories=BLOCK
+        )
+        recorded_model = build_pipeline(
+            task, screener, recorder=Recorder(trace=True)
+        )
+        recorded = recorded_model.forward_streaming(
+            features, block_categories=BLOCK
+        )
+        assert_streamed_identical(recorded, silent)
+        recorded_model.set_recorder(NULL_RECORDER)
+
+    @pytest.mark.parametrize("recording", [False, True])
+    def test_streaming_steady_state_allocations_flat(
+        self, task, screener, features, recording
+    ):
+        """The zero-allocation steady state survives instrumentation:
+        after warm-up, repeated streaming calls take every buffer from
+        the workspace arena — recorder on or off."""
+        recorder = Recorder(trace=True) if recording else None
+        model = build_pipeline(task, screener, recorder=recorder)
+        model.forward_streaming(features, block_categories=BLOCK)  # warm-up
+        allocations = model.workspace.allocations
+        requests_before = model.workspace.requests
+        for _ in range(5):
+            model.forward_streaming(features, block_categories=BLOCK)
+        assert model.workspace.allocations == allocations
+        assert model.workspace.requests > requests_before
+        if recording:
+            snap = model.recorder.snapshot()
+            assert snap["gauges"]["pipeline.workspace_allocations"] == allocations
+            model.set_recorder(NULL_RECORDER)
+
+    def test_streaming_trace_has_nested_tile_spans(self, task, screener, features):
+        recorder = Recorder(trace=True)
+        model = build_pipeline(task, screener, recorder=recorder)
+        model.forward_streaming(features, block_categories=BLOCK)
+        names = recorder.tracer.span_names()
+        # One screen/select span pair per *canonical column tile* (the
+        # GEMM granularity that makes streaming bit-identical to dense),
+        # regardless of the selection block size.
+        tiles = len(model.screener.tile_bounds())
+        assert tiles >= 1
+        assert names.count("streaming.screen_tile") == tiles
+        assert names.count("streaming.select_tile") == tiles
+        assert names.count("streaming.exact") == 1
+        assert names.count("forward_streaming") == 1
+        events = validate_chrome_events(recorder.tracer.chrome_events())
+        outer = next(e for e in events if e["name"] == "forward_streaming")
+        for event in events:
+            if event["name"].startswith("streaming."):
+                assert event["ts"] >= outer["ts"]
+                assert event["ts"] + event["dur"] <= (
+                    outer["ts"] + outer["dur"] + 1e-6
+                )
+        assert recorder.tracer.open_spans() == 0
+        model.set_recorder(NULL_RECORDER)
+
+
+class TestEngineReconciliation:
+    @pytest.fixture(scope="class")
+    def model(self, task):
+        model = ShardedClassifier(
+            task.classifier,
+            num_shards=2,
+            config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        )
+        model.train(
+            task.sample_features(256, rng=7), candidates_per_shard=8, rng=5
+        )
+        return model
+
+    def test_engine_outputs_unchanged_by_recording(self, model, features):
+        sequential = model.forward(features)
+        with model.parallel(trace=True) as engine:
+            parallel = engine.forward(features)
+        assert np.array_equal(parallel.logits, sequential.logits)
+
+    def test_counters_reconcile_with_requests(self, model, features):
+        requests = 3
+        with model.parallel(trace=True) as engine:
+            for _ in range(requests):
+                engine.forward(features)
+            stats = engine.stats()
+        assert stats["recording"] is True
+        assert stats["requests"] == requests
+        assert stats["retries"] == 0
+        assert stats["respawns"] == 0
+        assert stats["degraded_requests"] == 0
+        assert stats["deadline_overruns"] == 0
+        assert stats["stale_replies"] == 0
+        counters = stats["metrics"]["counters"]
+        assert counters["parallel.requests"] == requests
+        # Every serving request fans out to every shard exactly once on
+        # a clean run: the per-shard answered counts sum to
+        # requests x num_shards, and each shard's latency histogram saw
+        # exactly one observation per request.
+        per_shard = [shard["requests"] for shard in stats["shards"]]
+        assert sum(per_shard) == requests * engine.num_shards
+        for shard in stats["shards"]:
+            assert shard["requests"] == requests
+            summary = shard["latency_s"]
+            assert summary["count"] == requests
+            assert 0.0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+            assert not shard["dead"]
+            assert shard["respawns"] == 0
+        # The posted-request protocol counter agrees with the fan-out.
+        assert counters["workers.posted"] == requests * engine.num_shards
+
+    def test_stats_available_without_recorder(self, model, features):
+        with model.parallel() as engine:
+            engine.forward(features)
+            stats = engine.stats()
+        assert stats["recording"] is False
+        assert "metrics" not in stats
+        assert stats["requests"] == 1
+        assert stats["shards"][0]["respawns"] == 0
+        assert "latency_s" not in stats["shards"][0]
+
+    def test_engine_trace_exports_valid_chrome_json(
+        self, model, features, tmp_path
+    ):
+        with model.parallel(trace=True) as engine:
+            engine.forward(features)
+            engine.top_k(features, k=5)
+            path = tmp_path / "engine_trace.json"
+            count = engine.write_trace(path)
+        assert count > 0
+        import json
+
+        events = validate_chrome_events(json.loads(path.read_text()))
+        names = [event["name"] for event in events]
+        assert "engine.forward" in names
+        assert "engine.top_k" in names
+        assert "engine.scatter_gather" in names
+        assert "engine.merge" in names
+
+    def test_write_trace_without_tracer_raises(self, model, features):
+        with model.parallel() as engine:
+            with pytest.raises(RuntimeError, match="no tracer"):
+                engine.write_trace("/dev/null")

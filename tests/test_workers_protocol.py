@@ -59,6 +59,22 @@ def _sink_main(connection):
             break
 
 
+def _flood_main(connection):
+    """Worker that floods stale replies (id 0 predates every request).
+
+    Models a desynced/misbehaving worker streaming late answers faster
+    than the host's poll interval — the starvation scenario: each stale
+    frame makes ``poll()`` return immediately, so a receive loop that
+    short-circuits back to the poll after draining a stale reply never
+    reaches its deadline (or liveness) check.
+    """
+    while True:
+        try:
+            connection.send((0, "ok", "stale"))
+        except (BrokenPipeError, OSError):
+            break
+
+
 @pytest.fixture()
 def echo():
     handle = WorkerHandle(default_context(), _echo_main, args=(), name="echo")
@@ -123,6 +139,45 @@ class TestReplyDesync:
         assert second == first + 1
         assert echo.recv_tagged(first, timeout=5.0) == ("ok", "x")
         assert echo.recv_tagged(second, timeout=5.0) == ("ok", "y")
+
+
+class TestStaleFloodStarvation:
+    """Regression: a stale reply used to ``continue`` straight back to
+    the poll, skipping the liveness and deadline checks — a worker
+    streaming stale replies faster than ``poll_interval`` starved the
+    timeout indefinitely."""
+
+    @pytest.fixture()
+    def flood(self):
+        handle = WorkerHandle(
+            default_context(), _flood_main, args=(), name="flood"
+        )
+        yield handle
+        handle.stop()
+
+    def test_deadline_fires_through_stale_flood(self, flood):
+        """WorkerTimeout must fire on schedule even when every poll
+        yields another stale reply (fails by hanging on the old loop)."""
+        rid = flood.post("noop")
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout):
+            flood.recv_tagged(rid, timeout=0.5)
+        elapsed = time.monotonic() - start
+        # The deadline, not the flood, ended the wait — and promptly.
+        assert 0.4 <= elapsed < 10.0
+        # The flood really was arriving faster than the poll interval
+        # the whole time (i.e. the old code would never have slept).
+        assert flood.stale_replies > 3
+
+    def test_death_detected_through_stale_backlog(self, flood):
+        """A worker that dies behind a backlog of stale replies must
+        surface as WorkerDied/WorkerTimeout, not hang: liveness is
+        checked every iteration regardless of the poll branch."""
+        rid = flood.post("noop")
+        time.sleep(0.1)  # let a backlog accumulate
+        flood.process.terminate()
+        with pytest.raises((WorkerDied, WorkerTimeout)):
+            flood.recv_tagged(rid, timeout=2.0)
 
 
 class TestStopRecvInteraction:
