@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-serving bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,11 @@ bench-parallel:
 # section into BENCH_parallel.json, keeping existing throughput numbers.
 bench-parallel-faults:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_parallel.py --faults BENCH_parallel.json
+
+# Serving front door under open-loop Zipfian load: throughput vs p99
+# across micro-batch flush-window settings.  Writes BENCH_serving.json.
+bench-serving:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_serving.py BENCH_serving.json
 
 # Paper-figure benchmark suite (pytest-benchmark).
 bench-suite:

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Benchmark: the serving front door under open-loop Zipfian load.
+
+Drives single-request traffic through :class:`repro.serving.FrontDoor`
+over a sharded engine and maps the **throughput vs tail-latency**
+trade-off the micro-batch flush window controls: a wider window
+coalesces bigger batches (higher sustainable throughput) at the cost of
+queueing delay in the p99.  For each window setting the generator
+offers Poisson arrivals at several fractions of the backend's measured
+batch capacity and records served throughput, latency percentiles,
+achieved batch sizes and shed counts; a closed-loop run per window
+records saturated throughput at fixed concurrency.
+
+Open-loop arrivals are the honest protocol here: the generator does
+not slow down when the server queues, so queueing delay lands in the
+recorded percentiles instead of silently throttling the offered load
+(coordinated omission).
+
+Run as a script (``make bench-serving``); writes ``BENCH_serving.json``.
+``--smoke`` shrinks the model, rates and durations for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro.core import ScreeningConfig
+from repro.data import make_task
+from repro.distributed import ShardedClassifier
+from repro.serving import FrontDoor, ZipfianMix, run_closed_loop, run_open_loop
+
+NUM_CATEGORIES = 20_000
+HIDDEN_DIM = 64
+PROJECTION_DIM = 16
+CANDIDATES_PER_SHARD = 32
+NUM_SHARDS = 2
+MAX_BATCH = 32
+QUEUE_LIMIT = 512
+
+#: The knob under study: size-or-deadline flush windows, seconds.
+FLUSH_WINDOWS_S = (0.0005, 0.002, 0.008)
+
+#: Offered load as fractions of the measured batch-mode capacity.
+LOAD_FRACTIONS = (0.25, 0.5, 0.75)
+
+ZIPF_POOL = 512
+ZIPF_S = 1.1
+
+DURATION_S = 2.0
+SMOKE_DURATION_S = 0.3
+CLOSED_CONCURRENCY = 8
+CLOSED_REQUESTS = 200
+SMOKE_CLOSED_REQUESTS = 25
+
+
+def build_backend(smoke: bool) -> ShardedClassifier:
+    num_categories = 2_000 if smoke else NUM_CATEGORIES
+    task = make_task(num_categories=num_categories, hidden_dim=HIDDEN_DIM, rng=7)
+    train_features = task.sample_features(256 if smoke else 512, rng=9)
+    model = ShardedClassifier(
+        task.classifier,
+        num_shards=NUM_SHARDS,
+        config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+    )
+    model.train(train_features, candidates_per_shard=CANDIDATES_PER_SHARD, rng=10)
+    return model
+
+
+def measure_capacity_rps(backend, batch: int = MAX_BATCH) -> float:
+    """Rows/second the backend sustains in pure batch mode — the ceiling
+    any front-door configuration is measured against."""
+    rng = np.random.default_rng(3)
+    features = rng.standard_normal((batch, HIDDEN_DIM))
+    backend.forward(features)  # warm-up
+    samples: List[float] = []
+    for _ in range(5):
+        start = time.perf_counter()
+        backend.forward(features)
+        samples.append(time.perf_counter() - start)
+    return batch / min(samples)
+
+
+def run(smoke: bool = False) -> dict:
+    backend = build_backend(smoke)
+    mix = ZipfianMix(
+        hidden_dim=HIDDEN_DIM, pool_size=ZIPF_POOL, s=ZIPF_S, seed=11
+    )
+    capacity_rps = measure_capacity_rps(backend)
+    duration = SMOKE_DURATION_S if smoke else DURATION_S
+    closed_requests = SMOKE_CLOSED_REQUESTS if smoke else CLOSED_REQUESTS
+    # Keep the offered rates sane on slow hosts: at least 50 rps so a
+    # smoke run still exercises coalescing, at most 2000 rps so the
+    # generator thread itself is never the bottleneck.
+    rates = []
+    for fraction in LOAD_FRACTIONS:
+        rate = float(np.clip(capacity_rps * fraction, 50.0, 2000.0))
+        if rate not in rates:  # clamping can collapse fractions together
+            rates.append(rate)
+
+    # Warm the whole path (BLAS kernels, thread machinery, allocator)
+    # before anything is recorded — otherwise the first point of the
+    # first window pays one-off costs as queueing delay.
+    with FrontDoor(
+        backend, max_batch=MAX_BATCH, flush_window_s=FLUSH_WINDOWS_S[0]
+    ) as door:
+        run_open_loop(door, mix, rate_rps=rates[0], duration_s=0.2, seed=13)
+
+    windows = []
+    for window_s in FLUSH_WINDOWS_S:
+        points = []
+        for rate in rates:
+            with FrontDoor(
+                backend,
+                max_batch=MAX_BATCH,
+                flush_window_s=window_s,
+                queue_limit=QUEUE_LIMIT,
+            ) as door:
+                report = run_open_loop(
+                    door,
+                    mix,
+                    rate_rps=rate,
+                    duration_s=duration,
+                    seed=13,
+                )
+            summary = report.summary()
+            summary["offered_rps"] = round(rate, 1)
+            points.append({k: round(v, 4) for k, v in summary.items()})
+            print(
+                f"window={window_s * 1e3:6.2f}ms rate={rate:7.1f}rps "
+                f"served={summary['served']:5.0f} "
+                f"p50={summary['p50_ms']:7.2f}ms p99={summary['p99_ms']:7.2f}ms "
+                f"batch={summary['mean_batch_size']:5.2f}",
+                flush=True,
+            )
+
+        with FrontDoor(
+            backend,
+            max_batch=MAX_BATCH,
+            flush_window_s=window_s,
+            queue_limit=QUEUE_LIMIT,
+        ) as door:
+            closed = run_closed_loop(
+                door,
+                mix,
+                concurrency=CLOSED_CONCURRENCY,
+                requests_per_worker=closed_requests,
+            )
+        closed_summary = {k: round(v, 4) for k, v in closed.summary().items()}
+        print(
+            f"window={window_s * 1e3:6.2f}ms closed-loop "
+            f"throughput={closed_summary['throughput_rps']:8.1f}rps "
+            f"p99={closed_summary['p99_ms']:7.2f}ms",
+            flush=True,
+        )
+        windows.append(
+            {
+                "flush_window_s": window_s,
+                "open_loop": points,
+                "closed_loop": closed_summary,
+            }
+        )
+
+    return {
+        "benchmark": "serving front door: micro-batch window sweep",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count() or 1,
+        },
+        "config": {
+            "num_categories": 2_000 if smoke else NUM_CATEGORIES,
+            "hidden_dim": HIDDEN_DIM,
+            "num_shards": NUM_SHARDS,
+            "max_batch": MAX_BATCH,
+            "queue_limit": QUEUE_LIMIT,
+            "zipf_pool": ZIPF_POOL,
+            "zipf_s": ZIPF_S,
+            "arrivals": "open-loop poisson + closed-loop",
+            "duration_s": duration,
+            "load_fractions": list(LOAD_FRACTIONS),
+            "smoke": smoke,
+        },
+        "backend_capacity_rps": round(capacity_rps, 1),
+        "windows": windows,
+    }
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    smoke = "--smoke" in argv
+    positional = [a for a in argv if not a.startswith("--")]
+    output_path = positional[0] if positional else "BENCH_serving.json"
+
+    report = run(smoke=smoke)
+    with open(output_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    widest = report["windows"][-1]
+    tightest = report["windows"][0]
+    print(
+        f"\nheadline: {len(report['windows'])} window settings swept; "
+        f"closed-loop throughput "
+        f"{tightest['closed_loop']['throughput_rps']:.0f}rps at "
+        f"{tightest['flush_window_s'] * 1e3:.2f}ms window vs "
+        f"{widest['closed_loop']['throughput_rps']:.0f}rps at "
+        f"{widest['flush_window_s'] * 1e3:.2f}ms -> {output_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

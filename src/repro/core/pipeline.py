@@ -662,6 +662,28 @@ class ApproximateScreeningClassifier:
 
         return top_k_indices(self.forward(features).logits, k, sort=True)
 
+    # ------------------------------------------------------------------
+    # EngineBackend conformance (repro.serving.backend)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release serving resources (the streaming workspace arena).
+
+        Part of the :class:`~repro.serving.backend.EngineBackend`
+        contract so a single-node pipeline is interchangeable with the
+        sharded backends behind the serving front door.  Idempotent;
+        the pipeline stays usable (a new workspace is created lazily on
+        the next streaming call).
+        """
+        if self._workspace is not None:
+            self._workspace.release()
+            self._workspace = None
+
+    def __enter__(self) -> "ApproximateScreeningClassifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return (
             f"ApproximateScreeningClassifier(l={self.num_categories}, "

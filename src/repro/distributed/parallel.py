@@ -57,6 +57,12 @@ protocol the engine builds serving-grade supervision:
 Every failure path is exercised deterministically through
 :mod:`repro.utils.faults` (kill / delay / wedge / raise on the nth
 request), wired through the worker entry point.
+
+The engine satisfies the :class:`~repro.serving.backend.EngineBackend`
+protocol (as do the sequential backends), so it slots behind the
+micro-batching serving front door (:mod:`repro.serving`) unchanged;
+its mutable ``request_timeout`` is the deadline-propagation hook the
+front door narrows per micro-batch.
 """
 
 from __future__ import annotations
@@ -274,7 +280,13 @@ class ParallelShardedEngine:
     request_timeout:
         Seconds to wait for a *live* worker's reply before the retry /
         respawn policy kicks in; ``None`` waits indefinitely (worker
-        death is always detected regardless).
+        death is always detected regardless).  This attribute is
+        mutable and re-read on every collect: the serving front door
+        (:mod:`repro.serving`) narrows it to the tightest remaining
+        per-request SLO budget in each micro-batch, so a request
+        arriving with little budget left propagates that budget all the
+        way down to the worker-pipe deadline (whose ``recv_tagged``
+        honors even a zero budget without over-waiting).
     request_retries:
         How many times a timed-out request is re-issued to the same
         live worker before it is declared wedged.  Safe at any value:

@@ -310,6 +310,16 @@ class ShardedClassifier:
         return len(self.ranges)
 
     @property
+    def num_categories(self) -> int:
+        """Global category count (EngineBackend surface)."""
+        return self.classifier.num_categories
+
+    @property
+    def hidden_dim(self) -> int:
+        """Feature dimensionality (EngineBackend surface)."""
+        return self.classifier.hidden_dim
+
+    @property
     def trained(self) -> bool:
         return bool(self.shards)
 
@@ -394,6 +404,26 @@ class ShardedClassifier:
             shard_indices.append(indices)
             shard_scores.append(scores)
         return reduce_top_k(shard_indices, shard_scores, k)
+
+    # ------------------------------------------------------------------
+    # EngineBackend conformance (repro.serving.backend)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release per-shard serving resources (workspace arenas).
+
+        The sequential backend holds no processes or shared segments,
+        so this only drops scratch memory; the model stays trained and
+        usable.  Idempotent, part of the
+        :class:`~repro.serving.backend.EngineBackend` contract.
+        """
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedClassifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def parallel(self, **kwargs):

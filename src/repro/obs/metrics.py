@@ -20,12 +20,25 @@ Histograms use a *fixed* set of bucket bounds chosen at construction
 how many observations arrive and percentile queries are O(buckets).
 All timing flowing in here comes from monotonic clocks (see
 :mod:`repro.obs.trace`); wall-clock timestamps are deliberately absent.
+
+Thread safety: every instrument write (``Counter.inc``, ``Gauge.set``,
+``Histogram.observe``) and every registry get-or-create runs under a
+per-instrument (resp. per-registry) lock.  The single-threaded engine
+never needed this, but the serving front door (:mod:`repro.serving`)
+has submitter threads and a batcher thread incrementing the same
+counters concurrently — unsynchronized read-modify-write would lose
+increments (the hammer test in ``tests/test_obs_threadsafety.py``
+demonstrates the loss on an unlocked counter and pins the fix).
+Snapshot reads (:meth:`Histogram.summary`) take the same lock, so a
+summary is internally consistent (``count`` always equals the bucket
+total).
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -71,29 +84,49 @@ def power_of_two_buckets(limit: int = 4096) -> Tuple[float, ...]:
 
 
 class Counter:
-    """A monotonically increasing count (requests, retries, commands)."""
+    """A monotonically increasing count (requests, retries, commands).
 
-    __slots__ = ("value",)
+    ``inc`` is atomic under concurrent writers (per-instrument lock):
+    N threads adding M each always leaves ``value == N * M``.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (queue depth, workspace bytes)."""
+    """A point-in-time value (queue depth, workspace bytes).
 
-    __slots__ = ("value",)
+    ``set`` replaces the value wholesale, so concurrent writers leave
+    one writer's value (last write wins); ``add`` is the atomic
+    read-modify-write for up/down tracking (queue depth).
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        """Atomically add ``delta`` (may be negative) to the value."""
+        delta = float(delta)
+        with self._lock:
+            self.value += delta
 
 
 class Histogram:
@@ -108,7 +141,10 @@ class Histogram:
     bounded-memory trade — error is bounded by the bucket width.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "total", "minimum", "maximum",
+        "_lock",
+    )
 
     def __init__(self, bounds: Optional[Sequence[float]] = None):
         chosen = tuple(bounds) if bounds is not None else latency_buckets()
@@ -122,20 +158,23 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        # Re-entrant: summary() holds the lock while calling percentile().
+        self._lock = threading.RLock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -145,41 +184,47 @@ class Histogram:
         """Estimated ``q``-th percentile (``q`` in [0, 100])."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q / 100.0 * self.count
-        cumulative = 0
-        lower = 0.0
-        for index, bucket_count in enumerate(self.bucket_counts):
-            upper = (
-                self.bounds[index]
-                if index < len(self.bounds)
-                else self.maximum
-            )
-            if bucket_count:
-                next_cumulative = cumulative + bucket_count
-                if rank <= next_cumulative:
-                    fraction = (rank - cumulative) / bucket_count
-                    estimate = lower + fraction * (upper - lower)
-                    return min(max(estimate, self.minimum), self.maximum)
-                cumulative = next_cumulative
-            lower = upper if index < len(self.bounds) else lower
-        return self.maximum
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q / 100.0 * self.count
+            cumulative = 0
+            lower = 0.0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                if bucket_count:
+                    next_cumulative = cumulative + bucket_count
+                    if rank <= next_cumulative:
+                        fraction = (rank - cumulative) / bucket_count
+                        estimate = lower + fraction * (upper - lower)
+                        return min(max(estimate, self.minimum), self.maximum)
+                    cumulative = next_cumulative
+                lower = upper if index < len(self.bounds) else lower
+            return self.maximum
 
     def summary(self) -> Dict[str, float]:
-        """The snapshot record: count/sum/min/max/mean + p50/p95/p99."""
-        if self.count == 0:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-        }
+        """The snapshot record: count/sum/min/max/mean + p50/p95/p99.
+
+        Taken under the instrument lock, so the record is internally
+        consistent even while writers are observing.
+        """
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": self.mean,
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+            }
 
 
 def _prometheus_name(name: str) -> str:
@@ -205,12 +250,19 @@ class MetricsRegistry:
     bound to one instrument kind for the registry's lifetime — asking
     for an existing name as a different kind raises, which catches
     instrumentation typos early.
+
+    Get-or-create runs under a registry lock, so two threads asking for
+    the same name always receive the *same* instrument (a racing create
+    would silently fork the metric: each thread incrementing its own
+    orphan copy).  The fast path (instrument already exists) is a
+    single locked dict lookup.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def _check_unbound(self, name: str, want: Dict[str, object]) -> None:
         for kind, table in (
@@ -222,27 +274,30 @@ class MetricsRegistry:
                 raise ValueError(f"metric {name!r} already registered as a {kind}")
 
     def counter(self, name: str) -> Counter:
-        instrument = self._counters.get(name)
-        if instrument is None:
-            self._check_unbound(name, self._counters)
-            instrument = self._counters[name] = Counter()
-        return instrument
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_unbound(name, self._counters)
+                instrument = self._counters[name] = Counter()
+            return instrument
 
     def gauge(self, name: str) -> Gauge:
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            self._check_unbound(name, self._gauges)
-            instrument = self._gauges[name] = Gauge()
-        return instrument
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_unbound(name, self._gauges)
+                instrument = self._gauges[name] = Gauge()
+            return instrument
 
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None
     ) -> Histogram:
-        instrument = self._histograms.get(name)
-        if instrument is None:
-            self._check_unbound(name, self._histograms)
-            instrument = self._histograms[name] = Histogram(bounds)
-        return instrument
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_unbound(name, self._histograms)
+                instrument = self._histograms[name] = Histogram(bounds)
+            return instrument
 
     # ------------------------------------------------------------------
     def names(self) -> Iterable[str]:

@@ -79,6 +79,9 @@ class NullRecorder:
     def set_gauge(self, name: str, value: float) -> None:
         pass
 
+    def add_gauge(self, name: str, delta: float) -> None:
+        pass
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {}
 
@@ -156,6 +159,10 @@ class Recorder(NullRecorder):
 
     def set_gauge(self, name: str, value: float) -> None:
         self.registry.gauge(name).set(value)
+
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Atomic up/down adjustment (queue depth, in-flight counts)."""
+        self.registry.gauge(name).add(delta)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return self.registry.snapshot()

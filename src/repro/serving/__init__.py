@@ -1,0 +1,53 @@
+"""Serving layer: one front door over every engine backend.
+
+``repro.serving`` turns the repository's batch engines into a request
+server.  :mod:`~repro.serving.backend` defines the
+:class:`~repro.serving.backend.EngineBackend` protocol that the
+single-node pipeline, the sequential sharded classifier and the
+process-parallel fleet all satisfy;
+:mod:`~repro.serving.frontdoor` coalesces single-request traffic into
+micro-batches under a size-or-deadline flush policy with admission
+control and SLO deadline propagation; and
+:mod:`~repro.serving.loadgen` offers open- and closed-loop Zipfian
+load for benchmarking the whole stack.
+"""
+
+from repro.serving.backend import (
+    EngineBackend,
+    is_engine_backend,
+    propagates_deadlines,
+)
+from repro.serving.frontdoor import (
+    DeadlineExceededError,
+    FrontDoor,
+    FrontDoorClosedError,
+    FrontDoorError,
+    QueueFullError,
+    Reply,
+    RowForward,
+    RowStreamed,
+)
+from repro.serving.loadgen import (
+    LoadReport,
+    ZipfianMix,
+    run_closed_loop,
+    run_open_loop,
+)
+
+__all__ = [
+    "EngineBackend",
+    "is_engine_backend",
+    "propagates_deadlines",
+    "FrontDoor",
+    "Reply",
+    "RowForward",
+    "RowStreamed",
+    "FrontDoorError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "FrontDoorClosedError",
+    "ZipfianMix",
+    "LoadReport",
+    "run_open_loop",
+    "run_closed_loop",
+]

@@ -1,0 +1,90 @@
+"""The ``EngineBackend`` protocol: one contract for every serving engine.
+
+Three execution engines grew up in this repository — the single-node
+:class:`~repro.core.pipeline.ApproximateScreeningClassifier`, the
+sequential :class:`~repro.distributed.sharding.ShardedClassifier` and
+the process-parallel
+:class:`~repro.distributed.parallel.ParallelShardedEngine` — and they
+already answer the same questions (``forward`` / ``forward_streaming``
+/ ``top_k`` / ``predict`` over a feature batch).  This module writes
+that shared surface down as a :class:`typing.Protocol` so the serving
+front door (:mod:`repro.serving.frontdoor`), the load generator and the
+benchmarks can hold *any* of them behind one name — and so the next
+backend (a sketch-based screener, a replicated fleet) plugs in by
+satisfying the contract instead of by being special-cased.
+
+The contract
+------------
+* ``num_categories`` / ``hidden_dim`` — the model geometry; the front
+  door validates request shapes against ``hidden_dim``.
+* ``forward(features)`` — dense screened inference over a ``(batch,
+  hidden_dim)`` float array; rows are independent, which is what makes
+  request coalescing legal (per-row results do not depend on batch
+  membership; the differential tests hold the front door to this).
+* ``forward_streaming(features, block_categories=None)`` — the
+  candidates-only blocked path.
+* ``top_k(features, k)`` — per-row top-k; backends return either a
+  bare indices array (single-node) or an ``(indices, scores)`` pair
+  (sharded reduce) — the front door splits both row-wise unchanged.
+* ``predict(features)`` — per-row argmax category.
+* ``close()`` — release serving resources (worker fleets, shared
+  segments, workspaces); idempotent.  Backends are context managers.
+
+Deadline propagation rides on a *conventional* attribute rather than a
+method: a backend that honors per-request reply budgets exposes a
+mutable ``request_timeout`` attribute (the parallel engine's
+supervision deadline).  The front door narrows it to the tightest
+remaining SLO budget in each micro-batch before dispatch; backends
+without the attribute (in-process engines whose latency the flush
+policy already bounds) are simply dispatched as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["EngineBackend", "is_engine_backend", "propagates_deadlines"]
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """Structural contract every serving engine satisfies.
+
+    ``isinstance(obj, EngineBackend)`` checks attribute presence (the
+    :func:`typing.runtime_checkable` semantics); the behavioural half
+    of the contract — row independence, bit-identity across backends —
+    is enforced by the differential tests in
+    ``tests/test_serving_frontdoor.py`` and
+    ``tests/test_distributed_parallel.py``.
+    """
+
+    @property
+    def num_categories(self) -> int: ...
+
+    @property
+    def hidden_dim(self) -> int: ...
+
+    def forward(self, features: np.ndarray): ...
+
+    def forward_streaming(
+        self, features: np.ndarray, block_categories: Optional[int] = None
+    ): ...
+
+    def top_k(self, features: np.ndarray, k: int): ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+    def close(self) -> None: ...
+
+
+def is_engine_backend(obj) -> bool:
+    """``True`` when ``obj`` satisfies the :class:`EngineBackend` surface."""
+    return isinstance(obj, EngineBackend)
+
+
+def propagates_deadlines(backend) -> bool:
+    """``True`` when the backend honors a mutable ``request_timeout``
+    (the supervision deadline the front door narrows per micro-batch)."""
+    return hasattr(backend, "request_timeout")

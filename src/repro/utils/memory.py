@@ -117,6 +117,16 @@ class Workspace:
         self.requests += 1
         return self._slab(key, int(capacity), np.dtype(dtype), preserve=True)
 
+    def release(self) -> None:
+        """Drop every slab (footprint goes to zero).
+
+        Serving backends call this from ``close()``.  The counters keep
+        their history — a release followed by reuse shows up as new
+        ``allocations``, which is exactly what the steady-state
+        assertions should see.
+        """
+        self._slabs.clear()
+
     @property
     def nbytes(self) -> int:
         """Total bytes currently held by the arena."""

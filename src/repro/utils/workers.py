@@ -21,6 +21,25 @@ talks to it over a duplex pipe.  Two failure modes matter in serving:
 The wire protocol is ``(request_id, op, payload)`` host → worker and
 ``(request_id, kind, payload)`` worker → host.  Unsolicited messages
 (the startup handshake) use :data:`HANDSHAKE_ID`.
+
+Deadline semantics
+------------------
+``recv_tagged(..., timeout=t)`` promises a wait of **at most** ``t``
+seconds (plus one recv): the remaining budget is checked *before*
+every poll, each poll sleeps at most the remaining budget (clamped to
+``poll_interval``), and a zero or already-expired budget raises
+:class:`WorkerTimeout` immediately — it never pays a ``poll_interval``
+it does not have.  This is what makes per-request SLO budgets
+propagated by the serving front door (:mod:`repro.serving`) honest:
+a request arriving with 1 ms of budget left costs ~1 ms, not 20 ms,
+per hop.  ``timeout=None`` waits indefinitely (worker death is still
+detected within one poll interval).
+
+Protocol violations — a reply id *ahead* of the host's counter, which
+only a host/worker code mismatch can produce — raise
+:class:`ProtocolError` on every receive path, including the drain that
+runs after a worker death is observed (a concurrent death must not
+mask a mismatch), and are counted in ``workers.protocol_errors``.
 """
 
 from __future__ import annotations
@@ -121,6 +140,14 @@ class WorkerHandle:
             exitcode = None
         return WorkerDied(self.name, exitcode)
 
+    def _from_the_future(self, reply_id: int, expect_id: int) -> ProtocolError:
+        """A reply id ahead of the host counter: host/worker mismatch."""
+        self.recorder.increment("workers.protocol_errors")
+        return ProtocolError(
+            f"worker {self.name!r} answered request {reply_id} before it "
+            f"was issued (awaiting {expect_id})"
+        )
+
     def send(self, message: Any) -> None:
         """Ship a raw message; a closed handle or broken pipe means the
         worker is unreachable and raises :class:`WorkerDied`."""
@@ -162,22 +189,39 @@ class WorkerHandle:
         dead-but-draining pipe was never detected — the flood
         regression test in ``tests/test_workers_protocol.py`` pins
         this.)
+
+        Deadline semantics (exact, relied on by deadline propagation in
+        the serving front door): the remaining budget is checked
+        *before* every poll and each poll waits at most the remaining
+        budget, so the total wait never exceeds ``timeout`` by more
+        than the cost of one recv.  A ``timeout`` of zero (or an
+        already-spent budget) raises :class:`WorkerTimeout` immediately
+        without paying a single ``poll_interval`` — an expired request
+        is shed, never slept on.  (The earlier shape checked the
+        deadline after a full-length poll with strict ``>``, so a
+        zero-budget wait still cost up to ``poll_interval`` per hop.)
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             if self._closed:
                 raise self._died()
+            wait = self.poll_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    self.recorder.increment("workers.timeouts")
+                    raise WorkerTimeout(
+                        f"worker {self.name!r} gave no reply to request "
+                        f"{expect_id} within {timeout}s"
+                    )
+                wait = min(wait, remaining)
             try:
-                if self.connection.poll(self.poll_interval):
+                if self.connection.poll(wait):
                     reply_id, kind, payload = self.connection.recv()
                     if reply_id == expect_id:
                         return kind, payload
                     if reply_id > expect_id:
-                        raise ProtocolError(
-                            f"worker {self.name!r} answered request "
-                            f"{reply_id} before it was issued (awaiting "
-                            f"{expect_id})"
-                        )
+                        raise self._from_the_future(reply_id, expect_id)
                     # Stale reply: drop it and *fall through* — the
                     # liveness and deadline checks below must run even
                     # when stale replies arrive back to back.
@@ -194,25 +238,27 @@ class WorkerHandle:
                 raise self._died() from error
             if not self.process.is_alive():
                 # One last drain: the reply may have landed between the
-                # poll above and the liveness check.
+                # poll above and the liveness check.  The drain applies
+                # the *same* protocol rules as the live loop — in
+                # particular a reply from the future still raises
+                # :class:`ProtocolError`.  (It used to be silently
+                # swallowed here, so a host/worker code mismatch could
+                # be masked by a concurrent death; the drain regression
+                # test in ``tests/test_workers_protocol.py`` pins the
+                # identical behaviour.)
                 try:
                     while self.connection.poll(0):
                         reply_id, kind, payload = self.connection.recv()
                         if reply_id == expect_id:
                             return kind, payload
-                        if reply_id < expect_id:
-                            self.stale_replies += 1
-                            self.recorder.increment("workers.stale_replies")
+                        if reply_id > expect_id:
+                            raise self._from_the_future(reply_id, expect_id)
+                        self.stale_replies += 1
+                        self.recorder.increment("workers.stale_replies")
                 except (EOFError, OSError):
                     pass
                 self.recorder.increment("workers.deaths_observed")
                 raise self._died()
-            if deadline is not None and time.monotonic() > deadline:
-                self.recorder.increment("workers.timeouts")
-                raise WorkerTimeout(
-                    f"worker {self.name!r} gave no reply to request "
-                    f"{expect_id} within {timeout}s"
-                )
 
     def request(
         self, op: str, payload: Any = None, timeout: Optional[float] = None
@@ -226,13 +272,22 @@ class WorkerHandle:
 
     # ------------------------------------------------------------------
     def stop(self, goodbye: Any = None, timeout: float = 2.0) -> None:
-        """Shut the worker down: polite message first, SIGTERM after.
+        """Shut the worker down: polite message, SIGTERM, then SIGKILL.
 
         Idempotent; never raises on an already-dead worker.  Marks the
         handle closed *before* touching the connection, so a concurrent
         :meth:`recv_tagged` on another thread surfaces
         :class:`WorkerDied` instead of an ``OSError`` from the closed
         pipe.
+
+        Escalation ladder: the goodbye message, a ``join(timeout)``,
+        ``terminate()`` (SIGTERM) with a second join, and finally
+        ``kill()`` (SIGKILL) with a last join.  A worker stuck in a
+        SIGTERM-ignoring or uninterruptible state therefore cannot leak
+        past shutdown — SIGKILL is not maskable.  (The earlier shape
+        stopped at SIGTERM, so a signal-ignoring worker survived
+        ``stop()``; the immortal-worker regression test pins the
+        escalation.)
         """
         already_closed = self._closed
         self._closed = True
@@ -246,6 +301,9 @@ class WorkerHandle:
             self.process.join(timeout)
             if self.process.is_alive():
                 self.process.terminate()
+                self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.kill()
                 self.process.join(timeout)
         except ValueError:
             pass  # process object already released

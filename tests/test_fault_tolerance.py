@@ -42,7 +42,11 @@ BACKENDS = ("forward", "forward_streaming")
 #: must overshoot the first deadline and land inside the retry's).
 FAST = dict(restart_backoff=0.01, restart_backoff_cap=0.05)
 DEADLINE = 0.5
-LATE = 1.0
+# Past the first deadline but safely inside the retry's window.  The
+# delayed reply lands at ~LATE; the retry waits over [DEADLINE,
+# 2*DEADLINE], so LATE sits 0.2s clear of both edges — recv_tagged now
+# honors deadlines exactly (no poll_interval overshoot to hide in).
+LATE = 0.8
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,251 @@
+"""Thread-safety hammer tests for the obs instruments.
+
+Regression context: ``Counter.inc``, ``Gauge.set`` and
+``Histogram.observe`` were unsynchronized read-modify-write.  That was
+safe while only the single-threaded engine wrote them, but the serving
+front door (:mod:`repro.serving`) has many submitter threads and a
+batcher thread hitting the same instruments, where an unlocked
+``self.value += amount`` loses increments whenever the interpreter
+preempts between the read and the write.
+
+The first test demonstrates the loss is real on an unlocked
+counter-shaped object (under a tiny switch interval); the rest hammer
+the fixed instruments and assert nothing is lost.  CI runs this module
+under ``pytest-timeout`` so a deadlock introduced by the locking fails
+fast instead of hanging the suite.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+THREADS = 8
+INCREMENTS = 25_000
+
+
+@pytest.fixture()
+def tight_switching():
+    """Force frequent interpreter preemption so read-modify-write races
+    are actually exercised instead of hiding behind long GIL slices."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _hammer(work, threads=THREADS):
+    """Run ``work(thread_index)`` on N threads, join them all."""
+    pool = [
+        threading.Thread(target=work, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+
+class _UnlockedHistogram:
+    """The pre-fix ``Histogram.observe`` shape: multi-field RMW with no
+    lock.  (On current CPython a *single*-statement ``+=`` rarely tears
+    — the eval breaker only runs at calls and jumps — but ``observe``
+    spans several statements and a loop, so readers race it for real.)
+    """
+
+    def __init__(self, bounds):
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+def _race_readers_against(histogram, summarize, duration_s=0.5, writers=4):
+    """Hammer ``histogram.observe`` while readers compare the bucket
+    total against ``count`` via ``summarize()``; returns the number of
+    internally inconsistent reads observed."""
+    stop = threading.Event()
+    mismatches = [0]
+
+    def writer():
+        value = 1e-5
+        while not stop.is_set():
+            histogram.observe(value)
+            value = value * 1.7 if value < 1.0 else 1e-6
+
+    def reader():
+        while not stop.is_set():
+            count, bucket_total = summarize()
+            if count != bucket_total:
+                mismatches[0] += 1
+
+    pool = [threading.Thread(target=writer) for _ in range(writers)]
+    pool += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in pool:
+        thread.start()
+    timer = threading.Timer(duration_s, stop.set)
+    timer.start()
+    for thread in pool:
+        thread.join()
+    timer.cancel()
+    return mismatches[0]
+
+
+def test_unlocked_histogram_demonstrably_races(tight_switching):
+    """The race the fix exists for, demonstrated on the pre-fix shape:
+    readers catch ``count`` and the bucket totals mid-update.  This
+    pins that the hammer workload can expose the race, so the passing
+    tests on the locked instruments below mean something."""
+    histogram = _UnlockedHistogram(latency_buckets())
+    mismatches = _race_readers_against(
+        histogram,
+        lambda: (histogram.count, sum(histogram.bucket_counts)),
+    )
+    assert mismatches > 0, (
+        "hammer workload failed to expose the unlocked race; "
+        "the no-loss assertions below would be vacuous"
+    )
+
+
+def test_locked_histogram_never_shows_torn_reads(tight_switching):
+    """Same hammer, real instrument, snapshots through the locked
+    ``summary()``: no reader ever sees count disagree with the record."""
+    histogram = Histogram(latency_buckets())
+
+    def summarize():
+        record = histogram.summary()
+        count = record.get("count", 0)
+        # A consistent record either is empty or carries a mean that
+        # reconciles with its own sum — recompute the invariant.
+        if count == 0:
+            return 0, 0
+        return count, round(record["sum"] / record["mean"])
+
+    assert _race_readers_against(histogram, summarize) == 0
+
+
+def test_counter_loses_no_increments(tight_switching):
+    counter = Counter()
+    _hammer(lambda _i: [counter.inc() for _ in range(INCREMENTS)])
+    assert counter.value == THREADS * INCREMENTS
+
+
+def test_counter_amounts_accumulate_exactly(tight_switching):
+    counter = Counter()
+    _hammer(lambda _i: [counter.inc(2.0) for _ in range(INCREMENTS)])
+    assert counter.value == 2.0 * THREADS * INCREMENTS
+
+
+def test_gauge_add_loses_no_updates(tight_switching):
+    gauge = Gauge()
+    _hammer(lambda _i: [gauge.add(1.0) for _ in range(INCREMENTS)])
+    assert gauge.value == THREADS * INCREMENTS
+
+
+def test_gauge_set_is_last_write_wins(tight_switching):
+    gauge = Gauge()
+    _hammer(lambda index: gauge.set(float(index)))
+    assert gauge.value in {float(index) for index in range(THREADS)}
+
+
+def test_histogram_loses_no_observations(tight_switching):
+    histogram = Histogram(latency_buckets())
+    per_thread = 5_000
+
+    def work(index):
+        # Spread observations across buckets so every bucket counter
+        # is contended, not just one.
+        for i in range(per_thread):
+            histogram.observe(1e-6 * (10 ** (index % 6)) * (1 + i % 3))
+
+    _hammer(work)
+    total = THREADS * per_thread
+    assert histogram.count == total
+    assert sum(histogram.bucket_counts) == total
+    summary = histogram.summary()
+    assert summary["count"] == total
+
+
+def test_summary_is_consistent_under_concurrent_writes():
+    """Readers see internally consistent records while writers hammer:
+    a summary's count can never disagree with its own mean/sum pairing
+    (count == 0 implies the empty record; count > 0 implies all keys)."""
+    histogram = Histogram(latency_buckets())
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        value = 1e-5
+        while not stop.is_set():
+            histogram.observe(value)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                record = histogram.summary()
+                if record["count"] == 0:
+                    assert set(record) == {"count"}
+                else:
+                    assert record["sum"] == pytest.approx(
+                        record["mean"] * record["count"]
+                    )
+        except AssertionError as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    pool = [threading.Thread(target=writer) for _ in range(4)]
+    pool += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in pool:
+        thread.start()
+    timer = threading.Timer(0.5, stop.set)
+    timer.start()
+    for thread in pool:
+        thread.join()
+    timer.cancel()
+    assert not errors
+
+
+def test_registry_get_or_create_never_forks_an_instrument(tight_switching):
+    """Two threads racing to create the same name must get the *same*
+    counter — otherwise each would increment an orphan copy."""
+    registry = MetricsRegistry()
+    seen = [None] * THREADS
+    barrier = threading.Barrier(THREADS)
+
+    def work(index):
+        barrier.wait()
+        counter = registry.counter("serving.requests")
+        seen[index] = counter
+        for _ in range(INCREMENTS):
+            counter.inc()
+
+    _hammer(work)
+    assert len({id(counter) for counter in seen}) == 1
+    assert registry.counter("serving.requests").value == THREADS * INCREMENTS
+
+
+def test_registry_kind_collision_still_raises():
+    registry = MetricsRegistry()
+    registry.counter("serving.requests")
+    with pytest.raises(ValueError):
+        registry.gauge("serving.requests")

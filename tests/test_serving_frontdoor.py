@@ -1,0 +1,466 @@
+"""Contract tests for the serving front door.
+
+The load-bearing claim: putting the front door between a caller and an
+engine changes *scheduling*, never *answers*.  The differential tests
+replay the exact micro-batches the front door formed (via the
+``batch_id``/``batch_index`` metadata in every reply) directly against
+the backend and require bit-identical rows — across the single-node
+pipeline, the sequential sharded classifier and the process-parallel
+engine.
+
+Also covered: the size-or-deadline flush policy, admission control
+(typed ``QueueFullError``, engine outputs unaffected by overload), SLO
+deadlines (expired requests are shed, never served late; budgets narrow
+the backend's supervision deadline and the default is restored), and
+lifecycle (drain on close, typed error after close).
+"""
+
+import threading
+import time
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.core import ApproximateScreeningClassifier, ScreeningConfig, train_screener
+from repro.core.candidates import CandidateSet
+from repro.core.pipeline import ScreenedOutput
+from repro.data import make_task
+from repro.distributed import ShardedClassifier
+from repro.serving import (
+    DeadlineExceededError,
+    EngineBackend,
+    FrontDoor,
+    FrontDoorClosedError,
+    QueueFullError,
+    is_engine_backend,
+    propagates_deadlines,
+)
+
+pytestmark = pytest.mark.timeout(600)
+
+NUM_CATEGORIES = 300
+HIDDEN_DIM = 24
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_task(num_categories=NUM_CATEGORIES, hidden_dim=HIDDEN_DIM, rng=4)
+
+
+@pytest.fixture(scope="module")
+def train_features(task):
+    return task.sample_features(128, rng=7)
+
+
+@pytest.fixture(scope="module")
+def single_node(task, train_features):
+    screener = train_screener(
+        task.classifier,
+        train_features,
+        config=ScreeningConfig(projection_dim=8),
+        epochs=3,
+        rng=5,
+    )
+    return ApproximateScreeningClassifier(
+        task.classifier, screener, num_candidates=16
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded(task, train_features):
+    model = ShardedClassifier(
+        task.classifier, num_shards=2, config=ScreeningConfig(projection_dim=8)
+    )
+    model.train(train_features, candidates_per_shard=8, rng=5)
+    return model
+
+
+@pytest.fixture(scope="module")
+def request_rows(task):
+    return task.sample_features(24, rng=11)
+
+
+class TestEngineBackendProtocol:
+    def test_all_three_backends_satisfy_the_protocol(self, single_node, sharded):
+        assert is_engine_backend(single_node)
+        assert is_engine_backend(sharded)
+        with sharded.parallel() as engine:
+            assert is_engine_backend(engine)
+            assert propagates_deadlines(engine)
+
+    def test_in_process_backends_do_not_claim_deadline_support(
+        self, single_node, sharded
+    ):
+        assert not propagates_deadlines(single_node)
+        assert not propagates_deadlines(sharded)
+
+    def test_protocol_rejects_non_backends(self):
+        assert not isinstance(object(), EngineBackend)
+
+
+def replay_batches(door, backend, rows, op="forward", **submit_kwargs):
+    """Submit every row, then regroup replies into the micro-batches the
+    front door actually formed and return
+    ``[(stacked_features, [(reply, row_index), ...]), ...]``."""
+    futures = [door.submit(row, op, **submit_kwargs) for row in rows]
+    replies = [future.result(timeout=60) for future in futures]
+    batches = defaultdict(list)
+    for row, reply in zip(rows, replies):
+        batches[reply.batch_id].append((reply, row))
+    grouped = []
+    for batch_id, members in sorted(batches.items()):
+        members.sort(key=lambda pair: pair[0].batch_index)
+        sizes = {pair[0].batch_size for pair in members}
+        assert sizes == {len(members)}, "reply batch metadata inconsistent"
+        stacked = np.stack([row for _, row in members], axis=0)
+        grouped.append((stacked, [reply for reply, _ in members]))
+    return grouped
+
+
+class TestDifferentialBitIdentity:
+    """Front-door replies are bit-identical to direct backend calls on
+    the same micro-batches."""
+
+    @pytest.fixture(params=["single_node", "sharded"])
+    def backend(self, request):
+        return request.getfixturevalue(request.param)
+
+    def test_forward_rows_match_direct_call(self, backend, request_rows):
+        with FrontDoor(backend, max_batch=4, flush_window_s=0.05) as door:
+            for stacked, replies in replay_batches(door, backend, request_rows):
+                direct = backend.forward(stacked)
+                assert direct.logits.shape[0] == len(replies)
+                for i, reply in enumerate(replies):
+                    assert np.array_equal(reply.value.logits, direct.logits[i])
+                    assert np.array_equal(
+                        reply.value.candidates, direct.candidates.indices[i]
+                    )
+                    assert not reply.degraded
+                    assert reply.failures == ()
+
+    def test_streaming_rows_match_direct_call(self, backend, request_rows):
+        with FrontDoor(backend, max_batch=4, flush_window_s=0.05) as door:
+            batches = replay_batches(
+                door, backend, request_rows, op="forward_streaming"
+            )
+            for stacked, replies in batches:
+                direct = backend.forward_streaming(stacked)
+                offsets = np.concatenate(
+                    ([0], np.cumsum(direct.candidates.counts))
+                )
+                for i, reply in enumerate(replies):
+                    assert np.array_equal(
+                        reply.value.candidates, direct.candidates.indices[i]
+                    )
+                    assert np.array_equal(
+                        reply.value.exact_values,
+                        direct.exact_values[offsets[i] : offsets[i + 1]],
+                    )
+                    assert np.array_equal(
+                        reply.value.approximate_values,
+                        direct.approximate_values[offsets[i] : offsets[i + 1]],
+                    )
+
+    def test_top_k_and_predict_rows_match_direct_call(self, backend, request_rows):
+        with FrontDoor(backend, max_batch=4, flush_window_s=0.05) as door:
+            for stacked, replies in replay_batches(
+                door, backend, request_rows, op="top_k", k=7
+            ):
+                direct = backend.top_k(stacked, k=7)
+                for i, reply in enumerate(replies):
+                    if isinstance(direct, tuple):  # sharded: (indices, scores)
+                        assert np.array_equal(reply.value[0], direct[0][i])
+                        assert np.array_equal(reply.value[1], direct[1][i])
+                    else:  # single-node: bare indices
+                        assert np.array_equal(reply.value, direct[i])
+            for stacked, replies in replay_batches(
+                door, backend, request_rows, op="predict"
+            ):
+                direct = backend.predict(stacked)
+                for i, reply in enumerate(replies):
+                    assert reply.value == direct[i]
+
+    def test_unit_batches_match_direct_single_row_calls(
+        self, backend, request_rows
+    ):
+        """``max_batch=1`` disables coalescing: each reply must equal a
+        direct one-row backend call exactly (same shapes in, same bits
+        out)."""
+        with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
+            for row in request_rows[:6]:
+                reply = door.call(row, timeout=60)
+                assert reply.batch_size == 1
+                direct = backend.forward(row[np.newaxis, :])
+                assert np.array_equal(reply.value.logits, direct.logits[0])
+                assert np.array_equal(
+                    reply.value.candidates, direct.candidates.indices[0]
+                )
+
+
+class TestParallelBackendThroughTheDoor:
+    """One process-fleet spin-up covering the parallel-specific claims:
+    bit-identity with the sequential model and deadline narrowing of the
+    supervision timeout."""
+
+    def test_parallel_replies_match_sequential_backend(
+        self, sharded, request_rows
+    ):
+        with sharded.parallel() as engine:
+            with FrontDoor(engine, max_batch=4, flush_window_s=0.05) as door:
+                for stacked, replies in replay_batches(
+                    door, engine, request_rows[:12]
+                ):
+                    direct = sharded.forward(stacked)
+                    for i, reply in enumerate(replies):
+                        assert np.array_equal(
+                            reply.value.logits, direct.logits[i]
+                        )
+                        assert np.array_equal(
+                            reply.value.candidates, direct.candidates.indices[i]
+                        )
+            assert engine.request_timeout is None  # restored after every batch
+
+
+class _RecordingBackend:
+    """An EngineBackend stub that records the ``request_timeout`` in
+    effect at each dispatch (what a supervised fleet would see)."""
+
+    def __init__(self, num_categories=8, hidden_dim=4):
+        self._num_categories = num_categories
+        self._hidden_dim = hidden_dim
+        self.request_timeout = 30.0
+        self.seen_timeouts = []
+
+    @property
+    def num_categories(self):
+        return self._num_categories
+
+    @property
+    def hidden_dim(self):
+        return self._hidden_dim
+
+    def forward(self, features):
+        self.seen_timeouts.append(self.request_timeout)
+        logits = np.zeros((features.shape[0], self._num_categories))
+        candidates = CandidateSet(
+            indices=[np.arange(2, dtype=np.intp) for _ in range(features.shape[0])]
+        )
+        return ScreenedOutput(
+            logits, approximate_logits=logits.copy(), candidates=candidates
+        )
+
+    def forward_streaming(self, features, block_categories=None):
+        return self.forward(features)
+
+    def top_k(self, features, k):
+        self.seen_timeouts.append(self.request_timeout)
+        return np.zeros((features.shape[0], k), dtype=np.intp)
+
+    def predict(self, features):
+        self.seen_timeouts.append(self.request_timeout)
+        return np.zeros(features.shape[0], dtype=np.intp)
+
+    def close(self):
+        pass
+
+
+class _GatedBackend(_RecordingBackend):
+    """Blocks every dispatch until the test releases the gate — lets a
+    test hold the batcher busy while more requests queue up."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+        self.dispatching = threading.Event()
+
+    def forward(self, features):
+        self.dispatching.set()
+        assert self.gate.wait(timeout=60), "test never released the gate"
+        return super().forward(features)
+
+
+class TestDeadlinePropagation:
+    def test_recording_stub_satisfies_protocol(self):
+        assert is_engine_backend(_RecordingBackend())
+        assert propagates_deadlines(_RecordingBackend())
+
+    def test_slo_narrows_supervision_deadline_and_restores_default(self):
+        backend = _RecordingBackend()
+        row = np.zeros(backend.hidden_dim)
+        with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
+            door.call(row, slo_s=0.5, timeout=30)
+            door.call(row, timeout=30)  # no SLO: fleet default applies
+        assert len(backend.seen_timeouts) == 2
+        assert 0.0 < backend.seen_timeouts[0] <= 0.5
+        assert backend.seen_timeouts[1] == 30.0
+        assert backend.request_timeout == 30.0
+
+    def test_slo_never_widens_a_tighter_fleet_default(self):
+        backend = _RecordingBackend()
+        backend.request_timeout = 0.25  # fleet default tighter than SLO
+        row = np.zeros(backend.hidden_dim)
+        with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
+            door.call(row, slo_s=500.0, timeout=30)
+        assert backend.seen_timeouts[0] <= 0.25
+        assert backend.request_timeout == 0.25
+
+    def test_exhausted_slo_is_shed_not_served_late(self):
+        """A request whose budget expires while it queues behind a slow
+        dispatch is shed with a typed error; the backend never sees it."""
+        backend = _GatedBackend()
+        row = np.zeros(backend.hidden_dim)
+        with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
+            first = door.submit(row)  # occupies the batcher at the gate
+            assert backend.dispatching.wait(timeout=30)
+            late = door.submit(row, slo_s=0.005)  # expires while queued
+            time.sleep(0.05)
+            backend.gate.set()
+            assert first.result(timeout=30).batch_size == 1
+            with pytest.raises(DeadlineExceededError):
+                late.result(timeout=30)
+        assert len(backend.seen_timeouts) == 1  # late request never dispatched
+        assert door.stats()["shed_deadline"] == 1
+
+    def test_zero_budget_is_always_shed(self):
+        backend = _RecordingBackend()
+        with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
+            with pytest.raises(DeadlineExceededError):
+                door.call(np.zeros(backend.hidden_dim), slo_s=0.0, timeout=30)
+        assert backend.seen_timeouts == []
+
+
+class TestAdmissionControl:
+    def test_overflow_is_shed_with_typed_error_and_queued_work_unaffected(
+        self, single_node, request_rows
+    ):
+        """Past the high-water mark ``submit`` raises ``QueueFullError``
+        immediately; the requests already admitted still produce answers
+        bit-identical to a direct engine call."""
+        backend = _GatedBackend(hidden_dim=HIDDEN_DIM)
+        door = FrontDoor(backend, max_batch=1, flush_window_s=0.0, queue_limit=3)
+        try:
+            blocker = door.submit(np.zeros(HIDDEN_DIM))
+            assert backend.dispatching.wait(timeout=30)
+            admitted = [door.submit(row) for row in request_rows[:3]]
+            with pytest.raises(QueueFullError):
+                door.submit(request_rows[3])
+            assert door.stats()["shed_queue_full"] == 1
+            backend.gate.set()
+            blocker.result(timeout=30)
+            for future in admitted:
+                assert future.result(timeout=30).batch_size == 1
+        finally:
+            backend.gate.set()
+            door.close()
+
+    def test_overload_does_not_corrupt_engine_outputs(
+        self, single_node, request_rows
+    ):
+        """Drive a real engine past its queue limit; every admitted
+        reply must still match the direct call bit for bit."""
+        with FrontDoor(
+            single_node, max_batch=2, flush_window_s=0.0, queue_limit=4
+        ) as door:
+            futures, rows = [], []
+            for _ in range(20):
+                for row in request_rows:
+                    try:
+                        futures.append(door.submit(row))
+                        rows.append(row)
+                    except QueueFullError:
+                        pass
+            for row, future in zip(rows, futures):
+                reply = future.result(timeout=60)
+                direct = single_node.forward(row[np.newaxis, :])
+                if reply.batch_size == 1:
+                    assert np.array_equal(reply.value.logits, direct.logits[0])
+                else:
+                    # Coalesced rows are checked by the replay tests;
+                    # here it is enough that every admitted request got
+                    # a well-formed answer despite the overload.
+                    assert reply.value.logits.shape == (NUM_CATEGORIES,)
+
+
+class TestFlushPolicyAndLifecycle:
+    def test_size_trigger_forms_full_batches(self, single_node, request_rows):
+        with FrontDoor(single_node, max_batch=4, flush_window_s=10.0) as door:
+            futures = [door.submit(row) for row in request_rows[:8]]
+            replies = [future.result(timeout=30) for future in futures]
+        # A 10 s window means only the size trigger can flush the first
+        # two batches of 4 within the test's lifetime.
+        assert {reply.batch_size for reply in replies[:8]} == {4}
+        assert door.stats()["flush_on_size"] >= 2
+
+    def test_window_trigger_serves_partial_batches(self, single_node, request_rows):
+        with FrontDoor(single_node, max_batch=64, flush_window_s=0.01) as door:
+            reply = door.call(request_rows[0], timeout=30)
+        assert reply.batch_size == 1
+        assert door.stats()["flush_on_deadline"] >= 1
+
+    def test_mixed_ops_never_share_a_batch(self, single_node, request_rows):
+        with FrontDoor(single_node, max_batch=8, flush_window_s=0.05) as door:
+            futures = []
+            for i, row in enumerate(request_rows[:8]):
+                op = "predict" if i % 2 else "forward"
+                futures.append(door.submit(row, op))
+            replies = [future.result(timeout=30) for future in futures]
+        for i, reply in enumerate(replies):
+            partner_ids = {
+                r.batch_id for j, r in enumerate(replies) if j % 2 == i % 2
+            }
+            other_ids = {
+                r.batch_id for j, r in enumerate(replies) if j % 2 != i % 2
+            }
+            assert reply.batch_id in partner_ids
+            assert reply.batch_id not in other_ids
+
+    def test_close_drains_queued_requests(self, single_node, request_rows):
+        door = FrontDoor(single_node, max_batch=4, flush_window_s=5.0)
+        futures = [door.submit(row) for row in request_rows[:3]]
+        door.close()  # drain=True: flushes the partial batch immediately
+        for future in futures:
+            assert future.result(timeout=1).value.logits.shape == (NUM_CATEGORIES,)
+        with pytest.raises(FrontDoorClosedError):
+            door.submit(request_rows[0])
+
+    def test_close_without_drain_sheds_queued_requests(self):
+        backend = _GatedBackend()
+        door = FrontDoor(backend, max_batch=1, flush_window_s=0.0)
+        blocker = door.submit(np.zeros(backend.hidden_dim))
+        assert backend.dispatching.wait(timeout=30)
+        queued = door.submit(np.zeros(backend.hidden_dim))
+        shutdown = threading.Thread(target=door.close, kwargs={"drain": False})
+        shutdown.start()
+        with pytest.raises(FrontDoorClosedError):
+            queued.result(timeout=30)
+        backend.gate.set()
+        blocker.result(timeout=30)
+        shutdown.join(timeout=30)
+        assert not shutdown.is_alive()
+
+    def test_submit_validates_shapes_and_ops(self, single_node):
+        with FrontDoor(single_node, max_batch=2, flush_window_s=0.0) as door:
+            with pytest.raises(ValueError):
+                door.submit(np.zeros((2, HIDDEN_DIM)))  # two rows
+            with pytest.raises(ValueError):
+                door.submit(np.zeros(HIDDEN_DIM + 1))  # wrong width
+            with pytest.raises(ValueError):
+                door.submit(np.zeros(HIDDEN_DIM), "top_k")  # k missing
+            with pytest.raises(ValueError):
+                door.submit(np.zeros(HIDDEN_DIM), "nonsense")
+
+    def test_queue_depth_gauge_round_trips_to_zero(self, single_node, request_rows):
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        with FrontDoor(
+            single_node, max_batch=4, flush_window_s=0.01, recorder=recorder
+        ) as door:
+            futures = [door.submit(row) for row in request_rows[:8]]
+            for future in futures:
+                future.result(timeout=30)
+        snapshot = recorder.snapshot()
+        assert snapshot["gauges"]["serving.queue_depth"] == 0.0
+        assert snapshot["counters"]["serving.served"] == 8.0
+        assert snapshot["histograms"]["serving.e2e_latency_s"]["count"] == 8

@@ -14,12 +14,16 @@ handle closed by ``stop()`` (including a ``recv`` poll loop already in
 flight on another thread) surfaces as ``WorkerDied``, never ``OSError``.
 """
 
+import os
+import signal
 import threading
 import time
 
 import pytest
 
 from repro.utils.workers import (
+    HANDSHAKE_ID,
+    ProtocolError,
     WorkerDied,
     WorkerHandle,
     WorkerTimeout,
@@ -57,6 +61,39 @@ def _sink_main(connection):
             connection.recv()
         except (EOFError, OSError):
             break
+
+
+def _future_reply_then_exit_main(connection):
+    """Worker that answers a request the host never issued, then dies.
+
+    Models a host/worker code mismatch (desynced id counters) racing a
+    worker death — the reply from the future must surface as
+    ``ProtocolError`` even when it is only seen by the post-mortem
+    drain.
+    """
+    connection.send((HANDSHAKE_ID, "ready", None))
+    connection.send((99, "ok", "from-the-future"))
+    connection.close()
+
+
+def _future_reply_main(connection):
+    """Worker that answers a request the host never issued, but lives on
+    (the pure host/worker mismatch, no death in the picture)."""
+    connection.send((HANDSHAKE_ID, "ready", None))
+    connection.send((99, "ok", "from-the-future"))
+    while True:
+        try:
+            connection.recv()
+        except (EOFError, OSError):
+            break
+
+
+def _immortal_main(connection):
+    """Worker that ignores SIGTERM and never exits on its own."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    connection.send((HANDSHAKE_ID, "ready", None))
+    while True:
+        time.sleep(0.05)
 
 
 def _flood_main(connection):
@@ -220,3 +257,153 @@ class TestStopRecvInteraction:
         echo.stop(goodbye="shutdown")
         assert echo.closed
         assert not echo.alive
+
+
+class _FirstPollMiss:
+    """Connection proxy whose first ``poll`` misses (returns ``False``).
+
+    Reproduces the race the dead-worker drain exists for: the reply
+    lands in the pipe *after* the main-loop poll gave up but before the
+    liveness check, so only the drain ever sees it.
+    """
+
+    def __init__(self, connection):
+        self._connection = connection
+        self._missed = False
+
+    def poll(self, timeout=0.0):
+        if not self._missed:
+            self._missed = True
+            return False
+        return self._connection.poll(timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._connection, name)
+
+
+class TestDeadWorkerDrainProtocol:
+    """Regression: the post-mortem drain silently swallowed replies
+    with ``reply_id > expect_id`` while the live loop raised
+    ``ProtocolError`` for the same condition — a host/worker code
+    mismatch could be masked by a concurrent worker death."""
+
+    def test_drain_raises_protocol_error_for_future_reply(self):
+        handle = WorkerHandle(
+            default_context(),
+            _future_reply_then_exit_main,
+            args=(),
+            name="future",
+        )
+        try:
+            assert handle.handshake(timeout=10.0) == ("ready", None)
+            # The worker may already be gone, so the post's pipe write
+            # can fail — but the request id was still issued, which is
+            # all the receive side needs.
+            try:
+                rid = handle.post("noop")
+            except WorkerDied:
+                rid = 1
+            handle.process.join(timeout=10.0)
+            assert not handle.process.is_alive()
+            # Force the main-loop poll to miss so only the drain sees
+            # the queued future reply.
+            handle.connection = _FirstPollMiss(handle.connection)
+            with pytest.raises(ProtocolError):
+                handle.recv_tagged(rid, timeout=5.0)
+        finally:
+            handle.stop()
+
+    def test_live_loop_raises_protocol_error_for_future_reply(self):
+        """The condition the drain must now mirror."""
+        handle = WorkerHandle(
+            default_context(), _future_reply_main, args=(), name="future-live"
+        )
+        try:
+            assert handle.handshake(timeout=10.0) == ("ready", None)
+            rid = handle.post("noop")
+            with pytest.raises(ProtocolError):
+                handle.recv_tagged(rid, timeout=5.0)
+        finally:
+            handle.stop()
+
+
+class TestZeroBudgetDeadline:
+    """Regression: an expired or zero ``timeout`` used to pay a full
+    ``poll_interval`` before the (strict ``>``) deadline check ran, so
+    deadline-propagated requests with tiny remaining budgets over-waited
+    by up to ``poll_interval`` per hop."""
+
+    @pytest.fixture()
+    def slowpoll(self):
+        """Echo worker behind a deliberately huge poll interval, so any
+        over-wait is unmistakable against timer noise."""
+        handle = WorkerHandle(
+            default_context(),
+            _echo_main,
+            args=(),
+            name="echo-slowpoll",
+            poll_interval=0.5,
+        )
+        yield handle
+        handle.stop(goodbye="shutdown")
+
+    def test_timeout_zero_raises_immediately(self, slowpoll):
+        rid = slowpoll.post("echo", {"sleep": 5.0, "tag": "never"})
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout):
+            slowpoll.recv_tagged(rid, timeout=0)
+        elapsed = time.monotonic() - start
+        # Pre-fix this waited >= poll_interval (0.5 s).
+        assert elapsed < 0.2
+
+    def test_timeout_zero_sheds_even_when_reply_is_queued(self, slowpoll):
+        """A spent budget is shed without serving — the reply stays
+        queued for a caller that still has budget (pinned semantics the
+        front door's expired-SLO shed relies on)."""
+        rid = slowpoll.post("echo", {"tag": "queued"})
+        time.sleep(0.3)  # let the reply land in the pipe
+        with pytest.raises(WorkerTimeout):
+            slowpoll.recv_tagged(rid, timeout=0)
+        assert slowpoll.recv_tagged(rid, timeout=5.0) == ("ok", "queued")
+
+    def test_small_budget_is_not_rounded_up_to_poll_interval(self, slowpoll):
+        rid = slowpoll.post("echo", {"sleep": 5.0, "tag": "never"})
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout):
+            slowpoll.recv_tagged(rid, timeout=0.1)
+        elapsed = time.monotonic() - start
+        # The poll wait is clamped to the remaining budget: ~0.1 s, not
+        # the 0.5 s poll interval the pre-fix loop slept.
+        assert 0.08 <= elapsed < 0.4
+
+    def test_positive_timeout_still_returns_replies(self, slowpoll):
+        kind, payload = slowpoll.request("echo", {"tag": "fine"}, timeout=5.0)
+        assert (kind, payload) == ("ok", "fine")
+
+
+class TestStopKillEscalation:
+    """Regression: ``stop()`` stopped escalating at SIGTERM, so a
+    worker ignoring it (or stuck uninterruptible) leaked past
+    shutdown."""
+
+    def test_sigterm_ignoring_worker_is_killed(self):
+        handle = WorkerHandle(
+            default_context(), _immortal_main, args=(), name="immortal"
+        )
+        # Wait for the handshake so SIG_IGN is definitely installed.
+        assert handle.handshake(timeout=10.0) == ("ready", None)
+        pid = handle.process.pid
+        handle.stop(timeout=0.2)
+        assert handle.closed
+        # The process must actually be gone (SIGKILL escalation), not
+        # merely abandoned while still running.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.02)
+        else:
+            os.kill(pid, signal.SIGKILL)  # clean up the leak, then fail
+            pytest.fail("SIGTERM-ignoring worker survived stop()")
