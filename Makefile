@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-serving bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-serving bench-serving-zipf bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ bench-parallel-faults:
 # across micro-batch flush-window settings.  Writes BENCH_serving.json.
 bench-serving:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_serving.py BENCH_serving.json
+
+# Zipfian-aware serving comparison: uniform sharding vs a skew-balanced
+# plan from observed candidate frequencies vs balanced + hot-shard
+# replicas + the quantized result cache.  Merges a "skew" section into
+# BENCH_serving.json, keeping the existing window sweep.
+bench-serving-zipf:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_serving.py --zipf BENCH_serving.json
 
 # Paper-figure benchmark suite (pytest-benchmark).
 bench-suite:

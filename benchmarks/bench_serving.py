@@ -16,6 +16,17 @@ not slow down when the server queues, so queueing delay lands in the
 recorded percentiles instead of silently throttling the offered load
 (coordinated omission).
 
+``--zipf`` (``make bench-serving-zipf``) runs the Zipfian-aware serving
+comparison instead: **uniform** sharding vs a **skew-balanced** plan
+built from observed candidate frequencies vs skew-balanced **plus
+hot-shard replicas and the quantized result cache**, all through the
+process-parallel engine behind the front door, merged into the same
+JSON under a ``"skew"`` key.  Per-shard latency histograms come from a
+live ``repro.obs`` recorder and the report carries the answered-vs-
+requests reconciliation and an honest ``core_bound`` flag (on a host
+with fewer cores than workers the parallel configs time-share one CPU,
+so the p99 comparison measures scheduling, not balance).
+
 Run as a script (``make bench-serving``); writes ``BENCH_serving.json``.
 ``--smoke`` shrinks the model, rates and durations for CI.
 """
@@ -32,9 +43,21 @@ from typing import List
 import numpy as np
 
 from repro.core import ScreeningConfig
+from repro.core.candidates import CandidateSelector
 from repro.data import make_task
-from repro.distributed import ShardedClassifier
-from repro.serving import FrontDoor, ZipfianMix, run_closed_loop, run_open_loop
+from repro.distributed import (
+    ShardPlan,
+    ShardedClassifier,
+    observed_category_frequencies,
+)
+from repro.obs import Recorder
+from repro.serving import (
+    FrontDoor,
+    ResultCache,
+    ZipfianMix,
+    run_closed_loop,
+    run_open_loop,
+)
 
 NUM_CATEGORIES = 20_000
 HIDDEN_DIM = 64
@@ -58,6 +81,19 @@ SMOKE_DURATION_S = 0.3
 CLOSED_CONCURRENCY = 8
 CLOSED_REQUESTS = 200
 SMOKE_CLOSED_REQUESTS = 25
+
+# --- Zipfian-aware serving comparison (--zipf) ------------------------
+
+ZIPF_NUM_CATEGORIES = 12_000
+ZIPF_SMOKE_CATEGORIES = 1_200
+ZIPF_NUM_SHARDS = 4
+#: Extra replica processes spread over the hot shards via
+#: ShardPlan.suggest_replicas.
+ZIPF_EXTRA_WORKERS = 2
+ZIPF_CACHE_CAPACITY = 1024
+ZIPF_OPEN_FRACTION = 0.6
+ZIPF_CLOSED_REQUESTS = 120
+ZIPF_SMOKE_CLOSED_REQUESTS = 20
 
 
 def build_backend(smoke: bool) -> ShardedClassifier:
@@ -193,13 +229,290 @@ def run(smoke: bool = False) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Zipfian-aware serving: uniform vs skew-balanced vs replicas+cache
+# ----------------------------------------------------------------------
+
+
+def train_skew_model(task, plan, train_features, calibration):
+    """A sharded model over ``plan`` with threshold candidate selectors.
+
+    Threshold selection is what makes skew *visible*: per-shard work
+    tracks how many candidates the shard's stripe produces under the
+    query mix, instead of being pinned to a fixed top-m per shard.
+    """
+    model = ShardedClassifier(
+        task.classifier,
+        plan=plan,
+        config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+    )
+    model.train(train_features, candidates_per_shard=CANDIDATES_PER_SHARD, rng=10)
+    for shard in model.shards:
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=CANDIDATES_PER_SHARD
+        )
+        selector.calibrate(shard.screener.approximate_logits(calibration))
+        shard.selector = selector
+    return model
+
+
+def observe_mix_frequencies(model, mix) -> np.ndarray:
+    """Per-category candidate frequencies under the production mix.
+
+    One warmup forward per pool row, weighted by the row's arrival
+    probability — exactly the signal :meth:`ShardPlan.balanced` wants.
+    """
+    outputs = [model.forward(row) for row in mix.pool]
+    return observed_category_frequencies(
+        outputs, model.num_categories, weights=mix.probabilities
+    )
+
+
+def measure_config(name, model, mix, *, rate_rps, duration_s, closed_requests,
+                   replicas=None, cache=None):
+    """Serve the mix through one engine configuration; return its block."""
+    recorder = Recorder()
+    if cache is not None:
+        cache.recorder = recorder
+    with model.parallel(replicas=replicas, recorder=recorder) as engine:
+        with FrontDoor(
+            engine,
+            max_batch=MAX_BATCH,
+            flush_window_s=0.002,
+            queue_limit=QUEUE_LIMIT,
+            cache=cache,
+            recorder=recorder,
+        ) as door:
+            open_report = run_open_loop(
+                door, mix, rate_rps=rate_rps, duration_s=duration_s, seed=17
+            )
+            closed_report = run_closed_loop(
+                door,
+                mix,
+                concurrency=CLOSED_CONCURRENCY,
+                requests_per_worker=closed_requests,
+            )
+            door_stats = door.stats()
+        engine_stats = engine.stats()
+
+    plan = model.plan
+    shards = []
+    reconciled = True
+    for shard_stats in engine_stats["shards"]:
+        shard_id = shard_stats["shard_id"]
+        reconciled = reconciled and (
+            shard_stats["answered"] == engine_stats["requests"]
+        )
+        latency = {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in shard_stats["latency_s"].items()
+        }
+        shards.append(
+            {
+                "shard": shard_id,
+                "categories": len(model.ranges[shard_id]),
+                "planned_load": round(plan.loads[shard_id], 4),
+                "replicas": shard_stats["replicas"],
+                "answered": shard_stats["answered"],
+                "latency_s": latency,
+            }
+        )
+
+    block = {
+        "name": name,
+        "plan": {
+            "source": plan.source,
+            "sizes": [len(r) for r in plan.ranges],
+            "loads": [round(load, 4) for load in plan.loads],
+            "imbalance": round(plan.imbalance, 4),
+        },
+        "replica_counts": engine_stats["replica_counts"],
+        "open_loop": {
+            k: round(v, 4) for k, v in open_report.summary().items()
+        },
+        "closed_loop": {
+            k: round(v, 4) for k, v in closed_report.summary().items()
+        },
+        "engine": {
+            "requests": engine_stats["requests"],
+            "failovers": engine_stats["failovers"],
+            "degraded_requests": engine_stats["degraded_requests"],
+            "answered_reconciles": reconciled,
+            "shards": shards,
+        },
+        "frontdoor": {
+            "submitted": door_stats["submitted"],
+            "served": door_stats["served"],
+            "cached_replies": door_stats["cached_replies"],
+        },
+    }
+    if cache is not None:
+        block["cache"] = cache.stats()
+    print(
+        f"{name:24s} open p99={block['open_loop']['p99_ms']:8.2f}ms "
+        f"closed rps={block['closed_loop']['throughput_rps']:8.1f} "
+        f"p99={block['closed_loop']['p99_ms']:8.2f}ms "
+        f"cached={door_stats['cached_replies']}",
+        flush=True,
+    )
+    return block
+
+
+def run_zipf(smoke: bool = False) -> dict:
+    num_categories = ZIPF_SMOKE_CATEGORIES if smoke else ZIPF_NUM_CATEGORIES
+    duration = SMOKE_DURATION_S if smoke else DURATION_S
+    closed_requests = ZIPF_SMOKE_CLOSED_REQUESTS if smoke else ZIPF_CLOSED_REQUESTS
+
+    task = make_task(num_categories=num_categories, hidden_dim=HIDDEN_DIM, rng=7)
+    train_features = task.sample_features(256 if smoke else 512, rng=9)
+    calibration = task.sample_features(128 if smoke else 256, rng=8)
+    mix = ZipfianMix(
+        hidden_dim=HIDDEN_DIM,
+        pool_size=128 if smoke else ZIPF_POOL,
+        s=ZIPF_S,
+        seed=11,
+    )
+
+    uniform_plan = ShardPlan.uniform(num_categories, ZIPF_NUM_SHARDS)
+    uniform_model = train_skew_model(task, uniform_plan, train_features, calibration)
+
+    # Observe where the candidate mass actually lands under the mix,
+    # then rebalance the shard boundaries around it.
+    frequencies = observe_mix_frequencies(uniform_model, mix)
+    balanced_plan = ShardPlan.balanced(frequencies, ZIPF_NUM_SHARDS)
+    balanced_model = train_skew_model(
+        task, balanced_plan, train_features, calibration
+    )
+    replicas = balanced_plan.suggest_replicas(ZIPF_EXTRA_WORKERS)
+
+    capacity_rps = measure_capacity_rps(uniform_model)
+    rate = float(np.clip(capacity_rps * ZIPF_OPEN_FRACTION, 50.0, 2000.0))
+
+    # Fewer cores than worker processes means every parallel config
+    # time-shares one CPU and the comparison measures the scheduler,
+    # not the shard balance — say so instead of overclaiming.
+    workers_needed = ZIPF_NUM_SHARDS + ZIPF_EXTRA_WORKERS
+    cpus = os.cpu_count() or 1
+    core_bound = cpus < workers_needed
+
+    configs = [
+        measure_config(
+            "uniform",
+            uniform_model,
+            mix,
+            rate_rps=rate,
+            duration_s=duration,
+            closed_requests=closed_requests,
+        ),
+        measure_config(
+            "balanced",
+            balanced_model,
+            mix,
+            rate_rps=rate,
+            duration_s=duration,
+            closed_requests=closed_requests,
+        ),
+        measure_config(
+            "balanced+replicas+cache",
+            balanced_model,
+            mix,
+            rate_rps=rate,
+            duration_s=duration,
+            closed_requests=closed_requests,
+            replicas=replicas,
+            cache=ResultCache(capacity=ZIPF_CACHE_CAPACITY),
+        ),
+    ]
+
+    uniform_p99 = configs[0]["closed_loop"]["p99_ms"]
+    final_p99 = configs[-1]["closed_loop"]["p99_ms"]
+    cache_stats = configs[-1]["cache"]
+    headline = {
+        "uniform_p99_ms": uniform_p99,
+        "balanced_p99_ms": configs[1]["closed_loop"]["p99_ms"],
+        "replicated_cached_p99_ms": final_p99,
+        "improved_p99": bool(final_p99 < uniform_p99),
+        "cache_hit_rate": round(cache_stats["hit_rate"], 4),
+        "core_bound": core_bound,
+    }
+    print(
+        f"\nzipf headline: p99 {uniform_p99:.2f}ms (uniform) -> "
+        f"{final_p99:.2f}ms (balanced+replicas+cache), "
+        f"cache hit rate {cache_stats['hit_rate']:.0%}"
+        + (" [core-bound host: comparison not load-balance-limited]"
+           if core_bound else ""),
+        flush=True,
+    )
+
+    return {
+        "benchmark": "zipfian-aware serving: uniform vs balanced vs replicas+cache",
+        "config": {
+            "num_categories": num_categories,
+            "hidden_dim": HIDDEN_DIM,
+            "num_shards": ZIPF_NUM_SHARDS,
+            "extra_workers": ZIPF_EXTRA_WORKERS,
+            "suggested_replicas": {str(k): v for k, v in sorted(replicas.items())},
+            "cache_capacity": ZIPF_CACHE_CAPACITY,
+            "zipf_pool": 128 if smoke else ZIPF_POOL,
+            "zipf_s": ZIPF_S,
+            "open_loop_rate_rps": round(rate, 1),
+            "closed_concurrency": CLOSED_CONCURRENCY,
+            "closed_requests_per_worker": closed_requests,
+            "selector": "threshold",
+            "smoke": smoke,
+        },
+        "machine": {
+            "cpus": cpus,
+            "workers_needed": workers_needed,
+        },
+        "core_bound": core_bound,
+        "backend_capacity_rps": round(capacity_rps, 1),
+        "frequency_imbalance_uniform": round(
+            max(
+                float(frequencies[r.start : r.stop].sum())
+                for r in uniform_plan.ranges
+            )
+            / (float(frequencies.sum()) / ZIPF_NUM_SHARDS),
+            4,
+        ),
+        "configs": configs,
+        "headline": headline,
+    }
+
+
 def main() -> int:
     argv = sys.argv[1:]
     smoke = "--smoke" in argv
+    zipf = "--zipf" in argv
     positional = [a for a in argv if not a.startswith("--")]
     output_path = positional[0] if positional else "BENCH_serving.json"
 
+    if zipf:
+        # Merge the skew comparison into the existing report (same
+        # pattern as bench_parallel --faults): the window sweep is not
+        # re-run.
+        report = {}
+        if os.path.exists(output_path):
+            with open(output_path) as handle:
+                report = json.load(handle)
+        report["skew"] = run_zipf(smoke=smoke)
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        headline = report["skew"]["headline"]
+        print(
+            f"\nheadline: zipfian comparison merged under 'skew' -> "
+            f"{output_path} (improved_p99={headline['improved_p99']}, "
+            f"core_bound={headline['core_bound']})"
+        )
+        return 0
+
     report = run(smoke=smoke)
+    if os.path.exists(output_path):
+        with open(output_path) as handle:
+            previous = json.load(handle)
+        if "skew" in previous:
+            report["skew"] = previous["skew"]
     with open(output_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -19,6 +19,7 @@ Two serving backends share one shard-plan/reduce code path:
 """
 
 from repro.distributed.sharding import (
+    ShardPlan,
     ShardedClassifier,
     merge_candidates,
     merge_candidates_per_row,
@@ -26,6 +27,7 @@ from repro.distributed.sharding import (
     merge_partial_streamed_outputs,
     merge_shard_outputs,
     merge_streamed_outputs,
+    observed_category_frequencies,
     placeholder_screened_output,
     placeholder_streamed_output,
     reduce_top_k,
@@ -42,8 +44,10 @@ from repro.distributed.parallel import (
 )
 
 __all__ = [
+    "ShardPlan",
     "ShardedClassifier",
     "ParallelShardedEngine",
+    "observed_category_frequencies",
     "WorkerDied",
     "WorkerError",
     "DegradedOutput",

@@ -58,6 +58,24 @@ Every failure path is exercised deterministically through
 :mod:`repro.utils.faults` (kill / delay / wedge / raise on the nth
 request), wired through the worker entry point.
 
+Replica groups (Zipfian-aware serving)
+--------------------------------------
+Under a skewed request mix some shards are hotter than others even
+after frequency-balanced planning (:class:`~repro.distributed.sharding.ShardPlan`
+equalizes *estimated* load; a single ultra-hot category still pins its
+whole shard).  The ``replicas`` parameter therefore runs *groups* of
+interchangeable workers per shard.  Replicas attach the **same** shared
+parameter segments — the model exists once in physical memory no matter
+how many processes serve it — and each request is dispatched to the
+least-loaded live replica (fewest answered requests, ties to the lowest
+index).  Supervision extends naturally: a dead or wedged replica is
+respawned against the shard's shared ``max_restarts`` budget, and when
+its budget share is spent the request *fails over* to a live sibling;
+only a shard whose replicas are all dead degrades or fails fast.
+Failover is race-safe on the shared output planes because the
+incumbent is always stopped (SIGTERM→SIGKILL) before a sibling serves
+the same plane.
+
 The engine satisfies the :class:`~repro.serving.backend.EngineBackend`
 protocol (as do the sequential backends), so it slots behind the
 micro-batching serving front door (:mod:`repro.serving`) unchanged;
@@ -125,6 +143,46 @@ class WorkerError(RuntimeError):
     The worker survives (its state is untouched by a failed request);
     the remote traceback is carried in the message.
     """
+
+
+class _ReplicaGroup:
+    """One shard's replica set: interchangeable workers over the same
+    shared parameter segments.
+
+    The engine serves one request at a time, so "least loaded" reduces
+    to the replica that has answered the fewest requests — exactly the
+    balance a round-robin over live replicas converges to, but robust
+    to replicas joining late (a respawn) or dying early.
+    """
+
+    __slots__ = ("shard_id", "handles", "dead", "served")
+
+    def __init__(self, shard_id: int, handles: Sequence[WorkerHandle]):
+        self.shard_id = shard_id
+        self.handles: List[WorkerHandle] = list(handles)
+        #: Per-replica "restart budget share spent" flags; the shard is
+        #: only dead when every entry is True.
+        self.dead: List[bool] = [False] * len(self.handles)
+        #: Requests answered per replica (the dispatch load signal).
+        self.served: List[int] = [0] * len(self.handles)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.handles)
+
+    def live_indices(self) -> List[int]:
+        return [idx for idx, dead in enumerate(self.dead) if not dead]
+
+    def pick(self) -> Optional[int]:
+        """Least-loaded live replica; ``None`` when all are dead."""
+        live = self.live_indices()
+        if not live:
+            return None
+        return min(live, key=lambda idx: (self.served[idx], idx))
+
+    def answered(self) -> int:
+        """Requests this shard has answered, summed over replicas."""
+        return sum(self.served)
 
 
 # ----------------------------------------------------------------------
@@ -307,10 +365,23 @@ class ParallelShardedEngine:
         :class:`~repro.core.pipeline.DegradedOutput` — the merge of the
         surviving shards plus a structured report of the missing
         category ranges — and the fleet keeps serving what it has.
+    replicas:
+        Replica workers per shard: an int applies fleet-wide, a
+        ``{shard_id: count}`` mapping sets hot shards individually
+        (missing shards default to 1) —
+        :meth:`~repro.distributed.sharding.ShardPlan.suggest_replicas`
+        produces exactly this shape.  Replicas attach the same shared
+        parameter segments, so extra replicas cost processes, not
+        model memory.  Requests dispatch to the least-loaded live
+        replica; a replica whose share of the shard's restart budget is
+        spent fails its in-flight request over to a live sibling, and
+        only a fully-dead group degrades the shard.
     faults:
-        Optional ``{shard_id: [FaultSpec, ...]}`` mapping injected into
-        the workers (tests / ``bench_parallel.py --faults`` only).
-        Respawned workers inherit only ``persistent`` specs.
+        Optional fault mapping injected into the workers (tests /
+        ``bench_parallel.py --faults`` only).  Keys are ``shard_id``
+        ints (replica 0 of that shard) or ``(shard_id, replica_idx)``
+        tuples; values are ``[FaultSpec, ...]``.  Respawned workers
+        inherit only ``persistent`` specs.
     recorder:
         Optional :class:`repro.obs.Recorder`.  Default: the no-op
         recorder — zero observability overhead, outputs bit-identical.
@@ -339,7 +410,8 @@ class ParallelShardedEngine:
         restart_backoff: float = 0.05,
         restart_backoff_cap: float = 2.0,
         degraded: bool = False,
-        faults: Optional[Dict[int, Sequence[FaultSpec]]] = None,
+        replicas: Optional[Union[int, Dict[int, int]]] = None,
+        faults: Optional[Dict[object, Sequence[FaultSpec]]] = None,
         spawn_timeout: float = 60.0,
         recorder=None,
         trace: bool = False,
@@ -352,6 +424,7 @@ class ParallelShardedEngine:
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.ranges = list(sharded.ranges)
+        self.plan = getattr(sharded, "plan", None)
         self.hidden_dim = sharded.classifier.hidden_dim
         self.num_categories = sharded.classifier.num_categories
         self.request_timeout = request_timeout
@@ -371,6 +444,7 @@ class ParallelShardedEngine:
         self.requests_served = 0
         self.degraded_requests = 0
         self.retries = 0
+        self.failovers = 0
         self.deadline_overruns = 0
         self.closed = False
         self._max_batch = int(max_batch)
@@ -389,13 +463,26 @@ class ParallelShardedEngine:
         ]
         self._param_packs: List[SharedArrayPack] = []
         self._worker_args: List[tuple] = []
-        self._fault_specs: List[List[FaultSpec]] = [
-            list((faults or {}).get(shard_id, ())) for shard_id in range(len(self.ranges))
+        num_shards = len(self.ranges)
+        self.replica_counts = self._normalize_replicas(replicas, num_shards)
+        self._fault_specs: List[List[List[FaultSpec]]] = [
+            [[] for _ in range(count)] for count in self.replica_counts
         ]
-        #: Respawns performed so far, per shard (observable supervision state).
-        self.restarts: List[int] = [0] * len(self.ranges)
-        self._dead: List[bool] = [False] * len(self.ranges)
-        self.workers: List[WorkerHandle] = []
+        for key, specs in (faults or {}).items():
+            shard_id, replica_idx = key if isinstance(key, tuple) else (key, 0)
+            if not 0 <= shard_id < num_shards:
+                raise ValueError(f"fault key names unknown shard {shard_id}")
+            if not 0 <= replica_idx < self.replica_counts[shard_id]:
+                raise ValueError(
+                    f"fault key names replica {replica_idx} but shard "
+                    f"{shard_id} runs {self.replica_counts[shard_id]}"
+                )
+            self._fault_specs[shard_id][replica_idx] = list(specs)
+        #: Respawns performed so far, per shard (observable supervision
+        #: state; the budget is shared across a shard's replica group).
+        self.restarts: List[int] = [0] * num_shards
+        self._dead: List[bool] = [False] * num_shards
+        self._groups: List[_ReplicaGroup] = []
         try:
             for shard_id, (shard, shard_range) in enumerate(
                 zip(sharded.shards, self.ranges)
@@ -407,23 +494,64 @@ class ParallelShardedEngine:
                 self._worker_args.append(
                     (shard_id, pack.layout, meta, shard_range.start)
                 )
-                self.workers.append(
-                    self._spawn_worker(shard_id, self._fault_specs[shard_id])
-                )
-            for worker in self.workers:
-                kind, payload = worker.handshake(timeout=self.spawn_timeout)
-                if kind == "fatal":
-                    raise RuntimeError(
-                        f"worker {worker.name} failed to start:\n{payload}"
+                handles = [
+                    self._spawn_worker(
+                        shard_id,
+                        replica_idx,
+                        self._fault_specs[shard_id][replica_idx],
                     )
+                    for replica_idx in range(self.replica_counts[shard_id])
+                ]
+                self._groups.append(_ReplicaGroup(shard_id, handles))
+            for group in self._groups:
+                for worker in group.handles:
+                    kind, payload = worker.handshake(timeout=self.spawn_timeout)
+                    if kind == "fatal":
+                        raise RuntimeError(
+                            f"worker {worker.name} failed to start:\n{payload}"
+                        )
         except BaseException:
             self.close()
             raise
+
+    @staticmethod
+    def _normalize_replicas(
+        replicas: Optional[Union[int, Dict[int, int]]], num_shards: int
+    ) -> List[int]:
+        if replicas is None:
+            counts = [1] * num_shards
+        elif isinstance(replicas, dict):
+            unknown = [sid for sid in replicas if not 0 <= sid < num_shards]
+            if unknown:
+                raise ValueError(
+                    f"replicas name unknown shards {unknown} "
+                    f"(fleet has {num_shards})"
+                )
+            counts = [int(replicas.get(sid, 1)) for sid in range(num_shards)]
+        else:
+            counts = [int(replicas)] * num_shards
+        if any(count < 1 for count in counts):
+            raise ValueError(f"every shard needs >= 1 replica, got {counts}")
+        return counts
 
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
         return len(self.ranges)
+
+    @property
+    def workers(self) -> List[WorkerHandle]:
+        """The primary (replica-0 slot) worker handle of every shard.
+
+        Kept for the pre-replica surface: with the default single
+        replica per shard this *is* the fleet, and per-shard test
+        hooks (``engine.workers[i].process.kill()``) keep working.
+        """
+        return [group.handles[0] for group in self._groups]
+
+    @property
+    def replica_groups(self) -> List["_ReplicaGroup"]:
+        return list(self._groups)
 
     @property
     def dead_shards(self) -> List[int]:
@@ -438,31 +566,37 @@ class ParallelShardedEngine:
     # supervision
     # ------------------------------------------------------------------
     def _spawn_worker(
-        self, shard_id: int, fault_specs: Sequence[FaultSpec]
+        self, shard_id: int, replica_idx: int, fault_specs: Sequence[FaultSpec]
     ) -> WorkerHandle:
+        suffix = "" if replica_idx == 0 else f".r{replica_idx}"
         return WorkerHandle(
             self._context,
             _worker_main,
             args=(*self._worker_args[shard_id], list(fault_specs)),
-            name=f"enmc-shard-{shard_id}",
+            name=f"enmc-shard-{shard_id}{suffix}",
             recorder=self.recorder,
         )
 
-    def _respawn(self, shard_id: int) -> bool:
-        """Replace shard ``shard_id``'s worker from the shared segments.
+    def _respawn_replica(self, shard_id: int, replica_idx: int) -> bool:
+        """Replace one replica of shard ``shard_id`` from the shared
+        segments.
 
-        Bounded by ``max_restarts`` with exponential backoff; returns
-        ``True`` once a replacement worker completes its handshake.  On
-        a spent budget the shard is marked dead and ``False`` returns.
-        The dead or wedged incumbent is terminated first either way.
+        Bounded by the shard's *shared* ``max_restarts`` budget with
+        exponential backoff; returns ``True`` once a replacement worker
+        completes its handshake.  On a spent budget the replica is
+        marked dead (the shard only dies with its last replica) and
+        ``False`` returns.  The dead or wedged incumbent is terminated
+        first either way — the invariant that makes failing over to a
+        sibling replica safe: no stopped process can later write the
+        shard's shared output plane under a sibling's answer.
         """
-        self.workers[shard_id].stop(timeout=0.1)
+        group = self._groups[shard_id]
+        group.handles[replica_idx].stop(timeout=0.1)
         if not SharedArrayPack.exists(self._worker_args[shard_id][1]):
             # The parameter segment is gone — the engine was torn down
             # concurrently; no replacement worker could ever attach.
-            self._dead[shard_id] = True
-            return False
-        specs = surviving_specs(self._fault_specs[shard_id])
+            return self._replica_spent(group, replica_idx)
+        specs = surviving_specs(self._fault_specs[shard_id][replica_idx])
         while self.restarts[shard_id] < self.max_restarts:
             attempt = self.restarts[shard_id]
             self.restarts[shard_id] += 1
@@ -471,7 +605,7 @@ class ParallelShardedEngine:
             time.sleep(
                 min(self.restart_backoff_cap, self.restart_backoff * (2 ** attempt))
             )
-            worker = self._spawn_worker(shard_id, specs)
+            worker = self._spawn_worker(shard_id, replica_idx, specs)
             try:
                 kind, _ = worker.handshake(timeout=self.spawn_timeout)
             except (WorkerDied, WorkerTimeout):
@@ -480,10 +614,20 @@ class ParallelShardedEngine:
             if kind != "ready":
                 worker.stop(timeout=0.1)
                 continue
-            self.workers[shard_id] = worker
+            group.handles[replica_idx] = worker
             return True
-        self._dead[shard_id] = True
+        return self._replica_spent(group, replica_idx)
+
+    def _replica_spent(self, group: _ReplicaGroup, replica_idx: int) -> bool:
+        group.dead[replica_idx] = True
+        if not group.live_indices():
+            self._dead[group.shard_id] = True
         return False
+
+    def _failover(self, shard_id: int, to_replica: int) -> None:
+        self.failovers += 1
+        self.recorder.increment("parallel.failovers")
+        self.recorder.increment(f"parallel.shard.{shard_id}.failovers")
 
     # ------------------------------------------------------------------
     # request plumbing
@@ -499,9 +643,9 @@ class ParallelShardedEngine:
         (``degraded=False``) an irrecoverable shard closes the engine
         and re-raises the original ``WorkerDied``/``WorkerTimeout``.
         """
-        pending: List[Optional[int]] = []
+        pending: List[Optional[Tuple[int, Optional[int]]]] = []
         failures: Dict[int, ShardFailure] = {}
-        for shard_id, worker in enumerate(self.workers):
+        for shard_id, group in enumerate(self._groups):
             if self._dead[shard_id]:
                 failures[shard_id] = ShardFailure(
                     shard_id,
@@ -511,18 +655,25 @@ class ParallelShardedEngine:
                 )
                 pending.append(None)
                 continue
+            replica_idx = group.pick()
             try:
-                pending.append(worker.post(op, request))
+                pending.append(
+                    (replica_idx, group.handles[replica_idx].post(op, request))
+                )
             except WorkerDied:
-                # Send failed; the collect phase respawns and re-issues.
-                pending.append(None)
+                # Send failed; the collect phase respawns (or fails
+                # over) and re-issues.
+                pending.append((replica_idx, None))
         replies: List[Optional[dict]] = []
         for shard_id in range(self.num_shards):
             if shard_id in failures:
                 replies.append(None)
                 continue
+            replica_idx, request_id = pending[shard_id]
             replies.append(
-                self._collect_shard(shard_id, pending[shard_id], op, request, failures)
+                self._collect_shard(
+                    shard_id, replica_idx, request_id, op, request, failures
+                )
             )
         error_failures = [f for f in failures.values() if f.kind == "error"]
         if error_failures and not self.degraded:
@@ -538,6 +689,7 @@ class ParallelShardedEngine:
     def _collect_shard(
         self,
         shard_id: int,
+        replica_idx: int,
         request_id: Optional[int],
         op: str,
         request,
@@ -546,17 +698,19 @@ class ParallelShardedEngine:
         """Await one shard's reply, applying the recovery policy.
 
         ``request_id is None`` means the request still needs (re)issuing
-        — the initial send failed or a replacement worker came up.
+        on ``replica_idx`` — the initial send failed, a replacement
+        worker came up, or the request failed over to a sibling replica.
 
         The per-shard latency histogram covers the whole collect —
-        retries and respawns included — because that is the latency the
-        merge actually waits on.
+        retries, respawns and failovers included — because that is the
+        latency the merge actually waits on.
         """
+        group = self._groups[shard_id]
         recording = self.recorder.enabled
         started = time.perf_counter() if recording else 0.0
         retries_left = self.request_retries
         while True:
-            worker = self.workers[shard_id]
+            worker = group.handles[replica_idx]
             try:
                 if request_id is None:
                     request_id = worker.post(op, request)
@@ -579,18 +733,37 @@ class ParallelShardedEngine:
                     continue
                 # Live but unresponsive past every retry: wedged.
                 # Replace it (heals future requests); this request can
-                # still complete on the replacement if the budget allows.
-                if self._respawn(shard_id):
+                # still complete on the replacement if the budget
+                # allows, or on a live sibling replica otherwise (the
+                # wedged incumbent is already stopped, so the sibling
+                # owns the shared output plane alone).
+                if self._respawn_replica(shard_id, replica_idx):
+                    request_id = None
+                    continue
+                failover = group.pick()
+                if failover is not None:
+                    self._failover(shard_id, failover)
+                    replica_idx = failover
                     request_id = None
                     continue
                 return self._shard_failed(shard_id, "timeout", str(error), error, failures)
             except WorkerDied as error:
-                if self._respawn(shard_id):
+                if self._respawn_replica(shard_id, replica_idx):
+                    request_id = None
+                    continue
+                failover = group.pick()
+                if failover is not None:
+                    self._failover(shard_id, failover)
+                    replica_idx = failover
                     request_id = None
                     continue
                 return self._shard_failed(shard_id, "died", str(error), error, failures)
+            group.served[replica_idx] += 1
             if recording:
                 self.recorder.increment(f"parallel.shard.{shard_id}.requests")
+                self.recorder.increment(
+                    f"parallel.shard.{shard_id}.replica.{replica_idx}.requests"
+                )
                 self.recorder.observe(
                     f"parallel.shard.{shard_id}.latency_s",
                     time.perf_counter() - started,
@@ -623,6 +796,32 @@ class ParallelShardedEngine:
         )
         return None
 
+    def _broadcast_all(self, op: str) -> None:
+        """Post a control op to *every* live replica and await replies.
+
+        Unlike :meth:`_scatter_gather` (one replica per shard), control
+        traffic like ``detach-io`` must reach each process individually
+        — every replica caches its own mapping of the I/O planes.
+        Failures are tolerated without recovery: a dead replica's
+        mappings die with its process (the next serving request runs
+        the regular respawn/failover policy), and a worker that never
+        detaches only pins the unlinked segment's memory until it
+        attaches the replacement layout on its next request.
+        """
+        posted: List[Tuple[WorkerHandle, int]] = []
+        for group in self._groups:
+            for replica_idx in group.live_indices():
+                handle = group.handles[replica_idx]
+                try:
+                    posted.append((handle, handle.post(op, None)))
+                except WorkerDied:
+                    continue
+        for handle, request_id in posted:
+            try:
+                handle.recv_tagged(request_id, timeout=self.request_timeout)
+            except (WorkerDied, WorkerTimeout):
+                continue
+
     # ------------------------------------------------------------------
     # shared I/O planes
     # ------------------------------------------------------------------
@@ -643,12 +842,13 @@ class ParallelShardedEngine:
         if rows > input_capacity:
             input_capacity = max(self._max_batch, rows)
             if self._io_input is not None:
-                # Workers hold mappings of the old planes; have them
-                # detach before the segments are unlinked and replaced.
-                # Failures are tolerable here: a dead worker's mapping
-                # dies with its process, and the replacement attaches
-                # the new layout lazily on its next request.
-                self._scatter_gather("detach-io", None)
+                # Workers hold mappings of the old planes; have every
+                # live replica detach before the segments are unlinked
+                # and replaced.  Failures are tolerable here: a dead
+                # worker's mapping dies with its process, and the
+                # replacement attaches the new layout lazily on its
+                # next request.
+                self._broadcast_all("detach-io")
                 self._release_io()
             self._io_input = SharedArrayPack.zeros(
                 {"features": ((input_capacity, self.hidden_dim), np.float64)}
@@ -876,17 +1076,35 @@ class ParallelShardedEngine:
         counters = snapshot.get("counters", {})
         shards = []
         for shard_id in range(self.num_shards):
-            worker = self.workers[shard_id]
+            group = self._groups[shard_id]
             shard = {
                 "shard_id": shard_id,
                 "categories": [
                     self.ranges[shard_id].start,
                     self.ranges[shard_id].stop,
                 ],
+                "replicas": group.num_replicas,
+                # Reconciliation invariant for a healthy shard: the
+                # replies its replicas delivered sum to the engine's
+                # request count (each request is answered by exactly
+                # one replica of each shard).
+                "answered": group.answered(),
                 "respawns": self.restarts[shard_id],
-                "stale_replies": worker.stale_replies,
+                "stale_replies": sum(h.stale_replies for h in group.handles),
                 "dead": self._dead[shard_id],
+                "replica_workers": [
+                    {
+                        "replica": replica_idx,
+                        "name": handle.name,
+                        "served": group.served[replica_idx],
+                        "stale_replies": handle.stale_replies,
+                        "dead": group.dead[replica_idx],
+                    }
+                    for replica_idx, handle in enumerate(group.handles)
+                ],
             }
+            if self.plan is not None:
+                shard["planned_load"] = self.plan.loads[shard_id]
             if recording:
                 shard["requests"] = counters.get(
                     f"parallel.shard.{shard_id}.requests", 0
@@ -899,10 +1117,17 @@ class ParallelShardedEngine:
             "requests": self.requests_served,
             "degraded_requests": self.degraded_requests,
             "retries": self.retries,
+            "failovers": self.failovers,
             "deadline_overruns": self.deadline_overruns,
             "respawns": sum(self.restarts),
-            "stale_replies": sum(w.stale_replies for w in self.workers),
+            "stale_replies": sum(
+                handle.stale_replies
+                for group in self._groups
+                for handle in group.handles
+            ),
             "dead_shards": self.dead_shards,
+            "replica_counts": list(self.replica_counts),
+            "plan_source": self.plan.source if self.plan is not None else None,
             "recording": recording,
             "shards": shards,
         }
@@ -937,8 +1162,9 @@ class ParallelShardedEngine:
         if self.closed:
             return
         self.closed = True
-        for worker in self.workers:
-            worker.stop(goodbye="shutdown")
+        for group in self._groups:
+            for worker in group.handles:
+                worker.stop(goodbye="shutdown")
         self._release_io()
         for pack in self._param_packs:
             pack.destroy()

@@ -31,7 +31,16 @@ from repro.utils.validation import check_batch_features, check_positive
 
 
 def shard_ranges(num_categories: int, num_shards: int) -> List[range]:
-    """Contiguous, balanced category ranges (sizes differ by ≤1)."""
+    """Contiguous, balanced category ranges (sizes differ by ≤1).
+
+    Every shard is guaranteed non-empty: ``num_shards > num_categories``
+    raises ``ValueError`` rather than silently emitting empty ranges,
+    because an empty shard would train no screener, answer no request,
+    and make the merge's "contiguous cover of [0, l)" invariant
+    vacuously easy to break.  The contract is pinned end-to-end (plan
+    construction, ``ShardedClassifier``) in ``tests/test_distributed.py``
+    and ``tests/test_skew_sharding.py``.
+    """
     check_positive("num_categories", num_categories)
     check_positive("num_shards", num_shards)
     if num_shards > num_categories:
@@ -46,6 +55,300 @@ def shard_ranges(num_categories: int, num_shards: int) -> List[range]:
         ranges.append(range(start, start + size))
         start += size
     return ranges
+
+
+# ----------------------------------------------------------------------
+# shard planning: who owns which categories
+# ----------------------------------------------------------------------
+class ShardPlan:
+    """A contiguous partition of the category space with load estimates.
+
+    The plan is the single authority on "which shard owns which
+    categories".  Its invariants are exactly what the ``merge_*``
+    reducers need to keep global column indexing bit-exact:
+
+    * ranges are contiguous, ascending, step-1 and non-empty;
+    * they cover ``[0, num_categories)`` with no gap or overlap.
+
+    ``loads`` carries the *estimated* fraction of serving work each
+    shard absorbs (normalized to sum to 1).  For a uniform plan that is
+    just the size fraction; a frequency-balanced plan equalizes it
+    under an observed Zipfian mix.  ``source`` records how the plan was
+    built (``"uniform"`` / ``"balanced"`` / ``"explicit"``) for stats
+    and benchmark reports.
+
+    Plans are immutable value objects: build with :meth:`uniform`,
+    :meth:`balanced` or :meth:`from_ranges`.
+    """
+
+    __slots__ = ("ranges", "loads", "source")
+
+    def __init__(
+        self,
+        ranges: Sequence[range],
+        loads: Optional[Sequence[float]] = None,
+        source: str = "explicit",
+    ):
+        ranges = tuple(ranges)
+        if not ranges:
+            raise ValueError("a ShardPlan needs at least one shard range")
+        expected_start = 0
+        for shard_id, shard_range in enumerate(ranges):
+            if shard_range.step != 1:
+                raise ValueError(
+                    f"shard {shard_id} has step {shard_range.step}; ranges "
+                    "must be step-1"
+                )
+            if len(shard_range) == 0:
+                raise ValueError(f"shard {shard_id} is empty")
+            if shard_range.start != expected_start:
+                raise ValueError(
+                    f"shard {shard_id} starts at {shard_range.start}, "
+                    f"expected {expected_start}: ranges must tile "
+                    "[0, num_categories) contiguously in ascending order"
+                )
+            expected_start = shard_range.stop
+        if loads is None:
+            total = float(expected_start)
+            loads = tuple(len(shard_range) / total for shard_range in ranges)
+        else:
+            loads = tuple(float(load) for load in loads)
+            if len(loads) != len(ranges):
+                raise ValueError(
+                    f"{len(loads)} loads for {len(ranges)} shards"
+                )
+            if any(load < 0 or not np.isfinite(load) for load in loads):
+                raise ValueError("loads must be finite and non-negative")
+            mass = sum(loads)
+            loads = (
+                tuple(load / mass for load in loads)
+                if mass > 0
+                else tuple(1.0 / len(ranges) for _ in ranges)
+            )
+        object.__setattr__(self, "ranges", ranges)
+        object.__setattr__(self, "loads", loads)
+        object.__setattr__(self, "source", str(source))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ShardPlan is immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, num_categories: int, num_shards: int) -> "ShardPlan":
+        """The classic size-balanced plan (wraps :func:`shard_ranges`)."""
+        return cls(shard_ranges(num_categories, num_shards), source="uniform")
+
+    @classmethod
+    def balanced(
+        cls,
+        frequencies: Optional[Sequence[float]],
+        num_shards: int,
+        *,
+        num_categories: Optional[int] = None,
+        screening_weight: float = 0.0,
+    ) -> "ShardPlan":
+        """Frequency-balanced plan: equalize estimated per-shard load.
+
+        ``frequencies[c]`` is category ``c``'s observed (or supplied)
+        serving weight — e.g. how often it lands in a candidate set
+        under the production mix (:func:`observed_category_frequencies`).
+        The partition minimizes the maximum per-shard load over all
+        contiguous partitions (minimax, via binary search + greedy),
+        with per-category cost
+
+            ``cost_c = screening_weight + frequencies_c / mean(frequencies)``
+
+        ``screening_weight`` models the per-category work every request
+        pays regardless of popularity (the screening GEMM touches every
+        column): ``0`` balances pure exact-phase frequency mass, large
+        values push the plan back toward uniform.  It is expressed in
+        units of the mean per-category frequency cost, so ``1.0`` means
+        "screening a category costs as much as serving a category of
+        average popularity".
+
+        Fallback: ``frequencies`` that are ``None``, empty or all-zero
+        carry no signal, so the plan degrades to :meth:`uniform`
+        (``num_categories`` is then required).
+        """
+        check_positive("num_shards", num_shards)
+        if screening_weight < 0:
+            raise ValueError(
+                f"screening_weight must be >= 0, got {screening_weight}"
+            )
+        if frequencies is not None:
+            frequencies = np.asarray(frequencies, dtype=np.float64)
+            if frequencies.ndim != 1:
+                raise ValueError(
+                    f"frequencies must be 1-D, got shape {frequencies.shape}"
+                )
+            if num_categories is not None and frequencies.size not in (
+                0,
+                num_categories,
+            ):
+                raise ValueError(
+                    f"{frequencies.size} frequencies for "
+                    f"{num_categories} categories"
+                )
+        if frequencies is None or frequencies.size == 0:
+            if num_categories is None:
+                raise ValueError(
+                    "empty frequencies need num_categories for the "
+                    "uniform fallback"
+                )
+            return cls.uniform(num_categories, num_shards)
+        if not np.all(np.isfinite(frequencies)) or np.any(frequencies < 0):
+            raise ValueError("frequencies must be finite and non-negative")
+        mean = float(frequencies.mean())
+        if mean <= 0:
+            return cls.uniform(frequencies.size, num_shards)
+        costs = screening_weight + frequencies / mean
+        ranges = _minimax_contiguous_partition(costs, num_shards)
+        loads = [float(costs[r.start : r.stop].sum()) for r in ranges]
+        return cls(ranges, loads=loads, source="balanced")
+
+    @classmethod
+    def from_ranges(
+        cls, ranges: Sequence[range], loads: Optional[Sequence[float]] = None
+    ) -> "ShardPlan":
+        """An explicit hand-built plan (validated like any other)."""
+        return cls(ranges, loads=loads, source="explicit")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def num_categories(self) -> int:
+        return self.ranges[-1].stop
+
+    @property
+    def imbalance(self) -> float:
+        """Max-over-mean estimated shard load; ``1.0`` is perfect."""
+        return max(self.loads) * self.num_shards
+
+    def suggest_replicas(self, extra_workers: int) -> dict:
+        """Spread ``extra_workers`` replica processes over the hot shards.
+
+        Greedy: each extra worker goes to the shard with the highest
+        *effective* load (estimated load divided by its current replica
+        count).  Returns ``{shard_id: replica_count}`` with every shard
+        present (count ≥ 1) — the shape
+        :class:`~repro.distributed.parallel.ParallelShardedEngine`'s
+        ``replicas`` parameter accepts directly.
+        """
+        if extra_workers < 0:
+            raise ValueError(
+                f"extra_workers must be >= 0, got {extra_workers}"
+            )
+        counts = {shard_id: 1 for shard_id in range(self.num_shards)}
+        for _ in range(extra_workers):
+            hottest = max(
+                range(self.num_shards),
+                key=lambda sid: (self.loads[sid] / counts[sid], -sid),
+            )
+            counts[hottest] += 1
+        return counts
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShardPlan)
+            and self.ranges == other.ranges
+            and self.loads == other.loads
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ranges, self.loads))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(r)) for r in self.ranges)
+        return (
+            f"ShardPlan({self.source}, l={self.num_categories}, "
+            f"sizes=[{sizes}], imbalance={self.imbalance:.2f})"
+        )
+
+
+def _minimax_contiguous_partition(
+    costs: np.ndarray, num_shards: int
+) -> List[range]:
+    """Split ``costs`` into ``num_shards`` contiguous non-empty runs
+    minimizing the maximum run sum (the "split array largest sum"
+    problem, binary search on the cap + greedy packing).
+
+    The greedy reserves one category per remaining shard so every shard
+    is non-empty even when one category dominates the mass.
+    """
+    n = costs.size
+    if num_shards > n:
+        raise ValueError(f"{num_shards} shards exceed {n} categories")
+    prefix = np.concatenate(([0.0], np.cumsum(costs)))
+    total = float(prefix[-1])
+
+    def pack(cap: float) -> Optional[List[range]]:
+        ranges: List[range] = []
+        start = 0
+        for shard in range(num_shards):
+            if shard == num_shards - 1:
+                end = n
+            else:
+                # Largest end with sum(start:end) <= cap ...
+                end = int(
+                    np.searchsorted(prefix, prefix[start] + cap, side="right")
+                ) - 1
+                # ... but leave one category for each remaining shard,
+                # and take at least one ourselves.
+                end = min(end, n - (num_shards - shard - 1))
+                end = max(end, start + 1)
+            if float(prefix[end] - prefix[start]) > cap * (1 + 1e-12):
+                return None
+            ranges.append(range(start, end))
+            start = end
+        return ranges
+
+    lo = max(float(costs.max(initial=0.0)), total / num_shards)
+    hi = total
+    if pack(lo) is not None:
+        hi = lo
+    else:
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            if pack(mid) is not None:
+                hi = mid
+            else:
+                lo = mid
+    ranges = pack(hi)
+    assert ranges is not None  # hi = total is always feasible
+    return ranges
+
+
+def observed_category_frequencies(
+    outputs: Sequence,
+    num_categories: int,
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Estimate per-category serving frequency from observed outputs.
+
+    Each output (a :class:`~repro.core.pipeline.ScreenedOutput`,
+    :class:`~repro.core.pipeline.StreamedOutput` or a
+    :class:`~repro.core.pipeline.DegradedOutput` wrapping either)
+    contributes one occurrence count per candidate hit — the candidates
+    are where the exact phase spends its work, so their histogram *is*
+    the load signal :meth:`ShardPlan.balanced` wants.  ``weights``
+    optionally scales each output's contribution (e.g. by how often its
+    query occurs in the production mix).
+    """
+    check_positive("num_categories", num_categories)
+    counts = np.zeros(num_categories, dtype=np.float64)
+    if weights is None:
+        weights = [1.0] * len(outputs)
+    if len(weights) != len(outputs):
+        raise ValueError(f"{len(weights)} weights for {len(outputs)} outputs")
+    for output, weight in zip(outputs, weights):
+        result = getattr(output, "result", output)
+        _, cols = result.candidates.flat()
+        if cols.size:
+            counts += weight * np.bincount(cols, minlength=num_categories)
+    return counts
 
 
 # ----------------------------------------------------------------------
@@ -290,16 +593,54 @@ class ShardedClassifier:
     This class runs shards sequentially in one process; call
     :meth:`parallel` for the process-parallel engine over the same
     shards (same shard plan, same reduce path, bit-identical outputs).
+
+    The shard plan comes from exactly one of three places, checked in
+    this order: an explicit ``plan`` (any valid :class:`ShardPlan`),
+    observed ``frequencies`` (builds a :meth:`ShardPlan.balanced` plan
+    over ``num_shards``), or plain ``num_shards`` (the classic uniform
+    split).  Non-uniform plans flow through the same merge/reduce path,
+    so global column indexing stays bit-exact regardless of where the
+    shard boundaries fall (``tests/test_skew_sharding.py``).
     """
 
     def __init__(
         self,
         classifier: FullClassifier,
-        num_shards: int,
+        num_shards: Optional[int] = None,
         config: Optional[ScreeningConfig] = None,
+        plan: Optional[ShardPlan] = None,
+        frequencies: Optional[Sequence[float]] = None,
     ):
         self.classifier = classifier
-        self.ranges = shard_ranges(classifier.num_categories, num_shards)
+        if plan is not None:
+            if frequencies is not None:
+                raise ValueError("pass plan or frequencies, not both")
+            if num_shards is not None and num_shards != plan.num_shards:
+                raise ValueError(
+                    f"num_shards={num_shards} conflicts with a "
+                    f"{plan.num_shards}-shard plan"
+                )
+            if plan.num_categories != classifier.num_categories:
+                raise ValueError(
+                    f"plan covers {plan.num_categories} categories, "
+                    f"classifier has {classifier.num_categories}"
+                )
+            self.plan = plan
+        elif frequencies is not None:
+            if num_shards is None:
+                raise ValueError("frequencies require num_shards")
+            self.plan = ShardPlan.balanced(
+                frequencies,
+                num_shards,
+                num_categories=classifier.num_categories,
+            )
+        else:
+            if num_shards is None:
+                raise ValueError("pass num_shards, frequencies or plan")
+            self.plan = ShardPlan.uniform(
+                classifier.num_categories, num_shards
+            )
+        self.ranges = list(self.plan.ranges)
         self.config = config or ScreeningConfig.from_scale(
             classifier.hidden_dim, scale=0.25
         )

@@ -7,9 +7,11 @@ single-node pipeline, the sequential sharded classifier and the
 process-parallel fleet all satisfy;
 :mod:`~repro.serving.frontdoor` coalesces single-request traffic into
 micro-batches under a size-or-deadline flush policy with admission
-control and SLO deadline propagation; and
-:mod:`~repro.serving.loadgen` offers open- and closed-loop Zipfian
-load for benchmarking the whole stack.
+control and SLO deadline propagation;
+:mod:`~repro.serving.cache` short-circuits repeated/near-duplicate
+queries through a bounded LRU keyed on the INT4-quantized hidden
+vector; and :mod:`~repro.serving.loadgen` offers open- and closed-loop
+Zipfian load for benchmarking the whole stack.
 """
 
 from repro.serving.backend import (
@@ -17,6 +19,7 @@ from repro.serving.backend import (
     is_engine_backend,
     propagates_deadlines,
 )
+from repro.serving.cache import ResultCache, quantized_key
 from repro.serving.frontdoor import (
     DeadlineExceededError,
     FrontDoor,
@@ -46,6 +49,8 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "FrontDoorClosedError",
+    "ResultCache",
+    "quantized_key",
     "ZipfianMix",
     "LoadReport",
     "run_open_loop",

@@ -117,7 +117,12 @@ class RowStreamed:
 
 @dataclass(frozen=True)
 class Reply:
-    """One served request: its per-row value plus serving metadata."""
+    """One served request: its per-row value plus serving metadata.
+
+    ``cached=True`` marks a reply served straight from the result cache
+    (no batch was formed: ``batch_id`` is ``-1`` and the batch fields
+    describe the degenerate single-row batch).
+    """
 
     value: Any
     degraded: bool
@@ -126,6 +131,7 @@ class Reply:
     batch_id: int
     batch_index: int
     batch_size: int
+    cached: bool = False
 
 
 @dataclass
@@ -167,6 +173,16 @@ class FrontDoor:
     default_slo_s:
         SLO budget applied to requests that do not pass ``slo_s``;
         ``None`` means no deadline by default.
+    cache:
+        Optional :class:`~repro.serving.cache.ResultCache`.  A request
+        whose quantized key (and, in the default verified mode, exact
+        float row) matches a cached entry is answered immediately from
+        ``submit`` — it never enters the queue, never joins a batch and
+        never touches the backend, so repeated/near-duplicate queries
+        under a Zipfian mix cost a dictionary lookup instead of a
+        screening pass.  Non-degraded dispatch results populate the
+        cache; degraded results are never cached (a later healthy fleet
+        must not keep serving holes).
     recorder:
         Observability sink (``repro.obs`` recorder contract); defaults
         to the no-op recorder.
@@ -180,6 +196,7 @@ class FrontDoor:
         flush_window_s: float = 0.002,
         queue_limit: int = 256,
         default_slo_s: Optional[float] = None,
+        cache=None,
         recorder=None,
     ):
         if max_batch < 1:
@@ -193,6 +210,7 @@ class FrontDoor:
         self.flush_window_s = float(flush_window_s)
         self.queue_limit = int(queue_limit)
         self.default_slo_s = default_slo_s
+        self.cache = cache
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._default_request_timeout = getattr(backend, "request_timeout", None)
 
@@ -212,6 +230,7 @@ class FrontDoor:
         self.flush_on_size = 0
         self.flush_on_deadline = 0
         self.dispatch_errors = 0
+        self.cached_replies = 0
 
         self._batcher = threading.Thread(
             target=self._batch_loop, name="frontdoor-batcher", daemon=True
@@ -262,8 +281,36 @@ class FrontDoor:
         elif op == "forward_streaming" and block_categories is not None:
             kwargs["block_categories"] = int(block_categories)
 
-        budget = slo_s if slo_s is not None else self.default_slo_s
         now = time.monotonic()
+        if self.cache is not None:
+            hit = self.cache.get(op, kwargs, row[0])
+            if hit is not None:
+                future: "Future[Reply]" = Future()
+                with self._work:
+                    if self._closed:
+                        raise FrontDoorClosedError("front door is closed")
+                    self.submitted += 1
+                    self.served += 1
+                    self.cached_replies += 1
+                self.recorder.increment("serving.requests")
+                self.recorder.increment("serving.served")
+                latency = time.monotonic() - now
+                self.recorder.observe("serving.e2e_latency_s", latency)
+                future.set_result(
+                    Reply(
+                        value=hit,
+                        degraded=False,
+                        failures=(),
+                        latency_s=latency,
+                        batch_id=-1,
+                        batch_index=0,
+                        batch_size=1,
+                        cached=True,
+                    )
+                )
+                return future
+
+        budget = slo_s if slo_s is not None else self.default_slo_s
         pending = _Pending(
             op=op,
             features=row,
@@ -421,6 +468,12 @@ class FrontDoor:
                 pending.future.set_exception(exc)
             return
 
+        if self.cache is not None and not degraded:
+            # Populate from the batcher thread only; per-row values are
+            # already copies, so cached replies own their arrays.
+            for pending, value in zip(live, rows):
+                self.cache.put(op, kwargs, pending.features[0], value)
+
         done = time.monotonic()
         for index, (pending, value) in enumerate(zip(live, rows)):
             latency = done - pending.enqueued
@@ -468,10 +521,11 @@ class FrontDoor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def stats(self) -> Dict[str, int]:
-        """Plain-int serving counters (mirrors of the obs metrics)."""
+    def stats(self) -> Dict[str, object]:
+        """Plain-int serving counters (mirrors of the obs metrics),
+        plus the result cache's own block when a cache is attached."""
         with self._lock:
-            return {
+            stats: Dict[str, object] = {
                 "submitted": self.submitted,
                 "served": self.served,
                 "shed_queue_full": self.shed_queue_full,
@@ -480,8 +534,12 @@ class FrontDoor:
                 "flush_on_size": self.flush_on_size,
                 "flush_on_deadline": self.flush_on_deadline,
                 "dispatch_errors": self.dispatch_errors,
+                "cached_replies": self.cached_replies,
                 "queue_depth": len(self._queue),
             }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats
 
 
 # ----------------------------------------------------------------------

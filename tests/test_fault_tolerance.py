@@ -331,3 +331,130 @@ class TestSupervisionPolicy:
             FaultSpec(kind="kill", at_request=0)
         with pytest.raises(ValueError, match="seconds"):
             FaultSpec(kind="delay", at_request=1, seconds=-1.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestReplicaGroupFaults:
+    """The replica extension of the matrix: a shard with a sibling
+    replica must keep serving *full* (non-degraded) output through any
+    single-replica fault, and only degrade when the whole group dies."""
+
+    def test_replica_kill_fails_over_to_sibling(
+        self, model, features, expected, backend
+    ):
+        """Kill replica 0 of shard 1 with no restart budget: dispatch
+        fails over to replica 1 inside the same request and the output
+        is the sequential backend's exact bits."""
+        faults = {(1, 0): [FaultSpec(kind="kill", at_request=1)]}
+        with model.parallel(
+            replicas={1: 2}, max_restarts=0, faults=faults, **FAST
+        ) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.failovers == 1
+            assert engine.dead_shards == []
+            assert engine.restarts[1] == 0
+            stats = engine.stats()
+            assert stats["failovers"] == 1
+            shard_stats = stats["shards"][1]
+            assert shard_stats["replicas"] == 2
+            assert [w["dead"] for w in shard_stats["replica_workers"]] == [
+                True,
+                False,
+            ]
+            # The survivor keeps answering without further recovery.
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.failovers == 1
+
+    def test_replica_wedge_fails_over_to_sibling(
+        self, model, features, expected, backend
+    ):
+        """A wedged replica times out, burns its (zero) budget share
+        and the request completes on the sibling — full output, no
+        degradation, no caller-visible latency cliff beyond the one
+        deadline."""
+        faults = {(1, 0): [FaultSpec(kind="wedge", at_request=1)]}
+        with model.parallel(
+            replicas={1: 2},
+            request_timeout=DEADLINE,
+            request_retries=0,
+            max_restarts=0,
+            faults=faults,
+            **FAST,
+        ) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.failovers == 1
+            assert engine.dead_shards == []
+
+    def test_replica_kill_respawns_within_budget(
+        self, model, features, expected, backend
+    ):
+        """With budget left the killed replica is respawned in place
+        (no failover) and the group returns to full strength."""
+        faults = {(1, 0): [FaultSpec(kind="kill", at_request=1)]}
+        with model.parallel(replicas={1: 2}, faults=faults, **FAST) as engine:
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+            assert engine.restarts[1] == 1
+            assert engine.failovers == 0
+            group = engine.replica_groups[1]
+            assert group.dead == [False, False]
+            assert_backend_identical(
+                backend, run_backend(engine, backend, features), expected[backend]
+            )
+
+    def test_whole_group_dead_degrades_with_accurate_report(
+        self, model, features, backend
+    ):
+        """Persistent kills on every replica of shard 0: the group dies
+        shard-wide and the degraded report names exactly shard 0's
+        category range."""
+        faults = {
+            (0, 0): [FaultSpec(kind="kill", at_request=1, persistent=True)],
+            (0, 1): [FaultSpec(kind="kill", at_request=1, persistent=True)],
+        }
+        reference = expected_degraded(model, features, backend, failed_shard=0)
+        with model.parallel(
+            replicas={0: 2}, max_restarts=1, degraded=True, faults=faults, **FAST
+        ) as engine:
+            actual = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, actual, reference, failed_shard=0)
+            assert engine.dead_shards == [0]
+            # Later requests skip the dead group immediately.
+            again = run_backend(engine, backend, features)
+            assert_degraded_result(model, backend, again, reference, failed_shard=0)
+            assert not engine.closed
+
+
+class TestReplicaConfiguration:
+    def test_replica_fault_key_validation(self, model):
+        with pytest.raises(ValueError, match="unknown shard 9"):
+            model.parallel(faults={9: [FaultSpec(kind="kill", at_request=1)]})
+        with pytest.raises(ValueError, match="replica 1 but shard 0 runs 1"):
+            model.parallel(faults={(0, 1): [FaultSpec(kind="kill", at_request=1)]})
+        with pytest.raises(ValueError, match="unknown shards"):
+            model.parallel(replicas={7: 2})
+        with pytest.raises(ValueError, match=">= 1 replica"):
+            model.parallel(replicas={0: 0})
+
+    def test_answered_counts_reconcile(self, model, features):
+        """Sum of per-replica answered counts equals the engine's
+        request count for every healthy shard — the stats() invariant
+        the benchmark's reconciliation check relies on."""
+        with model.parallel(replicas=2, **FAST) as engine:
+            for _ in range(4):
+                engine.forward(features)
+            stats = engine.stats()
+            assert stats["requests"] == 4
+            assert stats["replica_counts"] == [2, 2]
+            for shard_stats in stats["shards"]:
+                assert shard_stats["answered"] == 4
+                served = [w["served"] for w in shard_stats["replica_workers"]]
+                assert sum(served) == 4
+                assert sorted(served) == [2, 2]  # least-loaded spread
