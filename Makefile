@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-trace bench-parallel bench-parallel-faults bench-serving bench-serving-zipf bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-streaming-quant bench-trace bench-parallel bench-parallel-faults bench-serving bench-serving-zipf bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ bench:
 # Writes BENCH_streaming.json (wall-clock + peak incremental memory).
 bench-streaming:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py --streaming BENCH_streaming.json
+
+# Block-quantized exact-weight store vs FP64 residency at extreme l.
+# Merges a "quantized_exact" section into BENCH_streaming.json, keeping
+# the existing streaming-vs-dense numbers.
+bench-streaming-quant:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_pipeline.py --quantized-exact BENCH_streaming.json
 
 # Observability overhead (recorder off / metrics / metrics+trace) on the
 # streaming forward.  Merges a "telemetry" block into BENCH_pipeline.json

@@ -37,6 +37,14 @@ read-modify-write, like ``bench_parallel.py --faults`` — and writes one
 clean single-request Chrome trace to ``BENCH_trace.json``, validated
 against the minimal trace-event schema before it lands.
 
+``--quantized-exact`` (``make bench-streaming-quant``) measures the
+block-quantized exact-weight store: FP64 vs INT8/FP16 resident bytes,
+``ru_maxrss`` increments from materializing each parameter set,
+per-call streaming wall-clock + tracemalloc peaks for both engines, and
+streamed ``predict()`` agreement.  Merges a ``"quantized_exact"`` block
+into ``BENCH_streaming.json`` (read-modify-write, keeping the existing
+streaming-vs-dense numbers).
+
 ``--smoke`` shrinks any mode to seconds for CI.
 
 This is not a pytest-benchmark module — the paper-figure benchmarks in
@@ -472,6 +480,153 @@ def run_streaming(smoke: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# quantized-exact mode: block-quantized weight store vs FP64 residency
+# ----------------------------------------------------------------------
+def run_quantized(smoke: bool = False) -> dict:
+    """Resident-set and serving cost of the block-quantized exact store.
+
+    Measures, at the streaming scale (l=670K full, smoke-shrunk in CI):
+
+    * exact-weight resident bytes — the FP64 plane vs the INT8 codes
+      (+ per-tile scales + FP64 bias) vs raw float16, from the arrays
+      that must stay resident to serve;
+    * ``ru_maxrss`` increments — the process high-water delta from
+      materializing the FP64 model, then the (much smaller) delta from
+      building the quantized store on top of it;
+    * per-call serving cost — streaming wall-clock and tracemalloc
+      traced-allocation peak for the FP64 and the quantized engine
+      (both stream tiles; the quantized path dequantizes into workspace
+      scratch, so its per-call peak must stay in the same regime);
+    * streamed ``predict()`` agreement between the two engines, per
+      selector (the bounded-delta quality gate proper lives in
+      ``tests/test_quantized_store.py``).
+    """
+    from repro.core.weightstore import QuantizedExactStore
+
+    num_categories = SMOKE_STREAM_CATEGORIES if smoke else STREAM_CATEGORIES
+    batch_size = SMOKE_STREAM_BATCH if smoke else STREAM_BATCH
+    repeats = 2 if smoke else STREAM_REPEATS
+    serving_allocator = configure_serving_allocator()
+
+    # ru_maxrss is a lifetime high-water mark: build the FP64 model
+    # first and the store second, so each increment isolates one of the
+    # two parameter sets.
+    rss_start = rss_kb()
+    rng = np.random.default_rng(7)
+    classifier, screener = build_models(num_categories, rng)
+    rss_after_fp64 = rss_kb()
+    store = QuantizedExactStore.from_classifier(classifier, kind="int8")
+    rss_after_store = rss_kb()
+    fp16_store = QuantizedExactStore.from_classifier(classifier, kind="float16")
+
+    fp64_bytes = classifier.weight.nbytes + classifier.bias.nbytes
+    resident = {
+        "fp64_exact_bytes": fp64_bytes,
+        "int8_exact_bytes": store.nbytes,
+        "float16_exact_bytes": fp16_store.nbytes,
+        "reduction_int8": round(fp64_bytes / store.nbytes, 2),
+        "reduction_float16": round(fp64_bytes / fp16_store.nbytes, 2),
+    }
+    rss_record = {
+        "fp64_model_increment_kb": rss_after_fp64 - rss_start,
+        "quantized_store_increment_kb": rss_after_store - rss_after_fp64,
+        "note": "high-water deltas: the FP64 model (classifier + "
+        "screener) lands first, the INT8 store's codes/scales on top "
+        "of it; a quantized-only server never pays the first delta",
+    }
+    del fp16_store
+
+    calibration = rng.standard_normal((64, HIDDEN_DIM))
+    features = rng.standard_normal((batch_size, HIDDEN_DIM))
+    results = []
+    for selector_mode in SELECTORS:
+        selector = CandidateSelector(
+            mode=selector_mode, num_candidates=NUM_CANDIDATES
+        )
+        if selector_mode == "threshold":
+            selector.calibrate(screener.approximate_logits(calibration))
+        fp64_engine = ApproximateScreeningClassifier(
+            classifier, screener, selector
+        )
+        quant_engine = ApproximateScreeningClassifier(
+            store, screener, selector
+        )
+        fp64_ms = time_ms(
+            lambda: fp64_engine.forward_streaming(features), repeats, warmup=1
+        )
+        quant_ms = time_ms(
+            lambda: quant_engine.forward_streaming(features), repeats, warmup=1
+        )
+        fp64_peak = traced_peak_bytes(
+            lambda: fp64_engine.forward_streaming(features)
+        )
+        quant_peak = traced_peak_bytes(
+            lambda: quant_engine.forward_streaming(features)
+        )
+        agreement = float(
+            np.mean(
+                fp64_engine.forward_streaming(features).predict()
+                == quant_engine.forward_streaming(features).predict()
+            )
+        )
+        entry = {
+            "num_categories": num_categories,
+            "hidden_dim": HIDDEN_DIM,
+            "projection_dim": PROJECTION_DIM,
+            "num_candidates": NUM_CANDIDATES,
+            "selector": selector_mode,
+            "batch": batch_size,
+            "timings_ms": {
+                "streaming_fp64": round(fp64_ms, 3),
+                "streaming_int8": round(quant_ms, 3),
+            },
+            "peak_incremental_bytes": {
+                "streaming_fp64": fp64_peak,
+                "streaming_int8": quant_peak,
+            },
+            "predict_agreement": agreement,
+        }
+        results.append(entry)
+        print(
+            f"l={num_categories} {selector_mode:>9} b={batch_size:<3} "
+            f"fp64={fp64_ms:9.2f}ms int8={quant_ms:9.2f}ms  "
+            f"peak {fp64_peak / 1e6:7.1f}MB -> {quant_peak / 1e6:7.1f}MB  "
+            f"agree={agreement:.3f}",
+            flush=True,
+        )
+
+    print(
+        f"exact weights: fp64 {fp64_bytes / 1e6:.1f}MB -> "
+        f"int8 {store.nbytes / 1e6:.1f}MB "
+        f"({resident['reduction_int8']}x less resident)",
+        flush=True,
+    )
+    return {
+        "benchmark": "block-quantized exact-weight store vs FP64 residency",
+        "machine": machine_metadata(),
+        "repeats": repeats,
+        "allocator": (
+            "configure_serving_allocator"
+            if serving_allocator
+            else "glibc default (tuning unavailable on this platform)"
+        ),
+        "store": {"kind": "int8", "tile_rows": store.tile_rows,
+                  "num_tiles": store.num_tiles},
+        "resident_bytes": resident,
+        "ru_maxrss": rss_record,
+        "headline": {
+            "num_categories": num_categories,
+            "batch": batch_size,
+            "exact_weight_reduction_int8": resident["reduction_int8"],
+            "predict_agreement_min": min(
+                r["predict_agreement"] for r in results
+            ),
+        },
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
 # trace mode: the cost of watching, plus an exportable serving trace
 # ----------------------------------------------------------------------
 #: Trace-mode scale: big enough for several canonical column tiles
@@ -580,6 +735,13 @@ def main() -> int:
         "into the pipeline report and export a Chrome trace",
     )
     parser.add_argument(
+        "--quantized-exact",
+        action="store_true",
+        help="measure the block-quantized exact-weight store against "
+        "FP64 residency and merge a 'quantized_exact' block into the "
+        "streaming report",
+    )
+    parser.add_argument(
         "--trace-output",
         default="BENCH_trace.json",
         help="where --trace writes the Chrome trace-event JSON",
@@ -610,6 +772,29 @@ def main() -> int:
             f"\ntelemetry: metrics +{overhead['metrics_on']}%, "
             f"metrics+trace +{overhead['metrics_and_trace_on']}% over the "
             f"no-op recorder -> {output_path} (trace: {args.trace_output})"
+        )
+        return 0
+    if args.quantized_exact:
+        output_path = args.output or "BENCH_streaming.json"
+        # Read-modify-write: the quantized block joins the existing
+        # streaming report rather than replacing it (same contract as
+        # --trace with the pipeline report).
+        try:
+            with open(output_path) as handle:
+                report = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            report = {"benchmark": "blocked streaming forward vs dense engine"}
+        report["quantized_exact"] = run_quantized(smoke=args.smoke)
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        headline = report["quantized_exact"]["headline"]
+        print(
+            f"\nquantized exact store: l={headline['num_categories']} "
+            f"batch={headline['batch']}: int8 exact weights are "
+            f"{headline['exact_weight_reduction_int8']}x smaller resident "
+            f"than FP64, streamed predict agreement >= "
+            f"{headline['predict_agreement_min']} -> {output_path}"
         )
         return 0
     if args.streaming:

@@ -14,6 +14,7 @@ Public surface:
 
 from repro.core.classifier import FullClassifier
 from repro.core.screener import ScreeningConfig, ScreeningModule
+from repro.core.weightstore import QuantizedExactStore, STORE_KINDS
 from repro.core.training import TrainingReport, train_screener
 from repro.core.candidates import CandidateSelector, CandidateSet
 from repro.core.pipeline import (
@@ -32,8 +33,10 @@ from repro.core.decoding import DecodeResult, beam_search_decode, greedy_decode
 from repro.core.tuning import TuningResult, tune_budget_for_recall, tune_threshold_for_recall
 from repro.core.serialization import (
     load_classifier,
+    load_quantized_store,
     load_screener,
     save_classifier,
+    save_quantized_store,
     save_screener,
 )
 
@@ -56,10 +59,14 @@ __all__ = [
     "greedy_decode",
     "beam_search_decode",
     "DecodeResult",
+    "QuantizedExactStore",
+    "STORE_KINDS",
     "save_screener",
     "load_screener",
     "save_classifier",
     "load_classifier",
+    "save_quantized_store",
+    "load_quantized_store",
     "tune_budget_for_recall",
     "tune_threshold_for_recall",
     "TuningResult",

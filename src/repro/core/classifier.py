@@ -94,22 +94,50 @@ class FullClassifier:
     # ------------------------------------------------------------------
     # forward passes
     # ------------------------------------------------------------------
-    def logits(self, features: np.ndarray) -> np.ndarray:
-        """Exact pre-normalization scores ``W h + b`` for a batch."""
+    def logits(self, features: np.ndarray, workspace=None) -> np.ndarray:
+        """Exact pre-normalization scores ``W h + b`` for a batch.
+
+        ``workspace`` is accepted (and unused — the FP64 weights need no
+        dequantization scratch) so this surface matches
+        :class:`~repro.core.weightstore.QuantizedExactStore` and callers
+        can treat both stores polymorphically.
+        """
         batch = check_batch_features(features, self.hidden_dim)
         return batch @ self.weight.T + self.bias
 
-    def logits_for(self, indices: Sequence[int], features: np.ndarray) -> np.ndarray:
+    def logits_for(
+        self, indices: Sequence[int], features: np.ndarray, workspace=None
+    ) -> np.ndarray:
         """Exact scores for selected categories only (candidates-only form).
 
         Touches only ``len(indices)`` weight rows, mirroring the data
-        access of the ENMC Executor.
+        access of the ENMC Executor.  ``workspace`` is unused here (see
+        :meth:`logits`).
         """
         batch = check_batch_features(features, self.hidden_dim)
         index_array = np.asarray(indices, dtype=np.intp)
         if index_array.ndim != 1:
             raise ValueError(f"indices must be 1-D, got shape {index_array.shape}")
         return batch @ self.weight[index_array].T + self.bias[index_array]
+
+    def candidate_scores(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        batch: np.ndarray,
+        workspace=None,
+    ) -> np.ndarray:
+        """Per-candidate exact scores: one dot product per ``(row, col)``
+        pair, flat-aligned with the inputs.
+
+        The gather form the vectorized exact phase uses when candidate
+        overlap is too low for the union matmul.  ``workspace`` is
+        unused here (see :meth:`logits`).
+        """
+        return (
+            np.einsum("nd,nd->n", self.weight[cols], batch[rows])
+            + self.bias[cols]
+        )
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Normalized output probabilities (paper Eq. 2)."""

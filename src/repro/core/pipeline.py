@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.core.candidates import CandidateSelector, CandidateSet
 from repro.core.classifier import FullClassifier
-from repro.core.screener import ScreeningModule
+from repro.core.screener import TILE_CATEGORIES, ScreeningModule
+from repro.core.weightstore import QuantizedExactStore
 from repro.linalg.functional import sigmoid, softmax, taylor_softmax
 from repro.obs.recorder import NULL_RECORDER
 from repro.utils.memory import Workspace
@@ -263,7 +264,7 @@ class ApproximateScreeningClassifier:
 
     def __init__(
         self,
-        classifier: FullClassifier,
+        classifier,
         screener: ScreeningModule,
         selector: Optional[CandidateSelector] = None,
         num_candidates: int = 32,
@@ -340,17 +341,30 @@ class ApproximateScreeningClassifier:
         data.  :meth:`from_arrays` inverts this without pickling a
         single numpy array, so workers can be built zero-copy from
         shared buffers.
+
+        A pipeline running on a :class:`QuantizedExactStore` exports the
+        INT8/FP16 codes (plus per-tile scales) instead of the FP64
+        weight plane — the shared segment shrinks ~4-8x and the metadata
+        gains ``exact_store``/``exact_store_tile_rows`` keys so
+        :meth:`from_arrays` rebuilds the same store zero-copy.
         """
         screener = self.screener
-        arrays = {
-            "weight": self.classifier.weight,
-            "bias": self.classifier.bias,
-            "screener_weight": screener.weight,
-            "screener_bias": screener.bias,
-            "projection_ternary": screener.projection.ternary,
-        }
+        if isinstance(self.classifier, QuantizedExactStore):
+            arrays, store_meta = self.classifier.export_arrays()
+            arrays = dict(arrays)
+        else:
+            arrays = {
+                "weight": self.classifier.weight,
+                "bias": self.classifier.bias,
+            }
+            store_meta = {"normalization": self.classifier.normalization}
+        arrays.update(
+            screener_weight=screener.weight,
+            screener_bias=screener.bias,
+            projection_ternary=screener.projection.ternary,
+        )
         meta = {
-            "normalization": self.classifier.normalization,
+            **store_meta,
             "quantization_bits": screener.quantization_bits,
             "compute_dtype": screener.compute_dtype.name,
             "projection_density": screener.projection.density,
@@ -375,12 +389,21 @@ class ApproximateScreeningClassifier:
         exported one: all derived state (quantized weight view, fused
         GEMM plane) is re-derived by the constructors from the same
         parameters.
+
+        Metadata carrying an ``exact_store`` key (see
+        :meth:`export_arrays`) rebuilds a :class:`QuantizedExactStore`
+        over the shipped codes instead of a :class:`FullClassifier` —
+        the path parallel workers take when the host quantized its
+        exact weights before exporting the shared segments.
         """
-        classifier = FullClassifier(
-            arrays["weight"],
-            arrays["bias"],
-            normalization=str(meta["normalization"]),
-        )
+        if meta.get("exact_store"):
+            classifier = QuantizedExactStore.from_arrays(arrays, meta)
+        else:
+            classifier = FullClassifier(
+                arrays["weight"],
+                arrays["bias"],
+                normalization=str(meta["normalization"]),
+            )
         from repro.linalg.projection import SparseRandomProjection
 
         projection = SparseRandomProjection.from_ternary(
@@ -406,6 +429,32 @@ class ApproximateScreeningClassifier:
             softmax_taylor_order=meta.get("softmax_taylor_order"),  # type: ignore[arg-type]
         )
 
+    def quantize_exact_weights(
+        self, kind: str = "int8", tile_rows: int = TILE_CATEGORIES
+    ) -> "ApproximateScreeningClassifier":
+        """Swap the FP64 exact weights for a block-quantized store.
+
+        In place: the exact phase subsequently dequantizes INT8 (or
+        FP16) tiles into workspace scratch instead of touching an FP64
+        weight plane, cutting the resident exact-weight footprint ~8x
+        (~4x for float16).  Screening, selection and mixing are
+        untouched.  Idempotent when the store already matches ``kind``;
+        the original FP64 plane is dropped (reload it from the training
+        artifact if needed).
+        """
+        if isinstance(self.classifier, QuantizedExactStore):
+            if self.classifier.kind != kind:
+                raise ValueError(
+                    f"exact weights already quantized as "
+                    f"{self.classifier.kind!r}; cannot requantize to "
+                    f"{kind!r} (quantization is lossy)"
+                )
+            return self
+        self.classifier = QuantizedExactStore.from_classifier(
+            self.classifier, kind=kind, tile_rows=tile_rows
+        )
+        return self
+
     # ------------------------------------------------------------------
     def forward(self, features: np.ndarray, faithful: bool = False) -> ScreenedOutput:
         """Run the full screened pipeline on a feature batch.
@@ -428,7 +477,9 @@ class ApproximateScreeningClassifier:
             recorder.increment("pipeline.exact_candidates", candidates.total)
             if faithful:
                 return self._mix_per_row(batch, approx, candidates)
-            return self._mix_vectorized(batch, approx, candidates)
+            return self._mix_vectorized(
+                batch, approx, candidates, workspace=self.workspace
+            )
 
     __call__ = forward
 
@@ -454,6 +505,7 @@ class ApproximateScreeningClassifier:
         batch: np.ndarray,
         approx: np.ndarray,
         candidates: CandidateSet,
+        workspace: Optional[Workspace] = None,
     ) -> ScreenedOutput:
         """Vectorized exact phase: mix all candidates in one scatter.
 
@@ -470,7 +522,9 @@ class ApproximateScreeningClassifier:
                 logits=approx, approximate_logits=approx, candidates=candidates
             )
         with self.recorder.span("exact"):
-            exact = self._exact_candidate_values(batch, candidates)
+            exact = self._exact_candidate_values(
+                batch, candidates, workspace=workspace
+            )
         with self.recorder.span("merge"):
             saved = approx[rows, cols].copy()
             approx[rows, cols] = exact
@@ -479,7 +533,10 @@ class ApproximateScreeningClassifier:
         )
 
     def _exact_candidate_values(
-        self, batch: np.ndarray, candidates: CandidateSet
+        self,
+        batch: np.ndarray,
+        candidates: CandidateSet,
+        workspace: Optional[Workspace] = None,
     ) -> np.ndarray:
         """Exact classifier scores for every candidate, flat-aligned.
 
@@ -490,6 +547,12 @@ class ApproximateScreeningClassifier:
         rows share candidates — or a flat per-candidate gather when the
         union would force the matmul to compute mostly unwanted
         ``(row, category)`` pairs.
+
+        Both forms go through the exact store's polymorphic surface
+        (``logits_for`` / ``candidate_scores``), so the same kernel
+        serves FP64 weights and a :class:`QuantizedExactStore` — the
+        latter dequantizes its gathered rows into ``workspace`` scratch,
+        keeping the streaming steady state allocation-flat.
         """
         rows, cols = candidates.flat()
         if rows.size == 0:
@@ -499,11 +562,10 @@ class ApproximateScreeningClassifier:
         # only ``rows.size`` of them; prefer it only when candidate
         # overlap keeps that overcompute within a small factor.
         if candidates.batch_size * union.size <= 2 * rows.size:
-            exact = self.classifier.logits_for(union, batch)
+            exact = self.classifier.logits_for(union, batch, workspace=workspace)
             return exact[rows, np.searchsorted(union, cols)]
-        return (
-            np.einsum("nd,nd->n", self.classifier.weight[cols], batch[rows])
-            + self.classifier.bias[cols]
+        return self.classifier.candidate_scores(
+            rows, cols, batch, workspace=workspace
         )
 
     def forward_streaming(
@@ -601,11 +663,11 @@ class ApproximateScreeningClassifier:
                 recorder.set_gauge("pipeline.workspace_bytes", ws.nbytes)
                 recorder.set_gauge("pipeline.workspace_allocations", ws.allocations)
             if dense:
-                return self._mix_vectorized(batch, plane, candidates)
+                return self._mix_vectorized(batch, plane, candidates, workspace=ws)
             with recorder.span("streaming.exact"):
-                exact_values = self._exact_candidate_values(batch, candidates).astype(
-                    compute, copy=False
-                )
+                exact_values = self._exact_candidate_values(
+                    batch, candidates, workspace=ws
+                ).astype(compute, copy=False)
             return StreamedOutput(
                 candidates=candidates,
                 exact_values=exact_values,

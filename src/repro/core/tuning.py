@@ -84,24 +84,36 @@ def tune_budget_for_recall(
     low = k  # can't catch top-k with fewer than k candidates
     high = max(low, int(classifier.num_categories * max_fraction))
 
+    # Every budget is probed at most once: a full screening pass per
+    # probe is the search's entire cost, and both the feasibility cap
+    # and the final budget are frequently revisited by the bisection
+    # (e.g. low == high on entry, or the search converging onto an
+    # already-probed midpoint).
+    probed = {}
+
+    def probe(budget: int) -> float:
+        if budget not in probed:
+            probed[budget] = _recall_at_budget(
+                classifier, screener, features, exact, budget, k
+            )
+        return probed[budget]
+
     # One probe at the cap decides feasibility; reuse it for the report
     # rather than paying a second full screening pass at the most
     # expensive budget in the search.
-    recall_at_cap = _recall_at_budget(classifier, screener, features, exact, high, k)
+    recall_at_cap = probe(high)
     if recall_at_cap < target_recall:
         return _result(screener, features, high, recall_at_cap, target_recall, k,
                        classifier.num_categories)
 
     while low < high:
         mid = (low + high) // 2
-        recall = _recall_at_budget(classifier, screener, features, exact, mid, k)
-        if recall >= target_recall:
+        if probe(mid) >= target_recall:
             high = mid
         else:
             low = mid + 1
 
-    achieved = _recall_at_budget(classifier, screener, features, exact, low, k)
-    return _result(screener, features, low, achieved, target_recall, k,
+    return _result(screener, features, low, probe(low), target_recall, k,
                    classifier.num_categories)
 
 
@@ -125,10 +137,16 @@ def tune_threshold_for_recall(
     validation_features: np.ndarray,
     target_recall: float = 0.99,
     k: int = 1,
+    **kwargs,
 ) -> float:
     """The comparator threshold achieving the recall target (the value
-    the host loads into the ENMC THRESHOLD register)."""
+    the host loads into the ENMC THRESHOLD register).
+
+    Extra keyword arguments (``max_fraction``, and whatever the budget
+    search grows next) forward to :func:`tune_budget_for_recall`, so
+    the threshold search can be bounded exactly like the budget search.
+    """
     result = tune_budget_for_recall(
-        classifier, screener, validation_features, target_recall, k
+        classifier, screener, validation_features, target_recall, k, **kwargs
     )
     return result.threshold

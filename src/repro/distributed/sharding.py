@@ -694,6 +694,24 @@ class ShardedClassifier:
                 )
             )
 
+    def quantize_exact_weights(self, kind: str = "int8") -> "ShardedClassifier":
+        """Convert every shard's exact weights to a block-quantized store.
+
+        Each trained shard pipeline swaps its FP64 weight slice for a
+        :class:`~repro.core.weightstore.QuantizedExactStore` (INT8 codes
+        + per-tile scales, or FP16), so :meth:`parallel` subsequently
+        ships ~4-8x smaller shared parameter segments and worker
+        respawn re-attaches the same quantized bytes.  The global
+        reference ``self.classifier`` keeps its FP64 weights (it is the
+        training-side source of truth); only the serving shards
+        quantize.  Returns ``self`` for chaining.
+        """
+        if not self.trained:
+            raise RuntimeError("call train() before quantize_exact_weights()")
+        for shard in self.shards:
+            shard.quantize_exact_weights(kind=kind)
+        return self
+
     # ------------------------------------------------------------------
     def forward(self, features: np.ndarray) -> ScreenedOutput:
         """All-shard screened inference, merged to global order."""

@@ -3,8 +3,10 @@
 from repro.linalg.quantize import (
     QuantizedTensor,
     Quantizer,
+    TileQuantized,
     dequantize,
     quantize_symmetric,
+    quantize_tiles,
 )
 from repro.linalg.projection import SparseRandomProjection, gaussian_projection
 from repro.linalg.functional import (
@@ -26,7 +28,9 @@ from repro.linalg.topk import (
 __all__ = [
     "Quantizer",
     "QuantizedTensor",
+    "TileQuantized",
     "quantize_symmetric",
+    "quantize_tiles",
     "dequantize",
     "SparseRandomProjection",
     "gaussian_projection",

@@ -61,6 +61,132 @@ class QuantizedTensor:
         return self.values.astype(np.float64) * self.scale
 
 
+@dataclass(frozen=True)
+class TileQuantized:
+    """Integer codes with one symmetric scale per row tile.
+
+    The tile axis is axis 0 (the category axis of an ``(l, d)`` weight
+    matrix): rows ``[t * tile_rows, (t+1) * tile_rows)`` share scale
+    ``scales[t]``.  This is the layout the block-quantized exact-weight
+    store uses — the streaming exact phase walks the same canonical
+    category tiles as the screening GEMM, so one scale load dequantizes
+    a whole tile.
+    """
+
+    values: np.ndarray
+    scales: np.ndarray
+    bits: int
+    tile_rows: int
+
+    @property
+    def shape(self) -> tuple:
+        return self.values.shape
+
+    @property
+    def num_tiles(self) -> int:
+        return self.scales.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Actual storage bytes (codes at their container width + scales)."""
+        return self.values.nbytes + self.scales.nbytes
+
+    def row_scales(self, indices: np.ndarray) -> np.ndarray:
+        """The per-row dequantization scale for arbitrary row indices."""
+        return self.scales[np.asarray(indices, dtype=np.intp) // self.tile_rows]
+
+    def dequantize_rows(
+        self,
+        indices: np.ndarray,
+        dtype=np.float64,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gathered rows reconstructed in ``dtype`` (target-dtype dequantize).
+
+        ``out`` (shape ``(len(indices), d)``) lets callers reuse
+        workspace scratch so the gather stays allocation-flat.
+        """
+        index_array = np.asarray(indices, dtype=np.intp)
+        if out is None:
+            out = np.empty((index_array.size, self.values.shape[1]), dtype=dtype)
+        np.copyto(out, self.values[index_array], casting="unsafe")
+        out *= self.row_scales(index_array)[:, None].astype(dtype, copy=False)
+        return out
+
+    def dequantize_tile(
+        self,
+        start: int,
+        stop: int,
+        dtype=np.float64,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One row tile ``[start, stop)`` reconstructed in ``dtype``.
+
+        ``[start, stop)`` must lie inside a single tile (the canonical
+        traversal always passes tile-aligned bounds).
+        """
+        tile = start // self.tile_rows
+        if stop > min((tile + 1) * self.tile_rows, self.values.shape[0]):
+            raise ValueError(
+                f"rows [{start}, {stop}) cross a {self.tile_rows}-row tile "
+                "boundary"
+            )
+        if out is None:
+            out = np.empty((stop - start, self.values.shape[1]), dtype=dtype)
+        np.copyto(out, self.values[start:stop], casting="unsafe")
+        out *= self.scales[tile]
+        return out
+
+    def dequantize(self, dtype=np.float64) -> np.ndarray:
+        """The full reconstructed matrix (tests / small stores only)."""
+        out = np.empty(self.values.shape, dtype=dtype)
+        for tile in range(self.num_tiles):
+            start = tile * self.tile_rows
+            stop = min(start + self.tile_rows, self.values.shape[0])
+            self.dequantize_tile(start, stop, dtype=dtype, out=out[start:stop])
+        return out
+
+
+def quantize_tiles(
+    tensor: np.ndarray,
+    bits: int = 8,
+    tile_rows: int = 8192,
+) -> TileQuantized:
+    """Quantize a 2-D tensor symmetrically with one scale per row tile.
+
+    Each block of ``tile_rows`` consecutive rows gets its own max-abs
+    symmetric scale; an all-zero tile quantizes to zero codes with the
+    neutral scale ``1.0`` (so dequantization is exact).  Codes land in
+    ``int8`` for ``bits <= 8`` and ``int16`` above, clipped to
+    ``[qmin, qmax]`` — at the boundary, the most negative representable
+    code is ``-qmax`` (max-abs scaling never reaches ``qmin``).
+    """
+    array = np.asarray(tensor, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"quantize_tiles needs a 2-D tensor, got {array.shape}")
+    check_positive("tile_rows", tile_rows)
+    qmin, qmax = _qrange(bits)
+    rows = array.shape[0]
+    num_tiles = max(1, -(-rows // tile_rows))
+    scales = np.empty(num_tiles, dtype=np.float64)
+    dtype = np.int8 if bits <= 8 else np.int16
+    codes = np.empty(array.shape, dtype=dtype)
+    for tile in range(num_tiles):
+        start = tile * tile_rows
+        stop = min(start + tile_rows, rows)
+        block = array[start:stop]
+        max_abs = float(np.max(np.abs(block))) if block.size else 0.0
+        # Neutral scale for all-zero tiles, and for subnormal tiles
+        # whose max_abs / qmax underflows to 0.0 (a zero scale would
+        # turn dequantization into divide-by-zero).
+        scale = max_abs / qmax
+        if not scale > 0:
+            scale = 1.0
+        scales[tile] = scale
+        np.clip(np.round(block / scale), qmin, qmax, out=codes[start:stop], casting="unsafe")
+    return TileQuantized(values=codes, scales=scales, bits=bits, tile_rows=int(tile_rows))
+
+
 def quantize_symmetric(
     tensor: np.ndarray,
     bits: int = 4,
@@ -98,13 +224,21 @@ def quantization_error(tensor: np.ndarray, bits: int, axis: Optional[int] = None
 def _symmetric_scale(
     array: np.ndarray, qmax: int, axis: Optional[int]
 ) -> np.ndarray:
-    """The max-abs symmetric scale, per tensor or per slice of ``axis``."""
+    """The max-abs symmetric scale, per tensor or per slice of ``axis``.
+
+    The neutral scale ``1.0`` stands in wherever ``max_abs / qmax`` is
+    not a positive number — all-zero slices, and slices of subnormal
+    magnitude whose quotient underflows to ``0.0`` (dividing by it
+    would produce inf/nan codes); such values quantize to zero codes.
+    """
     if axis is None:
         max_abs = np.max(np.abs(array)) if array.size else 0.0
-        return np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+        scale = max_abs / qmax
+        return np.asarray(scale if scale > 0 else 1.0)
     reduce_axes = tuple(i for i in range(array.ndim) if i != axis % array.ndim)
     max_abs = np.max(np.abs(array), axis=reduce_axes, keepdims=True)
-    return np.where(max_abs > 0, max_abs / qmax, 1.0)
+    scale = max_abs / qmax
+    return np.where(scale > 0, scale, 1.0)
 
 
 class Quantizer:

@@ -2,12 +2,15 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    QuantizedExactStore,
     load_classifier,
+    load_quantized_store,
     load_screener,
     save_classifier,
+    save_quantized_store,
     save_screener,
 )
-from repro.core.serialization import _FORMAT_VERSION
+from repro.core.serialization import _FORMAT_VERSION, _LEGACY_COMPUTE_DTYPE
 
 
 class TestScreenerRoundTrip:
@@ -55,6 +58,47 @@ class TestScreenerRoundTrip:
         save_screener(path, screener)
         assert load_screener(path).quantization_bits is None
 
+    def test_compute_dtype_round_trips(self, small_task, tmp_path):
+        # Regression: save_screener dropped compute_dtype, so a float32
+        # screener silently reloaded as float64 — and bit-identity with
+        # the original was lost (the float32 pipeline rounds, float64
+        # does not).
+        from repro.core import ScreeningConfig, train_screener
+
+        screener = train_screener(
+            small_task.classifier, small_task.sample_features(128),
+            config=ScreeningConfig(projection_dim=8, compute_dtype="float32"),
+            solver="lstsq", rng=3,
+        )
+        path = tmp_path / "fp32-compute.npz"
+        save_screener(path, screener)
+        loaded = load_screener(path)
+        assert loaded.compute_dtype == np.dtype(np.float32)
+        features = small_task.sample_features(8)
+        assert np.array_equal(
+            screener.approximate_logits(features),
+            loaded.approximate_logits(features),
+        )
+
+    def test_version1_artifact_defaults_to_float64(
+        self, small_screener, tmp_path
+    ):
+        # A hand-crafted version-1 file (no compute_dtype key) must load
+        # with the historical float64 behavior, not crash or guess.
+        path = tmp_path / "v1.npz"
+        np.savez(
+            path,
+            format_version=np.int64(1),
+            kind=np.str_("screener"),
+            weight=small_screener.weight,
+            bias=small_screener.bias,
+            projection_ternary=small_screener.projection.ternary,
+            projection_density=np.float64(small_screener.projection.density),
+            quantization_bits=np.int64(small_screener.quantization_bits),
+        )
+        loaded = load_screener(path)
+        assert loaded.compute_dtype == np.dtype(_LEGACY_COMPUTE_DTYPE)
+
 
 class TestClassifierRoundTrip:
     def test_exact_equivalence(self, small_task, tmp_path):
@@ -66,6 +110,71 @@ class TestClassifierRoundTrip:
             small_task.classifier.logits(features), loaded.logits(features)
         )
         assert loaded.normalization == small_task.classifier.normalization
+
+
+class TestQuantizedStoreRoundTrip:
+    @pytest.fixture(scope="class")
+    def store(self, small_task):
+        return QuantizedExactStore.from_classifier(
+            small_task.classifier, kind="int8", tile_rows=256
+        )
+
+    def test_resident_round_trip_bit_identical(
+        self, store, small_task, tmp_path
+    ):
+        path = tmp_path / "store"
+        save_quantized_store(path, store)
+        loaded = load_quantized_store(path)
+        assert loaded.kind == store.kind
+        assert loaded.tile_rows == store.tile_rows
+        assert loaded.normalization == store.normalization
+        assert np.array_equal(loaded.codes, store.codes)
+        assert np.array_equal(loaded.scales, store.scales)
+        assert np.array_equal(loaded.bias, store.bias)
+        features = small_task.sample_features(4)
+        assert np.array_equal(loaded.logits(features), store.logits(features))
+
+    def test_mmap_round_trip_bit_identical(self, store, small_task, tmp_path):
+        path = tmp_path / "store-mmap.npz"
+        save_quantized_store(path, store)
+        mapped = load_quantized_store(path, mmap=True)
+        features = small_task.sample_features(4)
+        assert np.array_equal(mapped.logits(features), store.logits(features))
+        cols = np.array([0, 255, 256, store.num_categories - 1])
+        assert np.array_equal(
+            mapped.logits_for(cols, features), store.logits_for(cols, features)
+        )
+
+    def test_float16_round_trip(self, small_task, tmp_path):
+        store = QuantizedExactStore.from_classifier(
+            small_task.classifier, kind="float16"
+        )
+        path = tmp_path / "fp16-store"
+        save_quantized_store(path, store)
+        loaded = load_quantized_store(path)
+        assert loaded.kind == "float16"
+        assert loaded.scales is None
+        assert np.array_equal(loaded.codes, store.codes)
+
+    def test_kind_mismatch_rejected(self, store, small_task, tmp_path):
+        path = tmp_path / "not-a-store.npz"
+        save_classifier(path, small_task.classifier)
+        with pytest.raises(ValueError, match="quantized_classifier"):
+            load_quantized_store(path)
+
+    def test_corrupt_sidecar_rejected(self, store, tmp_path):
+        path = tmp_path / "torn"
+        save_quantized_store(path, store)
+        np.save(tmp_path / "torn.codes.npy", np.zeros((3, 3), dtype=np.int8))
+        with pytest.raises(ValueError, match="sidecar"):
+            load_quantized_store(path)
+
+    def test_missing_sidecar_raises(self, store, tmp_path):
+        path = tmp_path / "orphan"
+        save_quantized_store(path, store)
+        (tmp_path / "orphan.codes.npy").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_quantized_store(path)
 
 
 class TestFormatChecks:

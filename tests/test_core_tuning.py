@@ -120,6 +120,61 @@ class TestTuneBudget:
         # and supplies the reported recall.
         assert probes == [max(1, int(2000 * 0.5))]
 
+    def test_no_budget_probed_twice(self, validation, monkeypatch):
+        """Regression: the search used to re-run a full screening pass
+        at the final budget even though the bisection had already probed
+        it.  Every probe is a full screening pass, so each duplicate is
+        pure waste — the probed-budget memo must make them impossible."""
+        import repro.core.tuning as tuning
+
+        task, screener, features = validation
+        probes = []
+        real_probe = tuning._recall_at_budget
+
+        def counting_probe(classifier, screener, features, exact, budget, k):
+            probes.append(budget)
+            return real_probe(classifier, screener, features, exact, budget, k)
+
+        monkeypatch.setattr(tuning, "_recall_at_budget", counting_probe)
+        result = tune_budget_for_recall(
+            task.classifier, screener, features, target_recall=0.95, k=1
+        )
+        assert result.met
+        assert len(probes) == len(set(probes))
+        # The reported recall comes from the memo, not a fresh pass.
+        assert result.achieved_recall == pytest.approx(
+            real_probe(
+                task.classifier, screener, features,
+                task.classifier.logits(features), result.num_candidates, 1,
+            )
+        )
+
+    def test_threshold_variant_forwards_max_fraction(
+        self, validation, monkeypatch
+    ):
+        """Regression: tune_threshold_for_recall swallowed
+        ``max_fraction``, so the budget search under the hood always ran
+        against the default 0.5 cap."""
+        import repro.core.tuning as tuning
+
+        task, screener, features = validation
+        seen = []
+        real_tune = tuning.tune_budget_for_recall
+
+        def spying_tune(classifier, screener, features, target, k, **kwargs):
+            seen.append(kwargs)
+            return real_tune(
+                classifier, screener, features, target, k, **kwargs
+            )
+
+        monkeypatch.setattr(tuning, "tune_budget_for_recall", spying_tune)
+        threshold = tune_threshold_for_recall(
+            task.classifier, screener, features,
+            target_recall=1.0, k=1, max_fraction=0.0005,
+        )
+        assert np.isfinite(threshold)
+        assert seen == [{"max_fraction": 0.0005}]
+
 
 class TestQuantizationAwareTraining:
     def test_qat_not_worse_than_ptq(self):

@@ -7,8 +7,10 @@ from hypothesis.extra.numpy import arrays
 from repro.linalg.quantize import (
     QuantizedTensor,
     Quantizer,
+    TileQuantized,
     quantization_error,
     quantize_symmetric,
+    quantize_tiles,
 )
 
 finite_arrays = arrays(
@@ -113,6 +115,125 @@ class TestQuantizeSymmetric:
         data = np.array([[16277.0]])
         assert quantization_error(data, bits=4) <= (16277.0 / 7) / 2 * (1 + 1e-9)
         assert quantization_error(data, bits=8) <= (16277.0 / 127) / 2 * (1 + 1e-9)
+
+
+tile_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestQuantizeTiles:
+    @given(tile_arrays, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_shape_is_tile_count(self, data, tile_rows):
+        q = quantize_tiles(data, bits=8, tile_rows=tile_rows)
+        expected_tiles = -(-data.shape[0] // tile_rows)
+        assert q.scales.shape == (expected_tiles,)
+        assert q.num_tiles == expected_tiles
+        assert q.values.shape == data.shape
+        assert q.tile_rows == tile_rows
+
+    @given(tile_arrays, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_codes_within_symmetric_range(self, data, tile_rows):
+        # Max-abs scaling maps onto [-qmax, qmax]; the asymmetric qmin
+        # endpoint is unreachable (clipping is only a safety net).
+        q = quantize_tiles(data, bits=8, tile_rows=tile_rows)
+        assert q.values.dtype == np.int8
+        assert q.values.min(initial=0) >= -127
+        assert q.values.max(initial=0) <= 127
+
+    def test_all_zero_tile_gets_neutral_scale(self):
+        data = np.zeros((6, 3))
+        data[4:] = 5.0  # tiles of 2: [zero, zero, nonzero]
+        q = quantize_tiles(data, bits=8, tile_rows=2)
+        assert q.scales[0] == 1.0 and q.scales[1] == 1.0
+        assert np.all(q.values[:4] == 0)
+        assert np.array_equal(q.dequantize()[:4], np.zeros((4, 3)))
+
+    def test_int16_boundary_values_never_reach_qmin(self):
+        # INT16 qmin is -32768, but symmetric max-abs scaling maps the
+        # most negative representable value to -qmax = -32767.
+        data = np.array([[-1.0, 1.0], [-0.5, 0.25]])
+        q = quantize_tiles(data, bits=16, tile_rows=1)
+        assert q.values.dtype == np.int16
+        assert q.values.min() == -32767
+        assert q.bits == 16
+
+    def test_subnormal_tile_regression(self):
+        # max_abs / qmax underflows to 0.0 for subnormal tiles; a zero
+        # scale used to propagate divide-by-zero into the codes.
+        data = np.array([[5e-324], [1.0]])
+        with np.errstate(divide="raise", invalid="raise"):
+            q = quantize_tiles(data, bits=8, tile_rows=1)
+        assert q.scales[0] == 1.0
+        assert q.values[0, 0] == 0
+        assert np.all(np.isfinite(q.dequantize()))
+
+    def test_subnormal_per_tensor_regression(self):
+        # The same underflow hit quantize_symmetric / fake_quantize.
+        with np.errstate(divide="raise", invalid="raise"):
+            q = quantize_symmetric(np.array([[5e-324]]), bits=8)
+            faked = Quantizer(bits=8).fake_quantize(np.array([[5e-324]]))
+        assert np.all(np.isfinite(q.dequantize()))
+        assert np.all(np.isfinite(faked))
+
+    @given(tile_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_dequantize_rows_matches_full_dequantize(self, data):
+        q = quantize_tiles(data, bits=8, tile_rows=3)
+        rng = np.random.default_rng(data.shape[0] * 31 + data.shape[1])
+        indices = rng.integers(0, data.shape[0], size=10)
+        assert np.array_equal(
+            q.dequantize_rows(indices), q.dequantize()[indices]
+        )
+
+    def test_dequantize_rows_into_out_buffer(self):
+        data = np.random.default_rng(3).standard_normal((10, 4))
+        q = quantize_tiles(data, bits=8, tile_rows=4)
+        out = np.empty((3, 4), dtype=np.float64)
+        result = q.dequantize_rows(np.array([9, 0, 5]), out=out)
+        assert result is out
+        assert np.array_equal(out, q.dequantize()[[9, 0, 5]])
+
+    def test_target_dtype_dequantize(self):
+        data = np.random.default_rng(4).standard_normal((6, 3))
+        q = quantize_tiles(data, bits=8, tile_rows=2)
+        assert q.dequantize(dtype=np.float32).dtype == np.float32
+        assert q.dequantize_rows([1, 5], dtype=np.float32).dtype == np.float32
+
+    def test_tile_boundary_crossing_rejected(self):
+        q = quantize_tiles(np.ones((8, 2)), bits=8, tile_rows=4)
+        with pytest.raises(ValueError, match="tile boundary"):
+            q.dequantize_tile(2, 6)
+
+    def test_per_tile_scales_isolate_magnitude(self):
+        # A huge tile must not crush a small tile's resolution — the
+        # point of per-tile over per-tensor scaling.
+        data = np.vstack([np.full((2, 2), 0.01), np.full((2, 2), 1e4)])
+        q = quantize_tiles(data, bits=8, tile_rows=2)
+        assert np.allclose(q.dequantize(), data, rtol=0.01)
+
+    def test_row_scales_maps_indices_to_tiles(self):
+        q = quantize_tiles(np.ones((5, 2)), bits=8, tile_rows=2)
+        assert np.array_equal(
+            q.row_scales(np.array([0, 1, 2, 4])),
+            q.scales[[0, 0, 1, 2]],
+        )
+
+    def test_nbytes_counts_codes_and_scales(self):
+        q = quantize_tiles(np.ones((10, 4)), bits=8, tile_rows=4)
+        assert q.nbytes == 10 * 4 * 1 + 3 * 8
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_tiles(np.ones(5))
+
+    def test_bad_tile_rows_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_tiles(np.ones((4, 2)), tile_rows=0)
 
 
 class TestQuantizer:

@@ -1,0 +1,368 @@
+"""Differential suite for the block-quantized exact-weight store.
+
+Contracts under test:
+
+* **selection is untouched** — screening and candidate selection never
+  read the exact weights, so a quantized pipeline picks bit-identical
+  candidate sets to its FP64 twin, across selectors and store kinds;
+* **quality is bounded** — the exact-value perturbation from INT8/FP16
+  storage stays within the per-tile half-step bound, and end-task P@1 /
+  perplexity deltas vs. the FP64 exact phase stay small;
+* **mmap == resident** — a store loaded with ``mmap=True`` serves the
+  same bytes as the resident load, bit for bit, across shard counts and
+  selectors;
+* **zero-copy export** — ``export_arrays``/``from_arrays`` (the
+  shared-memory wire format) rebuilds a bit-identical quantized
+  pipeline, and the parallel engine serves from the quantized segments
+  through kill/respawn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproximateScreeningClassifier,
+    QuantizedExactStore,
+    ScreeningConfig,
+    load_quantized_store,
+    save_quantized_store,
+    train_screener,
+)
+from repro.core.candidates import CandidateSelector
+from repro.core.weightstore import STORE_KINDS
+from repro.data import make_task
+from repro.distributed import ShardedClassifier
+from repro.metrics import perplexity_from_proba, precision_at_k
+
+NUM_CATEGORIES = 600
+HIDDEN_DIM = 32
+PROJECTION_DIM = 8
+NUM_CANDIDATES = 12
+TILE_ROWS = 128  # several tiles at this scale; production uses 8192
+
+SELECTORS = ("top_m", "threshold")
+SHARD_COUNTS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_task(num_categories=NUM_CATEGORIES, hidden_dim=HIDDEN_DIM, rng=21)
+
+
+@pytest.fixture(scope="module")
+def features(task):
+    return task.sample_features(16, rng=22)
+
+
+@pytest.fixture(scope="module")
+def screener(task):
+    return train_screener(
+        task.classifier,
+        task.sample_features(256, rng=23),
+        config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        rng=24,
+    )
+
+
+def build_pipeline(task, screener, selector_mode, calibration):
+    model = ApproximateScreeningClassifier(
+        task.classifier, screener, num_candidates=NUM_CANDIDATES
+    )
+    if selector_mode == "threshold":
+        selector = CandidateSelector(
+            mode="threshold", num_candidates=NUM_CANDIDATES
+        )
+        selector.calibrate(screener.approximate_logits(calibration))
+        model.selector = selector
+    return model
+
+
+@pytest.fixture(scope="module")
+def calibration(task):
+    return task.sample_features(128, rng=25)
+
+
+def quantized_twin(task, screener, selector_mode, calibration, kind):
+    model = build_pipeline(task, screener, selector_mode, calibration)
+    return model.quantize_exact_weights(kind, tile_rows=TILE_ROWS)
+
+
+# ----------------------------------------------------------------------
+# the store itself
+# ----------------------------------------------------------------------
+class TestStoreSurface:
+    def test_from_classifier_int8_shapes(self, task):
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        assert store.num_categories == NUM_CATEGORIES
+        assert store.hidden_dim == HIDDEN_DIM
+        assert store.codes.dtype == np.int8
+        assert store.scales.shape == (-(-NUM_CATEGORIES // TILE_ROWS),)
+
+    def test_resident_bytes_reduction(self, task):
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        fp64_bytes = task.classifier.weight.nbytes + task.classifier.bias.nbytes
+        assert fp64_bytes / store.nbytes > 3.0
+
+    def test_error_bounded_by_tile_half_step(self, task):
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        recon = store._tiles.dequantize()
+        for tile, (start, stop) in enumerate(store.tile_bounds()):
+            err = np.max(
+                np.abs(recon[start:stop] - task.classifier.weight[start:stop])
+            )
+            assert err <= store.scales[tile] / 2 * (1 + 1e-9)
+
+    def test_logits_match_dequantized_reference(self, task, features):
+        # Streamed per-tile logits == one dense matmul over the full
+        # dequantized matrix (same values through a different walk).
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        reference = features @ store._tiles.dequantize().T + store.bias
+        assert np.allclose(store.logits(features), reference, atol=1e-10)
+
+    def test_gather_paths_consistent(self, task, features):
+        # logits_for and candidate_scores agree with the full streamed
+        # logits on their selected entries.
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        full = store.logits(features)
+        cols = np.array([0, 5, TILE_ROWS, NUM_CATEGORIES - 1])
+        gathered = store.logits_for(cols, features)
+        assert np.allclose(gathered, full[:, cols], atol=1e-10)
+        rows = np.arange(4)
+        flat = store.candidate_scores(rows, cols, features)
+        assert np.allclose(flat, full[rows, cols], atol=1e-10)
+
+    def test_float16_kind(self, task, features):
+        store = QuantizedExactStore.from_classifier(task.classifier, kind="float16")
+        assert store.codes.dtype == np.float16
+        assert store.scales is None
+        delta = np.max(np.abs(store.logits(features) - task.classifier.logits(features)))
+        assert delta < 0.05
+
+    def test_bad_kind_rejected(self, task):
+        with pytest.raises(ValueError, match="kind"):
+            QuantizedExactStore.from_classifier(task.classifier, kind="int4")
+
+    def test_scale_shape_mismatch_rejected(self, task):
+        store = QuantizedExactStore.from_classifier(
+            task.classifier, kind="int8", tile_rows=TILE_ROWS
+        )
+        with pytest.raises(ValueError, match="tile scales"):
+            QuantizedExactStore(
+                store.codes, store.scales[:-1], store.bias, tile_rows=TILE_ROWS
+            )
+
+
+# ----------------------------------------------------------------------
+# pipeline differential: quantized vs FP64 exact phase
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", STORE_KINDS)
+@pytest.mark.parametrize("selector_mode", SELECTORS)
+class TestQuantizedPipelineDifferential:
+    def test_candidates_identical_values_bounded(
+        self, task, screener, features, calibration, selector_mode, kind
+    ):
+        reference = build_pipeline(task, screener, selector_mode, calibration)
+        quantized = quantized_twin(task, screener, selector_mode, calibration, kind)
+        ref = reference.forward_streaming(features)
+        out = quantized.forward_streaming(features)
+        # Screening/selection never touch the exact weights.
+        assert np.array_equal(ref.candidates.flat()[1], out.candidates.flat()[1])
+        assert np.array_equal(ref.approximate_values, out.approximate_values)
+        # Exact values shift by at most the worst-tile half-step times
+        # the feature l1 mass (|Δz| = |Δw · h| ≤ ||Δw||∞ ||h||1).
+        store = quantized.classifier
+        half_step = (
+            float(store.scales.max()) / 2
+            if kind == "int8"
+            else float(np.max(np.abs(task.classifier.weight))) * 2 ** -11
+        )
+        bound = half_step * np.abs(features).sum(axis=1).max() * (1 + 1e-9)
+        assert np.max(np.abs(ref.exact_values - out.exact_values)) <= bound
+
+    def test_streaming_matches_dense_bitwise(
+        self, task, screener, features, calibration, selector_mode, kind
+    ):
+        quantized = quantized_twin(task, screener, selector_mode, calibration, kind)
+        dense = quantized.forward(features)
+        streamed = quantized.forward_streaming(features)
+        rows, cols = dense.candidates.flat()
+        assert np.array_equal(streamed.candidates.flat()[1], cols)
+        assert np.array_equal(streamed.exact_values, dense.logits[rows, cols])
+
+    def test_p_at_1_delta_bounded(
+        self, task, screener, calibration, selector_mode, kind
+    ):
+        batch = task.sample_features(64, rng=26)
+        labels = task.classifier.predict(batch)
+        reference = build_pipeline(task, screener, selector_mode, calibration)
+        quantized = quantized_twin(task, screener, selector_mode, calibration, kind)
+        p_ref = precision_at_k(
+            reference.forward(batch).logits, labels[:, None], k=1
+        )
+        p_q = precision_at_k(
+            quantized.forward(batch).logits, labels[:, None], k=1
+        )
+        assert abs(p_ref - p_q) <= 0.05
+
+    def test_perplexity_delta_bounded(
+        self, task, screener, calibration, selector_mode, kind
+    ):
+        batch = task.sample_features(64, rng=27)
+        labels = task.classifier.predict(batch)
+        reference = build_pipeline(task, screener, selector_mode, calibration)
+        quantized = quantized_twin(task, screener, selector_mode, calibration, kind)
+        ppl_ref = perplexity_from_proba(reference.predict_proba(batch), labels)
+        ppl_q = perplexity_from_proba(quantized.predict_proba(batch), labels)
+        assert abs(ppl_q - ppl_ref) / ppl_ref <= 0.05
+
+    def test_export_rebuild_bit_identical(
+        self, task, screener, features, calibration, selector_mode, kind
+    ):
+        quantized = quantized_twin(task, screener, selector_mode, calibration, kind)
+        arrays, meta = quantized.export_arrays()
+        assert meta["exact_store"] == kind
+        assert "weight" not in arrays
+        rebuilt = ApproximateScreeningClassifier.from_arrays(arrays, meta)
+        assert isinstance(rebuilt.classifier, QuantizedExactStore)
+        ref = quantized.forward_streaming(features)
+        out = rebuilt.forward_streaming(features)
+        assert np.array_equal(ref.candidates.flat()[1], out.candidates.flat()[1])
+        assert np.array_equal(ref.exact_values, out.exact_values)
+
+
+class TestWorkspaceDiscipline:
+    def test_streaming_allocation_flat_after_warmup(
+        self, task, screener, features, calibration
+    ):
+        quantized = quantized_twin(task, screener, "top_m", calibration, "int8")
+        quantized.forward_streaming(features)
+        quantized.forward_streaming(features)  # growable slabs settle
+        allocations = quantized.workspace.allocations
+        for _ in range(5):
+            quantized.forward_streaming(features)
+        assert quantized.workspace.allocations == allocations
+
+    def test_dense_exact_phase_uses_workspace(
+        self, task, screener, features, calibration
+    ):
+        quantized = quantized_twin(task, screener, "top_m", calibration, "int8")
+        quantized.forward(features)
+        assert quantized.workspace.requests > 0
+
+    def test_requantization_rejected(self, task, screener, calibration):
+        quantized = quantized_twin(task, screener, "top_m", calibration, "int8")
+        with pytest.raises(ValueError, match="already quantized"):
+            quantized.quantize_exact_weights("float16")
+        # Same kind is an idempotent no-op.
+        assert quantized.quantize_exact_weights("int8") is quantized
+
+
+# ----------------------------------------------------------------------
+# mmap vs resident bit-identity, across shard counts and selectors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("selector_mode", SELECTORS)
+class TestMmapBitIdentity:
+    def test_mmap_equals_resident(
+        self, task, calibration, tmp_path, num_shards, selector_mode
+    ):
+        sharded = ShardedClassifier(
+            task.classifier,
+            num_shards=num_shards,
+            config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        )
+        sharded.train(task.sample_features(128, rng=28), rng=29)
+        sharded.quantize_exact_weights("int8")
+        for shard in sharded.shards:
+            if selector_mode == "threshold":
+                selector = CandidateSelector(
+                    mode="threshold", num_candidates=NUM_CANDIDATES
+                )
+                selector.calibrate(
+                    shard.screener.approximate_logits(calibration)
+                )
+                shard.selector = selector
+        batch = task.sample_features(16, rng=30)
+        resident = sharded.forward_streaming(batch)
+
+        # Round-trip every shard's store through disk, once resident
+        # and once memory-mapped; both must serve identical bits.
+        for mmap in (False, True):
+            for shard_id, shard in enumerate(sharded.shards):
+                path = tmp_path / f"shard{shard_id}-{selector_mode}"
+                save_quantized_store(path, shard.classifier)
+                loaded = load_quantized_store(path, mmap=mmap)
+                assert loaded.kind == "int8"
+                if mmap:
+                    # The codes must actually be a mapping of the
+                    # sidecar, not an in-memory copy.
+                    base = loaded.codes
+                    while base.base is not None:
+                        if isinstance(base, np.memmap):
+                            break
+                        base = base.base
+                    assert isinstance(base, np.memmap)
+                shard.classifier = loaded
+            reloaded = sharded.forward_streaming(batch)
+            assert np.array_equal(
+                resident.candidates.flat()[1], reloaded.candidates.flat()[1]
+            )
+            assert np.array_equal(resident.exact_values, reloaded.exact_values)
+            assert np.array_equal(
+                resident.approximate_values, reloaded.approximate_values
+            )
+
+
+# ----------------------------------------------------------------------
+# quantized shared segments through the parallel engine
+# ----------------------------------------------------------------------
+@pytest.mark.timeout(300)
+class TestQuantizedParallelServing:
+    def test_parallel_serves_quantized_segments_through_respawn(self, task):
+        sharded = ShardedClassifier(
+            task.classifier,
+            num_shards=2,
+            config=ScreeningConfig(projection_dim=PROJECTION_DIM),
+        )
+        sharded.train(task.sample_features(128, rng=31), rng=32)
+        sharded.quantize_exact_weights("int8")
+        batch = task.sample_features(12, rng=33)
+        sequential = sharded.forward_streaming(batch)
+
+        fp64_bytes = task.classifier.weight.nbytes + task.classifier.bias.nbytes
+        with sharded.parallel(
+            max_restarts=2, restart_backoff=0.01, restart_backoff_cap=0.05
+        ) as engine:
+            # The shared segments carry codes, not FP64 weights.
+            exact_bytes = sum(
+                pack.arrays["weight_codes"].nbytes
+                + pack.arrays["weight_scales"].nbytes
+                + pack.arrays["bias"].nbytes
+                for pack in engine._param_packs
+            )
+            assert fp64_bytes / exact_bytes > 3.0
+
+            parallel = engine.forward_streaming(batch)
+            assert np.array_equal(
+                sequential.exact_values, parallel.exact_values
+            )
+            # Kill a worker; the respawn re-attaches the same quantized
+            # bytes and keeps serving bit-identically.
+            engine.workers[0].process.kill()
+            engine.workers[0].process.join()
+            after = engine.forward_streaming(batch)
+            assert engine.restarts[0] >= 1
+            assert np.array_equal(sequential.exact_values, after.exact_values)
+            assert np.array_equal(
+                sequential.candidates.flat()[1], after.candidates.flat()[1]
+            )
