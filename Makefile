@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-streaming bench-streaming-quant bench-trace bench-parallel bench-parallel-faults bench-serving bench-serving-zipf bench-suite experiments examples clean
+.PHONY: install test bench bench-streaming bench-streaming-quant bench-trace bench-parallel bench-parallel-faults bench-serving bench-serving-zipf bench-serving-elastic bench-suite experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -55,6 +55,13 @@ bench-serving:
 # BENCH_serving.json, keeping the existing window sweep.
 bench-serving-zipf:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_serving.py --zipf BENCH_serving.json
+
+# Elastic replica scaling under a drifting Zipf mix: a statically
+# provisioned fleet vs the AutoScaler following the load at equal
+# worker budget.  Merges an "elastic" section into BENCH_serving.json
+# with scale-event accounting (scale-ups/-downs, re-plans).
+bench-serving-elastic:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_serving.py --elastic BENCH_serving.json
 
 # Paper-figure benchmark suite (pytest-benchmark).
 bench-suite:

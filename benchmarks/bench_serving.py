@@ -27,6 +27,15 @@ requests reconciliation and an honest ``core_bound`` flag (on a host
 with fewer cores than workers the parallel configs time-share one CPU,
 so the p99 comparison measures scheduling, not balance).
 
+``--elastic`` (``make bench-serving-elastic``) runs the elastic-scaling
+comparison: a **static** fleet provisioned up front from
+``suggest_replicas`` vs an **elastic** fleet that starts at one replica
+per shard and lets the :class:`~repro.distributed.AutoScaler` follow a
+**drifting** Zipf mix (the hot head rotates mid-run), both on the same
+worker budget; merged under an ``"elastic"`` key with scale-event
+accounting (scale-ups/-downs, re-plans) and the answered-vs-requests
+reconciliation.
+
 Run as a script (``make bench-serving``); writes ``BENCH_serving.json``.
 ``--smoke`` shrinks the model, rates and durations for CI.
 """
@@ -46,12 +55,14 @@ from repro.core import ScreeningConfig
 from repro.core.candidates import CandidateSelector
 from repro.data import make_task
 from repro.distributed import (
+    AutoScaler,
     ShardPlan,
     ShardedClassifier,
     observed_category_frequencies,
 )
 from repro.obs import Recorder
 from repro.serving import (
+    DriftingZipfianMix,
     FrontDoor,
     ResultCache,
     ZipfianMix,
@@ -94,6 +105,27 @@ ZIPF_CACHE_CAPACITY = 1024
 ZIPF_OPEN_FRACTION = 0.6
 ZIPF_CLOSED_REQUESTS = 120
 ZIPF_SMOKE_CLOSED_REQUESTS = 20
+
+# --- Elastic replica scaling comparison (--elastic) -------------------
+
+#: Drifting mix: rotate the Zipf head every this many samples.  The
+#: full run models a few *sustained* regime changes (a quarter-pool
+#: head jump every ~2K requests), not continuous churn: every process
+#: spawn/stop stalls the batcher for the requests in flight, so on the
+#: p99-gated comparison the acting-tick rate must stay well under 1%
+#: of requests.  The smoke run rotates fast over ~240 requests purely
+#: to prove the loop fires at all.
+ELASTIC_SHIFT_EVERY = 2048
+ELASTIC_SMOKE_SHIFT_EVERY = 16
+ELASTIC_CLOSED_REQUESTS = 640
+ELASTIC_SMOKE_CLOSED_REQUESTS = 30
+#: Autoscaler cadence, same logic: long windows and a drift threshold
+#: a head jump clears but per-window sampling noise does not.
+ELASTIC_INTERVAL_REQUESTS = 160
+ELASTIC_SMOKE_INTERVAL_REQUESTS = 8
+ELASTIC_DRIFT_THRESHOLD = 0.3
+ELASTIC_SMOKE_DRIFT_THRESHOLD = 0.15
+ELASTIC_MAX_REPLICAS = 3
 
 
 def build_backend(smoke: bool) -> ShardedClassifier:
@@ -480,12 +512,244 @@ def run_zipf(smoke: bool = False) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Elastic replica scaling: static fleet vs autoscaler, drifting mix
+# ----------------------------------------------------------------------
+
+
+def measure_elastic_config(name, model, mix, *, closed_requests,
+                           replicas=None, autoscaler=None):
+    """One closed-loop drifting-Zipf run; returns its report block.
+
+    The front door's batcher thread drives ``autoscale_tick`` between
+    micro-batches (the production wiring), so the elastic config's
+    scale events happen exactly where they would in serving.
+    """
+    recorder = Recorder()
+    with model.parallel(
+        replicas=replicas, autoscaler=autoscaler, recorder=recorder
+    ) as engine:
+        with FrontDoor(
+            engine,
+            max_batch=MAX_BATCH,
+            flush_window_s=0.002,
+            queue_limit=QUEUE_LIMIT,
+            recorder=recorder,
+            autoscale_interval_s=0.01,
+        ) as door:
+            closed_report = run_closed_loop(
+                door,
+                mix,
+                concurrency=CLOSED_CONCURRENCY,
+                requests_per_worker=closed_requests,
+            )
+            door_stats = door.stats()
+        engine_stats = engine.stats()
+
+    reconciled = all(
+        shard["answered"] == engine_stats["requests"]
+        for shard in engine_stats["shards"]
+    )
+    block = {
+        "name": name,
+        "replica_counts_initial": (
+            [replicas.get(sid, 1) for sid in range(model.num_shards)]
+            if isinstance(replicas, dict)
+            else [replicas or 1] * model.num_shards
+        ),
+        "replica_counts_final": engine_stats["replica_counts"],
+        "closed_loop": {
+            k: round(v, 4) for k, v in closed_report.summary().items()
+        },
+        "engine": {
+            "requests": engine_stats["requests"],
+            "scale_ups": engine_stats["scale_ups"],
+            "scale_downs": engine_stats["scale_downs"],
+            "replans": engine_stats["replans"],
+            "failovers": engine_stats["failovers"],
+            "answered_reconciles": reconciled,
+        },
+        "frontdoor": {
+            "submitted": door_stats["submitted"],
+            "served": door_stats["served"],
+            "autoscale_ticks": door_stats["autoscale_ticks"],
+            "autoscale_errors": door_stats["autoscale_errors"],
+        },
+        "mix": {
+            "samples": mix.samples_drawn,
+            "shifts_applied": mix.shifts_applied,
+        },
+    }
+    print(
+        f"{name:10s} closed rps={block['closed_loop']['throughput_rps']:8.1f} "
+        f"p99={block['closed_loop']['p99_ms']:8.2f}ms "
+        f"replicas {block['replica_counts_initial']} -> "
+        f"{block['replica_counts_final']} "
+        f"scale_ups={block['engine']['scale_ups']} "
+        f"replans={block['engine']['replans']}",
+        flush=True,
+    )
+    return block
+
+
+def run_elastic(smoke: bool = False) -> dict:
+    """Static suggested-replica fleet vs elastic autoscaling fleet
+    under a drifting Zipf mix, equal worker budget."""
+    num_categories = ZIPF_SMOKE_CATEGORIES if smoke else ZIPF_NUM_CATEGORIES
+    closed_requests = (
+        ELASTIC_SMOKE_CLOSED_REQUESTS if smoke else ELASTIC_CLOSED_REQUESTS
+    )
+    shift_every = ELASTIC_SMOKE_SHIFT_EVERY if smoke else ELASTIC_SHIFT_EVERY
+    interval_requests = (
+        ELASTIC_SMOKE_INTERVAL_REQUESTS if smoke else ELASTIC_INTERVAL_REQUESTS
+    )
+    drift_threshold = (
+        ELASTIC_SMOKE_DRIFT_THRESHOLD if smoke else ELASTIC_DRIFT_THRESHOLD
+    )
+    pool_size = 128 if smoke else ZIPF_POOL
+
+    task = make_task(num_categories=num_categories, hidden_dim=HIDDEN_DIM, rng=7)
+    train_features = task.sample_features(256 if smoke else 512, rng=9)
+    calibration = task.sample_features(128 if smoke else 256, rng=8)
+
+    # Size the plan on the UN-drifted mix — the histogram at fleet
+    # start — then serve the drifting one; that gap is exactly what
+    # the autoscaler exists to close.
+    sizing_mix = ZipfianMix(
+        hidden_dim=HIDDEN_DIM, pool_size=pool_size, s=ZIPF_S, seed=11
+    )
+    uniform_plan = ShardPlan.uniform(num_categories, ZIPF_NUM_SHARDS)
+    uniform_model = train_skew_model(
+        task, uniform_plan, train_features, calibration
+    )
+    frequencies = observe_mix_frequencies(uniform_model, sizing_mix)
+    balanced_plan = ShardPlan.balanced(frequencies, ZIPF_NUM_SHARDS)
+    model = train_skew_model(task, balanced_plan, train_features, calibration)
+    static_replicas = balanced_plan.suggest_replicas(ZIPF_EXTRA_WORKERS)
+
+    budget = ZIPF_NUM_SHARDS + ZIPF_EXTRA_WORKERS
+    cpus = os.cpu_count() or 1
+    core_bound = cpus < budget
+
+    def drifting_mix():
+        return DriftingZipfianMix(
+            hidden_dim=HIDDEN_DIM,
+            pool_size=pool_size,
+            s=ZIPF_S,
+            seed=11,
+            shift_every=shift_every,
+        )
+
+    static = measure_elastic_config(
+        "static",
+        model,
+        drifting_mix(),
+        closed_requests=closed_requests,
+        replicas=static_replicas,
+    )
+    # The elastic fleet starts one worker short of the budget and must
+    # discover where the drifting load lands: the first re-plan sizes
+    # the allocation to the FULL budget from observed loads, so it
+    # always spends the reserve on the shard the drift actually hit
+    # (guaranteed >= 1 scale-up) and keeps reconciling from there.
+    elastic_start = balanced_plan.suggest_replicas(ZIPF_EXTRA_WORKERS - 1)
+    elastic = measure_elastic_config(
+        "elastic",
+        model,
+        drifting_mix(),
+        closed_requests=closed_requests,
+        replicas=elastic_start,
+        autoscaler=AutoScaler(
+            interval_requests=interval_requests,
+            drift_threshold=drift_threshold,
+            max_total_workers=budget,
+            max_replicas=ELASTIC_MAX_REPLICAS,
+        ),
+    )
+
+    static_p99 = static["closed_loop"]["p99_ms"]
+    elastic_p99 = elastic["closed_loop"]["p99_ms"]
+    headline = {
+        "static_p99_ms": static_p99,
+        "elastic_p99_ms": elastic_p99,
+        "p99_no_worse": bool(elastic_p99 <= static_p99 * 1.05),
+        "scale_ups": elastic["engine"]["scale_ups"],
+        "scale_downs": elastic["engine"]["scale_downs"],
+        "replans": elastic["engine"]["replans"],
+        "answered_reconciles": bool(
+            static["engine"]["answered_reconciles"]
+            and elastic["engine"]["answered_reconciles"]
+        ),
+        "core_bound": core_bound,
+    }
+    print(
+        f"\nelastic headline: p99 {static_p99:.2f}ms (static) vs "
+        f"{elastic_p99:.2f}ms (elastic), "
+        f"{headline['scale_ups']} scale-ups, "
+        f"{headline['replans']} re-plans"
+        + (" [core-bound host: p99 comparison measures scheduling]"
+           if core_bound else ""),
+        flush=True,
+    )
+
+    return {
+        "benchmark": "elastic replica scaling: static vs autoscaler, drifting zipf",
+        "config": {
+            "num_categories": num_categories,
+            "hidden_dim": HIDDEN_DIM,
+            "num_shards": ZIPF_NUM_SHARDS,
+            "worker_budget": budget,
+            "static_replicas": {
+                str(k): v for k, v in sorted(static_replicas.items())
+            },
+            "zipf_pool": pool_size,
+            "zipf_s": ZIPF_S,
+            "shift_every": shift_every,
+            "closed_concurrency": CLOSED_CONCURRENCY,
+            "closed_requests_per_worker": closed_requests,
+            "autoscaler": {
+                "interval_requests": interval_requests,
+                "drift_threshold": drift_threshold,
+                "max_total_workers": budget,
+                "max_replicas": ELASTIC_MAX_REPLICAS,
+            },
+            "selector": "threshold",
+            "smoke": smoke,
+        },
+        "machine": {"cpus": cpus, "workers_needed": budget},
+        "core_bound": core_bound,
+        "configs": [static, elastic],
+        "headline": headline,
+    }
+
+
 def main() -> int:
     argv = sys.argv[1:]
     smoke = "--smoke" in argv
     zipf = "--zipf" in argv
+    elastic = "--elastic" in argv
     positional = [a for a in argv if not a.startswith("--")]
     output_path = positional[0] if positional else "BENCH_serving.json"
+
+    if elastic:
+        # Merge the elastic comparison into the existing report (same
+        # pattern as --zipf): other blocks are not re-run.
+        report = {}
+        if os.path.exists(output_path):
+            with open(output_path) as handle:
+                report = json.load(handle)
+        report["elastic"] = run_elastic(smoke=smoke)
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        headline = report["elastic"]["headline"]
+        print(
+            f"\nheadline: elastic comparison merged under 'elastic' -> "
+            f"{output_path} (scale_ups={headline['scale_ups']}, "
+            f"replans={headline['replans']}, "
+            f"p99_no_worse={headline['p99_no_worse']})"
+        )
+        return 0
 
     if zipf:
         # Merge the skew comparison into the existing report (same
@@ -511,8 +775,9 @@ def main() -> int:
     if os.path.exists(output_path):
         with open(output_path) as handle:
             previous = json.load(handle)
-        if "skew" in previous:
-            report["skew"] = previous["skew"]
+        for key in ("skew", "elastic"):
+            if key in previous:
+                report[key] = previous[key]
     with open(output_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,299 @@
+"""Elastic replica scaling policy for the parallel serving fleet.
+
+:class:`~repro.distributed.parallel.ParallelShardedEngine` sizes its
+replica groups once, at start, from a
+:class:`~repro.distributed.sharding.ShardPlan` built over *observed*
+traffic — but the served mix is non-stationary by design: the front
+door's result cache absorbs the hot head, campaigns move the head
+around, and the engine ends up provisioned for a histogram it no longer
+sees.  :class:`AutoScaler` closes that loop.  It is a pure policy
+object: the engine feeds it one :class:`ShardSignal` per shard for the
+window since the last evaluation (answered counts, observed exact-phase
+work, mean collect latency — all signals the engine already gathers for
+``stats()``), and it returns a :class:`ScaleDecision` naming replicas
+to spawn or retire.  The engine applies the decision *between*
+requests against the existing shared parameter segments — no restart,
+no new segments, and therefore no output change: scaling moves
+placement only (differentially tested in ``tests/test_autoscale.py``).
+
+Two triggers, evaluated in order:
+
+* **re-plan on drift** — when the observed per-shard work distribution
+  drifts past ``drift_threshold`` from the loads that last sized the
+  fleet (:func:`~repro.distributed.sharding.load_drift`), the whole
+  replica allocation is recomputed from the observed loads with the
+  same greedy rule as
+  :meth:`~repro.distributed.sharding.ShardPlan.suggest_replicas`, and
+  the decision reconciles current counts to the new target.  A re-plan
+  re-baselines the sizing loads, so drift is always measured against
+  the allocation actually in force.
+* **latency overload / idle** — between re-plans, a shard whose mean
+  collect latency over the window exceeds ``overload_latency_ratio``
+  times the fleet mean gains one replica (budget permitting), and a
+  multi-replica shard below ``idle_latency_ratio`` times the fleet
+  mean loses one.
+
+Both triggers respect the worker budget (``max_total_workers``) and the
+per-shard cap (``max_replicas``), and neither ever drops a shard below
+one replica.  The evaluation itself only fires once ``interval_requests``
+requests have accumulated in the window, so an idle fleet is never
+churned on noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import math
+
+from repro.distributed.sharding import (
+    load_drift,
+    normalize_loads,
+    suggest_replicas_for_loads,
+)
+
+__all__ = ["AutoScaler", "ScaleDecision", "ShardSignal"]
+
+
+@dataclass(frozen=True)
+class ShardSignal:
+    """One shard's observation window, as the engine reports it.
+
+    ``observed_work`` is the shard's exact-phase work over the window
+    (candidate hits served — the same signal
+    :func:`~repro.distributed.sharding.observed_category_frequencies`
+    aggregates); ``mean_latency_s`` is the mean host-side collect
+    latency (NaN when the window is empty); ``replicas`` counts *live*
+    replicas; ``dead`` marks a shard whose restart budget is exhausted
+    (never scaled — there is nothing left to place work on).
+    """
+
+    shard_id: int
+    replicas: int
+    observed_work: float
+    answered: int
+    mean_latency_s: float = float("nan")
+    dead: bool = False
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """What the policy wants changed, as per-shard spawn/retire lists.
+
+    ``scale_up``/``scale_down`` name shard ids, one entry per replica
+    to add or retire (a shard may appear more than once).  ``replan``
+    marks a drift-triggered full reconciliation; ``sizing_loads`` then
+    carries the observed load fractions the new allocation was sized
+    from (the engine re-baselines its drift reference with them).
+    """
+
+    scale_up: Tuple[int, ...] = ()
+    scale_down: Tuple[int, ...] = ()
+    replan: bool = False
+    drift: float = 0.0
+    reason: str = "no-op"
+    sizing_loads: Optional[Tuple[float, ...]] = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.scale_up and not self.scale_down and not self.replan
+
+
+class AutoScaler:
+    """The elastic scaling policy (see module docstring).
+
+    Parameters
+    ----------
+    interval_requests:
+        Minimum requests in the observation window before a decision is
+        made; below it :meth:`evaluate` returns ``None`` (window keeps
+        accumulating).
+    drift_threshold:
+        :func:`~repro.distributed.sharding.load_drift` value past which
+        the replica allocation is recomputed from observed loads.
+    max_total_workers:
+        Budget on the fleet-wide replica count (live replicas summed
+        over shards).  ``None`` freezes the budget at whatever total
+        the first evaluation sees — scaling then only *moves* replicas.
+    max_replicas:
+        Per-shard replica cap.
+    overload_latency_ratio / idle_latency_ratio:
+        A shard hotter than ``overload × fleet mean latency`` gains one
+        replica; a multi-replica shard colder than ``idle × mean``
+        loses one.  Latency scaling is skipped when fewer than two
+        shards report latency (no meaningful fleet mean).
+    """
+
+    def __init__(
+        self,
+        *,
+        interval_requests: int = 32,
+        drift_threshold: float = 0.5,
+        max_total_workers: Optional[int] = None,
+        max_replicas: int = 4,
+        overload_latency_ratio: float = 2.0,
+        idle_latency_ratio: float = 0.25,
+    ):
+        if interval_requests < 1:
+            raise ValueError(
+                f"interval_requests must be >= 1, got {interval_requests}"
+            )
+        if drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be >= 0, got {drift_threshold}"
+            )
+        if max_total_workers is not None and max_total_workers < 1:
+            raise ValueError(
+                f"max_total_workers must be >= 1, got {max_total_workers}"
+            )
+        if max_replicas < 1:
+            raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
+        if overload_latency_ratio <= 1.0:
+            raise ValueError(
+                "overload_latency_ratio must be > 1, got "
+                f"{overload_latency_ratio}"
+            )
+        if not 0.0 <= idle_latency_ratio < 1.0:
+            raise ValueError(
+                f"idle_latency_ratio must be in [0, 1), got {idle_latency_ratio}"
+            )
+        self.interval_requests = int(interval_requests)
+        self.drift_threshold = float(drift_threshold)
+        self.max_total_workers = (
+            None if max_total_workers is None else int(max_total_workers)
+        )
+        self.max_replicas = int(max_replicas)
+        self.overload_latency_ratio = float(overload_latency_ratio)
+        self.idle_latency_ratio = float(idle_latency_ratio)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        signals: Sequence[ShardSignal],
+        *,
+        sizing_loads: Sequence[float],
+        window_requests: int,
+    ) -> Optional[ScaleDecision]:
+        """One policy evaluation over an observation window.
+
+        ``sizing_loads`` is the per-shard load distribution the current
+        replica allocation was sized from (the engine's drift
+        reference); ``window_requests`` is how many requests the window
+        covers.  Returns ``None`` while the window is too small, a
+        no-op :class:`ScaleDecision` when the fleet is balanced, or the
+        spawn/retire lists otherwise.
+        """
+        if len(signals) != len(sizing_loads):
+            raise ValueError(
+                f"{len(signals)} signals for {len(sizing_loads)} sizing loads"
+            )
+        if window_requests < self.interval_requests:
+            return None
+        budget = self.max_total_workers
+        if budget is None:
+            budget = sum(s.replicas for s in signals)
+
+        observed = normalize_loads(
+            [max(0.0, s.observed_work) for s in signals]
+        )
+        total_work = sum(max(0.0, s.observed_work) for s in signals)
+        if total_work <= 0:
+            # A window with no exact-phase work carries no load signal.
+            return ScaleDecision(reason="no work observed")
+
+        drift = load_drift(sizing_loads, observed)
+        if drift > self.drift_threshold:
+            return self._replan(signals, observed, drift, budget)
+        return self._latency_step(signals, budget, drift)
+
+    # ------------------------------------------------------------------
+    def _replan(
+        self,
+        signals: Sequence[ShardSignal],
+        observed: Tuple[float, ...],
+        drift: float,
+        budget: int,
+    ) -> ScaleDecision:
+        """Recompute the whole allocation from observed loads and emit
+        the spawn/retire lists that reconcile the fleet to it."""
+        live = [s for s in signals if not s.dead]
+        if not live:
+            return ScaleDecision(drift=drift, reason="all shards dead")
+        # Dead shards keep their current (unservable) count; the live
+        # budget is what remains.
+        dead_total = sum(s.replicas for s in signals if s.dead)
+        live_budget = max(len(live), budget - dead_total)
+        live_loads = [observed[s.shard_id] for s in live]
+        targets = suggest_replicas_for_loads(
+            live_loads,
+            live_budget - len(live),
+            max_per_shard=self.max_replicas,
+        )
+        scale_up: List[int] = []
+        scale_down: List[int] = []
+        for signal, target in zip(live, targets):
+            delta = target - signal.replicas
+            if delta > 0:
+                scale_up.extend([signal.shard_id] * delta)
+            elif delta < 0:
+                scale_down.extend([signal.shard_id] * (-delta))
+        return ScaleDecision(
+            scale_up=tuple(scale_up),
+            scale_down=tuple(scale_down),
+            replan=True,
+            drift=drift,
+            reason=f"load drift {drift:.3f} > {self.drift_threshold:.3f}",
+            sizing_loads=observed,
+        )
+
+    def _latency_step(
+        self, signals: Sequence[ShardSignal], budget: int, drift: float
+    ) -> ScaleDecision:
+        """One reactive step from the latency signal: +1 replica for
+        clear overload, -1 for clear idleness (at most one of each per
+        evaluation — small steps keep the loop stable)."""
+        live = [
+            s
+            for s in signals
+            if not s.dead and math.isfinite(s.mean_latency_s) and s.answered > 0
+        ]
+        if len(live) < 2:
+            return ScaleDecision(drift=drift, reason="balanced")
+        mean = sum(s.mean_latency_s for s in live) / len(live)
+        scale_up: Tuple[int, ...] = ()
+        scale_down: Tuple[int, ...] = ()
+        total = sum(s.replicas for s in signals)
+        hot = max(live, key=lambda s: (s.mean_latency_s, -s.shard_id))
+        if (
+            mean > 0
+            and hot.mean_latency_s > self.overload_latency_ratio * mean
+            and hot.replicas < self.max_replicas
+            and total < budget
+        ):
+            scale_up = (hot.shard_id,)
+        cold_pool = [s for s in live if s.replicas > 1 and s.shard_id != (
+            scale_up[0] if scale_up else None
+        )]
+        if cold_pool:
+            cold = min(
+                cold_pool, key=lambda s: (s.mean_latency_s, s.shard_id)
+            )
+            if mean > 0 and cold.mean_latency_s < self.idle_latency_ratio * mean:
+                scale_down = (cold.shard_id,)
+        if not scale_up and not scale_down:
+            return ScaleDecision(drift=drift, reason="balanced")
+        return ScaleDecision(
+            scale_up=scale_up,
+            scale_down=scale_down,
+            drift=drift,
+            reason="latency imbalance",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoScaler(interval={self.interval_requests}, "
+            f"drift_threshold={self.drift_threshold}, "
+            f"budget={self.max_total_workers}, "
+            f"max_replicas={self.max_replicas})"
+        )

@@ -67,14 +67,27 @@ whole shard).  The ``replicas`` parameter therefore runs *groups* of
 interchangeable workers per shard.  Replicas attach the **same** shared
 parameter segments — the model exists once in physical memory no matter
 how many processes serve it — and each request is dispatched to the
-least-loaded live replica (fewest answered requests, ties to the lowest
-index).  Supervision extends naturally: a dead or wedged replica is
+least-loaded live replica (fewest dispatch attempts, ties to the lowest
+index — attempts, not answers, so a replica that keeps timing out does
+not keep attracting traffic).  Supervision extends naturally: a dead or wedged replica is
 respawned against the shard's shared ``max_restarts`` budget, and when
 its budget share is spent the request *fails over* to a live sibling;
 only a shard whose replicas are all dead degrades or fails fast.
 Failover is race-safe on the shared output planes because the
 incumbent is always stopped (SIGTERM→SIGKILL) before a sibling serves
 the same plane.
+
+Replica groups are *elastic*: with an
+:class:`~repro.distributed.autoscale.AutoScaler` attached,
+:meth:`ParallelShardedEngine.autoscale_tick` (driven between
+micro-batches by the serving front door) evaluates the observed
+per-shard work distribution and latency, spawns additional replicas
+for overloaded shards against the existing shared segments
+(:meth:`~ParallelShardedEngine.scale_up`), retires idle or tombstoned
+ones (:meth:`~ParallelShardedEngine.scale_down`), and re-plans the
+whole allocation when the observed load drifts away from the plan that
+sized the fleet.  Scaling moves placement only — outputs stay
+bit-identical with the autoscaler on or off.
 
 The engine satisfies the :class:`~repro.serving.backend.EngineBackend`
 protocol (as do the sequential backends), so it slots behind the
@@ -93,6 +106,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.candidates import CandidateSet
+from repro.distributed.autoscale import AutoScaler, ScaleDecision, ShardSignal
 from repro.core.pipeline import (
     ApproximateScreeningClassifier,
     DegradedOutput,
@@ -150,12 +164,26 @@ class _ReplicaGroup:
     shared parameter segments.
 
     The engine serves one request at a time, so "least loaded" reduces
-    to the replica that has answered the fewest requests — exactly the
-    balance a round-robin over live replicas converges to, but robust
-    to replicas joining late (a respawn) or dying early.
+    to the replica with the fewest *dispatch attempts* — posts, not
+    successful answers.  Counting answers alone has a failure mode: a
+    replica that keeps timing out never advances its count, stays at
+    the minimum, and keeps attracting every new request while its
+    healthy siblings idle.  Dispatch attempts charge the replica for
+    the work it was handed whether or not it delivered, so a slow or
+    flaky replica drains traffic toward its siblings instead of
+    monopolizing it.  The balance a round-robin over live replicas
+    converges to is unchanged for healthy groups, and the signal stays
+    robust to replicas joining late (a respawn or scale-up) or leaving
+    early (death or scale-down).
+
+    Group size is dynamic: :meth:`add` grows the set (autoscaler
+    scale-up) and :meth:`remove` retires a slot (scale-down), folding
+    the retiree's answer count into ``retired_served`` so the shard's
+    lifetime ``answered()`` reconciliation survives membership churn.
     """
 
-    __slots__ = ("shard_id", "handles", "dead", "served")
+    __slots__ = ("shard_id", "handles", "dead", "served", "dispatched",
+                 "retired_served")
 
     def __init__(self, shard_id: int, handles: Sequence[WorkerHandle]):
         self.shard_id = shard_id
@@ -163,8 +191,12 @@ class _ReplicaGroup:
         #: Per-replica "restart budget share spent" flags; the shard is
         #: only dead when every entry is True.
         self.dead: List[bool] = [False] * len(self.handles)
-        #: Requests answered per replica (the dispatch load signal).
+        #: Requests answered per replica (the reconciliation signal).
         self.served: List[int] = [0] * len(self.handles)
+        #: Dispatch attempts per replica (the load signal for pick()).
+        self.dispatched: List[int] = [0] * len(self.handles)
+        #: Answers delivered by replicas since removed via scale-down.
+        self.retired_served: int = 0
 
     @property
     def num_replicas(self) -> int:
@@ -178,11 +210,33 @@ class _ReplicaGroup:
         live = self.live_indices()
         if not live:
             return None
-        return min(live, key=lambda idx: (self.served[idx], idx))
+        return min(live, key=lambda idx: (self.dispatched[idx], idx))
+
+    def add(self, handle: WorkerHandle) -> int:
+        """Grow the group by one live replica; returns its index."""
+        self.handles.append(handle)
+        self.dead.append(False)
+        self.served.append(0)
+        self.dispatched.append(0)
+        return len(self.handles) - 1
+
+    def remove(self, replica_idx: int) -> WorkerHandle:
+        """Retire one replica slot, preserving ``answered()`` history.
+
+        The caller owns stopping the returned handle; later replicas
+        shift down one index (their counters travel with them).
+        """
+        self.retired_served += self.served[replica_idx]
+        handle = self.handles.pop(replica_idx)
+        del self.dead[replica_idx]
+        del self.served[replica_idx]
+        del self.dispatched[replica_idx]
+        return handle
 
     def answered(self) -> int:
-        """Requests this shard has answered, summed over replicas."""
-        return sum(self.served)
+        """Requests this shard has answered over its lifetime, summed
+        over current replicas plus slots retired by scale-down."""
+        return sum(self.served) + self.retired_served
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +448,19 @@ class ParallelShardedEngine:
         ``recorder`` was not given, or adds a
         :class:`~repro.obs.Tracer` to the given one.  Export with
         :meth:`write_trace`.
+    autoscaler:
+        Optional :class:`~repro.distributed.autoscale.AutoScaler`.
+        When set, the engine accumulates per-shard observation windows
+        (exact-phase work from served candidate records, collect
+        latency) and :meth:`autoscale_tick` — called between requests,
+        e.g. from the serving front door's batcher thread — evaluates
+        the policy and applies its decision by spawning replicas
+        against the existing shared parameter segments
+        (:meth:`scale_up`) or retiring them (:meth:`scale_down`).
+        Scaling changes placement only, never outputs: replicas of a
+        shard run the identical pipeline on the identical shared bytes,
+        so the engine stays bit-identical to the sequential backend
+        with the autoscaler on or off (differentially tested).
 
     The engine is a context manager; ``close()`` shuts workers down and
     unlinks every shared segment.
@@ -415,6 +482,7 @@ class ParallelShardedEngine:
         spawn_timeout: float = 60.0,
         recorder=None,
         trace: bool = False,
+        autoscaler: Optional[AutoScaler] = None,
     ):
         if not sharded.trained:
             raise RuntimeError("train the ShardedClassifier before serving it")
@@ -446,6 +514,9 @@ class ParallelShardedEngine:
         self.retries = 0
         self.failovers = 0
         self.deadline_overruns = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.replans = 0
         self.closed = False
         self._max_batch = int(max_batch)
         self._io_input: Optional[SharedArrayPack] = None
@@ -483,6 +554,26 @@ class ParallelShardedEngine:
         self.restarts: List[int] = [0] * num_shards
         self._dead: List[bool] = [False] * num_shards
         self._groups: List[_ReplicaGroup] = []
+        # --- elastic scaling state -----------------------------------
+        self.autoscaler = autoscaler
+        #: The per-shard load distribution the current replica
+        #: allocation was sized from — the drift reference a re-plan
+        #: resets to the freshly observed loads.
+        self._sizing_loads: Tuple[float, ...] = (
+            tuple(self.plan.loads)
+            if self.plan is not None
+            else tuple([1.0 / num_shards] * num_shards)
+        )
+        # Observation-window accumulators (lifetime totals; each tick
+        # diffs against the baseline captured at the last evaluation).
+        self._work_totals: List[float] = [0.0] * num_shards
+        self._lat_totals: List[float] = [0.0] * num_shards
+        self._lat_counts: List[int] = [0] * num_shards
+        self._work_baseline: List[float] = [0.0] * num_shards
+        self._lat_total_baseline: List[float] = [0.0] * num_shards
+        self._lat_count_baseline: List[int] = [0] * num_shards
+        self._answered_baseline: List[int] = [0] * num_shards
+        self._tick_requests_baseline = 0
         try:
             for shard_id, (shard, shard_range) in enumerate(
                 zip(sharded.shards, self.ranges)
@@ -597,14 +688,23 @@ class ParallelShardedEngine:
             # concurrently; no replacement worker could ever attach.
             return self._replica_spent(group, replica_idx)
         specs = surviving_specs(self._fault_specs[shard_id][replica_idx])
+        # Backoff escalates within THIS incident only and resets on a
+        # successful handshake: a worker that crashes again after a
+        # long healthy stretch starts over at the base backoff instead
+        # of inheriting the capped maximum from old incidents.  The
+        # shard-lifetime ``restarts`` count still enforces the shared
+        # ``max_restarts`` budget.
+        attempt = 0
         while self.restarts[shard_id] < self.max_restarts:
-            attempt = self.restarts[shard_id]
             self.restarts[shard_id] += 1
             self.recorder.increment("parallel.respawns")
             self.recorder.increment(f"parallel.shard.{shard_id}.respawns")
-            time.sleep(
-                min(self.restart_backoff_cap, self.restart_backoff * (2 ** attempt))
+            delay = min(
+                self.restart_backoff_cap, self.restart_backoff * (2 ** attempt)
             )
+            attempt += 1
+            self.recorder.observe("parallel.respawn_backoff_s", delay)
+            time.sleep(delay)
             worker = self._spawn_worker(shard_id, replica_idx, specs)
             try:
                 kind, _ = worker.handshake(timeout=self.spawn_timeout)
@@ -628,6 +728,153 @@ class ParallelShardedEngine:
         self.failovers += 1
         self.recorder.increment("parallel.failovers")
         self.recorder.increment(f"parallel.shard.{shard_id}.failovers")
+
+    # ------------------------------------------------------------------
+    # elastic scaling
+    # ------------------------------------------------------------------
+    def scale_up(self, shard_id: int) -> int:
+        """Spawn one additional replica for ``shard_id`` at runtime.
+
+        The replica attaches the shard's *existing* shared parameter
+        segments — no re-export, no new model memory — and joins the
+        group with zero dispatch load, so the least-loaded pick routes
+        new traffic to it immediately.  Returns the new replica index.
+        Must be called between requests (the engine serves one request
+        at a time; the front door's batcher thread satisfies this).
+        """
+        if self.closed:
+            raise RuntimeError("engine is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"unknown shard {shard_id}")
+        if self._dead[shard_id]:
+            raise RuntimeError(
+                f"shard {shard_id} is dead (restart budget exhausted); "
+                "scaling cannot revive it"
+            )
+        group = self._groups[shard_id]
+        replica_idx = group.num_replicas
+        worker = self._spawn_worker(shard_id, replica_idx, [])
+        kind, payload = worker.handshake(timeout=self.spawn_timeout)
+        if kind != "ready":
+            worker.stop(timeout=0.1)
+            raise RuntimeError(
+                f"scale-up replica for shard {shard_id} failed to start:"
+                f"\n{payload}"
+            )
+        self._fault_specs[shard_id].append([])
+        group.add(worker)
+        self.replica_counts[shard_id] += 1
+        self.scale_ups += 1
+        self.recorder.increment("parallel.scale_up")
+        self.recorder.increment(f"parallel.shard.{shard_id}.scale_up")
+        return replica_idx
+
+    def scale_down(self, shard_id: int) -> bool:
+        """Retire one replica of ``shard_id``; ``False`` if impossible.
+
+        Victim choice: the highest-index dead tombstone if the group
+        carries one (reclaiming a spent slot costs nothing), else the
+        highest-index live replica — but never the last live one, and
+        never anything on a dead shard.  The retiree's answer count is
+        folded into the group's ``retired_served`` so the per-shard
+        ``answered == requests`` reconciliation survives the removal.
+        """
+        if self.closed:
+            raise RuntimeError("engine is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"unknown shard {shard_id}")
+        if self._dead[shard_id]:
+            return False
+        group = self._groups[shard_id]
+        tombstones = [idx for idx, dead in enumerate(group.dead) if dead]
+        if tombstones:
+            victim = tombstones[-1]
+        else:
+            live = group.live_indices()
+            if len(live) <= 1:
+                return False
+            victim = live[-1]
+        handle = group.remove(victim)
+        handle.stop(goodbye="shutdown")
+        del self._fault_specs[shard_id][victim]
+        self.replica_counts[shard_id] -= 1
+        self.scale_downs += 1
+        self.recorder.increment("parallel.scale_down")
+        self.recorder.increment(f"parallel.shard.{shard_id}.scale_down")
+        return True
+
+    def autoscale_tick(self) -> Optional[ScaleDecision]:
+        """One autoscaler evaluation over the window since the last one.
+
+        No-op (returns ``None``) without an autoscaler, on a closed
+        engine, or while the window is below the policy's
+        ``interval_requests``.  Otherwise builds one
+        :class:`~repro.distributed.autoscale.ShardSignal` per shard
+        from the window accumulators, applies the decision — retires
+        first, then spawns, so the worker budget is never transiently
+        exceeded — and returns it.  A re-plan decision re-baselines the
+        drift reference to the observed loads it was sized from.
+
+        Call between requests only: the engine is not concurrency-safe,
+        and membership must not change under an in-flight scatter.  The
+        serving front door calls this from its batcher thread between
+        micro-batches.
+        """
+        if self.autoscaler is None or self.closed:
+            return None
+        window = self.requests_served - self._tick_requests_baseline
+        signals = []
+        for shard_id in range(self.num_shards):
+            group = self._groups[shard_id]
+            lat_count = (
+                self._lat_counts[shard_id] - self._lat_count_baseline[shard_id]
+            )
+            lat_total = (
+                self._lat_totals[shard_id] - self._lat_total_baseline[shard_id]
+            )
+            signals.append(
+                ShardSignal(
+                    shard_id=shard_id,
+                    replicas=len(group.live_indices()),
+                    observed_work=(
+                        self._work_totals[shard_id]
+                        - self._work_baseline[shard_id]
+                    ),
+                    answered=(
+                        group.answered() - self._answered_baseline[shard_id]
+                    ),
+                    mean_latency_s=(
+                        lat_total / lat_count if lat_count else float("nan")
+                    ),
+                    dead=self._dead[shard_id],
+                )
+            )
+        decision = self.autoscaler.evaluate(
+            signals,
+            sizing_loads=self._sizing_loads,
+            window_requests=window,
+        )
+        if decision is None:
+            return None
+        # The window was consumed by an evaluation — re-baseline so the
+        # next decision sees fresh observations only.
+        self._tick_requests_baseline = self.requests_served
+        self._work_baseline = list(self._work_totals)
+        self._lat_total_baseline = list(self._lat_totals)
+        self._lat_count_baseline = list(self._lat_counts)
+        self._answered_baseline = [
+            group.answered() for group in self._groups
+        ]
+        for shard_id in decision.scale_down:
+            self.scale_down(shard_id)
+        for shard_id in decision.scale_up:
+            self.scale_up(shard_id)
+        if decision.replan:
+            self.replans += 1
+            self.recorder.increment("parallel.replans")
+            if decision.sizing_loads is not None:
+                self._sizing_loads = tuple(decision.sizing_loads)
+        return decision
 
     # ------------------------------------------------------------------
     # request plumbing
@@ -656,6 +903,9 @@ class ParallelShardedEngine:
                 pending.append(None)
                 continue
             replica_idx = group.pick()
+            # Dispatch attempts are charged up front (not on answer):
+            # pick() must see the load a slow replica is sitting on.
+            group.dispatched[replica_idx] += 1
             try:
                 pending.append(
                     (replica_idx, group.handles[replica_idx].post(op, request))
@@ -707,12 +957,14 @@ class ParallelShardedEngine:
         """
         group = self._groups[shard_id]
         recording = self.recorder.enabled
-        started = time.perf_counter() if recording else 0.0
+        timing = recording or self.autoscaler is not None
+        started = time.perf_counter() if timing else 0.0
         retries_left = self.request_retries
         while True:
             worker = group.handles[replica_idx]
             try:
                 if request_id is None:
+                    group.dispatched[replica_idx] += 1
                     request_id = worker.post(op, request)
                 kind, payload = worker.recv_tagged(
                     request_id, timeout=self.request_timeout
@@ -727,6 +979,7 @@ class ParallelShardedEngine:
                     self.retries += 1
                     self.recorder.increment("parallel.retries")
                     try:
+                        group.dispatched[replica_idx] += 1
                         request_id = worker.post(op, request)
                     except WorkerDied:
                         request_id = None
@@ -759,6 +1012,19 @@ class ParallelShardedEngine:
                     continue
                 return self._shard_failed(shard_id, "died", str(error), error, failures)
             group.served[replica_idx] += 1
+            elapsed = (time.perf_counter() - started) if timing else 0.0
+            if self.autoscaler is not None and kind == "ok":
+                # Exact-phase work actually served: candidate hits for
+                # forward paths, result cells for top-k — the same
+                # signal observed_category_frequencies aggregates, and
+                # the load distribution the autoscaler re-plans from.
+                if op == "top_k":
+                    work = float(payload["indices"].size)
+                else:
+                    work = float(np.asarray(payload["counts"]).sum())
+                self._work_totals[shard_id] += work
+                self._lat_totals[shard_id] += elapsed
+                self._lat_counts[shard_id] += 1
             if recording:
                 self.recorder.increment(f"parallel.shard.{shard_id}.requests")
                 self.recorder.increment(
@@ -766,7 +1032,7 @@ class ParallelShardedEngine:
                 )
                 self.recorder.observe(
                     f"parallel.shard.{shard_id}.latency_s",
-                    time.perf_counter() - started,
+                    elapsed,
                     bounds=latency_buckets(),
                 )
             if kind == "ok":
@@ -1092,11 +1358,13 @@ class ParallelShardedEngine:
                 "respawns": self.restarts[shard_id],
                 "stale_replies": sum(h.stale_replies for h in group.handles),
                 "dead": self._dead[shard_id],
+                "retired_served": group.retired_served,
                 "replica_workers": [
                     {
                         "replica": replica_idx,
                         "name": handle.name,
                         "served": group.served[replica_idx],
+                        "dispatched": group.dispatched[replica_idx],
                         "stale_replies": handle.stale_replies,
                         "dead": group.dead[replica_idx],
                     }
@@ -1127,6 +1395,10 @@ class ParallelShardedEngine:
             ),
             "dead_shards": self.dead_shards,
             "replica_counts": list(self.replica_counts),
+            "autoscaling": self.autoscaler is not None,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "replans": self.replans,
             "plan_source": self.plan.source if self.plan is not None else None,
             "recording": recording,
             "shards": shards,

@@ -18,6 +18,7 @@ from repro.serving.backend import (
     EngineBackend,
     is_engine_backend,
     propagates_deadlines,
+    supports_autoscaling,
 )
 from repro.serving.cache import ResultCache, quantized_key
 from repro.serving.frontdoor import (
@@ -31,6 +32,7 @@ from repro.serving.frontdoor import (
     RowStreamed,
 )
 from repro.serving.loadgen import (
+    DriftingZipfianMix,
     LoadReport,
     ZipfianMix,
     run_closed_loop,
@@ -41,6 +43,7 @@ __all__ = [
     "EngineBackend",
     "is_engine_backend",
     "propagates_deadlines",
+    "supports_autoscaling",
     "FrontDoor",
     "Reply",
     "RowForward",
@@ -52,6 +55,7 @@ __all__ = [
     "ResultCache",
     "quantized_key",
     "ZipfianMix",
+    "DriftingZipfianMix",
     "LoadReport",
     "run_open_loop",
     "run_closed_loop",

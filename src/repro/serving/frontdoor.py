@@ -58,7 +58,7 @@ import numpy as np
 
 from repro.core.pipeline import DegradedOutput, ScreenedOutput, StreamedOutput
 from repro.obs.recorder import NULL_RECORDER
-from repro.serving.backend import propagates_deadlines
+from repro.serving.backend import propagates_deadlines, supports_autoscaling
 
 __all__ = [
     "FrontDoor",
@@ -186,6 +186,15 @@ class FrontDoor:
     recorder:
         Observability sink (``repro.obs`` recorder contract); defaults
         to the no-op recorder.
+    autoscale_interval_s:
+        Minimum seconds between elastic-scaling ticks when the backend
+        runs an autoscaler
+        (:func:`~repro.serving.backend.supports_autoscaling`).  The
+        batcher thread — the only thread that touches the backend —
+        calls ``backend.autoscale_tick()`` between micro-batches (and
+        periodically while idle), so replica membership only ever
+        changes with no dispatch in flight.  Ignored for backends
+        without an autoscaler.
     """
 
     def __init__(
@@ -198,6 +207,7 @@ class FrontDoor:
         default_slo_s: Optional[float] = None,
         cache=None,
         recorder=None,
+        autoscale_interval_s: float = 0.05,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -210,9 +220,16 @@ class FrontDoor:
         self.flush_window_s = float(flush_window_s)
         self.queue_limit = int(queue_limit)
         self.default_slo_s = default_slo_s
+        if autoscale_interval_s <= 0:
+            raise ValueError(
+                f"autoscale_interval_s must be > 0, got {autoscale_interval_s}"
+            )
         self.cache = cache
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._default_request_timeout = getattr(backend, "request_timeout", None)
+        self.autoscale_interval_s = float(autoscale_interval_s)
+        self._autoscaling = supports_autoscaling(backend)
+        self._last_autoscale = time.monotonic()
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -231,6 +248,8 @@ class FrontDoor:
         self.flush_on_deadline = 0
         self.dispatch_errors = 0
         self.cached_replies = 0
+        self.autoscale_ticks = 0
+        self.autoscale_errors = 0
 
         self._batcher = threading.Thread(
             target=self._batch_loop, name="frontdoor-batcher", daemon=True
@@ -360,20 +379,52 @@ class FrontDoor:
             batch = self._next_batch()
             if batch is None:
                 return
-            self._dispatch(batch)
+            if batch:
+                self._dispatch(batch)
+            # The backend is quiescent between dispatches — the one
+            # moment replica membership may change under it.
+            self._maybe_autoscale()
+
+    def _maybe_autoscale(self) -> None:
+        """Drive the backend's elastic-scaling tick, rate-limited.
+
+        Batcher thread only.  A failing tick is counted and swallowed:
+        scaling is an optimization, serving must not die for it.
+        """
+        if not self._autoscaling:
+            return
+        now = time.monotonic()
+        if now - self._last_autoscale < self.autoscale_interval_s:
+            return
+        self._last_autoscale = now
+        self.autoscale_ticks += 1
+        self.recorder.increment("serving.autoscale_ticks")
+        try:
+            self.backend.autoscale_tick()
+        except Exception:  # noqa: BLE001 — scaling must never kill serving
+            self.autoscale_errors += 1
+            self.recorder.increment("serving.autoscale_errors")
 
     def _next_batch(self) -> Optional[List[_Pending]]:
         """Block until a micro-batch is due, then claim it.
 
-        Returns ``None`` only at shutdown with an empty queue; a close
-        with queued work drains those batches first.
+        Returns ``None`` only at shutdown with an empty queue (a close
+        with queued work drains those batches first), and the empty
+        list as an idle heartbeat for autoscaling backends — the
+        batcher wakes every ``autoscale_interval_s`` to tick the
+        scaler even when no traffic arrives.
         """
         with self._work:
             while True:
                 if not self._queue:
                     if self._closed:
                         return None
-                    self._work.wait()
+                    if self._autoscaling:
+                        self._work.wait(timeout=self.autoscale_interval_s)
+                        if not self._queue and not self._closed:
+                            return []
+                    else:
+                        self._work.wait()
                     continue
                 head = self._queue[0]
                 key = head.batch_key()
@@ -383,7 +434,15 @@ class FrontDoor:
                         break
                     compatible += 1
                 flush_at = head.enqueued + self.flush_window_s
-                for pending in itertools.islice(self._queue, 0, compatible):
+                # The wake-up folds deadlines across the WHOLE queue,
+                # not just the head-compatible prefix: a tight-SLO
+                # request stuck behind an incompatible head must still
+                # pull the batcher awake — flushing the head batch
+                # early is what lets the queue advance to it before
+                # (or the moment) its budget expires, instead of the
+                # batcher sleeping a full flush window on an idle
+                # backend and shedding it long after the fact.
+                for pending in self._queue:
                     if pending.deadline is not None:
                         flush_at = min(flush_at, pending.deadline)
                 now = time.monotonic()
@@ -535,6 +594,9 @@ class FrontDoor:
                 "flush_on_deadline": self.flush_on_deadline,
                 "dispatch_errors": self.dispatch_errors,
                 "cached_replies": self.cached_replies,
+                "autoscaling": self._autoscaling,
+                "autoscale_ticks": self.autoscale_ticks,
+                "autoscale_errors": self.autoscale_errors,
                 "queue_depth": len(self._queue),
             }
         if self.cache is not None:

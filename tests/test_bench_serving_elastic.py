@@ -1,0 +1,105 @@
+"""CI smoke for the elastic-serving benchmark (``--elastic --smoke``).
+
+The benchmark is the acceptance artifact for elastic replica scaling:
+it must merge an ``elastic`` block into the serving report whose
+headline records at least one scale-up and one drift re-plan, with the
+per-shard ``answered == requests`` reconciliation intact on both the
+static and elastic fleets.  A refactor that silently stops the
+autoscaler from ever firing must fail here, not in a nightly bench run.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.timeout(600)
+
+REPO = pathlib.Path(__file__).parent.parent
+BENCH = REPO / "benchmarks" / "bench_serving.py"
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench") / "BENCH_serving.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--elastic", "--smoke", str(output)],
+        capture_output=True,
+        text=True,
+        timeout=540,
+        env=env,
+        cwd=str(REPO),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    with open(output) as handle:
+        return json.load(handle)
+
+
+def config_block(report, name):
+    blocks = {block["name"]: block for block in report["elastic"]["configs"]}
+    return blocks[name]
+
+
+class TestElasticBenchSmoke:
+    def test_schema(self, report):
+        block = report["elastic"]
+        assert block["config"]["smoke"] is True
+        assert {b["name"] for b in block["configs"]} == {"static", "elastic"}
+        for name in ("static", "elastic"):
+            config = config_block(report, name)
+            assert config["closed_loop"]["served"] > 0
+            assert config["closed_loop"]["errors"] == 0
+            assert len(config["replica_counts_initial"]) == len(
+                config["replica_counts_final"]
+            )
+            assert set(config["engine"]) >= {
+                "requests",
+                "scale_ups",
+                "scale_downs",
+                "replans",
+                "answered_reconciles",
+            }
+            assert config["mix"]["shifts_applied"] >= 1  # the head moved
+        headline = block["headline"]
+        assert set(headline) >= {
+            "static_p99_ms",
+            "elastic_p99_ms",
+            "p99_no_worse",
+            "scale_ups",
+            "scale_downs",
+            "replans",
+            "answered_reconciles",
+            "core_bound",
+        }
+
+    def test_autoscaler_actually_fired(self, report):
+        headline = report["elastic"]["headline"]
+        assert headline["scale_ups"] >= 1
+        assert headline["replans"] >= 1
+        elastic = config_block(report, "elastic")
+        assert elastic["frontdoor"]["autoscale_ticks"] >= 1
+        assert elastic["frontdoor"]["autoscale_errors"] == 0
+
+    def test_accounting_reconciles_on_both_fleets(self, report):
+        assert report["elastic"]["headline"]["answered_reconciles"] is True
+
+    def test_static_fleet_never_scales(self, report):
+        static = config_block(report, "static")
+        assert static["engine"]["scale_ups"] == 0
+        assert static["engine"]["replans"] == 0
+        assert (
+            static["replica_counts_initial"] == static["replica_counts_final"]
+        )
+
+    def test_elastic_fleet_respects_budget(self, report):
+        block = report["elastic"]
+        budget = block["config"]["worker_budget"]
+        elastic = config_block(report, "elastic")
+        assert sum(elastic["replica_counts_final"]) <= budget

@@ -28,6 +28,7 @@ from repro.distributed import (
     merge_partial_shard_outputs,
     merge_partial_streamed_outputs,
 )
+from repro.obs import Recorder
 from repro.utils.faults import FaultSpec
 
 pytestmark = pytest.mark.timeout(300)
@@ -458,3 +459,117 @@ class TestReplicaConfiguration:
                 served = [w["served"] for w in shard_stats["replica_workers"]]
                 assert sum(served) == 4
                 assert sorted(served) == [2, 2]  # least-loaded spread
+
+
+class TestElasticSupervision:
+    """Supervision fixes that ride with elastic scaling: per-incident
+    respawn backoff, dispatch-count replica picking, and the
+    reconciliation invariant across a scale-up → failover → scale-down
+    lifecycle."""
+
+    def test_respawn_backoff_resets_per_incident(self, model, features, expected):
+        """Two separate crash incidents each start at the *base*
+        backoff.  The old policy used the shard-lifetime restart count
+        as the exponent, so a crash after a long healthy stretch
+        inherited an escalated delay from incidents long resolved."""
+        recorder = Recorder()
+        faults = {0: [FaultSpec(kind="kill", at_request=1)]}
+        with model.parallel(faults=faults, recorder=recorder, **FAST) as engine:
+            # Incident 1: the injected kill; the respawned worker
+            # serves the retried request bit-identically.
+            assert_backend_identical(
+                "forward", engine.forward(features), expected["forward"]
+            )
+            assert engine.restarts[0] == 1
+            # Incident 2, much later in worker-lifetime terms: kill the
+            # *respawned* process by hand.
+            engine.workers[0].process.kill()
+            assert_backend_identical(
+                "forward", engine.forward(features), expected["forward"]
+            )
+            assert engine.restarts[0] == 2
+        backoffs = recorder.snapshot()["histograms"]["parallel.respawn_backoff_s"]
+        assert backoffs["count"] == 2
+        # Both first attempts sleep the base backoff.  The lifetime-
+        # exponent bug made the second incident sleep 2x the base
+        # (sum == 3 * base instead of 2 * base).
+        assert backoffs["sum"] == pytest.approx(2 * FAST["restart_backoff"])
+
+    def test_pick_charges_dispatches_not_answers(self, model, features, expected):
+        """A replica sitting on a timing-out request must not stay
+        "least loaded".  Picking by answered count did exactly that —
+        the delayed replica never answered, so it attracted every new
+        request.  Dispatch-count picking charges the work when it is
+        handed out."""
+        faults = {
+            (0, 0): [
+                FaultSpec(kind="delay", at_request=1, seconds=LATE),
+                FaultSpec(kind="delay", at_request=3, seconds=LATE),
+            ]
+        }
+        with model.parallel(
+            replicas={0: 2},
+            request_timeout=DEADLINE,
+            request_retries=1,
+            max_restarts=0,
+            faults=faults,
+            **FAST,
+        ) as engine:
+            for _ in range(6):
+                assert_backend_identical(
+                    "forward", engine.forward(features), expected["forward"]
+                )
+            assert engine.dead_shards == []
+            group = engine.replica_groups[0]
+            # Dispatch-count picking routes around the delayed replica:
+            # the healthy sibling ends up answering most requests.
+            # Answer-count picking converges to an even [3, 3] split
+            # because the delayed replica always looks least loaded.
+            assert group.served == [2, 4]
+
+    def test_scale_up_failover_scale_down_reconciles(
+        self, model, features, expected
+    ):
+        """The satellite lifecycle: grow a shard at runtime, lose a
+        replica to a crash with no restart budget, retire the tombstone
+        — ``answered == requests`` holds at every step and the retired
+        replica's answers survive in ``retired_served``."""
+        with model.parallel(max_restarts=0, **FAST) as engine:
+            assert engine.scale_up(0) == 1
+            assert engine.replica_counts == [2, 1]
+
+            # F1 lands on replica 0, F2 on replica 1 (dispatch spread).
+            for _ in range(2):
+                assert_backend_identical(
+                    "forward", engine.forward(features), expected["forward"]
+                )
+            group = engine.replica_groups[0]
+            assert group.served == [1, 1]
+
+            # Kill replica 0: the next request fails over to the
+            # sibling (no budget to respawn), leaving a tombstone.
+            group.handles[0].process.kill()
+            assert_backend_identical(
+                "forward", engine.forward(features), expected["forward"]
+            )
+            assert engine.failovers == 1
+            assert engine.dead_shards == []
+            assert group.dead == [True, False]
+            assert group.answered() == 3
+
+            # Scale-down reclaims the tombstone slot, not a live one,
+            # and folds its answer count into retired_served.
+            assert engine.scale_down(0)
+            assert engine.replica_counts == [1, 1]
+            assert group.dead == [False]
+            assert group.retired_served == 1
+
+            assert_backend_identical(
+                "forward", engine.forward(features), expected["forward"]
+            )
+            stats = engine.stats()
+            assert stats["requests"] == 4
+            assert stats["scale_ups"] == 1
+            assert stats["scale_downs"] == 1
+            for shard_stats in stats["shards"]:
+                assert shard_stats["answered"] == 4

@@ -322,6 +322,33 @@ class TestDeadlinePropagation:
         assert len(backend.seen_timeouts) == 1  # late request never dispatched
         assert door.stats()["shed_deadline"] == 1
 
+    def test_tight_slo_behind_incompatible_head_pulls_the_batcher_awake(self):
+        """The wake-up must fold deadlines across the WHOLE queue.  A
+        tight-SLO request queued behind an incompatible no-SLO head
+        used to wait out the head's full flush window (the fold only
+        covered the head-compatible prefix) and be shed long after its
+        budget expired.  Now the deadline pulls the flush forward: the
+        head is served early and the tight request is settled around
+        its deadline, both well inside the window."""
+        backend = _RecordingBackend()
+        row = np.zeros(backend.hidden_dim)
+        with FrontDoor(backend, max_batch=4, flush_window_s=0.6) as door:
+            start = time.monotonic()
+            head = door.submit(row)  # no SLO; window alone says t+0.6
+            tight = door.submit(row, "top_k", k=2, slo_s=0.1)
+            reply = head.result(timeout=30)
+            head_latency = time.monotonic() - start
+            with pytest.raises(DeadlineExceededError):
+                tight.result(timeout=30)
+            tight_latency = time.monotonic() - start
+        assert reply.batch_size == 1
+        # Both settle around the 0.1s deadline, nowhere near the 0.6s
+        # window the old prefix-only fold slept through.
+        assert head_latency < 0.4
+        assert tight_latency < 0.4
+        assert door.stats()["shed_deadline"] == 1
+        assert door.stats()["flush_on_deadline"] >= 1
+
     def test_zero_budget_is_always_shed(self):
         backend = _RecordingBackend()
         with FrontDoor(backend, max_batch=1, flush_window_s=0.0) as door:
